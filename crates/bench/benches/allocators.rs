@@ -1,0 +1,36 @@
+//! Criterion bench for Use Case 2 (Fig. 16): simulation throughput with each
+//! physical memory allocation policy on an LLM-like workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mimic_os::AllocationPolicy;
+use virtuoso::SystemConfig;
+use virtuoso_bench::run_spec_with_config;
+use vm_workloads::catalog;
+
+fn allocators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig16_allocation_policies");
+    group.sample_size(10);
+    let spec = catalog::llm_llama().with_instructions(15_000);
+    let policies = [
+        AllocationPolicy::BuddyFourK,
+        AllocationPolicy::LinuxThp,
+        AllocationPolicy::ConservativeReservationThp,
+        AllocationPolicy::AggressiveReservationThp,
+        AllocationPolicy::utopia_32mb_16way(),
+    ];
+    for policy in policies {
+        group.bench_function(BenchmarkId::new("policy", policy.label()), |b| {
+            b.iter(|| {
+                run_spec_with_config(
+                    SystemConfig::small_test().with_allocation_policy(policy),
+                    &spec,
+                    1,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, allocators);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench for Use Case 1 (Figs. 13–15): simulation throughput with
+//! each page-table design, confirming the harness regenerates the sweeps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmu_sim::PageTableKind;
+use virtuoso::SystemConfig;
+use virtuoso_bench::run_spec_with_config;
+use vm_workloads::catalog;
+
+fn pt_designs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_15_page_tables");
+    group.sample_size(10);
+    let spec = catalog::graphbig_bfs().with_instructions(15_000);
+    for kind in PageTableKind::ALL {
+        group.bench_function(BenchmarkId::new("design", kind.label()), |b| {
+            b.iter(|| {
+                run_spec_with_config(
+                    SystemConfig::small_test().with_page_table(kind),
+                    &spec,
+                    1,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, pt_designs);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench for the Fig. 11 / Fig. 12 experiments: simulation-speed
+//! overhead of the detailed MimicOS integration over the emulation baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use virtuoso::SystemConfig;
+use virtuoso_bench::run_spec_with_config;
+use vm_workloads::catalog;
+
+fn sim_speed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_sim_speed");
+    group.sample_size(10);
+    let spec = catalog::gups_randacc().with_instructions(20_000);
+    group.bench_function(BenchmarkId::new("mode", "emulation"), |b| {
+        b.iter(|| {
+            run_spec_with_config(
+                SystemConfig::small_test().with_emulation_baseline(),
+                &spec,
+                1,
+            )
+        })
+    });
+    group.bench_function(BenchmarkId::new("mode", "detailed_mimicos"), |b| {
+        b.iter(|| run_spec_with_config(SystemConfig::small_test(), &spec, 1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, sim_speed);
+criterion_main!(benches);

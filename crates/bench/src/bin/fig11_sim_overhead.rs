@@ -1,0 +1,10 @@
+//! Regenerates Figure 11 of the Virtuoso paper (see EXPERIMENTS.md).
+//! Usage: cargo run --release -p virtuoso-bench --bin fig11_sim_overhead [scale]
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1u64);
+    println!("{}", virtuoso_bench::experiments::fig11_sim_overhead(scale).render());
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 17 of the Virtuoso paper (see EXPERIMENTS.md).
+//! Usage: cargo run --release -p virtuoso-bench --bin fig17_midgard_breakdown [scale]
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1u64);
+    println!("{}", virtuoso_bench::experiments::fig17_midgard_breakdown(scale).render());
+}

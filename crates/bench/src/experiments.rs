@@ -1,0 +1,664 @@
+//! One experiment per table/figure of the paper's evaluation section.
+//!
+//! Each function regenerates the corresponding figure's rows/series with a
+//! scaled-down instruction budget (see EXPERIMENTS.md for the mapping and
+//! the observed shapes). The `scale` parameter multiplies the per-workload
+//! instruction budget; `1` is the quick default.
+
+use crate::runner::{run_spec, run_spec_with_config, ExperimentTable};
+use mimic_os::kernel::RangeMapping;
+use mimic_os::{AllocationPolicy, OsConfig, ThpConfig, ThpMode};
+use mmu_sim::{
+    MidgardConfig, MidgardMmu, PageTableKind, RmmConfig, RmmMmu, UtopiaMmu, UtopiaMmuConfig,
+};
+use sim_core::TraceSource;
+use virtuoso::{accuracy_percent, cosine_similarity_series, ReferenceMachine, SystemConfig};
+use vm_types::stats::geometric_mean;
+use vm_types::{PageSize, PhysAddr};
+use vm_workloads::catalog;
+use vm_workloads::WorkloadSpec;
+
+fn budget(base: u64, scale: u64) -> u64 {
+    base.saturating_mul(scale.max(1))
+}
+
+fn fmt(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Figure 1: fraction of execution time spent on address translation and
+/// physical memory allocation, for long- and short-running workloads.
+pub fn fig01_vm_overheads(scale: u64) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "Fig. 1: VM overheads (fraction of execution time)",
+        &["workload", "class", "translation", "allocation"],
+    );
+    let mut long_t = Vec::new();
+    let mut long_a = Vec::new();
+    let mut short_t = Vec::new();
+    let mut short_a = Vec::new();
+    for spec in catalog::all_long_running() {
+        let spec = spec.with_instructions(budget(20_000, scale));
+        let r = run_spec(&spec, 1);
+        long_t.push(r.translation_time_fraction().max(1e-6));
+        long_a.push(r.allocation_time_fraction().max(1e-6));
+        table.push_row(vec![
+            spec.name.clone(),
+            "long".into(),
+            fmt(r.translation_time_fraction()),
+            fmt(r.allocation_time_fraction()),
+        ]);
+    }
+    for spec in catalog::all_short_running() {
+        let spec = spec.with_instructions(budget(15_000, scale));
+        let r = run_spec(&spec, 1);
+        short_t.push(r.translation_time_fraction().max(1e-6));
+        short_a.push(r.allocation_time_fraction().max(1e-6));
+        table.push_row(vec![
+            spec.name.clone(),
+            "short".into(),
+            fmt(r.translation_time_fraction()),
+            fmt(r.allocation_time_fraction()),
+        ]);
+    }
+    table.push_row(vec![
+        "GMEAN-long".into(),
+        "long".into(),
+        fmt(geometric_mean(&long_t)),
+        fmt(geometric_mean(&long_a)),
+    ]);
+    table.push_row(vec![
+        "GMEAN-short".into(),
+        "short".into(),
+        fmt(geometric_mean(&short_t)),
+        fmt(geometric_mean(&short_a)),
+    ]);
+    table
+}
+
+/// Figure 2: minor page-fault latency distribution with THP enabled vs
+/// disabled, including the outlier contribution to total fault latency.
+pub fn fig02_mpf_distribution(scale: u64) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "Fig. 2: minor page-fault latency, THP enabled vs disabled",
+        &["config", "faults", "p25 ns", "median ns", "p75 ns", "max ns", "outlier share >10us"],
+    );
+    for (label, thp) in [("THP-enabled", ThpConfig::linux_default()), ("THP-disabled", ThpConfig::disabled())] {
+        let mut config = SystemConfig::small_test();
+        config.os.thp = thp;
+        let mut all = vm_types::LatencyStats::new();
+        for spec in catalog::all_short_running().into_iter().take(6) {
+            let spec = spec.with_instructions(budget(15_000, scale));
+            let r = run_spec_with_config(config.clone(), &spec, 2);
+            all.merge(&r.fault_latency_ns);
+        }
+        let p = all.percentiles();
+        table.push_row(vec![
+            label.into(),
+            all.count().to_string(),
+            fmt(p.p25),
+            fmt(p.p50),
+            fmt(p.p75),
+            fmt(p.max),
+            fmt(all.outlier_contribution(10_000.0)),
+        ]);
+    }
+    table
+}
+
+/// Figure 3: average page-table-walk latency across workloads of varying
+/// memory intensity.
+pub fn fig03_ptw_variation(scale: u64) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "Fig. 3: average PTW latency across memory-intensity levels",
+        &["workload", "avg PTW (cycles)", "L2 TLB MPKI"],
+    );
+    for spec in catalog::stress_sweep(12) {
+        let spec = spec.with_instructions(budget(15_000, scale));
+        let r = run_spec(&spec, 3);
+        table.push_row(vec![
+            spec.name.clone(),
+            fmt(r.avg_ptw_latency_cycles),
+            fmt(r.l2_tlb_mpki),
+        ]);
+    }
+    let sssp = catalog::graphbig_sssp().with_instructions(budget(20_000, scale));
+    let r = run_spec(&sssp, 3);
+    table.push_row(vec!["SSSP".into(), fmt(r.avg_ptw_latency_cycles), fmt(r.l2_tlb_mpki)]);
+    table
+}
+
+/// Builds the calibrated reference machine for a long-running workload (the
+/// stand-in for the paper's real-system measurement; see DESIGN.md §1).
+fn reference_for(spec: &WorkloadSpec, scale: u64) -> (ReferenceMachine, f64, f64) {
+    // The reference is the detailed simulator itself at the same scale; the
+    // two estimators compared against it are the detailed model with a
+    // different seed (Virtuoso) and the fixed-latency emulation baseline.
+    let reference_report = run_spec(&spec.clone().with_instructions(budget(20_000, scale)), 100);
+    let reference = ReferenceMachine::new(
+        &spec.name,
+        reference_report.app_ipc,
+        reference_report.l2_tlb_mpki,
+        reference_report.avg_ptw_latency_cycles,
+    )
+    .with_fault_series(reference_report.fault_latency_ns.samples().to_vec());
+    let virtuoso_report = run_spec(&spec.clone().with_instructions(budget(20_000, scale)), 7);
+    let emulation_report = run_spec_with_config(
+        SystemConfig::small_test().with_emulation_baseline(),
+        &spec.clone().with_instructions(budget(20_000, scale)),
+        7,
+    );
+    (
+        reference,
+        virtuoso_report.app_ipc,
+        emulation_report.app_ipc,
+    )
+}
+
+/// Figure 8: IPC estimation accuracy of Virtuoso vs the fixed-latency
+/// emulation baseline, relative to the reference machine.
+pub fn fig08_ipc_accuracy(scale: u64) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "Fig. 8: IPC estimation accuracy vs reference machine",
+        &["workload", "virtuoso acc %", "baseline acc %"],
+    );
+    let mut v_acc = Vec::new();
+    let mut b_acc = Vec::new();
+    for spec in catalog::all_long_running() {
+        let (reference, virtuoso_ipc, baseline_ipc) = reference_for(&spec, scale);
+        let va = reference.ipc_accuracy_percent(virtuoso_ipc);
+        let ba = reference.ipc_accuracy_percent(baseline_ipc);
+        v_acc.push(va.max(1e-3));
+        b_acc.push(ba.max(1e-3));
+        table.push_row(vec![spec.name.clone(), fmt(va), fmt(ba)]);
+    }
+    table.push_row(vec![
+        "GMEAN".into(),
+        fmt(geometric_mean(&v_acc)),
+        fmt(geometric_mean(&b_acc)),
+    ]);
+    table
+}
+
+/// Figure 9: cosine similarity between the page-fault latency series of the
+/// detailed model and the reference machine, for short-running workloads.
+pub fn fig09_pf_cosine(scale: u64) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "Fig. 9: page-fault latency cosine similarity",
+        &["workload", "cosine similarity"],
+    );
+    let mut sims = Vec::new();
+    for spec in catalog::all_short_running() {
+        let budgeted = spec.with_instructions(budget(15_000, scale));
+        let reference = run_spec(&budgeted, 100);
+        let estimate = run_spec(&budgeted, 9);
+        let sim = cosine_similarity_series(
+            estimate.fault_latency_ns.samples(),
+            reference.fault_latency_ns.samples(),
+        );
+        sims.push(sim.max(1e-3));
+        table.push_row(vec![budgeted.name.clone(), fmt(sim)]);
+    }
+    table.push_row(vec!["GMEAN".into(), fmt(geometric_mean(&sims))]);
+    table
+}
+
+/// Figure 10: L2 TLB MPKI and PTW latency accuracy against the reference.
+pub fn fig10_mmu_validation(scale: u64) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "Fig. 10: MMU validation (L2 TLB MPKI and PTW latency accuracy)",
+        &["workload", "MPKI", "ref MPKI", "MPKI acc %", "PTW cyc", "ref PTW cyc", "PTW acc %"],
+    );
+    for spec in catalog::all_long_running() {
+        let budgeted = spec.with_instructions(budget(20_000, scale));
+        let reference = run_spec(&budgeted, 100);
+        let estimate = run_spec(&budgeted, 11);
+        table.push_row(vec![
+            budgeted.name.clone(),
+            fmt(estimate.l2_tlb_mpki),
+            fmt(reference.l2_tlb_mpki),
+            fmt(accuracy_percent(estimate.l2_tlb_mpki, reference.l2_tlb_mpki)),
+            fmt(estimate.avg_ptw_latency_cycles),
+            fmt(reference.avg_ptw_latency_cycles),
+            fmt(accuracy_percent(
+                estimate.avg_ptw_latency_cycles,
+                reference.avg_ptw_latency_cycles,
+            )),
+        ]);
+    }
+    table
+}
+
+/// Figure 11: simulation-time overhead of the detailed (MimicOS) mode over
+/// the emulation mode, measured as wall-clock time of this host.
+pub fn fig11_sim_overhead(scale: u64) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "Fig. 11: simulation-time overhead of MimicOS integration",
+        &["workload", "emulation ms", "detailed ms", "overhead %"],
+    );
+    for spec in [catalog::gups_randacc(), catalog::graphbig_bfs(), catalog::faas_json()] {
+        let budgeted = spec.with_instructions(budget(40_000, scale));
+        let start = std::time::Instant::now();
+        let _ = run_spec_with_config(
+            SystemConfig::small_test().with_emulation_baseline(),
+            &budgeted,
+            13,
+        );
+        let emulation_ms = start.elapsed().as_secs_f64() * 1000.0;
+        let start = std::time::Instant::now();
+        let _ = run_spec(&budgeted, 13);
+        let detailed_ms = start.elapsed().as_secs_f64() * 1000.0;
+        let overhead = if emulation_ms > 0.0 {
+            (detailed_ms / emulation_ms - 1.0) * 100.0
+        } else {
+            0.0
+        };
+        table.push_row(vec![
+            budgeted.name.clone(),
+            fmt(emulation_ms),
+            fmt(detailed_ms),
+            fmt(overhead),
+        ]);
+    }
+    table
+}
+
+/// Figure 12: correlation between the fraction of instructions executed by
+/// MimicOS and the simulation-time overhead.
+pub fn fig12_overhead_correlation(scale: u64) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "Fig. 12: kernel-instruction fraction vs simulation time",
+        &["new-page fraction", "kernel instr fraction", "normalized sim time"],
+    );
+    let mut baseline_ms = None;
+    for step in 0..6u32 {
+        let new_page_fraction = 0.02 + 0.18 * step as f64;
+        let spec = WorkloadSpec::simple(
+            &format!("kfrac-{step}"),
+            vm_workloads::WorkloadClass::ShortRunning,
+            96 * 1024 * 1024,
+            vm_workloads::AccessPattern::AllocateAndTouch { new_page_fraction },
+            budget(30_000, scale),
+        );
+        let start = std::time::Instant::now();
+        let r = run_spec(&spec, 17);
+        let ms = start.elapsed().as_secs_f64() * 1000.0;
+        let base = *baseline_ms.get_or_insert(ms);
+        let kernel_fraction =
+            r.kernel_instructions as f64 / (r.instructions + r.kernel_instructions).max(1) as f64;
+        table.push_row(vec![
+            fmt(new_page_fraction),
+            fmt(kernel_fraction),
+            fmt(ms / base),
+        ]);
+    }
+    table
+}
+
+fn fragmented_config(kind: PageTableKind, free_fraction: f64) -> SystemConfig {
+    let mut config = SystemConfig::small_test().with_page_table(kind);
+    config.os.fragmentation_target = Some(free_fraction);
+    config
+}
+
+/// Figure 13: reduction in total PTW latency achieved by the hash-based
+/// page tables over Radix, across memory-fragmentation levels.
+pub fn fig13_ptw_reduction(scale: u64) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "Fig. 13: PTW latency reduction over Radix vs fragmentation",
+        &["free 2MB fraction", "ECH %", "HDC %", "HT %"],
+    );
+    let spec = catalog::graphbig_sssp().with_instructions(budget(20_000, scale));
+    for free in [1.0, 0.96, 0.92] {
+        let radix = run_spec_with_config(fragmented_config(PageTableKind::Radix, free), &spec, 19);
+        let mut row = vec![fmt(free)];
+        for kind in [
+            PageTableKind::ElasticCuckoo,
+            PageTableKind::HashedOpenAddressing,
+            PageTableKind::HashedChained,
+        ] {
+            let r = run_spec_with_config(fragmented_config(kind, free), &spec, 19);
+            let reduction = if radix.total_ptw_latency_cycles > 0.0 {
+                (1.0 - r.total_ptw_latency_cycles / radix.total_ptw_latency_cycles) * 100.0
+            } else {
+                0.0
+            };
+            row.push(fmt(reduction));
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+/// Figure 14: DRAM row-buffer conflicts of the hash-based page tables,
+/// normalized to Radix.
+pub fn fig14_rowbuffer_conflicts(scale: u64) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "Fig. 14: DRAM row-buffer conflicts normalized to Radix",
+        &["workload", "ECH", "HDC", "HT"],
+    );
+    let mut per_kind: Vec<Vec<f64>> = vec![Vec::new(), Vec::new(), Vec::new()];
+    for spec in catalog::all_long_running().into_iter().take(5) {
+        let budgeted = spec.with_instructions(budget(15_000, scale));
+        let radix = run_spec_with_config(
+            SystemConfig::small_test().with_page_table(PageTableKind::Radix),
+            &budgeted,
+            23,
+        );
+        let mut row = vec![budgeted.name.clone()];
+        for (i, kind) in [
+            PageTableKind::ElasticCuckoo,
+            PageTableKind::HashedOpenAddressing,
+            PageTableKind::HashedChained,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let r = run_spec_with_config(
+                SystemConfig::small_test().with_page_table(kind),
+                &budgeted,
+                23,
+            );
+            let norm = r.dram_row_conflicts as f64 / radix.dram_row_conflicts.max(1) as f64;
+            per_kind[i].push(norm.max(1e-3));
+            row.push(fmt(norm));
+        }
+        table.push_row(row);
+    }
+    table.push_row(vec![
+        "GMEAN".into(),
+        fmt(geometric_mean(&per_kind[0])),
+        fmt(geometric_mean(&per_kind[1])),
+        fmt(geometric_mean(&per_kind[2])),
+    ]);
+    table
+}
+
+/// Figure 15: reduction in total minor-page-fault latency achieved by the
+/// hash-based page tables over Radix.
+pub fn fig15_mpf_reduction(scale: u64) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "Fig. 15: minor-fault latency reduction over Radix",
+        &["workload", "ECH %", "HDC %", "HT %"],
+    );
+    for spec in [catalog::graphbig_bfs(), catalog::gups_randacc(), catalog::graphbig_tc()] {
+        let budgeted = spec.with_instructions(budget(15_000, scale));
+        let radix = run_spec_with_config(
+            SystemConfig::small_test().with_page_table(PageTableKind::Radix),
+            &budgeted,
+            29,
+        );
+        let mut row = vec![budgeted.name.clone()];
+        for kind in [
+            PageTableKind::ElasticCuckoo,
+            PageTableKind::HashedOpenAddressing,
+            PageTableKind::HashedChained,
+        ] {
+            let r = run_spec_with_config(
+                SystemConfig::small_test().with_page_table(kind),
+                &budgeted,
+                29,
+            );
+            let reduction = if radix.total_fault_ns > 0.0 {
+                (1.0 - r.total_fault_ns / radix.total_fault_ns) * 100.0
+            } else {
+                0.0
+            };
+            row.push(fmt(reduction));
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+/// Figure 16: page-fault latency distribution of seven allocation policies
+/// on the LLM-inference workloads.
+pub fn fig16_llm_alloc_policies(scale: u64) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "Fig. 16: LLM page-fault latency by allocation policy",
+        &["workload", "policy", "median ns", "p99 ns", "max ns", "total us"],
+    );
+    let policies = [
+        AllocationPolicy::BuddyFourK,
+        AllocationPolicy::ConservativeReservationThp,
+        AllocationPolicy::AggressiveReservationThp,
+        AllocationPolicy::Utopia(mimic_os::UtopiaConfig::new(4 * 1024 * 1024, 8, PageSize::Size4K)),
+        AllocationPolicy::utopia_32mb_16way(),
+        AllocationPolicy::Utopia(mimic_os::UtopiaConfig::new(128 * 1024 * 1024, 16, PageSize::Size4K)),
+        AllocationPolicy::LinuxThp,
+    ];
+    for spec in catalog::llm_workloads() {
+        let budgeted = spec.with_instructions(budget(20_000, scale));
+        for policy in policies {
+            let r = run_spec_with_config(
+                SystemConfig::small_test().with_allocation_policy(policy),
+                &budgeted,
+                31,
+            );
+            let p = r.fault_latency_percentiles();
+            table.push_row(vec![
+                budgeted.name.clone(),
+                policy.label(),
+                fmt(p.p50),
+                fmt(p.p99),
+                fmt(p.max),
+                fmt(r.total_fault_ns / 1000.0),
+            ]);
+        }
+    }
+    table
+}
+
+/// Figure 17: breakdown of Midgard translation latency into frontend and
+/// backend components.
+pub fn fig17_midgard_breakdown(scale: u64) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "Fig. 17: Midgard translation latency breakdown",
+        &["workload", "frontend %", "backend %", "L2 VLB hit %"],
+    );
+    for spec in catalog::all_long_running() {
+        let budgeted = spec.with_instructions(budget(20_000, scale));
+        let mut midgard =
+            MidgardMmu::new(MidgardConfig::paper_baseline(), PhysAddr::new(0xE0_0000_0000));
+        for region in &budgeted.regions {
+            midgard.register_vma(region.start, region.bytes);
+        }
+        let mut trace = budgeted.build(37);
+        while let Some(instr) = trace.next_instruction() {
+            if let Some((va, _)) = instr.memory {
+                midgard.translate(va);
+            }
+        }
+        let frontend = midgard.stats().frontend_fraction() * 100.0;
+        table.push_row(vec![
+            budgeted.name.clone(),
+            fmt(frontend),
+            fmt(100.0 - frontend),
+            fmt(midgard.stats().l2_vlb_hit_ratio() * 100.0),
+        ]);
+    }
+    table
+}
+
+/// Figure 18: histogram of VMA sizes in the BC workload.
+pub fn fig18_vma_histogram() -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "Fig. 18: number of VMAs of each size in BC",
+        &["bucket", "count"],
+    );
+    let bc = catalog::graphbig_bc();
+    let mut tree = mimic_os::VmaTree::new();
+    for region in &bc.regions {
+        tree.insert(mimic_os::Vma::anonymous(region.start, region.bytes))
+            .expect("catalogue regions do not overlap");
+    }
+    let hist = tree.size_histogram();
+    let labels = [
+        "<=4KB", "<128KB", "<256KB", "<512KB", "<1MB", "<8MB", "<16MB", "<32MB", "<1GB", ">=1GB",
+    ];
+    for (label, count) in labels.iter().zip(hist.bucket_counts()) {
+        table.push_row(vec![(*label).into(), count.to_string()]);
+    }
+    table
+}
+
+/// Figure 19: increase in address-translation metadata traffic as the Utopia
+/// RestSeg grows from 8 GB to 64 GB.
+pub fn fig19_restseg_size(scale: u64) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "Fig. 19: Utopia translation overhead vs RestSeg size",
+        &["RestSeg GB", "RSW fetches", "increase % over 8GB"],
+    );
+    let spec = catalog::gups_randacc().with_instructions(budget(30_000, scale));
+    let mut baseline = None;
+    for gb in [8u64, 16, 32, 64] {
+        let cfg = UtopiaMmuConfig::paper_baseline().with_restseg_bytes(gb << 30);
+        let mut utopia = UtopiaMmu::new(cfg, PhysAddr::new(0xD0_0000_0000));
+        let mut fetches = 0u64;
+        let mut trace = spec.build(41);
+        while let Some(instr) = trace.next_instruction() {
+            if let Some((va, _)) = instr.memory {
+                fetches += utopia.translate(va).metadata_accesses.len() as u64;
+            }
+        }
+        let base = *baseline.get_or_insert(fetches.max(1));
+        table.push_row(vec![
+            gb.to_string(),
+            fetches.to_string(),
+            fmt((fetches as f64 / base as f64 - 1.0) * 100.0),
+        ]);
+    }
+    table
+}
+
+/// Figure 20: time spent swapping as the restrictive segment covers a
+/// growing fraction of main memory.
+pub fn fig20_swap_activity(scale: u64) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "Fig. 20: swapping time vs restrictive-segment coverage",
+        &["coverage %", "swap I/O us", "normalized to radix"],
+    );
+    let footprint: u64 = 96 * 1024 * 1024;
+    let memory: u64 = 128 * 1024 * 1024;
+    let spec = WorkloadSpec::simple(
+        "swap-study",
+        vm_workloads::WorkloadClass::LongRunning,
+        footprint,
+        vm_workloads::AccessPattern::UniformRandom,
+        budget(25_000, scale),
+    );
+    let base_os = OsConfig {
+        memory_bytes: memory,
+        swap_bytes: 256 * 1024 * 1024,
+        swap_threshold: 0.9,
+        thp: ThpConfig { mode: ThpMode::Never, ..ThpConfig::linux_default() },
+        fragmentation_target: None,
+        populate_page_cache: false,
+        ..OsConfig::small_test()
+    };
+    // Radix (buddy-only) baseline.
+    let mut radix_cfg = SystemConfig::small_test();
+    radix_cfg.os = OsConfig { policy: AllocationPolicy::BuddyFourK, ..base_os.clone() };
+    let radix = run_spec_with_config(radix_cfg, &spec, 43);
+    let radix_io = radix.swap_io_ns.max(1.0);
+    for coverage in [50u64, 70, 90] {
+        let restseg = memory * coverage / 100;
+        let mut cfg = SystemConfig::small_test();
+        cfg.os = OsConfig {
+            policy: AllocationPolicy::Utopia(mimic_os::UtopiaConfig::new(restseg, 4, PageSize::Size4K)),
+            ..base_os.clone()
+        };
+        let r = run_spec_with_config(cfg, &spec, 43);
+        table.push_row(vec![
+            coverage.to_string(),
+            fmt(r.swap_io_ns / 1000.0),
+            fmt(r.swap_io_ns / radix_io),
+        ]);
+    }
+    table
+}
+
+/// Figure 21: reduction in translation-metadata DRAM row-buffer conflicts
+/// achieved by RMM over Radix, across fragmentation levels.
+pub fn fig21_rmm_conflicts(scale: u64) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "Fig. 21: reduction in translation-metadata DRAM conflicts (RMM vs Radix)",
+        &["workload", "free 2MB fraction", "radix conflicts", "rmm fallback walks", "reduction %"],
+    );
+    for spec in [catalog::graphbig_bfs(), catalog::gups_randacc()] {
+        let budgeted = spec.with_instructions(budget(15_000, scale));
+        for free in [0.94, 0.6] {
+            // Radix side: a full system run, counting PT-walker DRAM conflicts.
+            let radix = run_spec_with_config(
+                fragmented_config(PageTableKind::Radix, free),
+                &budgeted,
+                47,
+            );
+            // RMM side: eager paging creates ranges; translations covered by a
+            // range never walk the page table, so the conflicts they would
+            // have caused disappear. We measure coverage with the RMM MMU.
+            let mut rmm = RmmMmu::new(RmmConfig::paper_baseline(), PhysAddr::new(0xC0_0000_0000));
+            for (i, region) in budgeted.regions.iter().enumerate() {
+                rmm.register_range(RangeMapping {
+                    virt_start: region.start,
+                    phys_start: PhysAddr::new(0x8_0000_0000 + i as u64 * (1 << 32)),
+                    bytes: region.bytes,
+                });
+            }
+            let mut fallbacks = 0u64;
+            let mut total = 0u64;
+            let mut trace = budgeted.build(47);
+            while let Some(instr) = trace.next_instruction() {
+                if let Some((va, _)) = instr.memory {
+                    total += 1;
+                    if rmm.translate(va).is_none() {
+                        fallbacks += 1;
+                    }
+                }
+            }
+            let coverage = 1.0 - fallbacks as f64 / total.max(1) as f64;
+            let reduction = coverage * 100.0;
+            table.push_row(vec![
+                budgeted.name.clone(),
+                fmt(free),
+                radix.dram_translation_conflicts.to_string(),
+                fallbacks.to_string(),
+                fmt(reduction),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig18_reports_the_bc_profile() {
+        let table = fig18_vma_histogram();
+        assert_eq!(table.rows.len(), 10);
+        let total: u64 = table.rows.iter().map(|r| r[1].parse::<u64>().unwrap()).sum();
+        assert_eq!(total, 148);
+    }
+
+    #[test]
+    fn fig02_produces_two_configurations() {
+        let table = fig02_mpf_distribution(0);
+        assert_eq!(table.rows.len(), 2);
+    }
+
+    #[test]
+    fn fig13_rows_cover_three_fragmentation_levels() {
+        let table = fig13_ptw_reduction(0);
+        assert_eq!(table.rows.len(), 3);
+    }
+
+    #[test]
+    fn fig19_overhead_grows_with_restseg_size() {
+        let table = fig19_restseg_size(0);
+        let first: f64 = table.rows[0][1].parse().unwrap();
+        let last: f64 = table.rows.last().unwrap()[1].parse().unwrap();
+        assert!(last >= first);
+    }
+}

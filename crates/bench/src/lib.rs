@@ -1,0 +1,13 @@
+//! The benchmark harness: one experiment function per table/figure of the
+//! Virtuoso paper's evaluation section, shared by the `figXX_*` binaries and
+//! the Criterion benches.
+//!
+//! Every experiment returns a printable table of rows (so the binaries stay
+//! one-liners) and uses deliberately scaled-down instruction budgets so the
+//! whole suite regenerates on a laptop in minutes. Pass larger budgets
+//! through the `*_with_scale` variants for higher-fidelity runs.
+
+pub mod experiments;
+pub mod runner;
+
+pub use runner::{run_spec, run_spec_with_config, ExperimentTable};

@@ -1,0 +1,116 @@
+//! Shared helpers for the figure harnesses.
+
+use virtuoso::{SimulationReport, System, SystemConfig};
+use vm_workloads::WorkloadSpec;
+
+/// A simple printable table: header plus rows of equal length.
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentTable {
+    /// Table title (figure identifier).
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl ExperimentTable {
+    /// Creates an empty table.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        ExperimentTable {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "row width must match header");
+        self.rows.push(row);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = format!("=== {} ===\n", self.title);
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i] + 2))
+                .collect::<String>()
+        };
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Builds a system for `spec` (mapping its regions) and runs it, returning
+/// the report.
+pub fn run_spec_with_config(config: SystemConfig, spec: &WorkloadSpec, seed: u64) -> SimulationReport {
+    let mut system = System::new(config);
+    for (i, region) in spec.regions.iter().enumerate() {
+        if region.file_backed {
+            system
+                .mmap_file(region.start, region.bytes, i as u64 + 1)
+                .expect("mapping file region");
+        } else {
+            system
+                .mmap_anonymous(region.start, region.bytes)
+                .expect("mapping anonymous region");
+        }
+    }
+    system.run(&mut spec.build(seed), None)
+}
+
+/// Runs `spec` on the small-test system configuration.
+pub fn run_spec(spec: &WorkloadSpec, seed: u64) -> SimulationReport {
+    run_spec_with_config(SystemConfig::small_test(), spec, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vm_workloads::{AccessPattern, WorkloadClass};
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = ExperimentTable::new("Fig. X", &["workload", "value"]);
+        t.push_row(vec!["BC".to_string(), "1.5".to_string()]);
+        t.push_row(vec!["XSBench".to_string(), "20".to_string()]);
+        let s = t.render();
+        assert!(s.contains("Fig. X"));
+        assert!(s.contains("XSBench"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_rows_are_rejected() {
+        let mut t = ExperimentTable::new("t", &["a", "b"]);
+        t.push_row(vec!["only-one".to_string()]);
+    }
+
+    #[test]
+    fn run_spec_produces_a_report() {
+        let spec = WorkloadSpec::simple(
+            "runner-test",
+            WorkloadClass::ShortRunning,
+            4 * 1024 * 1024,
+            AccessPattern::UniformRandom,
+            2_000,
+        );
+        let report = run_spec(&spec, 1);
+        assert_eq!(report.instructions, 2_000);
+    }
+}

@@ -1,0 +1,409 @@
+//! A single set-associative cache.
+
+use crate::replacement::{ReplacementPolicy, SetReplacement};
+use serde::{Deserialize, Serialize};
+use vm_types::{Counter, Cycles, PhysAddr, Requestor, CACHE_LINE_BYTES};
+
+/// Configuration of one cache level.
+///
+/// # Examples
+///
+/// ```
+/// use cache_sim::CacheConfig;
+/// let l1 = CacheConfig::l1_data();
+/// assert_eq!(l1.capacity_bytes, 32 * 1024);
+/// assert_eq!(l1.num_sets() * l1.ways as usize * 64, l1.capacity_bytes as usize);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Human-readable name used in statistics output (e.g. `"L1D"`).
+    pub name: String,
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Associativity.
+    pub ways: u32,
+    /// Access latency in core cycles.
+    pub latency: Cycles,
+    /// Replacement policy.
+    pub replacement: ReplacementPolicy,
+}
+
+impl CacheConfig {
+    /// Paper baseline L1 data cache: 32 KB, 8-way, 4-cycle, LRU.
+    pub fn l1_data() -> Self {
+        CacheConfig {
+            name: "L1D".to_string(),
+            capacity_bytes: 32 * 1024,
+            ways: 8,
+            latency: Cycles::new(4),
+            replacement: ReplacementPolicy::Lru,
+        }
+    }
+
+    /// Paper baseline L1 instruction cache: 32 KB, 8-way, 4-cycle, LRU.
+    pub fn l1_instruction() -> Self {
+        CacheConfig {
+            name: "L1I".to_string(),
+            ..CacheConfig::l1_data()
+        }
+    }
+
+    /// Paper baseline L2: 2 MB, 16-way, 16-cycle, SRRIP.
+    pub fn l2() -> Self {
+        CacheConfig {
+            name: "L2".to_string(),
+            capacity_bytes: 2 * 1024 * 1024,
+            ways: 16,
+            latency: Cycles::new(16),
+            replacement: ReplacementPolicy::Srrip,
+        }
+    }
+
+    /// Paper baseline L3: 2 MB per core, 16-way, 35-cycle, SRRIP.
+    pub fn l3() -> Self {
+        CacheConfig {
+            name: "L3".to_string(),
+            capacity_bytes: 2 * 1024 * 1024,
+            ways: 16,
+            latency: Cycles::new(35),
+            replacement: ReplacementPolicy::Srrip,
+        }
+    }
+
+    /// A tiny cache useful in unit tests (1 KB, 2-way).
+    pub fn tiny(name: &str) -> Self {
+        CacheConfig {
+            name: name.to_string(),
+            capacity_bytes: 1024,
+            ways: 2,
+            latency: Cycles::new(1),
+            replacement: ReplacementPolicy::Lru,
+        }
+    }
+
+    /// Number of sets implied by capacity, associativity and line size.
+    pub fn num_sets(&self) -> usize {
+        (self.capacity_bytes / (self.ways as u64 * CACHE_LINE_BYTES)).max(1) as usize
+    }
+}
+
+/// Outcome of a cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LookupResult {
+    /// The line was present.
+    Hit,
+    /// The line was absent.
+    Miss,
+}
+
+impl LookupResult {
+    /// `true` when the lookup hit.
+    pub const fn is_hit(self) -> bool {
+        matches!(self, LookupResult::Hit)
+    }
+}
+
+/// Per-cache statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookup hits.
+    pub hits: Counter,
+    /// Lookup misses.
+    pub misses: Counter,
+    /// Lines evicted to make room for fills.
+    pub evictions: Counter,
+    /// Fills triggered by prefetch requests.
+    pub prefetch_fills: Counter,
+    /// Hits whose line was brought in by a prefetch (useful-prefetch count).
+    pub prefetch_hits: Counter,
+    /// Misses attributable to the kernel instruction stream (MimicOS),
+    /// used to quantify kernel-induced cache pollution.
+    pub kernel_misses: Counter,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits.get() + self.misses.get()
+    }
+
+    /// Miss ratio in `[0, 1]` (0 when there were no lookups).
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.lookups();
+        if total == 0 {
+            0.0
+        } else {
+            self.misses.get() as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    prefetched: bool,
+}
+
+/// A single set-associative cache with physical tags.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    replacement: Vec<SetReplacement>,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds a cache from its configuration.
+    pub fn new(config: CacheConfig) -> Self {
+        let num_sets = config.num_sets();
+        let ways = config.ways as usize;
+        Cache {
+            sets: vec![vec![Line::default(); ways]; num_sets],
+            replacement: (0..num_sets)
+                .map(|_| SetReplacement::new(config.replacement, ways))
+                .collect(),
+            config,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets statistics (contents are preserved).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Access latency of this cache level.
+    pub fn latency(&self) -> Cycles {
+        self.config.latency
+    }
+
+    fn index_and_tag(&self, paddr: PhysAddr) -> (usize, u64) {
+        let line = paddr.raw() / CACHE_LINE_BYTES;
+        let set = (line % self.sets.len() as u64) as usize;
+        let tag = line / self.sets.len() as u64;
+        (set, tag)
+    }
+
+    /// Looks up a cache line without modifying contents on a miss.
+    /// Updates hit/miss statistics and replacement state on hits.
+    pub fn lookup(&mut self, paddr: PhysAddr, is_write: bool, requestor: Requestor) -> LookupResult {
+        let (set_idx, tag) = self.index_and_tag(paddr);
+        let set = &mut self.sets[set_idx];
+        if let Some(way) = set.iter().position(|l| l.valid && l.tag == tag) {
+            if is_write {
+                set[way].dirty = true;
+            }
+            if set[way].prefetched {
+                set[way].prefetched = false;
+                self.stats.prefetch_hits.inc();
+            }
+            self.replacement[set_idx].on_hit(way);
+            self.stats.hits.inc();
+            LookupResult::Hit
+        } else {
+            self.stats.misses.inc();
+            if requestor == Requestor::Kernel {
+                self.stats.kernel_misses.inc();
+            }
+            LookupResult::Miss
+        }
+    }
+
+    /// Fills a line into the cache (after a miss was serviced by the next
+    /// level or DRAM). Returns the physical address of the evicted dirty
+    /// line, if a writeback is required.
+    pub fn fill(&mut self, paddr: PhysAddr, is_write: bool, prefetched: bool) -> Option<PhysAddr> {
+        let (set_idx, tag) = self.index_and_tag(paddr);
+        let num_sets = self.sets.len() as u64;
+        let set = &mut self.sets[set_idx];
+
+        // If the line is already present (e.g. racing fills), just update it.
+        if let Some(way) = set.iter().position(|l| l.valid && l.tag == tag) {
+            if is_write {
+                set[way].dirty = true;
+            }
+            return None;
+        }
+
+        let valid: Vec<bool> = set.iter().map(|l| l.valid).collect();
+        let victim_way = self.replacement[set_idx].choose_victim(&valid);
+        let victim = set[victim_way];
+        let mut writeback = None;
+        if victim.valid {
+            self.stats.evictions.inc();
+            if victim.dirty {
+                let victim_line = victim.tag * num_sets + set_idx as u64;
+                writeback = Some(PhysAddr::new(victim_line * CACHE_LINE_BYTES));
+            }
+        }
+        set[victim_way] = Line {
+            tag,
+            valid: true,
+            dirty: is_write,
+            prefetched,
+        };
+        self.replacement[set_idx].on_insert(victim_way);
+        if prefetched {
+            self.stats.prefetch_fills.inc();
+        }
+        writeback
+    }
+
+    /// Returns `true` if the line containing `paddr` is currently cached.
+    pub fn contains(&self, paddr: PhysAddr) -> bool {
+        let (set_idx, tag) = self.index_and_tag(paddr);
+        self.sets[set_idx].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Invalidates the line containing `paddr` if present (used for TLB
+    /// shootdown-style page-table invalidations).
+    pub fn invalidate(&mut self, paddr: PhysAddr) -> bool {
+        let (set_idx, tag) = self.index_and_tag(paddr);
+        for line in &mut self.sets[set_idx] {
+            if line.valid && line.tag == tag {
+                line.valid = false;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn resident_lines(&self) -> usize {
+        self.sets
+            .iter()
+            .map(|s| s.iter().filter(|l| l.valid).count())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pa(x: u64) -> PhysAddr {
+        PhysAddr::new(x)
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = Cache::new(CacheConfig::tiny("T"));
+        assert!(!c.lookup(pa(0x100), false, Requestor::Application).is_hit());
+        c.fill(pa(0x100), false, false);
+        assert!(c.lookup(pa(0x100), false, Requestor::Application).is_hit());
+        assert_eq!(c.stats().hits.get(), 1);
+        assert_eq!(c.stats().misses.get(), 1);
+    }
+
+    #[test]
+    fn same_line_different_offsets_hit() {
+        let mut c = Cache::new(CacheConfig::tiny("T"));
+        c.fill(pa(0x1000), false, false);
+        assert!(c.lookup(pa(0x1004), false, Requestor::Application).is_hit());
+        assert!(c.lookup(pa(0x103f), false, Requestor::Application).is_hit());
+    }
+
+    #[test]
+    fn capacity_eviction_occurs() {
+        let cfg = CacheConfig::tiny("T");
+        let lines = (cfg.capacity_bytes / CACHE_LINE_BYTES) as u64;
+        let mut c = Cache::new(cfg);
+        for i in 0..lines * 2 {
+            c.fill(pa(i * CACHE_LINE_BYTES), false, false);
+        }
+        assert!(c.stats().evictions.get() > 0);
+        assert_eq!(c.resident_lines() as u64, lines);
+    }
+
+    #[test]
+    fn dirty_eviction_produces_writeback() {
+        let cfg = CacheConfig::tiny("T");
+        let sets = cfg.num_sets() as u64;
+        let mut c = Cache::new(cfg);
+        // Fill the two ways of set 0 with writes, then force a third fill in
+        // the same set: one dirty victim must be written back.
+        let stride = sets * CACHE_LINE_BYTES;
+        assert!(c.fill(pa(0), true, false).is_none());
+        assert!(c.fill(pa(stride), true, false).is_none());
+        let wb = c.fill(pa(2 * stride), false, false);
+        assert!(wb.is_some());
+        let wb_addr = wb.unwrap().raw();
+        assert!(wb_addr == 0 || wb_addr == stride);
+    }
+
+    #[test]
+    fn write_hits_mark_lines_dirty() {
+        let cfg = CacheConfig::tiny("T");
+        let sets = cfg.num_sets() as u64;
+        let stride = sets * CACHE_LINE_BYTES;
+        let mut c = Cache::new(cfg);
+        c.fill(pa(0), false, false);
+        assert!(c.lookup(pa(0), true, Requestor::Application).is_hit());
+        c.fill(pa(stride), false, false);
+        // Evicting line 0 now must produce a writeback because the write hit
+        // marked it dirty.
+        let wb = c.fill(pa(2 * stride), false, false);
+        assert!(wb.is_some());
+    }
+
+    #[test]
+    fn kernel_misses_are_tracked_separately() {
+        let mut c = Cache::new(CacheConfig::tiny("T"));
+        c.lookup(pa(0x40), false, Requestor::Kernel);
+        c.lookup(pa(0x80), false, Requestor::Application);
+        assert_eq!(c.stats().kernel_misses.get(), 1);
+        assert_eq!(c.stats().misses.get(), 2);
+    }
+
+    #[test]
+    fn prefetch_fills_and_useful_prefetches_counted() {
+        let mut c = Cache::new(CacheConfig::tiny("T"));
+        c.fill(pa(0x200), false, true);
+        assert_eq!(c.stats().prefetch_fills.get(), 1);
+        assert!(c.lookup(pa(0x200), false, Requestor::Application).is_hit());
+        assert_eq!(c.stats().prefetch_hits.get(), 1);
+        // A second hit on the same line is no longer counted as prefetch hit.
+        c.lookup(pa(0x200), false, Requestor::Application);
+        assert_eq!(c.stats().prefetch_hits.get(), 1);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = Cache::new(CacheConfig::tiny("T"));
+        c.fill(pa(0x300), false, false);
+        assert!(c.contains(pa(0x300)));
+        assert!(c.invalidate(pa(0x300)));
+        assert!(!c.contains(pa(0x300)));
+        assert!(!c.invalidate(pa(0x300)));
+    }
+
+    #[test]
+    fn miss_ratio_reflects_traffic() {
+        let mut c = Cache::new(CacheConfig::tiny("T"));
+        c.lookup(pa(0x0), false, Requestor::Application);
+        c.fill(pa(0x0), false, false);
+        c.lookup(pa(0x0), false, Requestor::Application);
+        assert!((c.stats().miss_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_configs_have_expected_geometry() {
+        assert_eq!(CacheConfig::l1_data().num_sets(), 64);
+        assert_eq!(CacheConfig::l2().num_sets(), 2048);
+        assert_eq!(CacheConfig::l3().ways, 16);
+        assert_eq!(CacheConfig::l1_instruction().latency, Cycles::new(4));
+    }
+}

@@ -1,0 +1,217 @@
+//! Hardware prefetchers: IP-stride (L1) and next-line stream (L2), matching
+//! the paper's baseline configuration (Table 4).
+
+use serde::{Deserialize, Serialize};
+use vm_types::{PhysAddr, VirtAddr, CACHE_LINE_BYTES};
+
+/// A hardware prefetcher observing the demand-access stream of one cache and
+/// proposing additional line addresses to fetch.
+pub trait Prefetcher {
+    /// Observes one demand access (with the program counter that issued it,
+    /// when available) and returns the physical line addresses to prefetch.
+    fn observe(&mut self, pc: VirtAddr, paddr: PhysAddr) -> Vec<PhysAddr>;
+}
+
+/// IP-stride prefetcher (Fu et al., MICRO 1992): tracks the last address and
+/// stride per instruction pointer; after two consecutive accesses with the
+/// same stride it prefetches `degree` lines ahead.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IpStridePrefetcher {
+    table_size: usize,
+    degree: usize,
+    entries: Vec<StrideEntry>,
+}
+
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+struct StrideEntry {
+    valid: bool,
+    pc_tag: u64,
+    last_addr: u64,
+    stride: i64,
+    confidence: u8,
+}
+
+impl IpStridePrefetcher {
+    /// Creates a prefetcher with a table of `table_size` IPs and prefetch
+    /// degree `degree`.
+    pub fn new(table_size: usize, degree: usize) -> Self {
+        IpStridePrefetcher {
+            table_size: table_size.max(1),
+            degree,
+            entries: vec![StrideEntry::default(); table_size.max(1)],
+        }
+    }
+}
+
+impl Default for IpStridePrefetcher {
+    fn default() -> Self {
+        IpStridePrefetcher::new(64, 2)
+    }
+}
+
+impl Prefetcher for IpStridePrefetcher {
+    fn observe(&mut self, pc: VirtAddr, paddr: PhysAddr) -> Vec<PhysAddr> {
+        let idx = (pc.raw() as usize / 4) % self.table_size;
+        let entry = &mut self.entries[idx];
+        let addr = paddr.raw();
+        let mut out = Vec::new();
+
+        if entry.valid && entry.pc_tag == pc.raw() {
+            let stride = addr as i64 - entry.last_addr as i64;
+            if stride != 0 && stride == entry.stride {
+                entry.confidence = entry.confidence.saturating_add(1);
+            } else {
+                entry.confidence = entry.confidence.saturating_sub(1);
+                entry.stride = stride;
+            }
+            entry.last_addr = addr;
+            if entry.confidence >= 2 && entry.stride != 0 {
+                for d in 1..=self.degree as i64 {
+                    let target = addr as i64 + entry.stride * d;
+                    if target > 0 {
+                        out.push(PhysAddr::new(target as u64).cache_line());
+                    }
+                }
+            }
+        } else {
+            *entry = StrideEntry {
+                valid: true,
+                pc_tag: pc.raw(),
+                last_addr: addr,
+                stride: 0,
+                confidence: 0,
+            };
+        }
+        out
+    }
+}
+
+/// Simple next-N-line stream prefetcher (Chen & Baer, 1995 style): detects
+/// ascending line-granular streams and prefetches the next `degree` lines.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamPrefetcher {
+    degree: usize,
+    last_line: Option<u64>,
+    ascending: u8,
+}
+
+impl StreamPrefetcher {
+    /// Creates a stream prefetcher with the given degree.
+    pub fn new(degree: usize) -> Self {
+        StreamPrefetcher {
+            degree,
+            last_line: None,
+            ascending: 0,
+        }
+    }
+}
+
+impl Default for StreamPrefetcher {
+    fn default() -> Self {
+        StreamPrefetcher::new(4)
+    }
+}
+
+impl Prefetcher for StreamPrefetcher {
+    fn observe(&mut self, _pc: VirtAddr, paddr: PhysAddr) -> Vec<PhysAddr> {
+        let line = paddr.raw() / CACHE_LINE_BYTES;
+        let mut out = Vec::new();
+        if let Some(last) = self.last_line {
+            if line == last + 1 || line == last {
+                if line == last + 1 {
+                    self.ascending = self.ascending.saturating_add(1);
+                }
+            } else {
+                self.ascending = 0;
+            }
+            if self.ascending >= 2 {
+                for d in 1..=self.degree as u64 {
+                    out.push(PhysAddr::new((line + d) * CACHE_LINE_BYTES));
+                }
+            }
+        }
+        self.last_line = Some(line);
+        out
+    }
+}
+
+/// A prefetcher that never prefetches (for configurations without one).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct NullPrefetcher;
+
+impl Prefetcher for NullPrefetcher {
+    fn observe(&mut self, _pc: VirtAddr, _paddr: PhysAddr) -> Vec<PhysAddr> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ip_stride_detects_constant_stride() {
+        let mut pf = IpStridePrefetcher::new(16, 2);
+        let pc = VirtAddr::new(0x400);
+        let mut issued = Vec::new();
+        for i in 0..6u64 {
+            issued = pf.observe(pc, PhysAddr::new(0x1000 + i * 256));
+        }
+        assert_eq!(issued.len(), 2);
+        assert!(issued[0].raw() > 0x1000);
+    }
+
+    #[test]
+    fn ip_stride_ignores_random_pattern() {
+        let mut pf = IpStridePrefetcher::new(16, 2);
+        let pc = VirtAddr::new(0x400);
+        let addrs = [0x1000u64, 0x9000, 0x2000, 0xffff0, 0x300];
+        let mut total = 0;
+        for a in addrs {
+            total += pf.observe(pc, PhysAddr::new(a)).len();
+        }
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn ip_stride_tracks_per_pc() {
+        let mut pf = IpStridePrefetcher::new(16, 1);
+        // Two PCs with interleaved but individually strided streams.
+        let pc_a = VirtAddr::new(0x100);
+        let pc_b = VirtAddr::new(0x104);
+        let mut a_prefetches = 0;
+        for i in 0..8u64 {
+            a_prefetches += pf.observe(pc_a, PhysAddr::new(0x10_000 + i * 64)).len();
+            pf.observe(pc_b, PhysAddr::new(0x90_000 + i * 4096));
+        }
+        assert!(a_prefetches > 0);
+    }
+
+    #[test]
+    fn stream_prefetcher_follows_sequential_lines() {
+        let mut pf = StreamPrefetcher::new(4);
+        let mut last = Vec::new();
+        for i in 0..5u64 {
+            last = pf.observe(VirtAddr::ZERO, PhysAddr::new(i * 64));
+        }
+        assert_eq!(last.len(), 4);
+        assert_eq!(last[0].raw(), 5 * 64);
+    }
+
+    #[test]
+    fn stream_prefetcher_resets_on_jump() {
+        let mut pf = StreamPrefetcher::new(4);
+        for i in 0..5u64 {
+            pf.observe(VirtAddr::ZERO, PhysAddr::new(i * 64));
+        }
+        // A far jump breaks the stream.
+        let out = pf.observe(VirtAddr::ZERO, PhysAddr::new(0x100_0000));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn null_prefetcher_never_prefetches() {
+        let mut pf = NullPrefetcher;
+        assert!(pf.observe(VirtAddr::new(1), PhysAddr::new(2)).is_empty());
+    }
+}

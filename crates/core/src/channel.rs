@@ -1,0 +1,209 @@
+//! The two communication channels between the architectural simulator and
+//! MimicOS.
+//!
+//! In the paper, the simulator and MimicOS run as separate processes and
+//! exchange messages through POSIX shared memory, synchronized by magic
+//! instructions. In this Rust reproduction both live in one process, but the
+//! *protocol* is preserved: the simulator posts a [`KernelRequest`] on the
+//! functional channel, MimicOS processes it and posts a [`KernelResponse`]
+//! plus an instruction stream on the instruction-stream channel, and the
+//! simulator consumes both before resuming the application. Protocol
+//! violations (reading a response before posting a request, dropping an
+//! unconsumed stream) are detected and reported, which keeps the integration
+//! honest even without real IPC.
+
+use mimic_os::{KernelInstructionStream, Mapping, ProcessId};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use vm_types::{Counter, VirtAddr, VmError, VmResult};
+
+/// A functional request from the simulator to the kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum KernelRequest {
+    /// The MMU could not translate `vaddr`: handle the page fault.
+    PageFault {
+        /// Faulting process.
+        pid: ProcessId,
+        /// Faulting virtual address.
+        vaddr: VirtAddr,
+        /// Whether the faulting access was a write.
+        is_write: bool,
+    },
+    /// The application requested an anonymous mapping.
+    MmapAnonymous {
+        /// Requesting process.
+        pid: ProcessId,
+        /// Desired start address.
+        start: VirtAddr,
+        /// Length in bytes.
+        len: u64,
+    },
+    /// Periodic housekeeping tick (khugepaged scan, pool refill).
+    BackgroundTick {
+        /// Process whose address space khugepaged scans.
+        pid: ProcessId,
+    },
+}
+
+/// A functional response from the kernel to the simulator.
+///
+/// (Only `Serialize` is derived: the embedded [`VmError`] borrows a
+/// `&'static str` and therefore cannot be deserialized from arbitrary
+/// input.)
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum KernelResponse {
+    /// A page fault was handled; the simulator should install the mapping
+    /// and restart the page-table walk.
+    FaultHandled {
+        /// The established mapping.
+        mapping: Mapping,
+        /// Mappings created as side effects (promotions, eager ranges).
+        additional: Vec<Mapping>,
+        /// Storage-device latency incurred, in nanoseconds.
+        device_latency_ns: f64,
+    },
+    /// The fault could not be handled (e.g. a segmentation fault).
+    FaultFailed {
+        /// Why the fault failed.
+        error: VmError,
+    },
+    /// An mmap request completed.
+    MmapDone,
+    /// A background tick completed.
+    TickDone,
+}
+
+/// The functional channel: request/response queues with protocol checking.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct FunctionalChannel {
+    requests: VecDeque<KernelRequest>,
+    responses: VecDeque<KernelResponse>,
+    /// Requests posted by the simulator.
+    pub requests_sent: Counter,
+    /// Responses posted by the kernel.
+    pub responses_sent: Counter,
+}
+
+impl FunctionalChannel {
+    /// Creates an empty channel.
+    pub fn new() -> Self {
+        FunctionalChannel::default()
+    }
+
+    /// Simulator side: posts a request to the kernel.
+    pub fn post_request(&mut self, request: KernelRequest) {
+        self.requests.push_back(request);
+        self.requests_sent.inc();
+    }
+
+    /// Kernel side: takes the next pending request.
+    pub fn take_request(&mut self) -> Option<KernelRequest> {
+        self.requests.pop_front()
+    }
+
+    /// Kernel side: posts a response.
+    pub fn post_response(&mut self, response: KernelResponse) {
+        self.responses.push_back(response);
+        self.responses_sent.inc();
+    }
+
+    /// Simulator side: takes the response to its earlier request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::ChannelProtocol`] if no response is pending, which
+    /// indicates a protocol violation (the kernel never answered).
+    pub fn take_response(&mut self) -> VmResult<KernelResponse> {
+        self.responses.pop_front().ok_or(VmError::ChannelProtocol {
+            reason: "response read before the kernel posted one".to_string(),
+        })
+    }
+
+    /// Number of requests the kernel has not yet consumed.
+    pub fn pending_requests(&self) -> usize {
+        self.requests.len()
+    }
+}
+
+/// The instruction-stream channel: kernel instruction streams queued for
+/// injection into the core model.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct InstructionStreamChannel {
+    streams: VecDeque<KernelInstructionStream>,
+    /// Streams injected so far.
+    pub streams_sent: Counter,
+    /// Total kernel instructions carried by the channel.
+    pub instructions_sent: Counter,
+}
+
+impl InstructionStreamChannel {
+    /// Creates an empty channel.
+    pub fn new() -> Self {
+        InstructionStreamChannel::default()
+    }
+
+    /// Kernel side: sends an instruction stream for injection.
+    pub fn send(&mut self, stream: KernelInstructionStream) {
+        self.instructions_sent.add(stream.instruction_count());
+        self.streams_sent.inc();
+        self.streams.push_back(stream);
+    }
+
+    /// Simulator side: takes the next stream to inject, if any.
+    pub fn receive(&mut self) -> Option<KernelInstructionStream> {
+        self.streams.pop_front()
+    }
+
+    /// Number of streams waiting for injection.
+    pub fn pending(&self) -> usize {
+        self.streams.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimic_os::{KernelRoutine, ProcessId};
+
+    #[test]
+    fn request_response_roundtrip() {
+        let mut ch = FunctionalChannel::new();
+        ch.post_request(KernelRequest::PageFault {
+            pid: ProcessId(0),
+            vaddr: VirtAddr::new(0x1000),
+            is_write: false,
+        });
+        assert_eq!(ch.pending_requests(), 1);
+        let req = ch.take_request().unwrap();
+        assert!(matches!(req, KernelRequest::PageFault { .. }));
+        ch.post_response(KernelResponse::MmapDone);
+        assert_eq!(ch.take_response().unwrap(), KernelResponse::MmapDone);
+        assert_eq!(ch.requests_sent.get(), 1);
+        assert_eq!(ch.responses_sent.get(), 1);
+    }
+
+    #[test]
+    fn missing_response_is_a_protocol_violation() {
+        let mut ch = FunctionalChannel::new();
+        assert!(matches!(
+            ch.take_response(),
+            Err(VmError::ChannelProtocol { .. })
+        ));
+    }
+
+    #[test]
+    fn instruction_stream_channel_preserves_order_and_counts() {
+        let mut ch = InstructionStreamChannel::new();
+        let mut a = KernelInstructionStream::new(KernelRoutine::PageFaultHandler);
+        a.compute(10);
+        let mut b = KernelInstructionStream::new(KernelRoutine::Khugepaged);
+        b.compute(20);
+        ch.send(a.clone());
+        ch.send(b.clone());
+        assert_eq!(ch.pending(), 2);
+        assert_eq!(ch.instructions_sent.get(), 30);
+        assert_eq!(ch.receive().unwrap(), a);
+        assert_eq!(ch.receive().unwrap(), b);
+        assert!(ch.receive().is_none());
+    }
+}

@@ -1,0 +1,174 @@
+//! System-level configuration: the simulated machine (Table 4 of the paper)
+//! and the simulation mode (detailed Virtuoso vs. fixed-latency emulation).
+
+use cache_sim::HierarchyConfig;
+use dram_sim::DramConfig;
+use mimic_os::OsConfig;
+use mmu_sim::{MmuConfig, PageTableKind, TlbHierarchyConfig};
+use serde::{Deserialize, Serialize};
+use sim_core::CoreConfig;
+use vm_types::{Cycles, PhysAddr};
+
+/// How OS and translation overheads are simulated.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SimulationMode {
+    /// The Virtuoso methodology: page walks traverse the memory hierarchy,
+    /// page faults are handled by MimicOS and its instruction stream is
+    /// injected into the core model.
+    Detailed,
+    /// The emulation-based baseline (e.g. unmodified Sniper/ChampSim):
+    /// page walks and page faults cost fixed latencies and generate no
+    /// memory traffic; MimicOS is consulted only functionally.
+    Emulation {
+        /// Fixed page-table-walk latency charged on every L2 TLB miss.
+        fixed_ptw_latency: Cycles,
+        /// Fixed page-fault latency charged on every fault.
+        fixed_fault_latency: Cycles,
+    },
+}
+
+impl SimulationMode {
+    /// The emulation baseline used in the paper's Fig. 8 comparison: the
+    /// fixed PTW latency is set to the average PTW latency of the reference
+    /// machine and the fault latency to a canonical 1 µs.
+    pub fn emulation_baseline() -> Self {
+        SimulationMode::Emulation {
+            fixed_ptw_latency: Cycles::new(80),
+            fixed_fault_latency: Cycles::new(2900),
+        }
+    }
+
+    /// `true` for the detailed (Virtuoso) mode.
+    pub fn is_detailed(&self) -> bool {
+        matches!(self, SimulationMode::Detailed)
+    }
+}
+
+impl Default for SimulationMode {
+    fn default() -> Self {
+        SimulationMode::Detailed
+    }
+}
+
+/// Configuration of the whole simulated system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Core timing model.
+    pub core: CoreConfig,
+    /// Cache hierarchy.
+    pub caches: HierarchyConfig,
+    /// DRAM model.
+    pub dram: DramConfig,
+    /// MMU (TLBs, PWCs, page-table design).
+    pub mmu: MmuConfig,
+    /// MimicOS configuration.
+    pub os: OsConfig,
+    /// Simulation mode.
+    pub mode: SimulationMode,
+    /// Run MimicOS housekeeping (khugepaged, pool refill) every this many
+    /// retired application instructions (0 disables housekeeping).
+    pub housekeeping_interval: u64,
+}
+
+impl SystemConfig {
+    /// The paper's baseline system (Table 4) with the given page-table
+    /// design and the detailed simulation mode.
+    pub fn paper_baseline(page_table: PageTableKind) -> Self {
+        SystemConfig {
+            core: CoreConfig::paper_baseline(),
+            caches: HierarchyConfig::paper_baseline(),
+            dram: DramConfig::ddr4_2400(),
+            mmu: MmuConfig {
+                tlb: TlbHierarchyConfig::paper_baseline(),
+                page_walk_caches: true,
+                page_table,
+                metadata_base: PhysAddr::new(0x30_0000_0000),
+            },
+            os: OsConfig::paper_baseline(),
+            mode: SimulationMode::Detailed,
+            housekeeping_interval: 100_000,
+        }
+    }
+
+    /// A small, fast configuration for unit tests, integration tests and
+    /// examples: small caches/TLBs, 256 MB of memory, no pre-fragmentation.
+    pub fn small_test() -> Self {
+        SystemConfig {
+            core: CoreConfig::paper_baseline(),
+            caches: HierarchyConfig::small_test(),
+            dram: DramConfig::small_test(),
+            mmu: MmuConfig::small_test(PageTableKind::Radix),
+            os: OsConfig::small_test(),
+            mode: SimulationMode::Detailed,
+            housekeeping_interval: 10_000,
+        }
+    }
+
+    /// Switches to the emulation-baseline mode (fixed latencies), keeping
+    /// everything else identical — the comparison of Fig. 8.
+    pub fn with_emulation_baseline(mut self) -> Self {
+        self.mode = SimulationMode::emulation_baseline();
+        self
+    }
+
+    /// Switches the page-table design, keeping everything else identical —
+    /// the sweep of Use Case 1.
+    pub fn with_page_table(mut self, kind: PageTableKind) -> Self {
+        self.mmu.page_table = kind;
+        self
+    }
+
+    /// Switches the allocation policy, keeping everything else identical —
+    /// the sweep of Use Case 2.
+    pub fn with_allocation_policy(mut self, policy: mimic_os::AllocationPolicy) -> Self {
+        self.os.policy = policy;
+        self
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig::paper_baseline(PageTableKind::Radix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table4_headlines() {
+        let cfg = SystemConfig::paper_baseline(PageTableKind::Radix);
+        assert!((cfg.core.frequency.ghz() - 2.9).abs() < 1e-9);
+        assert_eq!(cfg.caches.l2.capacity_bytes, 2 * 1024 * 1024);
+        assert_eq!(cfg.mmu.tlb.l2.entries, 2048);
+        assert_eq!(cfg.os.memory_bytes, 256 * 1024 * 1024 * 1024);
+        assert!(cfg.mode.is_detailed());
+    }
+
+    #[test]
+    fn emulation_baseline_uses_fixed_latencies() {
+        let cfg = SystemConfig::small_test().with_emulation_baseline();
+        match cfg.mode {
+            SimulationMode::Emulation {
+                fixed_ptw_latency,
+                fixed_fault_latency,
+            } => {
+                assert!(fixed_ptw_latency.raw() > 0);
+                assert!(fixed_fault_latency.raw() > 0);
+            }
+            SimulationMode::Detailed => panic!("expected emulation mode"),
+        }
+    }
+
+    #[test]
+    fn builders_change_only_their_field() {
+        let base = SystemConfig::small_test();
+        let ech = base.clone().with_page_table(PageTableKind::ElasticCuckoo);
+        assert_eq!(ech.mmu.page_table, PageTableKind::ElasticCuckoo);
+        assert_eq!(ech.os, base.os);
+        let bd = base.clone().with_allocation_policy(mimic_os::AllocationPolicy::BuddyFourK);
+        assert_eq!(bd.os.policy, mimic_os::AllocationPolicy::BuddyFourK);
+        assert_eq!(bd.mmu, base.mmu);
+    }
+}

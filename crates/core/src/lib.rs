@@ -1,0 +1,56 @@
+//! **Virtuoso**: an imitation-based OS simulation framework for fast and
+//! accurate virtual-memory research — the primary contribution of the paper
+//! this repository reproduces.
+//!
+//! Virtuoso couples a lightweight userspace kernel ([`mimic_os::MimicOs`])
+//! with an architectural simulator (core model, cache hierarchy, DRAM and
+//! SSD models, MMU) through two channels:
+//!
+//! * the **functional channel** ([`channel::FunctionalChannel`]) carries
+//!   functional events — page faults, mmap requests — from the simulator to
+//!   MimicOS and the functional results back;
+//! * the **instruction-stream channel**
+//!   ([`channel::InstructionStreamChannel`]) carries the kernel's dynamically
+//!   generated instruction streams into the simulator's core model, so the
+//!   OS work is charged for latency, cache pollution and DRAM contention.
+//!
+//! The [`System`] type assembles the full simulated machine and runs
+//! workloads expressed as [`sim_core::TraceSource`]s. Two simulation modes
+//! are provided:
+//!
+//! * [`SimulationMode::Detailed`] — the Virtuoso methodology (walks, faults
+//!   and kernel streams are simulated in detail);
+//! * [`SimulationMode::Emulation`] — the "baseline Sniper" methodology the
+//!   paper compares against (fixed page-walk and page-fault latencies).
+//!
+//! # Examples
+//!
+//! ```
+//! use virtuoso::{SimulationMode, System, SystemConfig};
+//! use sim_core::{Instruction, SliceFrontend};
+//! use vm_types::VirtAddr;
+//!
+//! let mut config = SystemConfig::small_test();
+//! config.mode = SimulationMode::Detailed;
+//! let mut system = System::new(config);
+//! system.mmap_anonymous(VirtAddr::new(0x1000_0000), 4 * 1024 * 1024).unwrap();
+//!
+//! let trace: Vec<Instruction> = (0..1000)
+//!     .map(|i| Instruction::load(VirtAddr::new(0x400 + i * 4), VirtAddr::new(0x1000_0000 + i * 64)))
+//!     .collect();
+//! let report = system.run(&mut SliceFrontend::new("quickstart", trace), None);
+//! assert_eq!(report.instructions, 1000);
+//! assert!(report.ipc > 0.0);
+//! ```
+
+pub mod channel;
+pub mod config;
+pub mod report;
+pub mod system;
+pub mod validation;
+
+pub use channel::{FunctionalChannel, InstructionStreamChannel, KernelRequest, KernelResponse};
+pub use config::{SimulationMode, SystemConfig};
+pub use report::SimulationReport;
+pub use system::System;
+pub use validation::{accuracy_percent, cosine_similarity_series, ReferenceMachine};

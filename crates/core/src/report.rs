@@ -1,0 +1,186 @@
+//! The simulation report: every metric the paper's figures read out, in one
+//! serializable structure.
+
+use serde::{Deserialize, Serialize};
+use vm_types::{LatencyStats, Percentiles};
+
+/// The result of one simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimulationReport {
+    /// Name of the workload that was run.
+    pub workload: String,
+    /// Application instructions retired.
+    pub instructions: u64,
+    /// Kernel (MimicOS) instructions injected and retired.
+    pub kernel_instructions: u64,
+    /// Total elapsed core cycles.
+    pub cycles: u64,
+    /// Instructions per cycle including kernel work in the cycle count.
+    pub ipc: f64,
+    /// Application-only IPC (the metric validated in Fig. 8).
+    pub app_ipc: f64,
+    /// L2 TLB misses per kilo instruction (Fig. 10, top).
+    pub l2_tlb_mpki: f64,
+    /// Number of page-table walks performed.
+    pub page_walks: u64,
+    /// Average page-table walk latency in cycles (Fig. 3 and Fig. 10,
+    /// bottom).
+    pub avg_ptw_latency_cycles: f64,
+    /// Total page-table walk latency in cycles (Fig. 13).
+    pub total_ptw_latency_cycles: f64,
+    /// Page faults taken, by kind.
+    pub minor_faults: u64,
+    /// Major faults (device reads).
+    pub major_faults: u64,
+    /// Swap-in faults.
+    pub swap_in_faults: u64,
+    /// Per-fault latency samples in nanoseconds (Figs. 2, 9, 15, 16).
+    pub fault_latency_ns: LatencyStats,
+    /// Total time spent in the page-fault handler, nanoseconds.
+    pub total_fault_ns: f64,
+    /// Total time spent on address translation beyond the L1 TLB,
+    /// nanoseconds (Fig. 1).
+    pub total_translation_ns: f64,
+    /// Total wall-clock time of the simulated execution, nanoseconds.
+    pub total_time_ns: f64,
+    /// DRAM row-buffer conflicts, total (Fig. 14).
+    pub dram_row_conflicts: u64,
+    /// DRAM row-buffer conflicts caused by translation metadata (Fig. 21).
+    pub dram_translation_conflicts: u64,
+    /// Pages swapped out during the run and total swap I/O time (Fig. 20).
+    pub swapped_pages: u64,
+    /// Total nanoseconds spent on swap device I/O (Fig. 20).
+    pub swap_io_ns: f64,
+    /// 2 MiB (or larger) mappings created by the kernel.
+    pub huge_mappings: u64,
+    /// 4 KiB mappings created by the kernel.
+    pub base_mappings: u64,
+}
+
+impl SimulationReport {
+    /// Fraction of execution time spent on address translation (Fig. 1).
+    pub fn translation_time_fraction(&self) -> f64 {
+        if self.total_time_ns == 0.0 {
+            0.0
+        } else {
+            self.total_translation_ns / self.total_time_ns
+        }
+    }
+
+    /// Fraction of execution time spent on physical memory allocation,
+    /// i.e. in the page-fault handler (Fig. 1).
+    pub fn allocation_time_fraction(&self) -> f64 {
+        if self.total_time_ns == 0.0 {
+            0.0
+        } else {
+            self.total_fault_ns / self.total_time_ns
+        }
+    }
+
+    /// Percentile summary of the fault latency distribution (Figs. 2, 16).
+    pub fn fault_latency_percentiles(&self) -> Percentiles {
+        self.fault_latency_ns.percentiles()
+    }
+
+    /// Fraction of total minor-fault latency contributed by faults longer
+    /// than `threshold_ns` (the outlier-contribution metric of Fig. 2).
+    pub fn fault_outlier_contribution(&self, threshold_ns: f64) -> f64 {
+        self.fault_latency_ns.outlier_contribution(threshold_ns)
+    }
+
+    /// Total fault count.
+    pub fn total_faults(&self) -> u64 {
+        self.minor_faults + self.major_faults + self.swap_in_faults
+    }
+
+    /// Renders the report as aligned `key value` lines for harness output.
+    pub fn to_table(&self) -> String {
+        let mut s = String::new();
+        let mut push = |k: &str, v: String| {
+            s.push_str(&format!("{k:<32} {v}\n"));
+        };
+        push("workload", self.workload.clone());
+        push("instructions", self.instructions.to_string());
+        push("kernel_instructions", self.kernel_instructions.to_string());
+        push("cycles", self.cycles.to_string());
+        push("ipc", format!("{:.4}", self.ipc));
+        push("app_ipc", format!("{:.4}", self.app_ipc));
+        push("l2_tlb_mpki", format!("{:.3}", self.l2_tlb_mpki));
+        push("avg_ptw_latency_cycles", format!("{:.2}", self.avg_ptw_latency_cycles));
+        push("minor_faults", self.minor_faults.to_string());
+        push("major_faults", self.major_faults.to_string());
+        push(
+            "mean_fault_latency_ns",
+            format!("{:.1}", self.fault_latency_ns.mean()),
+        );
+        push(
+            "translation_time_fraction",
+            format!("{:.4}", self.translation_time_fraction()),
+        );
+        push(
+            "allocation_time_fraction",
+            format!("{:.4}", self.allocation_time_fraction()),
+        );
+        push("dram_row_conflicts", self.dram_row_conflicts.to_string());
+        push(
+            "dram_translation_conflicts",
+            self.dram_translation_conflicts.to_string(),
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SimulationReport {
+        let mut fault_latency_ns = LatencyStats::new();
+        for v in [500.0, 800.0, 40_000.0] {
+            fault_latency_ns.record(v);
+        }
+        SimulationReport {
+            workload: "test".to_string(),
+            instructions: 1_000_000,
+            cycles: 500_000,
+            ipc: 2.0,
+            app_ipc: 1.8,
+            total_time_ns: 1_000_000.0,
+            total_translation_ns: 250_000.0,
+            total_fault_ns: 50_000.0,
+            fault_latency_ns,
+            minor_faults: 3,
+            ..SimulationReport::default()
+        }
+    }
+
+    #[test]
+    fn time_fractions() {
+        let r = sample();
+        assert!((r.translation_time_fraction() - 0.25).abs() < 1e-12);
+        assert!((r.allocation_time_fraction() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outlier_contribution_uses_fault_samples() {
+        let r = sample();
+        assert!(r.fault_outlier_contribution(10_000.0) > 0.9);
+    }
+
+    #[test]
+    fn table_contains_key_metrics() {
+        let r = sample();
+        let table = r.to_table();
+        assert!(table.contains("app_ipc"));
+        assert!(table.contains("l2_tlb_mpki"));
+        assert!(table.contains("allocation_time_fraction"));
+    }
+
+    #[test]
+    fn empty_report_has_zero_fractions() {
+        let r = SimulationReport::default();
+        assert_eq!(r.translation_time_fraction(), 0.0);
+        assert_eq!(r.allocation_time_fraction(), 0.0);
+        assert_eq!(r.total_faults(), 0);
+    }
+}

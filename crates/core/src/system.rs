@@ -1,0 +1,599 @@
+//! The assembled simulated system: core + caches + DRAM + MMU + MimicOS,
+//! wired together through the functional and instruction-stream channels.
+
+use crate::channel::{FunctionalChannel, InstructionStreamChannel, KernelRequest, KernelResponse};
+use crate::config::{SimulationMode, SystemConfig};
+use crate::report::SimulationReport;
+use cache_sim::CacheHierarchy;
+use dram_sim::DramModel;
+use mimic_os::{KernelInstructionStream, KernelOp, Mapping, MimicOs, ProcessId};
+use mmu_sim::Mmu;
+use sim_core::{CoreModel, Instruction, TraceSource};
+use vm_types::{AccessType, Cycles, PhysAddr, Requestor, VirtAddr, VmError, VmResult};
+
+/// The full simulated machine.
+///
+/// See the [crate-level documentation](crate) for an example.
+#[derive(Debug)]
+pub struct System {
+    config: SystemConfig,
+    core: CoreModel,
+    caches: CacheHierarchy,
+    dram: DramModel,
+    mmu: Mmu,
+    os: MimicOs,
+    pid: ProcessId,
+    functional: FunctionalChannel,
+    streams: InstructionStreamChannel,
+    workload_name: String,
+    /// Cycles spent on address translation beyond the first-level TLB.
+    translation_cycles: u64,
+    /// Accumulated page-walk latency (cycles) and walk count.
+    ptw_latency_cycles: u64,
+    ptw_count: u64,
+    /// Segmentation faults observed (accesses outside any VMA are skipped).
+    segfaults: u64,
+    instructions_since_housekeeping: u64,
+}
+
+impl System {
+    /// Builds the system described by `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the MimicOS configuration is invalid (see
+    /// [`mimic_os::OsConfig::validate`]).
+    pub fn new(config: SystemConfig) -> Self {
+        let mut os = MimicOs::new(config.os.clone());
+        let pid = os.spawn_process();
+        System {
+            core: CoreModel::new(config.core),
+            caches: CacheHierarchy::new(config.caches.clone()),
+            dram: DramModel::new(config.dram.clone()),
+            mmu: Mmu::new(config.mmu.clone()),
+            os,
+            pid,
+            functional: FunctionalChannel::new(),
+            streams: InstructionStreamChannel::new(),
+            workload_name: String::new(),
+            translation_cycles: 0,
+            ptw_latency_cycles: 0,
+            ptw_count: 0,
+            segfaults: 0,
+            instructions_since_housekeeping: 0,
+            config,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The MimicOS kernel (for inspecting allocator / fault statistics).
+    pub fn os(&self) -> &MimicOs {
+        &self.os
+    }
+
+    /// The MMU (for TLB / page-table statistics).
+    pub fn mmu(&self) -> &Mmu {
+        &self.mmu
+    }
+
+    /// The DRAM model (for row-buffer statistics).
+    pub fn dram(&self) -> &DramModel {
+        &self.dram
+    }
+
+    /// The core model.
+    pub fn core(&self) -> &CoreModel {
+        &self.core
+    }
+
+    /// The process the workload runs in.
+    pub fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// Number of accesses that faulted outside any VMA and were skipped.
+    pub fn segfaults(&self) -> u64 {
+        self.segfaults
+    }
+
+    /// Maps an anonymous region for the workload process.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`VmError::InvalidVma`] for overlapping or empty regions.
+    pub fn mmap_anonymous(&mut self, start: VirtAddr, len: u64) -> VmResult<()> {
+        self.os.mmap_anonymous(self.pid, start, len, false)
+    }
+
+    /// Maps a hugetlbfs-backed region for the workload process.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`VmError::InvalidVma`] for overlapping or empty regions.
+    pub fn mmap_hugetlb(&mut self, start: VirtAddr, len: u64) -> VmResult<()> {
+        self.os.mmap_anonymous(self.pid, start, len, true)
+    }
+
+    /// Maps a file-backed region for the workload process.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`VmError::InvalidVma`] for overlapping or empty regions.
+    pub fn mmap_file(&mut self, start: VirtAddr, len: u64, file_id: u64) -> VmResult<()> {
+        self.os.mmap_file(self.pid, start, len, file_id)
+    }
+
+    /// Runs a workload until its trace ends or `max_instructions` retire.
+    /// Returns the simulation report.
+    pub fn run<T: TraceSource + ?Sized>(
+        &mut self,
+        frontend: &mut T,
+        max_instructions: Option<u64>,
+    ) -> SimulationReport {
+        self.workload_name = frontend.name().to_string();
+        let limit = max_instructions.unwrap_or(u64::MAX);
+        let mut retired = 0u64;
+        while retired < limit {
+            let Some(instr) = frontend.next_instruction() else {
+                break;
+            };
+            self.step(&instr);
+            retired += 1;
+        }
+        self.report()
+    }
+
+    /// Executes one application instruction.
+    pub fn step(&mut self, instr: &Instruction) {
+        match instr.memory {
+            None => self.core.retire_compute(1),
+            Some((vaddr, kind)) => self.memory_access(instr.pc, vaddr, kind),
+        }
+        self.instructions_since_housekeeping += 1;
+        if self.config.housekeeping_interval > 0
+            && self.instructions_since_housekeeping >= self.config.housekeeping_interval
+        {
+            self.instructions_since_housekeeping = 0;
+            self.housekeeping();
+        }
+    }
+
+    /// Periodic background OS work: zeroed-pool refill and khugepaged, with
+    /// the khugepaged stream injected in detailed mode.
+    fn housekeeping(&mut self) {
+        self.functional.post_request(KernelRequest::BackgroundTick { pid: self.pid });
+        let _ = self.functional.take_request();
+        self.os.background_tick();
+        let stream = self.os.khugepaged_tick(self.pid);
+        self.functional.post_response(KernelResponse::TickDone);
+        let _ = self.functional.take_response();
+        if self.config.mode.is_detailed() && !stream.is_empty() {
+            self.streams.send(stream);
+            self.drain_kernel_streams();
+        }
+    }
+
+    /// Performs one data memory access: translation, possible fault
+    /// handling, then the data access itself.
+    fn memory_access(&mut self, pc: VirtAddr, vaddr: VirtAddr, kind: AccessType) {
+        let mut total_latency = Cycles::ZERO;
+        let mut paddr: Option<PhysAddr> = None;
+
+        // Translation (with at most one fault retry).
+        for attempt in 0..2 {
+            let result = self.mmu.translate(vaddr);
+            total_latency += result.fixed_latency;
+            // Anything beyond the 1-cycle L1 TLB probe counts as address
+            // translation overhead.
+            self.translation_cycles += result.fixed_latency.raw().saturating_sub(1);
+
+            if let Some(walk) = &result.walk {
+                let walk_latency = self.charge_page_walk(walk.parallel, &walk.accesses);
+                total_latency += walk_latency;
+                self.translation_cycles += walk_latency.raw();
+                self.ptw_latency_cycles += walk_latency.raw();
+                self.ptw_count += 1;
+            }
+
+            match result.paddr {
+                Some(pa) => {
+                    paddr = Some(pa);
+                    break;
+                }
+                None => {
+                    if attempt == 1 || !self.handle_fault(vaddr, kind.is_write()) {
+                        // Unresolvable fault: skip the access.
+                        self.core.retire_compute(1);
+                        return;
+                    }
+                }
+            }
+        }
+
+        let Some(paddr) = paddr else {
+            self.core.retire_compute(1);
+            return;
+        };
+
+        // The data access through caches and DRAM.
+        let access = self.caches.access_with_pc(pc, paddr, kind, Requestor::Application);
+        total_latency += access.latency;
+        for (i, line) in access.dram_fetches.iter().enumerate() {
+            let requestor = if i == 0 {
+                Requestor::Application
+            } else {
+                Requestor::Prefetcher
+            };
+            let dram_latency = self.dram.access(&vm_types::MemoryAccess::physical(
+                *line,
+                AccessType::Read,
+                requestor,
+            ));
+            if i == 0 {
+                total_latency += dram_latency;
+            }
+        }
+        for wb in &access.writebacks {
+            self.dram.access(&vm_types::MemoryAccess::physical(
+                *wb,
+                AccessType::Write,
+                Requestor::Application,
+            ));
+        }
+        self.core.retire_memory(total_latency);
+    }
+
+    /// Replays a page-table walk through the memory hierarchy and returns
+    /// its latency. Parallel (hash-based) walks cost the slowest access;
+    /// serial (radix) walks cost the sum.
+    fn charge_page_walk(&mut self, parallel: bool, accesses: &[PhysAddr]) -> Cycles {
+        match self.config.mode {
+            SimulationMode::Emulation { fixed_ptw_latency, .. } => {
+                if accesses.is_empty() {
+                    Cycles::ZERO
+                } else {
+                    fixed_ptw_latency
+                }
+            }
+            SimulationMode::Detailed => {
+                let mut total = Cycles::ZERO;
+                let mut slowest = Cycles::ZERO;
+                for pa in accesses {
+                    let mut latency = Cycles::ZERO;
+                    let access = self.caches.access_page_table(*pa);
+                    latency += access.latency;
+                    for line in &access.dram_fetches {
+                        latency += self.dram.access(&vm_types::MemoryAccess::physical(
+                            *line,
+                            AccessType::Read,
+                            Requestor::PageTableWalker,
+                        ));
+                    }
+                    for wb in &access.writebacks {
+                        self.dram.access(&vm_types::MemoryAccess::physical(
+                            *wb,
+                            AccessType::Write,
+                            Requestor::PageTableWalker,
+                        ));
+                    }
+                    total += latency;
+                    slowest = slowest.max(latency);
+                }
+                if parallel {
+                    slowest
+                } else {
+                    total
+                }
+            }
+        }
+    }
+
+    /// Sends a page-fault request to MimicOS over the functional channel,
+    /// injects the returned kernel stream, installs the new mappings and
+    /// charges the fault latency. Returns `false` when the fault could not
+    /// be resolved (segmentation fault).
+    fn handle_fault(&mut self, vaddr: VirtAddr, is_write: bool) -> bool {
+        self.functional.post_request(KernelRequest::PageFault {
+            pid: self.pid,
+            vaddr,
+            is_write,
+        });
+        let request = self.functional.take_request().expect("request just posted");
+        let KernelRequest::PageFault { pid, vaddr, is_write } = request else {
+            unreachable!("only page-fault requests are posted here");
+        };
+
+        match self.os.handle_page_fault(pid, vaddr, is_write) {
+            Ok(outcome) => {
+                self.functional.post_response(KernelResponse::FaultHandled {
+                    mapping: outcome.mapping,
+                    additional: outcome.additional_mappings.clone(),
+                    device_latency_ns: outcome.device_latency_ns,
+                });
+                let response = self.functional.take_response().expect("response just posted");
+                let KernelResponse::FaultHandled {
+                    mapping,
+                    additional,
+                    device_latency_ns,
+                } = response
+                else {
+                    unreachable!("fault requests receive fault responses");
+                };
+
+                match self.config.mode {
+                    SimulationMode::Detailed => {
+                        self.streams.send(outcome.stream);
+                        self.drain_kernel_streams();
+                        self.install_mapping_detailed(&mapping);
+                        for extra in &additional {
+                            self.install_mapping_detailed(extra);
+                        }
+                        let device_cycles = (device_latency_ns
+                            * self.config.core.frequency.ghz())
+                        .round() as u64;
+                        self.core.stall(Cycles::new(device_cycles));
+                    }
+                    SimulationMode::Emulation { fixed_fault_latency, .. } => {
+                        self.mmu.install_mapping(&mapping);
+                        for extra in &additional {
+                            self.mmu.install_mapping(extra);
+                        }
+                        self.core.stall(fixed_fault_latency);
+                    }
+                }
+                true
+            }
+            Err(VmError::SegmentationFault { .. }) => {
+                self.functional.post_response(KernelResponse::FaultFailed {
+                    error: VmError::SegmentationFault { vaddr },
+                });
+                let _ = self.functional.take_response();
+                self.segfaults += 1;
+                false
+            }
+            Err(error) => {
+                self.functional
+                    .post_response(KernelResponse::FaultFailed { error });
+                let _ = self.functional.take_response();
+                self.segfaults += 1;
+                false
+            }
+        }
+    }
+
+    /// Installs a mapping in detailed mode, charging the page-table update
+    /// accesses as kernel memory traffic.
+    fn install_mapping_detailed(&mut self, mapping: &Mapping) {
+        let accesses = self.mmu.install_mapping(mapping);
+        self.core.set_kernel_mode(true);
+        for pa in accesses {
+            let lat = self.charge_kernel_access(pa, AccessType::Write);
+            self.core.retire_memory(lat);
+        }
+        self.core.set_kernel_mode(false);
+    }
+
+    /// Injects every pending kernel instruction stream into the core model,
+    /// sending its memory references through the cache hierarchy and DRAM.
+    fn drain_kernel_streams(&mut self) {
+        while let Some(stream) = self.streams.receive() {
+            self.inject_stream(&stream);
+        }
+    }
+
+    fn inject_stream(&mut self, stream: &KernelInstructionStream) {
+        self.core.set_kernel_mode(true);
+        for op in stream.ops() {
+            match *op {
+                KernelOp::Compute { count } => self.core.retire_compute(count as u64),
+                KernelOp::Memory { paddr, kind } => {
+                    let latency = self.charge_kernel_access(paddr, kind);
+                    self.core.retire_memory(latency);
+                }
+            }
+        }
+        self.core.set_kernel_mode(false);
+    }
+
+    fn charge_kernel_access(&mut self, paddr: PhysAddr, kind: AccessType) -> Cycles {
+        let access = self.caches.access(paddr, kind, Requestor::Kernel);
+        let mut latency = access.latency;
+        for line in &access.dram_fetches {
+            latency += self.dram.access(&vm_types::MemoryAccess::physical(
+                *line,
+                kind,
+                Requestor::Kernel,
+            ));
+        }
+        for wb in &access.writebacks {
+            self.dram.access(&vm_types::MemoryAccess::physical(
+                *wb,
+                AccessType::Write,
+                Requestor::Kernel,
+            ));
+        }
+        latency
+    }
+
+    /// Assembles the simulation report for everything executed so far.
+    pub fn report(&self) -> SimulationReport {
+        let core_stats = self.core.stats();
+        let os_stats = self.os.stats();
+        let dram_stats = self.dram.stats();
+        let app_instructions = core_stats.app_instructions.get();
+        let freq = self.config.core.frequency;
+        let total_time_ns = self.core.cycles().to_nanos(freq).as_nanos();
+        let translation_ns = Cycles::new(self.translation_cycles).to_nanos(freq).as_nanos();
+
+        SimulationReport {
+            workload: self.workload_name.clone(),
+            instructions: app_instructions,
+            kernel_instructions: core_stats.kernel_instructions.get(),
+            cycles: self.core.cycles().raw(),
+            ipc: self.core.ipc(),
+            app_ipc: self.core.app_ipc(),
+            l2_tlb_mpki: self.mmu.stats().l2_mpki(app_instructions),
+            page_walks: self.ptw_count,
+            avg_ptw_latency_cycles: if self.ptw_count == 0 {
+                0.0
+            } else {
+                self.ptw_latency_cycles as f64 / self.ptw_count as f64
+            },
+            total_ptw_latency_cycles: self.ptw_latency_cycles as f64,
+            minor_faults: os_stats.minor_faults.get() + os_stats.hugetlb_faults.get(),
+            major_faults: os_stats.major_faults.get(),
+            swap_in_faults: os_stats.swap_in_faults.get(),
+            fault_latency_ns: os_stats.fault_latency_ns.clone(),
+            total_fault_ns: os_stats.total_fault_ns,
+            total_translation_ns: translation_ns,
+            total_time_ns,
+            dram_row_conflicts: dram_stats.conflicts(),
+            dram_translation_conflicts: dram_stats.translation_metadata_conflicts(),
+            swapped_pages: os_stats.reclaimed_pages.get(),
+            swap_io_ns: self.os.swap().stats().total_io_ns,
+            huge_mappings: os_stats.huge_mappings.get(),
+            base_mappings: os_stats.base_mappings.get(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmu_sim::PageTableKind;
+    use sim_core::SliceFrontend;
+
+    fn linear_trace(base: u64, count: u64, stride: u64) -> Vec<Instruction> {
+        (0..count)
+            .map(|i| {
+                Instruction::load(
+                    VirtAddr::new(0x400 + (i % 64) * 4),
+                    VirtAddr::new(base + i * stride),
+                )
+            })
+            .collect()
+    }
+
+    fn small_system() -> System {
+        let mut system = System::new(SystemConfig::small_test());
+        system
+            .mmap_anonymous(VirtAddr::new(0x1000_0000), 64 * 1024 * 1024)
+            .unwrap();
+        system
+    }
+
+    #[test]
+    fn runs_a_simple_trace_to_completion() {
+        let mut system = small_system();
+        let trace = linear_trace(0x1000_0000, 5000, 64);
+        let report = system.run(&mut SliceFrontend::new("linear", trace), None);
+        assert_eq!(report.instructions, 5000);
+        assert!(report.cycles > 0);
+        assert!(report.ipc > 0.0);
+        assert!(report.minor_faults > 0, "first-touch faults expected");
+        assert!(report.kernel_instructions > 0, "kernel streams must be injected");
+        assert_eq!(system.segfaults(), 0);
+    }
+
+    #[test]
+    fn max_instructions_limit_is_respected() {
+        let mut system = small_system();
+        let trace = linear_trace(0x1000_0000, 10_000, 64);
+        let report = system.run(&mut SliceFrontend::new("limited", trace), Some(1000));
+        assert_eq!(report.instructions, 1000);
+    }
+
+    #[test]
+    fn detailed_mode_injects_kernel_work_emulation_does_not() {
+        let trace = linear_trace(0x1000_0000, 3000, 4096);
+
+        let mut detailed = System::new(SystemConfig::small_test());
+        detailed
+            .mmap_anonymous(VirtAddr::new(0x1000_0000), 64 * 1024 * 1024)
+            .unwrap();
+        let det_report = detailed.run(&mut SliceFrontend::new("d", trace.clone()), None);
+
+        let mut emulation = System::new(SystemConfig::small_test().with_emulation_baseline());
+        emulation
+            .mmap_anonymous(VirtAddr::new(0x1000_0000), 64 * 1024 * 1024)
+            .unwrap();
+        let emu_report = emulation.run(&mut SliceFrontend::new("e", trace), None);
+
+        assert!(det_report.kernel_instructions > 0);
+        assert_eq!(emu_report.kernel_instructions, 0);
+        // Both modes resolve the same faults functionally.
+        assert_eq!(det_report.minor_faults, emu_report.minor_faults);
+        // The detailed and emulation modes disagree on timing — that
+        // disagreement is exactly the accuracy gap of Fig. 8.
+        assert_ne!(det_report.cycles, emu_report.cycles);
+    }
+
+    #[test]
+    fn accesses_outside_vmas_are_counted_as_segfaults() {
+        let mut system = small_system();
+        let trace = vec![Instruction::load(
+            VirtAddr::new(0x400),
+            VirtAddr::new(0xdead_0000_0000),
+        )];
+        let report = system.run(&mut SliceFrontend::new("segv", trace), None);
+        assert_eq!(system.segfaults(), 1);
+        assert_eq!(report.instructions, 1);
+    }
+
+    #[test]
+    fn page_walks_generate_translation_metadata_dram_traffic() {
+        let mut system = small_system();
+        // Strided accesses across many pages defeat the small test TLB.
+        let trace = linear_trace(0x1000_0000, 4000, 2 * 1024 * 1024 / 4);
+        let report = system.run(&mut SliceFrontend::new("stride", trace), None);
+        assert!(report.page_walks > 0);
+        assert!(report.avg_ptw_latency_cycles > 0.0);
+        let dram = system.dram().stats();
+        assert!(dram.accesses_by(Requestor::PageTableWalker) > 0);
+    }
+
+    #[test]
+    fn different_page_tables_yield_different_walk_latencies() {
+        let trace = linear_trace(0x1000_0000, 6000, 4096);
+        let mut results = Vec::new();
+        for kind in [PageTableKind::Radix, PageTableKind::HashedOpenAddressing] {
+            let mut system = System::new(SystemConfig::small_test().with_page_table(kind));
+            system
+                .mmap_anonymous(VirtAddr::new(0x1000_0000), 64 * 1024 * 1024)
+                .unwrap();
+            let report = system.run(&mut SliceFrontend::new("pt", trace.clone()), None);
+            results.push(report.avg_ptw_latency_cycles);
+        }
+        // The hashed page table's walks should not be slower than radix's on
+        // average for this TLB-unfriendly pattern.
+        assert!(results[1] <= results[0] * 1.5);
+    }
+
+    #[test]
+    fn report_time_fractions_are_consistent() {
+        let mut system = small_system();
+        let trace = linear_trace(0x1000_0000, 3000, 64);
+        let report = system.run(&mut SliceFrontend::new("frac", trace), None);
+        assert!(report.translation_time_fraction() >= 0.0);
+        assert!(report.translation_time_fraction() <= 1.0);
+        assert!(report.total_time_ns > 0.0);
+    }
+
+    #[test]
+    fn channels_observe_fault_traffic() {
+        let mut system = small_system();
+        let trace = linear_trace(0x1000_0000, 2000, 4096);
+        system.run(&mut SliceFrontend::new("chan", trace), None);
+        assert!(system.functional.requests_sent.get() > 0);
+        assert_eq!(
+            system.functional.requests_sent.get(),
+            system.functional.responses_sent.get()
+        );
+        assert!(system.streams.streams_sent.get() > 0);
+        assert_eq!(system.streams.pending(), 0, "all streams must be consumed");
+    }
+}

@@ -1,0 +1,140 @@
+//! DRAM organization and timing configuration.
+
+use serde::{Deserialize, Serialize};
+use vm_types::Cycles;
+
+/// Organization and timing parameters of the simulated DRAM device.
+///
+/// Timing values are expressed in *core* cycles (the paper's baseline couples
+/// a 2.9 GHz core with DDR4-2400; `tRCD = tCL = 12.5 ns ≈ 36` core cycles,
+/// `tRP = 2.5 ns ≈ 7` core cycles as listed in Table 4).
+///
+/// # Examples
+///
+/// ```
+/// use dram_sim::DramConfig;
+/// let cfg = DramConfig::ddr4_2400();
+/// assert_eq!(cfg.total_banks(), cfg.channels * cfg.ranks_per_channel * cfg.banks_per_rank);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Number of memory channels.
+    pub channels: usize,
+    /// Ranks per channel.
+    pub ranks_per_channel: usize,
+    /// Banks per rank.
+    pub banks_per_rank: usize,
+    /// Row size (row-buffer size) in bytes.
+    pub row_bytes_per_bank: u64,
+    /// Total capacity in bytes (used for sanity checks and swap thresholds).
+    pub capacity_bytes: u64,
+    /// Row-to-column delay (activate) in core cycles.
+    pub t_rcd: Cycles,
+    /// Column access strobe latency in core cycles.
+    pub t_cl: Cycles,
+    /// Row precharge latency in core cycles.
+    pub t_rp: Cycles,
+    /// Fixed controller + interconnect overhead added to every access, in
+    /// core cycles.
+    pub controller_overhead: Cycles,
+    /// Controller command spacing: how far the internal clock advances per
+    /// access, in core cycles. Smaller values create more queueing pressure.
+    pub command_spacing: Cycles,
+}
+
+impl DramConfig {
+    /// The paper's baseline: 256 GB DDR4-2400 behind a 2.9 GHz core
+    /// (Table 4).
+    pub fn ddr4_2400() -> Self {
+        DramConfig {
+            channels: 2,
+            ranks_per_channel: 2,
+            banks_per_rank: 16,
+            row_bytes_per_bank: 8 * 1024,
+            capacity_bytes: 256 * 1024 * 1024 * 1024,
+            t_rcd: Cycles::new(36),
+            t_cl: Cycles::new(36),
+            t_rp: Cycles::new(7),
+            controller_overhead: Cycles::new(20),
+            command_spacing: Cycles::new(4),
+        }
+    }
+
+    /// A small configuration for fast unit tests: 1 channel, 1 rank, 4 banks,
+    /// 1 GB capacity, same timing as [`DramConfig::ddr4_2400`].
+    pub fn small_test() -> Self {
+        DramConfig {
+            channels: 1,
+            ranks_per_channel: 1,
+            banks_per_rank: 4,
+            row_bytes_per_bank: 2 * 1024,
+            capacity_bytes: 1024 * 1024 * 1024,
+            ..DramConfig::ddr4_2400()
+        }
+    }
+
+    /// Total number of banks across all channels and ranks.
+    pub fn total_banks(&self) -> usize {
+        self.channels * self.ranks_per_channel * self.banks_per_rank
+    }
+
+    /// Row-buffer size of one bank in bytes.
+    pub fn row_bytes(&self) -> u64 {
+        self.row_bytes_per_bank
+    }
+
+    /// Latency of an idealized row-buffer hit (CAS + controller overhead).
+    pub fn hit_latency(&self) -> Cycles {
+        self.t_cl + self.controller_overhead
+    }
+
+    /// Latency of a row-buffer miss (activate + CAS + controller overhead).
+    pub fn miss_latency(&self) -> Cycles {
+        self.t_rcd + self.t_cl + self.controller_overhead
+    }
+
+    /// Latency of a row-buffer conflict (precharge + activate + CAS +
+    /// controller overhead).
+    pub fn conflict_latency(&self) -> Cycles {
+        self.t_rp + self.t_rcd + self.t_cl + self.controller_overhead
+    }
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        DramConfig::ddr4_2400()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_has_positive_dimensions() {
+        let cfg = DramConfig::ddr4_2400();
+        assert!(cfg.total_banks() > 0);
+        assert!(cfg.row_bytes() > 0);
+        assert!(cfg.capacity_bytes > 0);
+    }
+
+    #[test]
+    fn latency_ordering_hit_lt_miss_lt_conflict() {
+        let cfg = DramConfig::ddr4_2400();
+        assert!(cfg.hit_latency() < cfg.miss_latency());
+        assert!(cfg.miss_latency() < cfg.conflict_latency());
+    }
+
+    #[test]
+    fn small_test_config_is_smaller() {
+        let small = DramConfig::small_test();
+        let big = DramConfig::ddr4_2400();
+        assert!(small.total_banks() < big.total_banks());
+        assert!(small.capacity_bytes < big.capacity_bytes);
+    }
+
+    #[test]
+    fn default_is_paper_baseline() {
+        assert_eq!(DramConfig::default(), DramConfig::ddr4_2400());
+    }
+}

@@ -1,0 +1,573 @@
+//! The buddy physical-frame allocator, imitating Linux's zoned buddy
+//! allocator, with controllable external fragmentation.
+//!
+//! The allocator manages physical memory as 4 KiB base frames grouped into
+//! power-of-two blocks up to 1 GiB (order 18). Allocation requests of a
+//! given order split larger blocks; frees coalesce buddies back together.
+//!
+//! Two features matter for the paper's experiments:
+//!
+//! * **Fragmentation injection** ([`BuddyAllocator::fragment`]): the paper
+//!   defines memory fragmentation as the percentage of free 2 MB regions out
+//!   of all 2 MB regions and sweeps it in Figs. 13 and 21. The allocator can
+//!   be pre-fragmented to a target level by pinning single 4 KiB frames
+//!   inside a fraction of the 2 MB blocks.
+//! * **Kernel-work emission**: every allocation/free can report the
+//!   free-list manipulations it performed as a [`KernelInstructionStream`]
+//!   so the framework can charge the core model for them.
+
+use crate::kernel_stream::{KernelInstructionStream, KernelRoutine};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use vm_types::{Counter, DetRng, PageSize, PhysAddr, VmError, VmResult};
+
+/// Order of a 4 KiB frame.
+pub const ORDER_4K: u32 = 0;
+/// Order of a 2 MiB block.
+pub const ORDER_2M: u32 = 9;
+/// Order of a 1 GiB block.
+pub const ORDER_1G: u32 = 18;
+/// Largest order managed by the allocator.
+pub const MAX_ORDER: u32 = ORDER_1G;
+
+const FRAME_BYTES: u64 = 4096;
+
+/// Statistics maintained by the buddy allocator.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BuddyStats {
+    /// Successful allocations, by any order.
+    pub allocations: Counter,
+    /// Frees.
+    pub frees: Counter,
+    /// Block splits performed while allocating.
+    pub splits: Counter,
+    /// Buddy merges performed while freeing.
+    pub merges: Counter,
+    /// Allocation requests that could not be satisfied.
+    pub failures: Counter,
+    /// Allocations that had to fall back to a smaller order than requested.
+    pub fallbacks: Counter,
+}
+
+/// The buddy allocator.
+///
+/// # Examples
+///
+/// ```
+/// use mimic_os::buddy::{BuddyAllocator, ORDER_2M};
+///
+/// let mut buddy = BuddyAllocator::new(64 * 1024 * 1024); // 64 MB
+/// let frame = buddy.alloc(0).unwrap();
+/// let huge = buddy.alloc(ORDER_2M).unwrap();
+/// buddy.free(frame, 0).unwrap();
+/// buddy.free(huge, ORDER_2M).unwrap();
+/// assert_eq!(buddy.free_bytes(), 64 * 1024 * 1024);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BuddyAllocator {
+    total_frames: u64,
+    /// Free lists: for each order, the set of free block start frames.
+    free_lists: Vec<BTreeSet<u64>>,
+    /// Allocated blocks: start frame → order (for validation on free).
+    allocated: BTreeMap<u64, u32>,
+    free_frames: u64,
+    stats: BuddyStats,
+    /// Frames pinned by fragmentation injection (never freed by callers).
+    pinned: Vec<u64>,
+}
+
+impl BuddyAllocator {
+    /// Creates an allocator managing `capacity_bytes` of physical memory
+    /// starting at physical address 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_bytes` is not a multiple of 4 KiB or is zero.
+    pub fn new(capacity_bytes: u64) -> Self {
+        assert!(capacity_bytes > 0, "capacity must be non-zero");
+        assert_eq!(
+            capacity_bytes % FRAME_BYTES,
+            0,
+            "capacity must be a multiple of 4 KiB"
+        );
+        let total_frames = capacity_bytes / FRAME_BYTES;
+        let mut alloc = BuddyAllocator {
+            total_frames,
+            free_lists: vec![BTreeSet::new(); (MAX_ORDER + 1) as usize],
+            allocated: BTreeMap::new(),
+            free_frames: total_frames,
+            stats: BuddyStats::default(),
+            pinned: Vec::new(),
+        };
+        // Seed the free lists with the largest blocks that fit.
+        let mut frame = 0;
+        while frame < total_frames {
+            let mut order = MAX_ORDER;
+            loop {
+                let block = 1u64 << order;
+                if frame % block == 0 && frame + block <= total_frames {
+                    break;
+                }
+                order -= 1;
+            }
+            alloc.free_lists[order as usize].insert(frame);
+            frame += 1 << order;
+        }
+        alloc
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.total_frames * FRAME_BYTES
+    }
+
+    /// Currently free bytes.
+    pub fn free_bytes(&self) -> u64 {
+        self.free_frames * FRAME_BYTES
+    }
+
+    /// Fraction of memory currently in use, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        1.0 - self.free_frames as f64 / self.total_frames as f64
+    }
+
+    /// Allocator statistics.
+    pub fn stats(&self) -> &BuddyStats {
+        &self.stats
+    }
+
+    /// Number of free blocks of exactly the given order currently on the
+    /// free list (not counting larger blocks that could be split).
+    pub fn free_blocks_of_order(&self, order: u32) -> usize {
+        self.free_lists[order as usize].len()
+    }
+
+    /// Whether a block of the given order could be allocated right now.
+    pub fn can_alloc(&self, order: u32) -> bool {
+        (order..=MAX_ORDER).any(|o| !self.free_lists[o as usize].is_empty())
+    }
+
+    /// Number of *available* 2 MiB regions: free blocks of order ≥ 9,
+    /// counted in units of 2 MiB. This is the numerator of the paper's
+    /// fragmentation metric.
+    pub fn available_2mb_regions(&self) -> u64 {
+        (ORDER_2M..=MAX_ORDER)
+            .map(|o| self.free_lists[o as usize].len() as u64 * (1u64 << (o - ORDER_2M)))
+            .sum()
+    }
+
+    /// Total number of 2 MiB regions in the managed memory.
+    pub fn total_2mb_regions(&self) -> u64 {
+        self.total_frames >> ORDER_2M
+    }
+
+    /// The paper's memory-fragmentation metric: percentage of 2 MiB regions
+    /// that are fully free, in `[0, 1]`.
+    pub fn huge_page_availability(&self) -> f64 {
+        if self.total_2mb_regions() == 0 {
+            return 0.0;
+        }
+        self.available_2mb_regions() as f64 / self.total_2mb_regions() as f64
+    }
+
+    /// The sizes (in bytes) of the `n` largest free contiguous regions,
+    /// in descending order — used by RMM's eager-paging fragmentation metric.
+    pub fn largest_free_regions(&self, n: usize) -> Vec<u64> {
+        let mut sizes: Vec<u64> = (0..=MAX_ORDER)
+            .flat_map(|o| {
+                self.free_lists[o as usize]
+                    .iter()
+                    .map(move |_| (1u64 << o) * FRAME_BYTES)
+            })
+            .collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        sizes.truncate(n);
+        sizes
+    }
+
+    /// Allocates a block of `2^order` frames, splitting larger blocks as
+    /// needed. Returns the physical address of the block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::OutOfMemory`] when no block of the requested order
+    /// (or larger) is free.
+    pub fn alloc(&mut self, order: u32) -> VmResult<PhysAddr> {
+        self.alloc_traced(order, None)
+    }
+
+    /// Like [`BuddyAllocator::alloc`], recording the free-list work into the
+    /// supplied kernel instruction stream.
+    pub fn alloc_traced(
+        &mut self,
+        order: u32,
+        mut stream: Option<&mut KernelInstructionStream>,
+    ) -> VmResult<PhysAddr> {
+        assert!(order <= MAX_ORDER, "order {order} exceeds MAX_ORDER");
+        if let Some(s) = stream.as_deref_mut() {
+            // Fast-path bookkeeping of alloc_pages(): gfp checks, zone
+            // selection, per-cpu list check.
+            s.compute(60);
+        }
+        // Find the smallest order with a free block.
+        let found = (order..=MAX_ORDER).find(|&o| !self.free_lists[o as usize].is_empty());
+        let Some(mut cur_order) = found else {
+            self.stats.failures.inc();
+            return Err(VmError::OutOfMemory {
+                requested: (1u64 << order) * FRAME_BYTES,
+                free: self.free_bytes(),
+            });
+        };
+        let frame = *self.free_lists[cur_order as usize]
+            .iter()
+            .next()
+            .expect("free list non-empty");
+        self.free_lists[cur_order as usize].remove(&frame);
+        if let Some(s) = stream.as_deref_mut() {
+            s.load(self.freelist_node_addr(frame));
+        }
+        // Split down to the requested order.
+        while cur_order > order {
+            cur_order -= 1;
+            let buddy = frame + (1u64 << cur_order);
+            self.free_lists[cur_order as usize].insert(buddy);
+            self.stats.splits.inc();
+            if let Some(s) = stream.as_deref_mut() {
+                s.compute(15);
+                s.store(self.freelist_node_addr(buddy));
+            }
+        }
+        self.allocated.insert(frame, order);
+        self.free_frames -= 1 << order;
+        self.stats.allocations.inc();
+        Ok(PhysAddr::new(frame * FRAME_BYTES))
+    }
+
+    /// Allocates preferring `order`, falling back to progressively smaller
+    /// orders down to `min_order`. Returns the block address and the order
+    /// actually obtained.
+    pub fn alloc_with_fallback(
+        &mut self,
+        order: u32,
+        min_order: u32,
+        stream: Option<&mut KernelInstructionStream>,
+    ) -> VmResult<(PhysAddr, u32)> {
+        let mut stream = stream;
+        for o in (min_order..=order).rev() {
+            if self.can_alloc(o) {
+                let addr = self.alloc_traced(o, stream.as_deref_mut())?;
+                if o != order {
+                    self.stats.fallbacks.inc();
+                }
+                return Ok((addr, o));
+            }
+        }
+        self.stats.failures.inc();
+        Err(VmError::OutOfMemory {
+            requested: (1u64 << min_order) * FRAME_BYTES,
+            free: self.free_bytes(),
+        })
+    }
+
+    /// Frees a block previously returned by [`BuddyAllocator::alloc`] with
+    /// the same order, coalescing buddies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::InvalidFree`] if the block was not allocated with
+    /// that order.
+    pub fn free(&mut self, addr: PhysAddr, order: u32) -> VmResult<()> {
+        self.free_traced(addr, order, None)
+    }
+
+    /// Like [`BuddyAllocator::free`], recording the free-list work.
+    pub fn free_traced(
+        &mut self,
+        addr: PhysAddr,
+        order: u32,
+        mut stream: Option<&mut KernelInstructionStream>,
+    ) -> VmResult<()> {
+        let frame = addr.raw() / FRAME_BYTES;
+        match self.allocated.get(&frame) {
+            Some(&o) if o == order => {}
+            _ => return Err(VmError::InvalidFree { paddr: addr }),
+        }
+        self.allocated.remove(&frame);
+        self.free_frames += 1 << order;
+        self.stats.frees.inc();
+        if let Some(s) = stream.as_deref_mut() {
+            s.compute(40);
+        }
+
+        // Coalesce with the buddy while possible.
+        let mut frame = frame;
+        let mut order = order;
+        while order < MAX_ORDER {
+            let buddy = frame ^ (1u64 << order);
+            if self.free_lists[order as usize].remove(&buddy) {
+                self.stats.merges.inc();
+                frame = frame.min(buddy);
+                order += 1;
+                if let Some(s) = stream.as_deref_mut() {
+                    s.compute(10);
+                    s.store(self.freelist_node_addr(frame));
+                }
+            } else {
+                break;
+            }
+        }
+        self.free_lists[order as usize].insert(frame);
+        if let Some(s) = stream.as_deref_mut() {
+            s.store(self.freelist_node_addr(frame));
+        }
+        Ok(())
+    }
+
+    /// Pre-fragments memory so that only `target_free_fraction` of the 2 MiB
+    /// regions remain fully free (the paper's fragmentation knob). This pins
+    /// one 4 KiB frame inside each sacrificed 2 MiB region.
+    ///
+    /// Fragmentation can only be increased (the fraction can only go down);
+    /// calling with a fraction above the current availability is a no-op.
+    pub fn fragment(&mut self, target_free_fraction: f64, rng: &mut DetRng) {
+        let target_free_fraction = target_free_fraction.clamp(0.0, 1.0);
+        let total = self.total_2mb_regions();
+        let target_free = (total as f64 * target_free_fraction).round() as u64;
+        // Candidate regions: all currently fully-free 2 MiB regions.
+        let mut candidates: Vec<u64> = Vec::new();
+        for order in ORDER_2M..=MAX_ORDER {
+            for &start in &self.free_lists[order as usize] {
+                let regions = 1u64 << (order - ORDER_2M);
+                for r in 0..regions {
+                    candidates.push(start + r * (1 << ORDER_2M));
+                }
+            }
+        }
+        let currently_free = candidates.len() as u64;
+        if currently_free <= target_free {
+            return;
+        }
+        let to_break = (currently_free - target_free) as usize;
+        rng.shuffle(&mut candidates);
+        let victims: Vec<u64> = candidates.into_iter().take(to_break).collect();
+        for region_start in victims {
+            // Pin one 4 KiB frame at a random offset inside the region.
+            let offset = rng.gen_range(0, 512);
+            if let Some(addr) = self.alloc_specific_frame(region_start + offset) {
+                self.pinned.push(addr.raw() / FRAME_BYTES);
+            }
+        }
+    }
+
+    /// Allocates one specific 4 KiB frame by splitting whatever free block
+    /// contains it. Returns `None` if the frame is not currently free.
+    fn alloc_specific_frame(&mut self, frame: u64) -> Option<PhysAddr> {
+        // Find the free block containing `frame`.
+        let mut containing: Option<(u32, u64)> = None;
+        for order in 0..=MAX_ORDER {
+            let block = 1u64 << order;
+            let start = frame & !(block - 1);
+            if self.free_lists[order as usize].contains(&start) {
+                containing = Some((order, start));
+                break;
+            }
+        }
+        let (order, start) = containing?;
+        self.free_lists[order as usize].remove(&start);
+        // Split repeatedly, keeping the half that contains `frame`.
+        let mut cur_order = order;
+        let mut cur_start = start;
+        while cur_order > 0 {
+            cur_order -= 1;
+            let half = 1u64 << cur_order;
+            let (keep, give) = if frame < cur_start + half {
+                (cur_start, cur_start + half)
+            } else {
+                (cur_start + half, cur_start)
+            };
+            self.free_lists[cur_order as usize].insert(give);
+            self.stats.splits.inc();
+            cur_start = keep;
+        }
+        debug_assert_eq!(cur_start, frame);
+        self.allocated.insert(frame, 0);
+        self.free_frames -= 1;
+        Some(PhysAddr::new(frame * FRAME_BYTES))
+    }
+
+    /// Physical address of the free-list node metadata for a block starting
+    /// at `frame` (the `struct page` of its first frame). Used to emit
+    /// realistic kernel memory references.
+    fn freelist_node_addr(&self, frame: u64) -> PhysAddr {
+        // struct page array lives at the top of physical memory in the model:
+        // 64 bytes per frame.
+        PhysAddr::new(self.total_frames * FRAME_BYTES + frame * 64)
+    }
+
+    /// Builds a kernel stream describing a standalone buddy allocation, for
+    /// callers that want the work without performing it inline.
+    pub fn new_alloc_stream() -> KernelInstructionStream {
+        KernelInstructionStream::new(KernelRoutine::BuddyAlloc)
+    }
+}
+
+/// Converts a page size to its buddy order.
+pub fn order_for(size: PageSize) -> u32 {
+    size.order_4k()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1024 * 1024;
+
+    #[test]
+    fn fresh_allocator_is_fully_free() {
+        let b = BuddyAllocator::new(256 * MB);
+        assert_eq!(b.free_bytes(), 256 * MB);
+        assert_eq!(b.utilization(), 0.0);
+        assert!((b.huge_page_availability() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alloc_free_roundtrip_restores_capacity() {
+        let mut b = BuddyAllocator::new(64 * MB);
+        let a = b.alloc(0).unwrap();
+        let c = b.alloc(ORDER_2M).unwrap();
+        assert_eq!(b.free_bytes(), 64 * MB - 4096 - 2 * MB);
+        b.free(a, 0).unwrap();
+        b.free(c, ORDER_2M).unwrap();
+        assert_eq!(b.free_bytes(), 64 * MB);
+        // After coalescing everything the allocator must again be able to
+        // hand out the largest block it started with.
+        assert!(b.can_alloc(ORDER_2M));
+    }
+
+    #[test]
+    fn allocations_are_aligned_to_their_order() {
+        let mut b = BuddyAllocator::new(512 * MB);
+        let huge = b.alloc(ORDER_2M).unwrap();
+        assert!(huge.is_aligned(PageSize::Size2M));
+        let frame = b.alloc(0).unwrap();
+        assert!(frame.is_aligned(PageSize::Size4K));
+    }
+
+    #[test]
+    fn allocations_do_not_overlap() {
+        let mut b = BuddyAllocator::new(16 * MB);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let a = b.alloc(0).unwrap();
+            assert!(seen.insert(a.raw()), "frame {a} handed out twice");
+        }
+    }
+
+    #[test]
+    fn out_of_memory_is_reported() {
+        let mut b = BuddyAllocator::new(8 * MB);
+        let mut held = Vec::new();
+        loop {
+            match b.alloc(ORDER_2M) {
+                Ok(a) => held.push(a),
+                Err(VmError::OutOfMemory { .. }) => break,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert_eq!(held.len(), 4);
+        assert_eq!(b.stats().failures.get(), 1);
+    }
+
+    #[test]
+    fn double_free_is_rejected() {
+        let mut b = BuddyAllocator::new(8 * MB);
+        let a = b.alloc(0).unwrap();
+        b.free(a, 0).unwrap();
+        assert!(matches!(b.free(a, 0), Err(VmError::InvalidFree { .. })));
+    }
+
+    #[test]
+    fn wrong_order_free_is_rejected() {
+        let mut b = BuddyAllocator::new(8 * MB);
+        let a = b.alloc(ORDER_2M).unwrap();
+        assert!(matches!(b.free(a, 0), Err(VmError::InvalidFree { .. })));
+    }
+
+    #[test]
+    fn splitting_and_merging_are_symmetric() {
+        let mut b = BuddyAllocator::new(4 * MB);
+        let a = b.alloc(0).unwrap();
+        let splits = b.stats().splits.get();
+        assert!(splits > 0);
+        b.free(a, 0).unwrap();
+        assert_eq!(b.stats().merges.get(), splits);
+    }
+
+    #[test]
+    fn fallback_allocation_reports_actual_order() {
+        let mut b = BuddyAllocator::new(4 * MB);
+        // Fragment: pin a frame so no full 2MB block exists in one region.
+        let mut rng = DetRng::new(1);
+        b.fragment(0.0, &mut rng);
+        let (_, order) = b.alloc_with_fallback(ORDER_2M, 0, None).unwrap();
+        assert!(order < ORDER_2M);
+        assert!(b.stats().fallbacks.get() > 0);
+    }
+
+    #[test]
+    fn fragmentation_hits_target() {
+        let mut b = BuddyAllocator::new(512 * MB);
+        let mut rng = DetRng::new(7);
+        b.fragment(0.25, &mut rng);
+        let avail = b.huge_page_availability();
+        assert!((avail - 0.25).abs() < 0.02, "availability {avail}");
+        // Fragmenting "up" is a no-op.
+        b.fragment(0.9, &mut rng);
+        assert!(b.huge_page_availability() <= 0.26);
+    }
+
+    #[test]
+    fn fragmentation_preserves_most_capacity() {
+        let mut b = BuddyAllocator::new(512 * MB);
+        let mut rng = DetRng::new(7);
+        b.fragment(0.5, &mut rng);
+        // Only one 4KB frame per broken 2MB region is pinned.
+        let pinned_bytes = 512 * MB - b.free_bytes();
+        assert!(pinned_bytes <= (b.total_2mb_regions() / 2 + 1) * 4096);
+    }
+
+    #[test]
+    fn traced_alloc_emits_memory_references() {
+        let mut b = BuddyAllocator::new(64 * MB);
+        let mut stream = KernelInstructionStream::new(KernelRoutine::BuddyAlloc);
+        b.alloc_traced(0, Some(&mut stream)).unwrap();
+        assert!(stream.instruction_count() > 0);
+        assert!(stream.memory_references() > 0);
+    }
+
+    #[test]
+    fn largest_free_regions_sorted_descending() {
+        let mut b = BuddyAllocator::new(64 * MB);
+        let _ = b.alloc(0).unwrap();
+        let regions = b.largest_free_regions(5);
+        assert!(!regions.is_empty());
+        for w in regions.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn available_2mb_counts_larger_blocks() {
+        let b = BuddyAllocator::new(64 * MB);
+        // 64 MB entirely free => 32 available 2MB regions.
+        assert_eq!(b.available_2mb_regions(), 32);
+        assert_eq!(b.total_2mb_regions(), 32);
+    }
+
+    #[test]
+    fn order_for_matches_page_sizes() {
+        assert_eq!(order_for(PageSize::Size4K), 0);
+        assert_eq!(order_for(PageSize::Size2M), 9);
+        assert_eq!(order_for(PageSize::Size1G), 18);
+    }
+}

@@ -1,0 +1,181 @@
+//! Types describing the outcome of a page fault handled by MimicOS.
+
+use crate::kernel_stream::KernelInstructionStream;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use vm_types::{PageSize, PhysAddr, VirtAddr};
+
+/// One established virtual-to-physical mapping.
+///
+/// # Examples
+///
+/// ```
+/// use mimic_os::Mapping;
+/// use vm_types::{PageSize, PhysAddr, VirtAddr};
+///
+/// let m = Mapping {
+///     vaddr: VirtAddr::new(0x20_0000),
+///     paddr: PhysAddr::new(0x4000_0000),
+///     page_size: PageSize::Size2M,
+/// };
+/// assert_eq!(m.translate(VirtAddr::new(0x20_1234)).raw(), 0x4000_1234);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Mapping {
+    /// Base virtual address of the page (aligned to `page_size`).
+    pub vaddr: VirtAddr,
+    /// Base physical address of the backing frame (aligned to `page_size`).
+    pub paddr: PhysAddr,
+    /// Page size of the mapping.
+    pub page_size: PageSize,
+}
+
+impl Mapping {
+    /// Translates an address that falls inside this mapping.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `vaddr` lies within the mapped page.
+    pub fn translate(&self, vaddr: VirtAddr) -> PhysAddr {
+        debug_assert_eq!(vaddr.page_base(self.page_size), self.vaddr);
+        self.paddr.add(vaddr.page_offset(self.page_size))
+    }
+
+    /// `true` if `addr` falls inside this mapping.
+    pub fn covers(&self, addr: VirtAddr) -> bool {
+        addr.page_base(self.page_size) == self.vaddr
+    }
+}
+
+impl fmt::Display for Mapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {} ({})", self.vaddr, self.paddr, self.page_size)
+    }
+}
+
+/// Classification of a handled page fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Minor fault: the page was allocated and mapped without device I/O.
+    Minor,
+    /// Major fault: the data had to be read from the storage device (page
+    /// cache miss on a file-backed page).
+    Major,
+    /// The faulting page was swapped out and had to be brought back in.
+    SwapIn,
+    /// The fault was served from a hugetlbfs reservation.
+    Hugetlb,
+    /// The page was already mapped when the handler looked (e.g. a racing
+    /// thread mapped it); no work was needed.
+    Spurious,
+}
+
+impl FaultKind {
+    /// `true` for faults that performed storage I/O.
+    pub const fn is_major(self) -> bool {
+        matches!(self, FaultKind::Major | FaultKind::SwapIn)
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FaultKind::Minor => "minor",
+            FaultKind::Major => "major",
+            FaultKind::SwapIn => "swap-in",
+            FaultKind::Hugetlb => "hugetlb",
+            FaultKind::Spurious => "spurious",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Everything the kernel reports back to the simulator after handling a
+/// page fault — the payload of the functional channel response, plus the
+/// instruction stream for the instruction-stream channel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PageFaultOutcome {
+    /// The mapping established for the faulting address.
+    pub mapping: Mapping,
+    /// Additional mappings established as a side effect (eager paging maps
+    /// whole ranges; reservation THP promotion replaces 4 KiB mappings).
+    pub additional_mappings: Vec<Mapping>,
+    /// Classification of the fault.
+    pub kind: FaultKind,
+    /// The kernel work performed, for injection into the core model.
+    pub stream: KernelInstructionStream,
+    /// Standalone latency estimate of the handler in nanoseconds (software
+    /// work only, excluding device I/O). Used in emulation mode and for
+    /// reporting; the detailed mode derives latency from the injected stream.
+    pub software_latency_ns: f64,
+    /// Storage-device latency incurred (zero for minor faults).
+    pub device_latency_ns: f64,
+    /// Bytes zeroed while preparing the page (the dominant cost of huge-page
+    /// faults).
+    pub zeroed_bytes: u64,
+    /// Number of page-table frames newly allocated for this fault.
+    pub pt_frames_allocated: u32,
+}
+
+impl PageFaultOutcome {
+    /// Total fault latency estimate (software + device) in nanoseconds.
+    pub fn total_latency_ns(&self) -> f64 {
+        self.software_latency_ns + self.device_latency_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel_stream::KernelRoutine;
+
+    #[test]
+    fn mapping_translate_preserves_offset() {
+        let m = Mapping {
+            vaddr: VirtAddr::new(0x4000_0000),
+            paddr: PhysAddr::new(0x8000_0000),
+            page_size: PageSize::Size1G,
+        };
+        assert_eq!(m.translate(VirtAddr::new(0x4123_4567)).raw(), 0x8123_4567);
+        assert!(m.covers(VirtAddr::new(0x7fff_ffff)));
+        assert!(!m.covers(VirtAddr::new(0x8000_0000)));
+    }
+
+    #[test]
+    fn fault_kind_major_classification() {
+        assert!(FaultKind::Major.is_major());
+        assert!(FaultKind::SwapIn.is_major());
+        assert!(!FaultKind::Minor.is_major());
+        assert!(!FaultKind::Hugetlb.is_major());
+        assert_eq!(FaultKind::Minor.to_string(), "minor");
+    }
+
+    #[test]
+    fn outcome_total_latency_sums_components() {
+        let outcome = PageFaultOutcome {
+            mapping: Mapping {
+                vaddr: VirtAddr::new(0x1000),
+                paddr: PhysAddr::new(0x2000),
+                page_size: PageSize::Size4K,
+            },
+            additional_mappings: Vec::new(),
+            kind: FaultKind::Major,
+            stream: KernelInstructionStream::new(KernelRoutine::PageFaultHandler),
+            software_latency_ns: 1500.0,
+            device_latency_ns: 70_000.0,
+            zeroed_bytes: 0,
+            pt_frames_allocated: 2,
+        };
+        assert_eq!(outcome.total_latency_ns(), 71_500.0);
+    }
+
+    #[test]
+    fn mapping_display_mentions_size() {
+        let m = Mapping {
+            vaddr: VirtAddr::new(0x1000),
+            paddr: PhysAddr::new(0x2000),
+            page_size: PageSize::Size2M,
+        };
+        assert!(m.to_string().contains("2MB"));
+    }
+}

@@ -1,0 +1,1433 @@
+//! The top-level [`MimicOs`] kernel: configuration, process management, the
+//! page-fault handler implementing the Fig. 6 flow, memory reclaim and the
+//! statistics the paper's experiments read out.
+
+use crate::alloc_policy::AllocationPolicy;
+use crate::buddy::{BuddyAllocator, ORDER_1G, ORDER_2M};
+use crate::fault::{FaultKind, Mapping, PageFaultOutcome};
+use crate::kernel_stream::{KernelInstructionStream, KernelRoutine};
+use crate::page_cache::PageCache;
+use crate::process::Process;
+use crate::slab::SlabAllocator;
+use crate::swap::SwapManager;
+use crate::thp::{HugetlbPool, KhugepagedDaemon, ReservationThp, ThpConfig, ThpMode, ZeroedPagePool};
+use crate::utopia::UtopiaAllocator;
+use crate::vma::{Vma, VmaKind};
+use serde::{Deserialize, Serialize};
+use ssd_sim::{SsdConfig, SsdModel};
+use std::collections::BTreeMap;
+use std::fmt;
+use vm_types::{
+    Counter, DetRng, LatencyStats, PageSize, PhysAddr, VirtAddr, VmError, VmResult,
+};
+
+/// Identifier of a simulated process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcessId(pub usize);
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid {}", self.0)
+    }
+}
+
+/// A contiguous virtual-to-physical range created by eager paging, consumed
+/// by RMM's range TLB / range-table model in `mmu-sim`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RangeMapping {
+    /// Virtual start of the range.
+    pub virt_start: VirtAddr,
+    /// Physical start of the range.
+    pub phys_start: PhysAddr,
+    /// Length in bytes.
+    pub bytes: u64,
+}
+
+/// Configuration of the MimicOS kernel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OsConfig {
+    /// Physical memory managed by the kernel, in bytes.
+    pub memory_bytes: u64,
+    /// Swap space, in bytes (the paper's baseline: 4 GB).
+    pub swap_bytes: u64,
+    /// Transparent-huge-page configuration.
+    pub thp: ThpConfig,
+    /// Physical memory allocation policy.
+    pub policy: AllocationPolicy,
+    /// Page-cache capacity in pages.
+    pub page_cache_pages: usize,
+    /// Pre-fragment physical memory so that this fraction of 2 MiB regions
+    /// remains free (the paper's baseline: 0.8).
+    pub fragmentation_target: Option<f64>,
+    /// Memory-utilization fraction above which the kernel starts swapping
+    /// (the paper's baseline: 0.9).
+    pub swap_threshold: f64,
+    /// Pages reclaimed (swapped out) per reclaim pass.
+    pub reclaim_batch: usize,
+    /// Storage device configuration for swap and page-cache misses.
+    pub ssd: SsdConfig,
+    /// Warm the page cache for file-backed mappings at `mmap` time,
+    /// mirroring the paper's methodology of pre-populating the page cache so
+    /// short-running workloads take minor rather than major faults.
+    pub populate_page_cache: bool,
+    /// Seed for the kernel's deterministic RNG.
+    pub seed: u64,
+}
+
+impl OsConfig {
+    /// The paper's baseline configuration (Table 4): 256 GB of DDR4 memory,
+    /// 4 GB of swap, Linux-like THP with 4 KB + 2 MB pages, hugetlbfs
+    /// available, 90 % swapping threshold, 80 % baseline fragmentation.
+    pub fn paper_baseline() -> Self {
+        OsConfig {
+            memory_bytes: 256 * 1024 * 1024 * 1024,
+            swap_bytes: 4 * 1024 * 1024 * 1024,
+            thp: ThpConfig::linux_default(),
+            policy: AllocationPolicy::LinuxThp,
+            page_cache_pages: 1 << 20,
+            fragmentation_target: Some(0.8),
+            swap_threshold: 0.9,
+            reclaim_batch: 32,
+            ssd: SsdConfig::nvme_datacenter(),
+            populate_page_cache: true,
+            seed: 0x5afa_51,
+        }
+    }
+
+    /// A small configuration for unit tests and examples: 256 MB of memory,
+    /// 16 MB of swap, no pre-fragmentation.
+    pub fn small_test() -> Self {
+        OsConfig {
+            memory_bytes: 256 * 1024 * 1024,
+            swap_bytes: 16 * 1024 * 1024,
+            page_cache_pages: 4096,
+            fragmentation_target: None,
+            ..OsConfig::paper_baseline()
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::InvalidConfig`] when a parameter is out of range.
+    pub fn validate(&self) -> VmResult<()> {
+        if self.memory_bytes == 0 || self.memory_bytes % 4096 != 0 {
+            return Err(VmError::InvalidConfig {
+                reason: "memory size must be a non-zero multiple of 4 KiB".to_string(),
+            });
+        }
+        if !(0.0..=1.0).contains(&self.swap_threshold) {
+            return Err(VmError::InvalidConfig {
+                reason: format!("swap threshold {} outside [0,1]", self.swap_threshold),
+            });
+        }
+        if let Some(f) = self.fragmentation_target {
+            if !(0.0..=1.0).contains(&f) {
+                return Err(VmError::InvalidConfig {
+                    reason: format!("fragmentation target {f} outside [0,1]"),
+                });
+            }
+        }
+        if let AllocationPolicy::Utopia(cfg) = self.policy {
+            if cfg.size_bytes >= self.memory_bytes {
+                return Err(VmError::InvalidConfig {
+                    reason: "utopia restseg must be smaller than physical memory".to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for OsConfig {
+    fn default() -> Self {
+        OsConfig::paper_baseline()
+    }
+}
+
+/// Statistics accumulated by the kernel across all handled events.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct OsStats {
+    /// Minor page faults handled.
+    pub minor_faults: Counter,
+    /// Major page faults handled (page-cache misses requiring device reads).
+    pub major_faults: Counter,
+    /// Swap-in faults handled.
+    pub swap_in_faults: Counter,
+    /// hugetlbfs faults handled.
+    pub hugetlb_faults: Counter,
+    /// Faults that found the page already mapped.
+    pub spurious_faults: Counter,
+    /// Per-fault total latency samples (nanoseconds, software + device).
+    pub fault_latency_ns: LatencyStats,
+    /// Per-minor-fault latency samples (nanoseconds), the distribution shown
+    /// in the paper's Fig. 2 / Fig. 16.
+    pub minor_fault_latency_ns: LatencyStats,
+    /// Total nanoseconds spent in the fault handler (software + device).
+    pub total_fault_ns: f64,
+    /// Total kernel instructions emitted (fault handler + daemons).
+    pub kernel_instructions: u64,
+    /// 2 MiB or 1 GiB mappings created.
+    pub huge_mappings: Counter,
+    /// 4 KiB mappings created.
+    pub base_mappings: Counter,
+    /// Pages swapped out by reclaim.
+    pub reclaimed_pages: Counter,
+}
+
+impl OsStats {
+    /// Total faults of any kind.
+    pub fn total_faults(&self) -> u64 {
+        self.minor_faults.get()
+            + self.major_faults.get()
+            + self.swap_in_faults.get()
+            + self.hugetlb_faults.get()
+            + self.spurious_faults.get()
+    }
+}
+
+/// The MimicOS kernel.
+///
+/// See the [crate-level documentation](crate) for an overview and an example.
+#[derive(Debug, Clone)]
+pub struct MimicOs {
+    config: OsConfig,
+    buddy: BuddyAllocator,
+    pt_slab: SlabAllocator,
+    page_cache: PageCache,
+    swap: SwapManager,
+    ssd: SsdModel,
+    zeroed_pool: ZeroedPagePool,
+    khugepaged: KhugepagedDaemon,
+    reservation: Option<ReservationThp>,
+    utopia: Option<UtopiaAllocator>,
+    hugetlb: HugetlbPool,
+    processes: Vec<Process>,
+    ranges: BTreeMap<usize, Vec<RangeMapping>>,
+    rng: DetRng,
+    stats: OsStats,
+}
+
+impl MimicOs {
+    /// Boots a kernel with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`OsConfig::validate`]; use
+    /// [`MimicOs::try_new`] to handle invalid configurations gracefully.
+    pub fn new(config: OsConfig) -> Self {
+        MimicOs::try_new(config).expect("invalid MimicOS configuration")
+    }
+
+    /// Boots a kernel, returning an error for invalid configurations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::InvalidConfig`] when the configuration is
+    /// inconsistent.
+    pub fn try_new(config: OsConfig) -> VmResult<Self> {
+        config.validate()?;
+        let mut rng = DetRng::new(config.seed);
+
+        // Under the Utopia policy the RestSegs are carved out of physical
+        // memory; the buddy allocator only manages the remaining FlexSeg.
+        let (buddy_bytes, utopia) = match config.policy {
+            AllocationPolicy::Utopia(seg_cfg) => {
+                let flexseg = config.memory_bytes - seg_cfg.size_bytes;
+                let seg = crate::utopia::RestSeg::new(seg_cfg, PhysAddr::new(flexseg));
+                (flexseg, Some(UtopiaAllocator::new(vec![seg])))
+            }
+            _ => (config.memory_bytes, None),
+        };
+        let mut buddy = BuddyAllocator::new(buddy_bytes);
+        if let Some(target) = config.fragmentation_target {
+            buddy.fragment(target, &mut rng);
+        }
+        let mut zeroed_pool = ZeroedPagePool::new(config.thp.zeroed_pool_capacity);
+        if config.thp.mode != ThpMode::Never {
+            zeroed_pool.refill(&mut buddy);
+        }
+        let reservation = match config.policy {
+            AllocationPolicy::ConservativeReservationThp => Some(ReservationThp::conservative()),
+            AllocationPolicy::AggressiveReservationThp => Some(ReservationThp::aggressive()),
+            _ => None,
+        };
+
+        Ok(MimicOs {
+            pt_slab: SlabAllocator::for_page_table_frames(),
+            page_cache: PageCache::new(config.page_cache_pages),
+            swap: SwapManager::new(config.swap_bytes),
+            ssd: SsdModel::new(config.ssd.clone()),
+            zeroed_pool,
+            khugepaged: KhugepagedDaemon::new(),
+            reservation,
+            utopia,
+            hugetlb: HugetlbPool::new(),
+            processes: Vec::new(),
+            ranges: BTreeMap::new(),
+            rng,
+            stats: OsStats::default(),
+            buddy,
+            config,
+        })
+    }
+
+    /// The kernel's configuration.
+    pub fn config(&self) -> &OsConfig {
+        &self.config
+    }
+
+    /// Kernel-wide statistics.
+    pub fn stats(&self) -> &OsStats {
+        &self.stats
+    }
+
+    /// The physical frame allocator.
+    pub fn buddy(&self) -> &BuddyAllocator {
+        &self.buddy
+    }
+
+    /// Mutable access to the physical frame allocator (for experiments that
+    /// inject fragmentation after boot).
+    pub fn buddy_mut(&mut self) -> &mut BuddyAllocator {
+        &mut self.buddy
+    }
+
+    /// The swap manager.
+    pub fn swap(&self) -> &SwapManager {
+        &self.swap
+    }
+
+    /// The storage device backing swap and the page cache.
+    pub fn ssd(&self) -> &SsdModel {
+        &self.ssd
+    }
+
+    /// The page cache.
+    pub fn page_cache(&self) -> &PageCache {
+        &self.page_cache
+    }
+
+    /// The Utopia allocator, when the policy uses one.
+    pub fn utopia(&self) -> Option<&UtopiaAllocator> {
+        self.utopia.as_ref()
+    }
+
+    /// The khugepaged daemon.
+    pub fn khugepaged(&self) -> &KhugepagedDaemon {
+        &self.khugepaged
+    }
+
+    /// Creates a new process and returns its identifier.
+    pub fn spawn_process(&mut self) -> ProcessId {
+        self.processes.push(Process::new());
+        self.ranges.insert(self.processes.len() - 1, Vec::new());
+        ProcessId(self.processes.len() - 1)
+    }
+
+    /// Immutable access to a process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` does not name a spawned process.
+    pub fn process(&self, pid: ProcessId) -> &Process {
+        &self.processes[pid.0]
+    }
+
+    /// Mutable access to a process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` does not name a spawned process.
+    pub fn process_mut(&mut self, pid: ProcessId) -> &mut Process {
+        &mut self.processes[pid.0]
+    }
+
+    /// The contiguous ranges eagerly allocated for a process (RMM support).
+    pub fn ranges(&self, pid: ProcessId) -> &[RangeMapping] {
+        self.ranges.get(&pid.0).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Maps an anonymous region `[start, start + len)` into a process.
+    /// When `hugetlb` is `true`, the region is backed by hugetlbfs and the
+    /// kernel reserves 2 MiB pages for it up front.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::InvalidVma`] if the region overlaps an existing
+    /// VMA or has zero length.
+    pub fn mmap_anonymous(
+        &mut self,
+        pid: ProcessId,
+        start: VirtAddr,
+        len: u64,
+        hugetlb: bool,
+    ) -> VmResult<()> {
+        let mut vma = Vma::anonymous(start, len);
+        vma.hugetlb = hugetlb;
+        vma.eager_paging = matches!(self.config.policy, AllocationPolicy::EagerPaging);
+        self.processes[pid.0].vmas.insert(vma.clone())?;
+        if hugetlb {
+            let pages = (len + PageSize::Size2M.bytes() - 1) / PageSize::Size2M.bytes();
+            self.hugetlb.reserve(pages as usize, &mut self.buddy);
+        }
+        if vma.eager_paging {
+            self.eager_populate(pid, &vma);
+        }
+        Ok(())
+    }
+
+    /// Maps a file-backed region into a process. When the configuration
+    /// enables it, the page cache is warmed for the mapped range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::InvalidVma`] if the region overlaps an existing
+    /// VMA or has zero length.
+    pub fn mmap_file(
+        &mut self,
+        pid: ProcessId,
+        start: VirtAddr,
+        len: u64,
+        file_id: u64,
+    ) -> VmResult<()> {
+        let vma = Vma::file_backed(start, len, file_id);
+        self.processes[pid.0].vmas.insert(vma)?;
+        if self.config.populate_page_cache {
+            let pages = (len / 4096).min(self.config.page_cache_pages as u64 / 2);
+            for i in 0..pages {
+                if let Ok(frame) = self.buddy.alloc(0) {
+                    if let Some(evicted) = self.page_cache.insert(file_id, i, frame) {
+                        let _ = self.buddy.free(evicted, 0);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Eagerly allocates physical memory for an entire VMA (RMM's eager
+    /// paging), creating as few, as large, contiguous ranges as possible.
+    fn eager_populate(&mut self, pid: ProcessId, vma: &Vma) {
+        let mut offset = 0u64;
+        while offset < vma.len() {
+            let remaining_pages = (vma.len() - offset) / 4096;
+            // Largest order that still fits in the remaining length, capped
+            // at 2 MiB * 2^12 = 8 GiB (the paper's max order 21 relative to
+            // 4 KiB pages).
+            let max_order = 63 - remaining_pages.leading_zeros().min(63);
+            let order = max_order.min(21);
+            let Ok((base, got_order)) = self.buddy.alloc_with_fallback(order, 0, None) else {
+                break;
+            };
+            let bytes = (1u64 << got_order) * 4096;
+            let vstart = vma.start.add(offset);
+            self.ranges.entry(pid.0).or_default().push(RangeMapping {
+                virt_start: vstart,
+                phys_start: base,
+                bytes,
+            });
+            // Record mappings at the largest page granularity that tiles the
+            // range so the MMU sees huge mappings where possible.
+            let mut inner = 0u64;
+            while inner < bytes {
+                let va = vstart.add(inner);
+                let pa = base.add(inner);
+                let size = if bytes - inner >= PageSize::Size2M.bytes()
+                    && va.is_aligned(PageSize::Size2M)
+                    && pa.is_aligned(PageSize::Size2M)
+                {
+                    PageSize::Size2M
+                } else {
+                    PageSize::Size4K
+                };
+                self.processes[pid.0].insert_mapping(Mapping {
+                    vaddr: va,
+                    paddr: pa,
+                    page_size: size,
+                });
+                if size == PageSize::Size2M {
+                    self.stats.huge_mappings.inc();
+                } else {
+                    self.stats.base_mappings.inc();
+                }
+                inner += size.bytes();
+            }
+            offset += bytes;
+        }
+    }
+
+    /// Runs the kernel's background housekeeping: refills the pre-zeroed
+    /// huge-page pool (the work a background zeroing thread would do off the
+    /// critical path). Call periodically from the simulation loop.
+    pub fn background_tick(&mut self) {
+        if self.config.thp.mode != ThpMode::Never {
+            self.zeroed_pool.refill(&mut self.buddy);
+        }
+    }
+
+    /// Runs one khugepaged scan pass over a process, returning the kernel
+    /// instruction stream describing the background work.
+    pub fn khugepaged_tick(&mut self, pid: ProcessId) -> KernelInstructionStream {
+        let stream = self.khugepaged.scan(
+            &self.config.thp,
+            &mut self.processes[pid.0],
+            &mut self.buddy,
+        );
+        self.stats.kernel_instructions += stream.instruction_count();
+        stream
+    }
+
+    /// Handles a page fault at `vaddr` in process `pid`, implementing the
+    /// memory-management flow of the paper's Fig. 6. Returns the outcome,
+    /// including the established mapping and the kernel instruction stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::SegmentationFault`] when `vaddr` is not covered by
+    /// any VMA, and [`VmError::OutOfMemory`] when physical memory and swap
+    /// are both exhausted.
+    pub fn handle_page_fault(
+        &mut self,
+        pid: ProcessId,
+        vaddr: VirtAddr,
+        is_write: bool,
+    ) -> VmResult<PageFaultOutcome> {
+        let _ = is_write;
+        let mut stream = KernelInstructionStream::new(KernelRoutine::PageFaultHandler);
+        // Exception entry, register save, mmap_lock acquisition.
+        stream.compute(220);
+
+        let Some(vma) = self.processes[pid.0]
+            .vmas
+            .find_traced(vaddr, &mut stream)
+            .cloned()
+        else {
+            return Err(VmError::SegmentationFault { vaddr });
+        };
+
+        // Spurious fault: another thread (or eager paging) already mapped it.
+        if let Some(existing) = self.processes[pid.0].lookup_mapping(vaddr) {
+            stream.compute(40);
+            let outcome = self.finish_fault(existing, Vec::new(), FaultKind::Spurious, stream, 0.0, 0, 0);
+            return Ok(outcome);
+        }
+
+        let mut device_ns = 0.0;
+        let mut zeroed_bytes = 0u64;
+        let mut additional = Vec::new();
+
+        // Reclaim (kswapd-style) if memory pressure is above the threshold.
+        device_ns += self.reclaim_if_needed(pid, &mut stream)?;
+
+        // Swapped-out page: bring it back in.
+        if self.processes[pid.0].is_swapped(vaddr) {
+            self.swap.trace_lookup(&mut stream);
+            let slot = self.processes[pid.0]
+                .take_swap_slot(vaddr)
+                .expect("is_swapped implies a slot");
+            let dest = self.alloc_base_frame_for(pid, &mut stream)?;
+            let (frame, io) = self.swap.swap_in(slot, dest, &mut self.ssd)?;
+            if frame != dest {
+                // The page was still in the swap cache; release the frame we
+                // speculatively allocated.
+                let _ = self.buddy.free(dest, 0);
+            }
+            device_ns += io.as_nanos();
+            let pt_frames = self.charge_page_table_frames(pid, vaddr, &mut stream)?;
+            let mapping = Mapping {
+                vaddr: vaddr.page_base(PageSize::Size4K),
+                paddr: frame,
+                page_size: PageSize::Size4K,
+            };
+            self.install_mapping(pid, mapping, &mut stream);
+            let outcome = self.finish_fault(
+                mapping,
+                additional,
+                FaultKind::SwapIn,
+                stream,
+                device_ns,
+                zeroed_bytes,
+                pt_frames,
+            );
+            return Ok(outcome);
+        }
+
+        // hugetlbfs VMAs take 2 MiB pages from the reserved pool (Fig. 6,
+        // "Page in HugeTLB?").
+        if vma.hugetlb {
+            stream.compute(80);
+            let frame = match self.hugetlb.take() {
+                Some(f) => f,
+                None => self.buddy.alloc_traced(ORDER_2M, Some(&mut stream))?,
+            };
+            zeroed_bytes += self.zero_page(frame, PageSize::Size2M.bytes(), &mut stream);
+            let pt_frames = self.charge_page_table_frames(pid, vaddr, &mut stream)?;
+            let mapping = Mapping {
+                vaddr: vaddr.page_base(PageSize::Size2M),
+                paddr: frame,
+                page_size: PageSize::Size2M,
+            };
+            self.install_mapping(pid, mapping, &mut stream);
+            let outcome = self.finish_fault(
+                mapping,
+                additional,
+                FaultKind::Hugetlb,
+                stream,
+                device_ns,
+                zeroed_bytes,
+                pt_frames,
+            );
+            return Ok(outcome);
+        }
+
+        // 1 GiB path: DAX/file-backed VMAs with gigantic flags and an
+        // available contiguous gigabyte (Fig. 6, step 3).
+        if vma.gigantic_ok
+            && vma.kind.is_file_backed()
+            && self.buddy.can_alloc(ORDER_1G)
+            && vaddr.page_base(PageSize::Size1G) >= vma.start
+        {
+            let frame = self.buddy.alloc_traced(ORDER_1G, Some(&mut stream))?;
+            let pt_frames = self.charge_page_table_frames(pid, vaddr, &mut stream)?;
+            let mapping = Mapping {
+                vaddr: vaddr.page_base(PageSize::Size1G),
+                paddr: frame,
+                page_size: PageSize::Size1G,
+            };
+            self.install_mapping(pid, mapping, &mut stream);
+            let outcome = self.finish_fault(
+                mapping,
+                additional,
+                FaultKind::Minor,
+                stream,
+                device_ns,
+                zeroed_bytes,
+                pt_frames,
+            );
+            return Ok(outcome);
+        }
+
+        // File-backed pages go through the page cache (Fig. 6, step 7).
+        if let VmaKind::FileBacked { file_id } = vma.kind {
+            let page_index = (vaddr.page_base(PageSize::Size4K).offset_from(vma.start)) / 4096;
+            let mut kind = FaultKind::Minor;
+            let frame = match self.page_cache.lookup_traced(file_id, page_index, &mut stream) {
+                Some(f) => f,
+                None => {
+                    // Page-cache miss: read from the device (major fault).
+                    let frame = self.alloc_base_frame_for(pid, &mut stream)?;
+                    let io = self.ssd.read(file_id * (1 << 30) + page_index * 4096);
+                    device_ns += io.as_nanos();
+                    if let Some(evicted) = self.page_cache.insert(file_id, page_index, frame) {
+                        let _ = self.buddy.free(evicted, 0);
+                    }
+                    kind = FaultKind::Major;
+                    frame
+                }
+            };
+            let pt_frames = self.charge_page_table_frames(pid, vaddr, &mut stream)?;
+            let mapping = Mapping {
+                vaddr: vaddr.page_base(PageSize::Size4K),
+                paddr: frame,
+                page_size: PageSize::Size4K,
+            };
+            self.install_mapping(pid, mapping, &mut stream);
+            let outcome = self.finish_fault(
+                mapping, additional, kind, stream, device_ns, zeroed_bytes, pt_frames,
+            );
+            return Ok(outcome);
+        }
+
+        // Anonymous memory: dispatch on the allocation policy.
+        let pt_frames = self.charge_page_table_frames(pid, vaddr, &mut stream)?;
+        let mapping = match self.config.policy {
+            AllocationPolicy::BuddyFourK | AllocationPolicy::EagerPaging => {
+                // Eager paging normally populates at mmap time; reaching this
+                // point means the eager allocation ran out of memory, so fall
+                // back to on-demand 4 KiB pages.
+                let frame = self.alloc_base_frame_for(pid, &mut stream)?;
+                zeroed_bytes += self.zero_page(frame, 4096, &mut stream);
+                Mapping {
+                    vaddr: vaddr.page_base(PageSize::Size4K),
+                    paddr: frame,
+                    page_size: PageSize::Size4K,
+                }
+            }
+            AllocationPolicy::LinuxThp => {
+                self.linux_thp_fault(pid, vaddr, &vma, &mut stream, &mut zeroed_bytes)?
+            }
+            AllocationPolicy::ConservativeReservationThp
+            | AllocationPolicy::AggressiveReservationThp => {
+                self.reservation_fault(pid, vaddr, &mut stream, &mut zeroed_bytes, &mut additional)?
+            }
+            AllocationPolicy::Utopia(_) => {
+                self.utopia_fault(pid, vaddr, &mut stream, &mut zeroed_bytes, &mut device_ns)?
+            }
+        };
+        self.install_mapping(pid, mapping, &mut stream);
+        let outcome = self.finish_fault(
+            mapping,
+            additional,
+            FaultKind::Minor,
+            stream,
+            device_ns,
+            zeroed_bytes,
+            pt_frames,
+        );
+        Ok(outcome)
+    }
+
+    /// Linux-like THP: try a 2 MiB allocation for eligible first-touch
+    /// regions, otherwise a 4 KiB page plus a khugepaged notification.
+    fn linux_thp_fault(
+        &mut self,
+        pid: ProcessId,
+        vaddr: VirtAddr,
+        vma: &Vma,
+        stream: &mut KernelInstructionStream,
+        zeroed_bytes: &mut u64,
+    ) -> VmResult<Mapping> {
+        let thp_eligible = match self.config.thp.mode {
+            ThpMode::Always => true,
+            ThpMode::Madvise => vma.hugetlb,
+            ThpMode::Never => false,
+        };
+        let region_base = vaddr.page_base(PageSize::Size2M);
+        let region_fits_vma =
+            region_base >= vma.start && region_base.add(PageSize::Size2M.bytes()) <= vma.end;
+        let region_untouched =
+            !self.processes[pid.0].region_has_mappings(vaddr, PageSize::Size2M);
+
+        // Keep headroom: under memory pressure Linux's huge-page allocation
+        // (compaction) fails and the fault falls back to a base page, which
+        // avoids THP bloat exhausting physical memory.
+        let headroom_ok = self.buddy.free_bytes() > self.config.memory_bytes / 8;
+        if thp_eligible && vma.kind.is_anonymous() && region_fits_vma && region_untouched && headroom_ok {
+            stream.compute(90);
+            // Prefer a pre-zeroed huge page from the pool. The pool is only
+            // replenished by background work (`background_tick`), so bursts
+            // of huge-page faults quickly fall back to inline zeroing — the
+            // source of the THP tail latency in Figs. 2 and 16.
+            if let Some(frame) = self.zeroed_pool.take() {
+                stream.compute(30);
+                return Ok(Mapping {
+                    vaddr: region_base,
+                    paddr: frame,
+                    page_size: PageSize::Size2M,
+                });
+            }
+            if self.buddy.can_alloc(ORDER_2M) {
+                let frame = self.buddy.alloc_traced(ORDER_2M, Some(stream))?;
+                *zeroed_bytes += self.zero_page(frame, PageSize::Size2M.bytes(), stream);
+                return Ok(Mapping {
+                    vaddr: region_base,
+                    paddr: frame,
+                    page_size: PageSize::Size2M,
+                });
+            }
+            // Fallback path: compaction attempt failed, take a base page.
+            stream.compute(400);
+        }
+        let frame = self.alloc_base_frame_for(pid, stream)?;
+        *zeroed_bytes += self.zero_page(frame, 4096, stream);
+        self.khugepaged.notify(vaddr);
+        Ok(Mapping {
+            vaddr: vaddr.page_base(PageSize::Size4K),
+            paddr: frame,
+            page_size: PageSize::Size4K,
+        })
+    }
+
+    /// Reservation-based THP fault (CR-THP / AR-THP).
+    fn reservation_fault(
+        &mut self,
+        pid: ProcessId,
+        vaddr: VirtAddr,
+        stream: &mut KernelInstructionStream,
+        zeroed_bytes: &mut u64,
+        additional: &mut Vec<Mapping>,
+    ) -> VmResult<Mapping> {
+        let reservation = self
+            .reservation
+            .as_mut()
+            .expect("reservation policy implies a tracker");
+        match reservation.on_fault(vaddr, &mut self.buddy, stream) {
+            Some((frame, promote)) => {
+                *zeroed_bytes += self.zero_page(frame, 4096, stream);
+                let base_mapping = Mapping {
+                    vaddr: vaddr.page_base(PageSize::Size4K),
+                    paddr: frame,
+                    page_size: PageSize::Size4K,
+                };
+                if let Some(huge_base) = promote {
+                    // Promotion: replace every 4 KiB mapping in the region
+                    // with one 2 MiB mapping.
+                    let region = vaddr.page_base(PageSize::Size2M);
+                    let huge = Mapping {
+                        vaddr: region,
+                        paddr: huge_base,
+                        page_size: PageSize::Size2M,
+                    };
+                    self.processes[pid.0].collapse_to_huge(region, huge);
+                    self.stats.huge_mappings.inc();
+                    additional.push(huge);
+                }
+                Ok(base_mapping)
+            }
+            None => {
+                // Reservation failed (no contiguous 2 MiB region): plain page.
+                let frame = self.alloc_base_frame_for(pid, stream)?;
+                *zeroed_bytes += self.zero_page(frame, 4096, stream);
+                Ok(Mapping {
+                    vaddr: vaddr.page_base(PageSize::Size4K),
+                    paddr: frame,
+                    page_size: PageSize::Size4K,
+                })
+            }
+        }
+    }
+
+    /// Utopia fault: hash-based placement into the RestSeg; collisions spill
+    /// to the FlexSeg (buddy) and, under memory pressure, force swapping —
+    /// the behaviour behind Fig. 20.
+    fn utopia_fault(
+        &mut self,
+        pid: ProcessId,
+        vaddr: VirtAddr,
+        stream: &mut KernelInstructionStream,
+        zeroed_bytes: &mut u64,
+        device_ns: &mut f64,
+    ) -> VmResult<Mapping> {
+        let utopia = self.utopia.as_mut().expect("utopia policy implies segments");
+        if let Some((frame, size)) = utopia.try_place(vaddr, PageSize::Size4K, stream) {
+            *zeroed_bytes += self.zero_page(frame, size.bytes().min(4096), stream);
+            return Ok(Mapping {
+                vaddr: vaddr.page_base(size),
+                paddr: frame,
+                page_size: size,
+            });
+        }
+        // Collision: spill to the FlexSeg. If the FlexSeg is out of memory,
+        // reclaim by swapping out resident pages first.
+        let frame = match self.alloc_base_frame_for(pid, stream) {
+            Ok(f) => f,
+            Err(VmError::OutOfMemory { .. }) => {
+                *device_ns += self.reclaim_pages(pid, self.config.reclaim_batch, stream)?;
+                self.alloc_base_frame_for(pid, stream)?
+            }
+            Err(e) => return Err(e),
+        };
+        *zeroed_bytes += self.zero_page(frame, 4096, stream);
+        Ok(Mapping {
+            vaddr: vaddr.page_base(PageSize::Size4K),
+            paddr: frame,
+            page_size: PageSize::Size4K,
+        })
+    }
+
+    /// Allocates one 4 KiB frame, reclaiming (swapping out) when physical
+    /// memory is exhausted, like the direct-reclaim path of a real kernel.
+    fn alloc_base_frame_for(
+        &mut self,
+        pid: ProcessId,
+        stream: &mut KernelInstructionStream,
+    ) -> VmResult<PhysAddr> {
+        match self.buddy.alloc_traced(0, Some(stream)) {
+            Ok(f) => Ok(f),
+            Err(VmError::OutOfMemory { .. }) => {
+                self.reclaim_pages(pid, self.config.reclaim_batch.max(8), stream)?;
+                self.buddy.alloc_traced(0, Some(stream))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Charges the slab allocations for page-table frames needed by a fault:
+    /// one new frame per previously-untouched level of the region.
+    fn charge_page_table_frames(
+        &mut self,
+        pid: ProcessId,
+        vaddr: VirtAddr,
+        stream: &mut KernelInstructionStream,
+    ) -> VmResult<u32> {
+        let mut frames = 0u32;
+        for size in [PageSize::Size1G, PageSize::Size2M] {
+            if !self.processes[pid.0].region_has_mappings(vaddr, size) {
+                self.pt_slab.alloc(&mut self.buddy, Some(stream))?;
+                frames += 1;
+            }
+        }
+        Ok(frames)
+    }
+
+    /// Zeroes a freshly allocated page, charging the memset work.
+    /// Returns the number of bytes zeroed.
+    fn zero_page(
+        &mut self,
+        frame: PhysAddr,
+        bytes: u64,
+        stream: &mut KernelInstructionStream,
+    ) -> u64 {
+        // A rep-stos style memset: roughly one instruction per 8 bytes, plus
+        // a store sample per 512 bytes so the memory system sees the traffic
+        // without exploding the stream length.
+        stream.compute((bytes / 8).min(u32::MAX as u64) as u32);
+        let mut offset = 0;
+        while offset < bytes && offset < 512 * 128 {
+            stream.store(frame.add(offset));
+            offset += 512;
+        }
+        bytes
+    }
+
+    /// Installs a mapping into the process and charges the page-table update.
+    fn install_mapping(
+        &mut self,
+        pid: ProcessId,
+        mapping: Mapping,
+        stream: &mut KernelInstructionStream,
+    ) {
+        stream.compute(45);
+        stream.store(PhysAddr::new(
+            0xFFFF_D000_0000_0000 + (mapping.vaddr.raw() >> 9 & 0xFFFF_FF8),
+        ));
+        self.processes[pid.0].insert_mapping(mapping);
+        match mapping.page_size {
+            PageSize::Size4K => self.stats.base_mappings.inc(),
+            _ => self.stats.huge_mappings.inc(),
+        }
+    }
+
+    /// Reclaims memory when utilization exceeds the swapping threshold.
+    /// Returns the device time spent.
+    fn reclaim_if_needed(
+        &mut self,
+        pid: ProcessId,
+        stream: &mut KernelInstructionStream,
+    ) -> VmResult<f64> {
+        if self.buddy.utilization() <= self.config.swap_threshold {
+            return Ok(0.0);
+        }
+        self.reclaim_pages(pid, self.config.reclaim_batch, stream)
+    }
+
+    /// Swaps out up to `count` resident 4 KiB pages of `pid`. When no base
+    /// pages are resident, huge mappings are demoted and released instead
+    /// (approximating huge-page splitting followed by reclaim).
+    fn reclaim_pages(
+        &mut self,
+        pid: ProcessId,
+        count: usize,
+        stream: &mut KernelInstructionStream,
+    ) -> VmResult<f64> {
+        let victims = self.processes[pid.0].reclaim_candidates(count);
+        let mut device_ns = 0.0;
+        stream.compute(200);
+        if victims.is_empty() {
+            // Demote up to two huge mappings: write one representative page
+            // to swap, release the 2 MiB block, and leave the region
+            // swapped so a later touch faults it back in.
+            let huge_victims: Vec<Mapping> = self.processes[pid.0]
+                .mappings()
+                .filter(|m| m.page_size == PageSize::Size2M)
+                .take(2)
+                .copied()
+                .collect();
+            for victim in huge_victims {
+                let Ok((slot, io)) = self.swap.swap_out(victim.paddr, &mut self.ssd) else {
+                    break;
+                };
+                self.swap.drop_swap_cache(slot);
+                self.processes[pid.0].remove_mapping(victim.vaddr);
+                self.processes[pid.0].swap_out(victim.vaddr, slot);
+                let _ = self.buddy.free(victim.paddr, ORDER_2M);
+                device_ns += io.as_nanos();
+                self.stats.reclaimed_pages.add(PageSize::Size2M.base_pages());
+                stream.compute(512 * 3);
+            }
+            return Ok(device_ns);
+        }
+        for victim in victims {
+            let Ok((slot, io)) = self.swap.swap_out(victim.paddr, &mut self.ssd) else {
+                break;
+            };
+            self.swap.drop_swap_cache(slot);
+            self.processes[pid.0].swap_out(victim.vaddr, slot);
+            if let Some(utopia) = self.utopia.as_mut() {
+                if utopia.remove(victim.vaddr) {
+                    // Page lived in a RestSeg: no buddy frame to release.
+                    device_ns += io.as_nanos();
+                    self.stats.reclaimed_pages.inc();
+                    continue;
+                }
+            }
+            let _ = self.buddy.free(victim.paddr, 0);
+            device_ns += io.as_nanos();
+            self.stats.reclaimed_pages.inc();
+            stream.compute(80);
+            stream.store(victim.paddr);
+        }
+        Ok(device_ns)
+    }
+
+    /// Finalizes an outcome and records statistics.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_fault(
+        &mut self,
+        mapping: Mapping,
+        additional: Vec<Mapping>,
+        kind: FaultKind,
+        mut stream: KernelInstructionStream,
+        device_ns: f64,
+        zeroed_bytes: u64,
+        pt_frames: u32,
+    ) -> PageFaultOutcome {
+        // Exception return, TLB entry install, mmap_lock release.
+        stream.compute(120);
+        let software_ns = stream.estimate_latency_ns(2.0, 60.0);
+        let total_ns = software_ns + device_ns;
+        match kind {
+            FaultKind::Minor => {
+                self.stats.minor_faults.inc();
+                self.stats.minor_fault_latency_ns.record(total_ns);
+            }
+            FaultKind::Major => self.stats.major_faults.inc(),
+            FaultKind::SwapIn => self.stats.swap_in_faults.inc(),
+            FaultKind::Hugetlb => {
+                self.stats.hugetlb_faults.inc();
+                self.stats.minor_fault_latency_ns.record(total_ns);
+            }
+            FaultKind::Spurious => self.stats.spurious_faults.inc(),
+        }
+        self.stats.fault_latency_ns.record(total_ns);
+        self.stats.total_fault_ns += total_ns;
+        self.stats.kernel_instructions += stream.instruction_count();
+        // Mild deterministic jitter imitating interrupt/lock interference.
+        let _ = self.rng.next_u64();
+        PageFaultOutcome {
+            mapping,
+            additional_mappings: additional,
+            kind,
+            stream,
+            software_latency_ns: software_ns,
+            device_latency_ns: device_ns,
+            zeroed_bytes,
+            pt_frames_allocated: pt_frames,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1024 * 1024;
+
+    fn os_with_policy(policy: AllocationPolicy) -> MimicOs {
+        let config = OsConfig {
+            policy,
+            ..OsConfig::small_test()
+        };
+        MimicOs::new(config)
+    }
+
+    fn touch(os: &mut MimicOs, pid: ProcessId, va: u64) -> PageFaultOutcome {
+        os.handle_page_fault(pid, VirtAddr::new(va), true).unwrap()
+    }
+
+    #[test]
+    fn fault_outside_any_vma_is_a_segfault() {
+        let mut os = MimicOs::new(OsConfig::small_test());
+        let pid = os.spawn_process();
+        assert!(matches!(
+            os.handle_page_fault(pid, VirtAddr::new(0xdead_0000), false),
+            Err(VmError::SegmentationFault { .. })
+        ));
+    }
+
+    #[test]
+    fn anonymous_fault_with_thp_maps_a_huge_page() {
+        let mut os = os_with_policy(AllocationPolicy::LinuxThp);
+        let pid = os.spawn_process();
+        os.mmap_anonymous(pid, VirtAddr::new(0x4000_0000), 64 * MB, false)
+            .unwrap();
+        let outcome = touch(&mut os, pid, 0x4000_0000);
+        assert_eq!(outcome.mapping.page_size, PageSize::Size2M);
+        assert_eq!(outcome.kind, FaultKind::Minor);
+        assert!(outcome.stream.instruction_count() > 0);
+        assert_eq!(os.stats().huge_mappings.get(), 1);
+    }
+
+    #[test]
+    fn thp_disabled_maps_base_pages() {
+        let config = OsConfig {
+            thp: ThpConfig::disabled(),
+            ..OsConfig::small_test()
+        };
+        let mut os = MimicOs::new(config);
+        let pid = os.spawn_process();
+        os.mmap_anonymous(pid, VirtAddr::new(0x4000_0000), 16 * MB, false)
+            .unwrap();
+        let outcome = touch(&mut os, pid, 0x4000_0000);
+        assert_eq!(outcome.mapping.page_size, PageSize::Size4K);
+    }
+
+    #[test]
+    fn buddy_4k_policy_never_maps_huge_pages() {
+        let mut os = os_with_policy(AllocationPolicy::BuddyFourK);
+        let pid = os.spawn_process();
+        os.mmap_anonymous(pid, VirtAddr::new(0x4000_0000), 16 * MB, false)
+            .unwrap();
+        for i in 0..32u64 {
+            let outcome = touch(&mut os, pid, 0x4000_0000 + i * 4096);
+            assert_eq!(outcome.mapping.page_size, PageSize::Size4K);
+        }
+        assert_eq!(os.stats().huge_mappings.get(), 0);
+    }
+
+    #[test]
+    fn second_fault_on_same_page_is_spurious() {
+        let mut os = os_with_policy(AllocationPolicy::BuddyFourK);
+        let pid = os.spawn_process();
+        os.mmap_anonymous(pid, VirtAddr::new(0x4000_0000), MB, false)
+            .unwrap();
+        touch(&mut os, pid, 0x4000_0000);
+        let again = touch(&mut os, pid, 0x4000_0100);
+        assert_eq!(again.kind, FaultKind::Spurious);
+        assert_eq!(os.stats().spurious_faults.get(), 1);
+    }
+
+    #[test]
+    fn huge_page_fault_zeroes_more_bytes_than_base_fault() {
+        let mut os = os_with_policy(AllocationPolicy::LinuxThp);
+        let pid = os.spawn_process();
+        os.mmap_anonymous(pid, VirtAddr::new(0x4000_0000), 64 * MB, false)
+            .unwrap();
+        let huge = touch(&mut os, pid, 0x4000_0000);
+
+        let mut os2 = os_with_policy(AllocationPolicy::BuddyFourK);
+        let pid2 = os2.spawn_process();
+        os2.mmap_anonymous(pid2, VirtAddr::new(0x4000_0000), 64 * MB, false)
+            .unwrap();
+        let base = touch(&mut os2, pid2, 0x4000_0000);
+
+        // The huge fault either consumed a pre-zeroed page from the pool
+        // (zeroing skipped) or zeroed the full 2 MiB inline.
+        assert!(huge.zeroed_bytes == 0 || huge.zeroed_bytes == PageSize::Size2M.bytes());
+        assert_eq!(huge.mapping.page_size, PageSize::Size2M);
+        assert_eq!(base.zeroed_bytes, 4096);
+        if huge.zeroed_bytes == PageSize::Size2M.bytes() {
+            assert!(huge.software_latency_ns > base.software_latency_ns);
+        }
+    }
+
+    #[test]
+    fn file_backed_fault_hits_the_page_cache_after_warming() {
+        let mut os = MimicOs::new(OsConfig::small_test());
+        let pid = os.spawn_process();
+        os.mmap_file(pid, VirtAddr::new(0x1000_0000), 4 * MB, 3)
+            .unwrap();
+        let outcome = touch(&mut os, pid, 0x1000_0000);
+        assert_eq!(outcome.kind, FaultKind::Minor);
+        assert_eq!(outcome.device_latency_ns, 0.0);
+    }
+
+    #[test]
+    fn cold_file_fault_is_major_and_pays_device_latency() {
+        let config = OsConfig {
+            populate_page_cache: false,
+            ..OsConfig::small_test()
+        };
+        let mut os = MimicOs::new(config);
+        let pid = os.spawn_process();
+        os.mmap_file(pid, VirtAddr::new(0x1000_0000), 4 * MB, 3)
+            .unwrap();
+        let outcome = touch(&mut os, pid, 0x1000_0000);
+        assert_eq!(outcome.kind, FaultKind::Major);
+        assert!(outcome.device_latency_ns > 10_000.0);
+        assert_eq!(os.stats().major_faults.get(), 1);
+        // The second access to the same file page now hits the page cache.
+        let second = touch(&mut os, pid, 0x1000_0000 + 64);
+        assert_eq!(second.kind, FaultKind::Spurious);
+    }
+
+    #[test]
+    fn hugetlb_vma_uses_reserved_pages() {
+        let mut os = MimicOs::new(OsConfig::small_test());
+        let pid = os.spawn_process();
+        os.mmap_anonymous(pid, VirtAddr::new(0x8000_0000), 8 * MB, true)
+            .unwrap();
+        let outcome = touch(&mut os, pid, 0x8000_0000);
+        assert_eq!(outcome.kind, FaultKind::Hugetlb);
+        assert_eq!(outcome.mapping.page_size, PageSize::Size2M);
+        assert_eq!(os.stats().hugetlb_faults.get(), 1);
+    }
+
+    #[test]
+    fn reservation_thp_promotes_and_reports_additional_mapping() {
+        let mut os = os_with_policy(AllocationPolicy::AggressiveReservationThp);
+        let pid = os.spawn_process();
+        os.mmap_anonymous(pid, VirtAddr::new(0x4000_0000), 16 * MB, false)
+            .unwrap();
+        let mut promoted = false;
+        for i in 0..60u64 {
+            let outcome = touch(&mut os, pid, 0x4000_0000 + i * 4096);
+            if !outcome.additional_mappings.is_empty() {
+                promoted = true;
+                assert_eq!(outcome.additional_mappings[0].page_size, PageSize::Size2M);
+            }
+        }
+        assert!(promoted, "aggressive reservation THP should promote");
+        // After promotion the region resolves to the huge mapping.
+        assert_eq!(
+            os.process(pid)
+                .lookup_mapping(VirtAddr::new(0x4000_0000 + 100 * 4096))
+                .unwrap()
+                .page_size,
+            PageSize::Size2M
+        );
+    }
+
+    #[test]
+    fn eager_paging_populates_at_mmap_time() {
+        let mut os = os_with_policy(AllocationPolicy::EagerPaging);
+        let pid = os.spawn_process();
+        os.mmap_anonymous(pid, VirtAddr::new(0x4000_0000), 32 * MB, false)
+            .unwrap();
+        assert!(!os.ranges(pid).is_empty());
+        assert!(os.process(pid).resident_bytes() >= 32 * MB);
+        // Faults are spurious because the memory is already mapped.
+        let outcome = touch(&mut os, pid, 0x4000_0000 + 5 * MB);
+        assert_eq!(outcome.kind, FaultKind::Spurious);
+    }
+
+    #[test]
+    fn eager_ranges_are_contiguous_and_cover_the_vma() {
+        let mut os = os_with_policy(AllocationPolicy::EagerPaging);
+        let pid = os.spawn_process();
+        os.mmap_anonymous(pid, VirtAddr::new(0x4000_0000), 16 * MB, false)
+            .unwrap();
+        let covered: u64 = os.ranges(pid).iter().map(|r| r.bytes).sum();
+        assert_eq!(covered, 16 * MB);
+    }
+
+    #[test]
+    fn utopia_policy_places_pages_in_the_restseg() {
+        let policy = AllocationPolicy::Utopia(crate::utopia::UtopiaConfig::new(
+            32 * MB,
+            16,
+            PageSize::Size4K,
+        ));
+        let mut os = os_with_policy(policy);
+        let pid = os.spawn_process();
+        os.mmap_anonymous(pid, VirtAddr::new(0x4000_0000), 16 * MB, false)
+            .unwrap();
+        let outcome = touch(&mut os, pid, 0x4000_0000);
+        // RestSeg frames live above the FlexSeg (buddy) range.
+        assert!(outcome.mapping.paddr.raw() >= os.buddy().capacity_bytes());
+        assert!(os.utopia().unwrap().segments()[0].stats().placements.get() >= 1);
+    }
+
+    #[test]
+    fn utopia_faults_are_faster_than_thp_huge_faults() {
+        let policy = AllocationPolicy::Utopia(crate::utopia::UtopiaConfig::new(
+            32 * MB,
+            16,
+            PageSize::Size4K,
+        ));
+        let mut ut = os_with_policy(policy);
+        let mut thp = os_with_policy(AllocationPolicy::LinuxThp);
+        let pid_u = ut.spawn_process();
+        let pid_t = thp.spawn_process();
+        ut.mmap_anonymous(pid_u, VirtAddr::new(0x4000_0000), 64 * MB, false)
+            .unwrap();
+        thp.mmap_anonymous(pid_t, VirtAddr::new(0x4000_0000), 64 * MB, false)
+            .unwrap();
+        // Compare tail latency over first-touch faults (the THP side touches
+        // one address per 2 MiB region so every fault allocates a huge page).
+        for i in 0..32u64 {
+            touch(&mut ut, pid_u, 0x4000_0000 + i * 4096);
+            touch(&mut thp, pid_t, 0x4000_0000 + i * 2 * MB);
+        }
+        let ut_p99 = ut.stats().minor_fault_latency_ns.quantile(0.99);
+        let thp_p99 = thp.stats().minor_fault_latency_ns.quantile(0.99);
+        assert!(
+            ut_p99 < thp_p99,
+            "utopia p99 {ut_p99} should beat THP p99 {thp_p99}"
+        );
+    }
+
+    #[test]
+    fn memory_pressure_triggers_swapping() {
+        // 16 MB of memory, tiny swap threshold: filling it forces reclaim.
+        let config = OsConfig {
+            memory_bytes: 16 * MB,
+            swap_bytes: 32 * MB,
+            swap_threshold: 0.5,
+            policy: AllocationPolicy::BuddyFourK,
+            thp: ThpConfig::disabled(),
+            fragmentation_target: None,
+            populate_page_cache: false,
+            ..OsConfig::small_test()
+        };
+        let mut os = MimicOs::new(config);
+        let pid = os.spawn_process();
+        os.mmap_anonymous(pid, VirtAddr::new(0x4000_0000), 64 * MB, false)
+            .unwrap();
+        for i in 0..3000u64 {
+            touch(&mut os, pid, 0x4000_0000 + i * 4096);
+        }
+        assert!(os.stats().reclaimed_pages.get() > 0);
+        assert!(os.swap().stats().swap_outs.get() > 0);
+    }
+
+    #[test]
+    fn swapped_page_faults_back_in() {
+        let config = OsConfig {
+            memory_bytes: 16 * MB,
+            swap_bytes: 32 * MB,
+            swap_threshold: 0.5,
+            policy: AllocationPolicy::BuddyFourK,
+            thp: ThpConfig::disabled(),
+            fragmentation_target: None,
+            populate_page_cache: false,
+            ..OsConfig::small_test()
+        };
+        let mut os = MimicOs::new(config);
+        let pid = os.spawn_process();
+        os.mmap_anonymous(pid, VirtAddr::new(0x4000_0000), 64 * MB, false)
+            .unwrap();
+        for i in 0..3000u64 {
+            touch(&mut os, pid, 0x4000_0000 + i * 4096);
+        }
+        // Find a swapped page and touch it again.
+        let swapped_va = (0..3000u64)
+            .map(|i| VirtAddr::new(0x4000_0000 + i * 4096))
+            .find(|&va| os.process(pid).is_swapped(va))
+            .expect("some page must be swapped out");
+        let outcome = os.handle_page_fault(pid, swapped_va, false).unwrap();
+        assert_eq!(outcome.kind, FaultKind::SwapIn);
+        assert!(os.stats().swap_in_faults.get() >= 1);
+    }
+
+    #[test]
+    fn khugepaged_tick_collapses_after_base_faults() {
+        let config = OsConfig {
+            // THP mode never: faults allocate 4 KiB; khugepaged still runs.
+            thp: ThpConfig {
+                mode: ThpMode::Never,
+                ..ThpConfig::linux_default()
+            },
+            policy: AllocationPolicy::LinuxThp,
+            fragmentation_target: None,
+            ..OsConfig::small_test()
+        };
+        let mut os = MimicOs::new(config);
+        let pid = os.spawn_process();
+        os.mmap_anonymous(pid, VirtAddr::new(0x4000_0000), 4 * MB, false)
+            .unwrap();
+        for i in 0..512u64 {
+            touch(&mut os, pid, 0x4000_0000 + i * 4096);
+        }
+        let stream = os.khugepaged_tick(pid);
+        assert!(stream.instruction_count() > 0);
+        assert!(os.khugepaged().collapses.get() >= 1);
+        assert_eq!(
+            os.process(pid)
+                .lookup_mapping(VirtAddr::new(0x4000_0000))
+                .unwrap()
+                .page_size,
+            PageSize::Size2M
+        );
+    }
+
+    #[test]
+    fn fragmentation_limits_huge_page_allocations() {
+        let config = OsConfig {
+            fragmentation_target: Some(0.0),
+            ..OsConfig::small_test()
+        };
+        let mut os = MimicOs::new(config);
+        let pid = os.spawn_process();
+        os.mmap_anonymous(pid, VirtAddr::new(0x4000_0000), 64 * MB, false)
+            .unwrap();
+        // With no free 2 MiB regions (beyond the pre-filled zeroed pool),
+        // THP faults quickly degrade to 4 KiB pages.
+        let mut base_pages = 0;
+        for i in 0..32u64 {
+            let outcome = touch(&mut os, pid, 0x4000_0000 + i * 2 * MB);
+            if outcome.mapping.page_size == PageSize::Size4K {
+                base_pages += 1;
+            }
+        }
+        assert!(base_pages > 16, "only {base_pages} base-page faults");
+    }
+
+    #[test]
+    fn stats_track_fault_counts_and_latency() {
+        let mut os = os_with_policy(AllocationPolicy::BuddyFourK);
+        let pid = os.spawn_process();
+        os.mmap_anonymous(pid, VirtAddr::new(0x4000_0000), MB, false)
+            .unwrap();
+        for i in 0..16u64 {
+            touch(&mut os, pid, 0x4000_0000 + i * 4096);
+        }
+        let stats = os.stats();
+        assert_eq!(stats.minor_faults.get(), 16);
+        assert_eq!(stats.total_faults(), 16);
+        assert_eq!(stats.fault_latency_ns.count(), 16);
+        assert!(stats.total_fault_ns > 0.0);
+        assert!(stats.kernel_instructions > 16 * 300);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let bad_mem = OsConfig {
+            memory_bytes: 1000,
+            ..OsConfig::small_test()
+        };
+        assert!(MimicOs::try_new(bad_mem).is_err());
+        let bad_threshold = OsConfig {
+            swap_threshold: 1.5,
+            ..OsConfig::small_test()
+        };
+        assert!(MimicOs::try_new(bad_threshold).is_err());
+        let bad_utopia = OsConfig {
+            policy: AllocationPolicy::Utopia(crate::utopia::UtopiaConfig::new(
+                1 << 40,
+                16,
+                PageSize::Size4K,
+            )),
+            ..OsConfig::small_test()
+        };
+        assert!(MimicOs::try_new(bad_utopia).is_err());
+    }
+
+    #[test]
+    fn overlapping_mmap_is_rejected() {
+        let mut os = MimicOs::new(OsConfig::small_test());
+        let pid = os.spawn_process();
+        os.mmap_anonymous(pid, VirtAddr::new(0x4000_0000), MB, false)
+            .unwrap();
+        assert!(os
+            .mmap_anonymous(pid, VirtAddr::new(0x4000_0000), MB, false)
+            .is_err());
+    }
+
+    #[test]
+    fn multiple_processes_have_independent_address_spaces() {
+        let mut os = os_with_policy(AllocationPolicy::BuddyFourK);
+        let a = os.spawn_process();
+        let b = os.spawn_process();
+        os.mmap_anonymous(a, VirtAddr::new(0x4000_0000), MB, false)
+            .unwrap();
+        os.mmap_anonymous(b, VirtAddr::new(0x4000_0000), MB, false)
+            .unwrap();
+        let out_a = touch(&mut os, a, 0x4000_0000);
+        let out_b = touch(&mut os, b, 0x4000_0000);
+        assert_ne!(out_a.mapping.paddr, out_b.mapping.paddr);
+        assert!(os.process(b).is_mapped(VirtAddr::new(0x4000_0000)));
+    }
+}

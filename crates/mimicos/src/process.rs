@@ -1,0 +1,275 @@
+//! Per-process address-space state: the VMA tree plus the kernel's
+//! authoritative record of established virtual-to-physical mappings.
+//!
+//! The mapping table kept here is the *functional* truth about the address
+//! space — which virtual pages are backed by which physical frames at which
+//! page size. The hardware-visible page-table *representation* (radix,
+//! elastic cuckoo, hashed, …) is modelled separately in the `mmu-sim` crate
+//! and is kept in sync by the Virtuoso framework, mirroring how MimicOS and
+//! the simulator's MMU model communicate through the functional channel.
+
+use crate::fault::Mapping;
+use crate::vma::VmaTree;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use vm_types::{PageSize, VirtAddr};
+
+/// One simulated process (address space).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Process {
+    /// The process's virtual memory areas.
+    pub vmas: VmaTree,
+    /// Established mappings, keyed by the base virtual address of the page.
+    mappings: BTreeMap<u64, Mapping>,
+    /// Pages currently swapped out: base virtual address → swap slot.
+    swapped: BTreeMap<u64, u64>,
+    /// Number of minor page faults taken by this process.
+    pub minor_faults: u64,
+    /// Number of major page faults taken by this process.
+    pub major_faults: u64,
+}
+
+impl Process {
+    /// Creates an empty process.
+    pub fn new() -> Self {
+        Process::default()
+    }
+
+    /// Looks up the mapping covering `addr`, checking 1 GiB, 2 MiB and 4 KiB
+    /// granularity in that order.
+    pub fn lookup_mapping(&self, addr: VirtAddr) -> Option<Mapping> {
+        for size in [PageSize::Size1G, PageSize::Size2M, PageSize::Size4K] {
+            let base = addr.page_base(size);
+            if let Some(m) = self.mappings.get(&base.raw()) {
+                if m.page_size == size {
+                    return Some(*m);
+                }
+            }
+        }
+        None
+    }
+
+    /// `true` if `addr` is covered by an established mapping.
+    pub fn is_mapped(&self, addr: VirtAddr) -> bool {
+        self.lookup_mapping(addr).is_some()
+    }
+
+    /// Records a new mapping. The mapping's virtual base must be aligned to
+    /// its page size.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the base address is not aligned to the
+    /// mapping's page size.
+    pub fn insert_mapping(&mut self, mapping: Mapping) {
+        debug_assert!(mapping.vaddr.is_aligned(mapping.page_size));
+        self.mappings.insert(mapping.vaddr.raw(), mapping);
+    }
+
+    /// Removes the mapping whose base address covers `addr` (any page size)
+    /// and returns it.
+    pub fn remove_mapping(&mut self, addr: VirtAddr) -> Option<Mapping> {
+        for size in [PageSize::Size1G, PageSize::Size2M, PageSize::Size4K] {
+            let base = addr.page_base(size);
+            if let Some(m) = self.mappings.get(&base.raw()) {
+                if m.page_size == size {
+                    return self.mappings.remove(&base.raw());
+                }
+            }
+        }
+        None
+    }
+
+    /// Replaces all 4 KiB mappings inside the 2 MiB region containing
+    /// `addr` with a single 2 MiB mapping (khugepaged collapse). Returns the
+    /// 4 KiB mappings that were removed.
+    pub fn collapse_to_huge(&mut self, addr: VirtAddr, huge: Mapping) -> Vec<Mapping> {
+        let region = addr.page_base(PageSize::Size2M);
+        let mut removed = Vec::new();
+        for i in 0..PageSize::Size2M.base_pages() {
+            let base = region.add(i * PageSize::Size4K.bytes());
+            if let Some(m) = self.mappings.remove(&base.raw()) {
+                removed.push(m);
+            }
+        }
+        self.insert_mapping(huge);
+        removed
+    }
+
+    /// Number of 4 KiB pages currently mapped inside the 2 MiB region
+    /// containing `addr` (used by khugepaged and reservation-based THP).
+    pub fn mapped_4k_in_region(&self, addr: VirtAddr) -> u64 {
+        let region = addr.page_base(PageSize::Size2M);
+        self.mappings
+            .range(region.raw()..region.raw() + PageSize::Size2M.bytes())
+            .filter(|(_, m)| m.page_size == PageSize::Size4K)
+            .count() as u64
+    }
+
+    /// `true` if any mapping (of any size) exists inside the naturally
+    /// aligned region of `size` containing `addr`. Used to decide whether a
+    /// fault needs fresh page-table frames and whether a THP allocation is
+    /// still possible for the region.
+    pub fn region_has_mappings(&self, addr: VirtAddr, size: PageSize) -> bool {
+        let base = addr.page_base(size);
+        if self
+            .mappings
+            .range(base.raw()..base.raw() + size.bytes())
+            .next()
+            .is_some()
+        {
+            return true;
+        }
+        // A larger mapping starting before the region could also cover it.
+        self.lookup_mapping(base).is_some()
+    }
+
+    /// All established mappings in address order.
+    pub fn mappings(&self) -> impl Iterator<Item = &Mapping> {
+        self.mappings.values()
+    }
+
+    /// Number of established mappings (of any size).
+    pub fn mapping_count(&self) -> usize {
+        self.mappings.len()
+    }
+
+    /// Resident set size in bytes.
+    pub fn resident_bytes(&self) -> u64 {
+        self.mappings.values().map(|m| m.page_size.bytes()).sum()
+    }
+
+    /// Marks the page at `addr` (base of a 4 KiB page) as swapped out to
+    /// `slot`, removing its mapping.
+    pub fn swap_out(&mut self, addr: VirtAddr, slot: u64) -> Option<Mapping> {
+        let base = addr.page_base(PageSize::Size4K);
+        let m = self.remove_mapping(base);
+        if m.is_some() {
+            self.swapped.insert(base.raw(), slot);
+        }
+        m
+    }
+
+    /// Returns the swap slot holding `addr`, if the page was swapped out,
+    /// and clears the swap record (the caller is about to swap it back in).
+    pub fn take_swap_slot(&mut self, addr: VirtAddr) -> Option<u64> {
+        self.swapped.remove(&addr.page_base(PageSize::Size4K).raw())
+    }
+
+    /// `true` if the page containing `addr` is currently swapped out.
+    pub fn is_swapped(&self, addr: VirtAddr) -> bool {
+        self.swapped
+            .contains_key(&addr.page_base(PageSize::Size4K).raw())
+    }
+
+    /// Chooses up to `n` victim pages for reclaim, oldest-mapped first
+    /// (approximating an LRU over insertion order of 4 KiB mappings).
+    pub fn reclaim_candidates(&self, n: usize) -> Vec<Mapping> {
+        self.mappings
+            .values()
+            .filter(|m| m.page_size == PageSize::Size4K)
+            .take(n)
+            .copied()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vm_types::PhysAddr;
+
+    fn map4k(va: u64, pa: u64) -> Mapping {
+        Mapping {
+            vaddr: VirtAddr::new(va),
+            paddr: PhysAddr::new(pa),
+            page_size: PageSize::Size4K,
+        }
+    }
+
+    fn map2m(va: u64, pa: u64) -> Mapping {
+        Mapping {
+            vaddr: VirtAddr::new(va),
+            paddr: PhysAddr::new(pa),
+            page_size: PageSize::Size2M,
+        }
+    }
+
+    #[test]
+    fn lookup_respects_page_size() {
+        let mut p = Process::new();
+        p.insert_mapping(map4k(0x1000, 0x8000));
+        p.insert_mapping(map2m(0x20_0000, 0x40_0000));
+        assert_eq!(p.lookup_mapping(VirtAddr::new(0x1000)).unwrap().paddr.raw(), 0x8000);
+        assert!(p.lookup_mapping(VirtAddr::new(0x1fff)).is_some());
+        assert!(p.lookup_mapping(VirtAddr::new(0x2000)).is_none());
+        // Any address inside the 2 MiB page resolves to the huge mapping.
+        let inside = VirtAddr::new(0x20_0000 + 0x12_345);
+        assert_eq!(p.lookup_mapping(inside).unwrap().page_size, PageSize::Size2M);
+    }
+
+    #[test]
+    fn remove_mapping_clears_lookup() {
+        let mut p = Process::new();
+        p.insert_mapping(map4k(0x1000, 0x8000));
+        assert!(p.remove_mapping(VirtAddr::new(0x1800)).is_some());
+        assert!(!p.is_mapped(VirtAddr::new(0x1000)));
+    }
+
+    #[test]
+    fn collapse_replaces_4k_with_2m() {
+        let mut p = Process::new();
+        for i in 0..512u64 {
+            p.insert_mapping(map4k(0x20_0000 + i * 4096, 0x100_0000 + i * 4096));
+        }
+        assert_eq!(p.mapped_4k_in_region(VirtAddr::new(0x20_0000)), 512);
+        let removed = p.collapse_to_huge(VirtAddr::new(0x20_0000), map2m(0x20_0000, 0x200_0000));
+        assert_eq!(removed.len(), 512);
+        assert_eq!(p.mapping_count(), 1);
+        assert_eq!(
+            p.lookup_mapping(VirtAddr::new(0x20_0000 + 0x1234)).unwrap().page_size,
+            PageSize::Size2M
+        );
+    }
+
+    #[test]
+    fn resident_bytes_accounts_for_page_sizes() {
+        let mut p = Process::new();
+        p.insert_mapping(map4k(0x1000, 0x8000));
+        p.insert_mapping(map2m(0x20_0000, 0x40_0000));
+        assert_eq!(p.resident_bytes(), 4096 + 2 * 1024 * 1024);
+    }
+
+    #[test]
+    fn swap_out_and_back_in() {
+        let mut p = Process::new();
+        p.insert_mapping(map4k(0x1000, 0x8000));
+        let m = p.swap_out(VirtAddr::new(0x1000), 42).unwrap();
+        assert_eq!(m.paddr.raw(), 0x8000);
+        assert!(p.is_swapped(VirtAddr::new(0x1000)));
+        assert!(!p.is_mapped(VirtAddr::new(0x1000)));
+        assert_eq!(p.take_swap_slot(VirtAddr::new(0x1000)), Some(42));
+        assert!(!p.is_swapped(VirtAddr::new(0x1000)));
+    }
+
+    #[test]
+    fn reclaim_candidates_are_4k_only() {
+        let mut p = Process::new();
+        p.insert_mapping(map2m(0x20_0000, 0x40_0000));
+        for i in 0..8u64 {
+            p.insert_mapping(map4k(0x1000_0000 + i * 4096, 0x9000 + i * 4096));
+        }
+        let victims = p.reclaim_candidates(4);
+        assert_eq!(victims.len(), 4);
+        assert!(victims.iter().all(|m| m.page_size == PageSize::Size4K));
+    }
+
+    #[test]
+    fn mapped_4k_in_region_only_counts_that_region() {
+        let mut p = Process::new();
+        p.insert_mapping(map4k(0x20_0000, 0x1000));
+        p.insert_mapping(map4k(0x40_0000, 0x2000));
+        assert_eq!(p.mapped_4k_in_region(VirtAddr::new(0x20_0000)), 1);
+        assert_eq!(p.mapped_4k_in_region(VirtAddr::new(0x40_0000)), 1);
+    }
+}

@@ -1,0 +1,350 @@
+//! The top-level MMU: TLB hierarchy + page-walk caches + a page-table
+//! walker for the configured page-table design.
+
+use crate::pt::{build_page_table, PageTable, PageTableKind, WalkOutcome};
+use crate::pwc::PageWalkCaches;
+use crate::tlb::{TlbHierarchy, TlbHierarchyConfig, TlbLevel};
+use mimic_os::Mapping;
+use serde::{Deserialize, Serialize};
+use vm_types::{Counter, Cycles, PhysAddr, VirtAddr};
+
+/// Configuration of the full MMU.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MmuConfig {
+    /// TLB hierarchy geometry.
+    pub tlb: TlbHierarchyConfig,
+    /// Whether page-walk caches are present (only meaningful for the radix
+    /// design).
+    pub page_walk_caches: bool,
+    /// Page-table design walked on TLB misses.
+    pub page_table: PageTableKind,
+    /// Physical base address where page-table metadata is placed.
+    pub metadata_base: PhysAddr,
+}
+
+impl MmuConfig {
+    /// The paper's baseline MMU (Table 4) with the given page-table design.
+    pub fn paper_baseline(page_table: PageTableKind) -> Self {
+        MmuConfig {
+            tlb: TlbHierarchyConfig::paper_baseline(),
+            page_walk_caches: true,
+            page_table,
+            metadata_base: PhysAddr::new(0x30_0000_0000),
+        }
+    }
+
+    /// A small configuration for tests.
+    pub fn small_test(page_table: PageTableKind) -> Self {
+        MmuConfig {
+            tlb: TlbHierarchyConfig::small_test(),
+            ..MmuConfig::paper_baseline(page_table)
+        }
+    }
+}
+
+impl Default for MmuConfig {
+    fn default() -> Self {
+        MmuConfig::paper_baseline(PageTableKind::Radix)
+    }
+}
+
+/// Statistics accumulated by the MMU.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MmuStats {
+    /// Translations requested.
+    pub translations: Counter,
+    /// Translations satisfied by the L1 TLBs.
+    pub l1_hits: Counter,
+    /// Translations satisfied by the L2 TLB.
+    pub l2_hits: Counter,
+    /// Page-table walks performed.
+    pub walks: Counter,
+    /// Total page-table accesses issued by the walker.
+    pub walk_accesses: Counter,
+    /// Walks that ended in a page fault.
+    pub faults: Counter,
+    /// Page-table update accesses performed on behalf of the kernel.
+    pub insert_accesses: Counter,
+}
+
+impl MmuStats {
+    /// L2 TLB misses (page walks) per 1000 of the given instruction count —
+    /// the MPKI metric validated in Fig. 10.
+    pub fn l2_mpki(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            0.0
+        } else {
+            self.walks.get() as f64 * 1000.0 / instructions as f64
+        }
+    }
+}
+
+/// The outcome of one translation request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TranslationResult {
+    /// The translated physical address, or `None` when the walk faulted.
+    pub paddr: Option<PhysAddr>,
+    /// The mapping used, when one was found.
+    pub mapping: Option<Mapping>,
+    /// TLB level that hit, or `None` when a page walk was needed.
+    pub tlb_hit_level: Option<TlbLevel>,
+    /// Fixed latency of the TLB (and PWC) probes.
+    pub fixed_latency: Cycles,
+    /// The page-table walk performed on a TLB miss.
+    pub walk: Option<WalkOutcome>,
+}
+
+impl TranslationResult {
+    /// `true` when the translation ended in a page fault.
+    pub fn is_fault(&self) -> bool {
+        self.paddr.is_none()
+    }
+}
+
+/// The MMU model.
+pub struct Mmu {
+    config: MmuConfig,
+    tlb: TlbHierarchy,
+    pwc: PageWalkCaches,
+    page_table: Box<dyn PageTable + Send>,
+    stats: MmuStats,
+}
+
+impl std::fmt::Debug for Mmu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmu")
+            .field("config", &self.config)
+            .field("stats", &self.stats)
+            .field("page_table_kind", &self.page_table.kind())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Mmu {
+    /// Builds an MMU from its configuration.
+    pub fn new(config: MmuConfig) -> Self {
+        let pwc = if config.page_walk_caches && config.page_table == PageTableKind::Radix {
+            PageWalkCaches::paper_baseline()
+        } else {
+            PageWalkCaches::disabled()
+        };
+        Mmu {
+            tlb: TlbHierarchy::new(config.tlb.clone()),
+            pwc,
+            page_table: build_page_table(config.page_table, config.metadata_base),
+            stats: MmuStats::default(),
+            config,
+        }
+    }
+
+    /// The MMU's configuration.
+    pub fn config(&self) -> &MmuConfig {
+        &self.config
+    }
+
+    /// Statistics.
+    pub fn stats(&self) -> &MmuStats {
+        &self.stats
+    }
+
+    /// The TLB hierarchy (for detailed per-level statistics).
+    pub fn tlb(&self) -> &TlbHierarchy {
+        &self.tlb
+    }
+
+    /// The underlying page table.
+    pub fn page_table(&self) -> &(dyn PageTable + Send) {
+        self.page_table.as_ref()
+    }
+
+    /// Translates `va`. On a TLB miss the configured page table is walked;
+    /// the returned [`WalkOutcome`] carries the page-table accesses the
+    /// caller must replay through the memory hierarchy to obtain the walk
+    /// latency.
+    pub fn translate(&mut self, va: VirtAddr) -> TranslationResult {
+        self.stats.translations.inc();
+        let (tlb_hit, mut fixed_latency) = self.tlb.lookup(va);
+        if let Some((mapping, level)) = tlb_hit {
+            match level {
+                TlbLevel::L1 => self.stats.l1_hits.inc(),
+                TlbLevel::L2 => self.stats.l2_hits.inc(),
+            }
+            return TranslationResult {
+                paddr: Some(mapping.translate(va)),
+                mapping: Some(mapping),
+                tlb_hit_level: Some(level),
+                fixed_latency,
+                walk: None,
+            };
+        }
+
+        // TLB miss: consult the PWCs (radix only) and walk the page table.
+        let skip = if self.config.page_table == PageTableKind::Radix {
+            fixed_latency += self.pwc.latency();
+            self.pwc.levels_skipped(va)
+        } else {
+            0
+        };
+        self.stats.walks.inc();
+        let walk = self.page_table.walk(va, skip);
+        self.stats.walk_accesses.add(walk.accesses.len() as u64);
+
+        match walk.mapping {
+            Some(mapping) => {
+                self.tlb.fill(mapping);
+                if self.config.page_table == PageTableKind::Radix {
+                    self.pwc.fill(va);
+                }
+                TranslationResult {
+                    paddr: Some(mapping.translate(va)),
+                    mapping: Some(mapping),
+                    tlb_hit_level: None,
+                    fixed_latency,
+                    walk: Some(walk),
+                }
+            }
+            None => {
+                self.stats.faults.inc();
+                TranslationResult {
+                    paddr: None,
+                    mapping: None,
+                    tlb_hit_level: None,
+                    fixed_latency,
+                    walk: Some(walk),
+                }
+            }
+        }
+    }
+
+    /// Installs a mapping produced by the kernel (after a page fault) into
+    /// the page table and the TLB. Returns the page-table update accesses
+    /// (to be charged as kernel memory traffic).
+    pub fn install_mapping(&mut self, mapping: &Mapping) -> Vec<PhysAddr> {
+        let accesses = self.page_table.insert(*mapping);
+        self.stats.insert_accesses.add(accesses.len() as u64);
+        self.tlb.fill(*mapping);
+        accesses
+    }
+
+    /// Removes the translation covering `va` from the page table and
+    /// invalidates the TLBs (a TLB shootdown). Returns the update accesses.
+    pub fn remove_mapping(&mut self, va: VirtAddr) -> Vec<PhysAddr> {
+        let accesses = self.page_table.remove(va);
+        self.tlb.invalidate(va);
+        accesses
+    }
+
+    /// Flushes the TLB hierarchy (context switch without ASIDs).
+    pub fn flush_tlb(&mut self) {
+        self.tlb.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vm_types::PageSize;
+
+    fn mapping(va: u64, size: PageSize) -> Mapping {
+        Mapping {
+            vaddr: VirtAddr::new(va).page_base(size),
+            paddr: PhysAddr::new(0x10_0000_0000 + (va & !(size.bytes() - 1))),
+            page_size: size,
+        }
+    }
+
+    #[test]
+    fn translate_miss_walk_then_tlb_hit() {
+        let mut mmu = Mmu::new(MmuConfig::small_test(PageTableKind::Radix));
+        let m = mapping(0x7f00_1000, PageSize::Size4K);
+        mmu.install_mapping(&m);
+        mmu.flush_tlb();
+        let first = mmu.translate(VirtAddr::new(0x7f00_1234));
+        assert_eq!(first.paddr, Some(m.translate(VirtAddr::new(0x7f00_1234))));
+        assert!(first.tlb_hit_level.is_none());
+        assert!(first.walk.is_some());
+        let second = mmu.translate(VirtAddr::new(0x7f00_1234));
+        assert!(second.tlb_hit_level.is_some());
+        assert!(second.walk.is_none());
+        assert_eq!(mmu.stats().walks.get(), 1);
+        assert_eq!(mmu.stats().l1_hits.get() + mmu.stats().l2_hits.get(), 1);
+    }
+
+    #[test]
+    fn unmapped_translation_faults() {
+        let mut mmu = Mmu::new(MmuConfig::small_test(PageTableKind::Radix));
+        let result = mmu.translate(VirtAddr::new(0xdead_beef_000));
+        assert!(result.is_fault());
+        assert_eq!(mmu.stats().faults.get(), 1);
+    }
+
+    #[test]
+    fn install_fills_tlb_so_next_access_hits() {
+        let mut mmu = Mmu::new(MmuConfig::small_test(PageTableKind::Radix));
+        let m = mapping(0x1000, PageSize::Size4K);
+        mmu.install_mapping(&m);
+        let r = mmu.translate(VirtAddr::new(0x1000));
+        assert!(r.tlb_hit_level.is_some());
+    }
+
+    #[test]
+    fn remove_mapping_causes_subsequent_fault() {
+        let mut mmu = Mmu::new(MmuConfig::small_test(PageTableKind::Radix));
+        let m = mapping(0x1000, PageSize::Size4K);
+        mmu.install_mapping(&m);
+        mmu.remove_mapping(VirtAddr::new(0x1000));
+        assert!(mmu.translate(VirtAddr::new(0x1000)).is_fault());
+    }
+
+    #[test]
+    fn works_with_every_page_table_design() {
+        for kind in PageTableKind::ALL {
+            let mut mmu = Mmu::new(MmuConfig::small_test(kind));
+            let m = mapping(0x2222_0000, PageSize::Size4K);
+            mmu.install_mapping(&m);
+            mmu.flush_tlb();
+            let r = mmu.translate(VirtAddr::new(0x2222_0abc));
+            assert_eq!(r.paddr, Some(PhysAddr::new(0x10_2222_0abc)), "{kind}");
+            assert!(r.walk.is_some(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn radix_walks_shrink_once_pwcs_warm_up() {
+        let mut mmu = Mmu::new(MmuConfig::small_test(PageTableKind::Radix));
+        // Map many pages in the same 2 MiB region.
+        for i in 0..16u64 {
+            mmu.install_mapping(&mapping(0x7f00_0000 + i * 4096, PageSize::Size4K));
+        }
+        mmu.flush_tlb();
+        let first = mmu.translate(VirtAddr::new(0x7f00_0000));
+        mmu.flush_tlb();
+        let warm = mmu.translate(VirtAddr::new(0x7f00_1000));
+        let first_len = first.walk.unwrap().accesses.len();
+        let warm_len = warm.walk.unwrap().accesses.len();
+        assert!(warm_len < first_len, "PWC should shorten the second walk");
+    }
+
+    #[test]
+    fn mpki_reflects_walk_count() {
+        let mut mmu = Mmu::new(MmuConfig::small_test(PageTableKind::Radix));
+        for i in 0..100u64 {
+            mmu.install_mapping(&mapping(i * (1 << 21), PageSize::Size4K));
+        }
+        mmu.flush_tlb();
+        for i in 0..100u64 {
+            mmu.translate(VirtAddr::new(i * (1 << 21)));
+        }
+        // Sparse accesses across 2 MiB-strided pages: most should walk.
+        assert!(mmu.stats().l2_mpki(100_000) > 0.5);
+    }
+
+    #[test]
+    fn huge_mappings_translate_any_interior_address() {
+        let mut mmu = Mmu::new(MmuConfig::small_test(PageTableKind::Radix));
+        let m = mapping(0x4000_0000, PageSize::Size2M);
+        mmu.install_mapping(&m);
+        let r = mmu.translate(VirtAddr::new(0x4012_3456));
+        assert_eq!(r.paddr.unwrap().raw(), 0x10_4012_3456);
+    }
+}

@@ -1,0 +1,270 @@
+//! The x86-64 4-level radix page table.
+
+use super::{PageTable, PageTableKind, WalkOutcome};
+use mimic_os::Mapping;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use vm_types::{PageSize, PhysAddr, VirtAddr};
+
+/// Size of one page-table node (one 4 KiB frame of 512 8-byte entries).
+const NODE_BYTES: u64 = 4096;
+
+/// The 4-level radix page table (PML4 → PDPT → PD → PT), the baseline design
+/// in the paper's Use Case 1. Huge pages terminate the walk early: a 2 MiB
+/// mapping is a leaf in the PD level, a 1 GiB mapping a leaf in the PDPT.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RadixPageTable {
+    /// Physical placement of each allocated node, keyed by (level, prefix):
+    /// level 3 = PML4 (single node, prefix 0), level 2 = PDPT (prefix =
+    /// va >> 39), level 1 = PD (prefix = va >> 30), level 0 = PT
+    /// (prefix = va >> 21).
+    nodes: BTreeMap<(u8, u64), PhysAddr>,
+    /// Leaf translations keyed by page base address.
+    leaves: BTreeMap<u64, Mapping>,
+    metadata_base: PhysAddr,
+    next_node: u64,
+}
+
+impl RadixPageTable {
+    /// Creates an empty radix table whose nodes are allocated starting at
+    /// `metadata_base`.
+    pub fn new(metadata_base: PhysAddr) -> Self {
+        let mut pt = RadixPageTable {
+            nodes: BTreeMap::new(),
+            leaves: BTreeMap::new(),
+            metadata_base,
+            next_node: 0,
+        };
+        // The root (PML4) always exists.
+        pt.allocate_node(3, 0);
+        pt
+    }
+
+    fn allocate_node(&mut self, level: u8, prefix: u64) -> PhysAddr {
+        if let Some(&addr) = self.nodes.get(&(level, prefix)) {
+            return addr;
+        }
+        let addr = self.metadata_base.add(self.next_node * NODE_BYTES);
+        self.next_node += 1;
+        self.nodes.insert((level, prefix), addr);
+        addr
+    }
+
+    fn node(&self, level: u8, prefix: u64) -> Option<PhysAddr> {
+        self.nodes.get(&(level, prefix)).copied()
+    }
+
+    fn prefix(va: VirtAddr, level: u8) -> u64 {
+        match level {
+            3 => 0,
+            2 => va.raw() >> 39,
+            1 => va.raw() >> 30,
+            _ => va.raw() >> 21,
+        }
+    }
+
+    /// The entry address read at a given level for `va`: the node's base
+    /// plus the 8-byte entry index for that level.
+    fn entry_addr(&self, node: PhysAddr, va: VirtAddr, level: u8) -> PhysAddr {
+        let idx = match level {
+            3 => (va.raw() >> 39) & 0x1ff,
+            2 => (va.raw() >> 30) & 0x1ff,
+            1 => (va.raw() >> 21) & 0x1ff,
+            _ => (va.raw() >> 12) & 0x1ff,
+        };
+        node.add(idx * 8)
+    }
+
+    fn find_leaf(&self, va: VirtAddr) -> Option<Mapping> {
+        for size in [PageSize::Size1G, PageSize::Size2M, PageSize::Size4K] {
+            let base = va.page_base(size);
+            if let Some(m) = self.leaves.get(&base.raw()) {
+                if m.page_size == size {
+                    return Some(*m);
+                }
+            }
+        }
+        None
+    }
+
+    /// Number of levels a walk for a mapping of `size` must traverse
+    /// (excluding levels skipped by page-walk caches).
+    fn walk_depth(size: PageSize) -> u8 {
+        match size {
+            PageSize::Size1G => 2,
+            PageSize::Size2M => 3,
+            PageSize::Size4K => 4,
+        }
+    }
+}
+
+impl PageTable for RadixPageTable {
+    fn walk(&mut self, va: VirtAddr, skip_levels: usize) -> WalkOutcome {
+        let leaf = self.find_leaf(va);
+        let depth = leaf.map_or(4, |m| Self::walk_depth(m.page_size));
+        let mut accesses = Vec::new();
+        // Walk from the top (level 3) down, honouring PWC skips. The skip
+        // count removes the uppermost levels, never the leaf access.
+        let start_level = 3_i32 - (skip_levels as i32).min(depth as i32 - 1);
+        for l in (0..=start_level).rev() {
+            let level = l as u8;
+            // Levels below the leaf depth are not visited.
+            if (4 - depth) > level {
+                break;
+            }
+            match self.node(level, Self::prefix(va, level)) {
+                Some(node) => accesses.push(self.entry_addr(node, va, level)),
+                None => break,
+            }
+        }
+        WalkOutcome {
+            mapping: leaf,
+            accesses,
+            parallel: false,
+        }
+    }
+
+    fn insert(&mut self, mapping: Mapping) -> Vec<PhysAddr> {
+        let va = mapping.vaddr;
+        let depth = Self::walk_depth(mapping.page_size);
+        let mut accesses = Vec::new();
+        // Touch (and allocate if needed) every node on the path.
+        for l in (0..4u8).rev() {
+            if (4 - depth) > l {
+                break;
+            }
+            let node = self.allocate_node(l, Self::prefix(va, l));
+            accesses.push(self.entry_addr(node, va, l));
+        }
+        self.leaves.insert(va.raw(), mapping);
+        accesses
+    }
+
+    fn remove(&mut self, va: VirtAddr) -> Vec<PhysAddr> {
+        let Some(mapping) = self.find_leaf(va) else {
+            return Vec::new();
+        };
+        self.leaves.remove(&mapping.vaddr.raw());
+        let leaf_level = 4 - Self::walk_depth(mapping.page_size);
+        match self.node(leaf_level, Self::prefix(mapping.vaddr, leaf_level)) {
+            Some(node) => vec![self.entry_addr(node, mapping.vaddr, leaf_level)],
+            None => Vec::new(),
+        }
+    }
+
+    fn kind(&self) -> PageTableKind {
+        PageTableKind::Radix
+    }
+
+    fn metadata_bytes(&self) -> u64 {
+        self.nodes.len() as u64 * NODE_BYTES
+    }
+
+    fn len(&self) -> usize {
+        self.leaves.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map4k(va: u64) -> Mapping {
+        Mapping {
+            vaddr: VirtAddr::new(va),
+            paddr: PhysAddr::new(0x2_0000_0000 + va),
+            page_size: PageSize::Size4K,
+        }
+    }
+
+    #[test]
+    fn four_kb_walk_visits_four_levels() {
+        let mut pt = RadixPageTable::new(PhysAddr::new(0x80_0000_0000));
+        pt.insert(map4k(0x7f12_3456_7000));
+        let walk = pt.walk(VirtAddr::new(0x7f12_3456_7000), 0);
+        assert_eq!(walk.accesses.len(), 4);
+        assert!(!walk.parallel);
+    }
+
+    #[test]
+    fn huge_page_walks_are_shorter() {
+        let mut pt = RadixPageTable::new(PhysAddr::new(0x80_0000_0000));
+        pt.insert(Mapping {
+            vaddr: VirtAddr::new(0x4000_0000),
+            paddr: PhysAddr::new(0x2_0000_0000),
+            page_size: PageSize::Size2M,
+        });
+        pt.insert(Mapping {
+            vaddr: VirtAddr::new(0x8000_0000_0000 - 0x4000_0000),
+            paddr: PhysAddr::new(0x3_0000_0000),
+            page_size: PageSize::Size1G,
+        });
+        assert_eq!(pt.walk(VirtAddr::new(0x4000_0000), 0).accesses.len(), 3);
+        assert_eq!(
+            pt.walk(VirtAddr::new(0x8000_0000_0000 - 0x4000_0000), 0)
+                .accesses
+                .len(),
+            2
+        );
+    }
+
+    #[test]
+    fn pwc_skips_reduce_accesses() {
+        let mut pt = RadixPageTable::new(PhysAddr::new(0x80_0000_0000));
+        pt.insert(map4k(0x7f12_3456_7000));
+        let full = pt.walk(VirtAddr::new(0x7f12_3456_7000), 0);
+        let skipped = pt.walk(VirtAddr::new(0x7f12_3456_7000), 3);
+        assert_eq!(full.accesses.len(), 4);
+        assert_eq!(skipped.accesses.len(), 1);
+        assert_eq!(full.mapping, skipped.mapping);
+    }
+
+    #[test]
+    fn insert_allocates_nodes_on_demand() {
+        let mut pt = RadixPageTable::new(PhysAddr::new(0x80_0000_0000));
+        let before = pt.metadata_bytes();
+        pt.insert(map4k(0x1000));
+        let after_first = pt.metadata_bytes();
+        pt.insert(map4k(0x2000));
+        let after_second = pt.metadata_bytes();
+        assert!(after_first > before);
+        // The second page shares all intermediate nodes with the first.
+        assert_eq!(after_first, after_second);
+        // A distant address needs fresh intermediate nodes.
+        pt.insert(map4k(0x7f00_0000_0000));
+        assert!(pt.metadata_bytes() > after_second);
+    }
+
+    #[test]
+    fn walk_of_partially_built_path_faults_with_partial_accesses() {
+        let mut pt = RadixPageTable::new(PhysAddr::new(0x80_0000_0000));
+        pt.insert(map4k(0x7f12_3456_7000));
+        // Same 2 MiB region, different page: walk reaches the PT level but
+        // the leaf is absent.
+        let walk = pt.walk(VirtAddr::new(0x7f12_3456_8000), 0);
+        assert!(walk.is_fault());
+        assert_eq!(walk.accesses.len(), 4);
+        // A totally unmapped region stops at the root.
+        let far = pt.walk(VirtAddr::new(0x0000_1111_0000_0000), 0);
+        assert!(far.is_fault());
+        assert_eq!(far.accesses.len(), 1);
+    }
+
+    #[test]
+    fn remove_then_walk_faults() {
+        let mut pt = RadixPageTable::new(PhysAddr::new(0x80_0000_0000));
+        pt.insert(map4k(0x9000));
+        assert!(!pt.remove(VirtAddr::new(0x9000)).is_empty());
+        assert!(pt.walk(VirtAddr::new(0x9000), 0).is_fault());
+        assert!(pt.remove(VirtAddr::new(0x9000)).is_empty());
+    }
+
+    #[test]
+    fn metadata_lives_at_the_configured_base() {
+        let base = PhysAddr::new(0x123_0000_0000);
+        let mut pt = RadixPageTable::new(base);
+        pt.insert(map4k(0x1000));
+        let walk = pt.walk(VirtAddr::new(0x1000), 0);
+        assert!(walk.accesses.iter().all(|a| a.raw() >= base.raw()));
+    }
+}

@@ -1,0 +1,215 @@
+//! Page-walk caches (PWCs): small caches of upper-level page-table entries
+//! that let the radix walker skip levels (Barr et al., "Translation Caching:
+//! Skip, Don't Walk (the Page Table)", ISCA 2010). The paper's baseline
+//! uses three 32-entry, 4-way, 2-cycle PWCs — one per intermediate level.
+
+use serde::{Deserialize, Serialize};
+use vm_types::{Counter, Cycles, VirtAddr};
+
+/// One page-walk cache level (caching entries of one radix level).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct PwcLevel {
+    entries: usize,
+    ways: usize,
+    tags: Vec<Vec<Option<(u64, u64)>>>, // (tag, lru)
+    clock: u64,
+    hits: Counter,
+    misses: Counter,
+}
+
+impl PwcLevel {
+    fn new(entries: usize, ways: usize) -> Self {
+        let sets = (entries / ways).max(1);
+        PwcLevel {
+            entries,
+            ways,
+            tags: vec![vec![None; ways]; sets],
+            clock: 0,
+            hits: Counter::new(),
+            misses: Counter::new(),
+        }
+    }
+
+    fn probe(&mut self, tag: u64) -> bool {
+        self.clock += 1;
+        let set = (tag % self.tags.len() as u64) as usize;
+        for slot in self.tags[set].iter_mut().flatten() {
+            if slot.0 == tag {
+                slot.1 = self.clock;
+                self.hits.inc();
+                return true;
+            }
+        }
+        self.misses.inc();
+        false
+    }
+
+    fn fill(&mut self, tag: u64) {
+        self.clock += 1;
+        let set = (tag % self.tags.len() as u64) as usize;
+        let clock = self.clock;
+        let ways = &mut self.tags[set];
+        if let Some(slot) = ways.iter_mut().find(|s| s.is_none()) {
+            *slot = Some((tag, clock));
+            return;
+        }
+        if let Some(victim) = ways
+            .iter_mut()
+            .min_by_key(|s| s.map(|(_, lru)| lru).unwrap_or(0))
+        {
+            *victim = Some((tag, clock));
+        }
+    }
+}
+
+/// The set of page-walk caches covering the PML4, PDPT and PD levels of a
+/// 4-level radix walk.
+///
+/// # Examples
+///
+/// ```
+/// use mmu_sim::PageWalkCaches;
+/// use vm_types::VirtAddr;
+///
+/// let mut pwc = PageWalkCaches::paper_baseline();
+/// let va = VirtAddr::new(0x7f12_3456_7000);
+/// // Cold: the walk must start from the root (skip 0 levels).
+/// assert_eq!(pwc.levels_skipped(va), 0);
+/// pwc.fill(va);
+/// // Warm: all three intermediate levels can be skipped.
+/// assert_eq!(pwc.levels_skipped(va), 3);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PageWalkCaches {
+    levels: Vec<PwcLevel>,
+    latency: Cycles,
+}
+
+impl PageWalkCaches {
+    /// The paper's baseline: three 32-entry, 4-way, 2-cycle PWCs.
+    pub fn paper_baseline() -> Self {
+        PageWalkCaches {
+            levels: vec![
+                PwcLevel::new(32, 4),
+                PwcLevel::new(32, 4),
+                PwcLevel::new(32, 4),
+            ],
+            latency: Cycles::new(2),
+        }
+    }
+
+    /// A PWC-less configuration (every walk starts from the root).
+    pub fn disabled() -> Self {
+        PageWalkCaches {
+            levels: Vec::new(),
+            latency: Cycles::ZERO,
+        }
+    }
+
+    /// Lookup latency of probing the PWCs.
+    pub fn latency(&self) -> Cycles {
+        self.latency
+    }
+
+    /// Tag for PWC level `i` (0 = deepest / PD level, covering the most
+    /// specific prefix).
+    fn tag(va: VirtAddr, level: usize) -> u64 {
+        // Level 0 caches PD entries (bits 63..21), level 1 PDPT (63..30),
+        // level 2 PML4 (63..39).
+        match level {
+            0 => va.raw() >> 21,
+            1 => va.raw() >> 30,
+            _ => va.raw() >> 39,
+        }
+    }
+
+    /// Number of radix levels the walker may skip for `va` (0–3), probing
+    /// the deepest cache first.
+    pub fn levels_skipped(&mut self, va: VirtAddr) -> usize {
+        let count = self.levels.len();
+        for i in 0..count {
+            if self.levels[i].probe(Self::tag(va, i)) {
+                return count - i;
+            }
+        }
+        0
+    }
+
+    /// Fills the PWCs with the intermediate entries discovered by a
+    /// completed walk of `va`.
+    pub fn fill(&mut self, va: VirtAddr) {
+        for i in 0..self.levels.len() {
+            let tag = Self::tag(va, i);
+            self.levels[i].fill(tag);
+        }
+    }
+
+    /// Total hits across all levels.
+    pub fn hits(&self) -> u64 {
+        self.levels.iter().map(|l| l.hits.get()).sum()
+    }
+
+    /// Total misses across all levels.
+    pub fn misses(&self) -> u64 {
+        self.levels.iter().map(|l| l.misses.get()).sum()
+    }
+}
+
+impl Default for PageWalkCaches {
+    fn default() -> Self {
+        PageWalkCaches::paper_baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_walk_skips_nothing() {
+        let mut pwc = PageWalkCaches::paper_baseline();
+        assert_eq!(pwc.levels_skipped(VirtAddr::new(0x1234_5678_9000)), 0);
+        assert!(pwc.misses() > 0);
+    }
+
+    #[test]
+    fn warm_walk_skips_all_levels() {
+        let mut pwc = PageWalkCaches::paper_baseline();
+        let va = VirtAddr::new(0x7f00_1234_5000);
+        pwc.fill(va);
+        assert_eq!(pwc.levels_skipped(va), 3);
+        assert!(pwc.hits() > 0);
+    }
+
+    #[test]
+    fn nearby_addresses_share_upper_levels() {
+        let mut pwc = PageWalkCaches::paper_baseline();
+        pwc.fill(VirtAddr::new(0x7f00_0000_0000));
+        // Same 2 MiB region: skip 3. Different 2 MiB, same 1 GiB: skip >= 2.
+        assert_eq!(pwc.levels_skipped(VirtAddr::new(0x7f00_0000_1000)), 3);
+        assert!(pwc.levels_skipped(VirtAddr::new(0x7f00_0020_0000)) >= 2);
+        // Completely different top-level index: skip 0.
+        assert_eq!(pwc.levels_skipped(VirtAddr::new(0x0000_0000_1000)), 0);
+    }
+
+    #[test]
+    fn disabled_pwcs_never_skip() {
+        let mut pwc = PageWalkCaches::disabled();
+        let va = VirtAddr::new(0x7f00_1234_5000);
+        pwc.fill(va);
+        assert_eq!(pwc.levels_skipped(va), 0);
+        assert_eq!(pwc.latency(), Cycles::ZERO);
+    }
+
+    #[test]
+    fn capacity_is_bounded() {
+        let mut pwc = PageWalkCaches::paper_baseline();
+        // Fill many distinct 2 MiB regions within one 1 GiB region: the
+        // deepest PWC (32 entries) thrashes but upper levels stay warm.
+        for i in 0..256u64 {
+            pwc.fill(VirtAddr::new(0x7f00_0000_0000 + i * 0x20_0000));
+        }
+        let skipped = pwc.levels_skipped(VirtAddr::new(0x7f00_0000_0000));
+        assert!(skipped >= 1, "upper levels should still hit");
+    }
+}

@@ -1,0 +1,233 @@
+//! The MMU side of Utopia (Kanellopoulos et al., MICRO 2023): translating
+//! addresses that live in a restrictive segment requires only a lightweight
+//! set-index computation plus a lookup of the segment's tag/permission
+//! metadata (the RestSeg walkers, "RSW"), cached by two small structures —
+//! the TAR cache (tag array) and the SF cache (set filter). Addresses not
+//! resident in a RestSeg fall back to the conventional page table.
+//!
+//! The experiment of Fig. 19 shows that growing the RestSeg enlarges the
+//! metadata footprint and therefore the RSW access latency; this module
+//! reproduces that effect because the tag-array addresses span a region
+//! proportional to the RestSeg size, so larger segments thrash the TAR/SF
+//! caches and the data caches behind them.
+
+use serde::{Deserialize, Serialize};
+use vm_types::{Counter, Cycles, PageSize, PhysAddr, VirtAddr};
+
+/// Configuration of the Utopia MMU hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UtopiaMmuConfig {
+    /// RestSeg size in bytes.
+    pub restseg_bytes: u64,
+    /// RestSeg associativity.
+    pub ways: u32,
+    /// Page size stored in the RestSeg.
+    pub page_size: PageSize,
+    /// TAR-cache capacity in entries (the paper: 8 KB ≈ 1024 tags).
+    pub tar_cache_entries: usize,
+    /// SF-cache capacity in entries.
+    pub sf_cache_entries: usize,
+    /// TAR/SF cache hit latency.
+    pub cache_latency: Cycles,
+}
+
+impl UtopiaMmuConfig {
+    /// The paper's Table 4 configuration with an 8 GB RestSeg.
+    pub fn paper_baseline() -> Self {
+        UtopiaMmuConfig {
+            restseg_bytes: 8 << 30,
+            ways: 16,
+            page_size: PageSize::Size4K,
+            tar_cache_entries: 1024,
+            sf_cache_entries: 1024,
+            cache_latency: Cycles::new(2),
+        }
+    }
+
+    /// Same geometry with a different RestSeg size (for the Fig. 19 sweep).
+    pub fn with_restseg_bytes(self, bytes: u64) -> Self {
+        UtopiaMmuConfig {
+            restseg_bytes: bytes,
+            ..self
+        }
+    }
+
+    /// Number of sets in the RestSeg.
+    pub fn sets(&self) -> u64 {
+        (self.restseg_bytes / self.page_size.bytes() / self.ways as u64).max(1)
+    }
+}
+
+impl Default for UtopiaMmuConfig {
+    fn default() -> Self {
+        UtopiaMmuConfig::paper_baseline()
+    }
+}
+
+/// A tiny direct-mapped cache of set indices (shared shape for the TAR and
+/// SF caches).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SetCache {
+    entries: Vec<Option<u64>>,
+    hits: Counter,
+    misses: Counter,
+}
+
+impl SetCache {
+    fn new(entries: usize) -> Self {
+        SetCache {
+            entries: vec![None; entries.max(1)],
+            hits: Counter::new(),
+            misses: Counter::new(),
+        }
+    }
+
+    fn probe_and_fill(&mut self, set: u64) -> bool {
+        let idx = (set % self.entries.len() as u64) as usize;
+        if self.entries[idx] == Some(set) {
+            self.hits.inc();
+            true
+        } else {
+            self.entries[idx] = Some(set);
+            self.misses.inc();
+            false
+        }
+    }
+}
+
+/// Result of a Utopia translation attempt.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UtopiaTranslation {
+    /// Fixed-latency component (set-index computation + TAR/SF lookups).
+    pub latency: Cycles,
+    /// RestSeg metadata (RSW) accesses that must go through the memory
+    /// hierarchy; empty when the TAR cache absorbed the lookup.
+    pub metadata_accesses: Vec<PhysAddr>,
+}
+
+/// The Utopia MMU path.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UtopiaMmu {
+    config: UtopiaMmuConfig,
+    metadata_base: PhysAddr,
+    tar_cache: SetCache,
+    sf_cache: SetCache,
+    /// Translations attempted through the RestSeg path.
+    pub lookups: Counter,
+}
+
+impl UtopiaMmu {
+    /// Creates the Utopia MMU; `metadata_base` is where the RestSeg tag
+    /// arrays live in physical memory.
+    pub fn new(config: UtopiaMmuConfig, metadata_base: PhysAddr) -> Self {
+        UtopiaMmu {
+            tar_cache: SetCache::new(config.tar_cache_entries),
+            sf_cache: SetCache::new(config.sf_cache_entries),
+            config,
+            metadata_base,
+            lookups: Counter::new(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &UtopiaMmuConfig {
+        &self.config
+    }
+
+    fn set_index(&self, va: VirtAddr) -> u64 {
+        let vpn = va.page_number(self.config.page_size).number();
+        (vpn.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 17) % self.config.sets()
+    }
+
+    /// Performs the RestSeg-side translation work for `va`: returns the
+    /// fixed latency plus the tag-array (RSW) accesses that must traverse
+    /// the memory hierarchy. Whether the page actually resides in the
+    /// RestSeg is decided by the kernel's occupancy (tracked in
+    /// `mimic_os::utopia`); the hardware always pays this lookup cost first.
+    pub fn translate(&mut self, va: VirtAddr) -> UtopiaTranslation {
+        self.lookups.inc();
+        let set = self.set_index(va);
+        let mut latency = self.config.cache_latency;
+        let mut accesses = Vec::new();
+        let tar_hit = self.tar_cache.probe_and_fill(set);
+        let sf_hit = self.sf_cache.probe_and_fill(set >> 3);
+        latency += self.config.cache_latency;
+        if !tar_hit || !sf_hit {
+            // Fetch the set's tag group(s) from the in-memory tag array. The
+            // tag array spans a region proportional to the RestSeg size, so
+            // large RestSegs have poor locality here (Fig. 19).
+            let groups = (self.config.ways as u64 + 7) / 8;
+            for g in 0..groups {
+                accesses.push(self.metadata_base.add(set * groups * 64 + g * 64));
+            }
+        }
+        UtopiaTranslation {
+            latency,
+            metadata_accesses: accesses,
+        }
+    }
+
+    /// TAR-cache hit ratio.
+    pub fn tar_hit_ratio(&self) -> f64 {
+        let total = self.tar_cache.hits.get() + self.tar_cache.misses.get();
+        if total == 0 {
+            0.0
+        } else {
+            self.tar_cache.hits.get() as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_translations_hit_the_tar_cache() {
+        let mut mmu = UtopiaMmu::new(UtopiaMmuConfig::paper_baseline(), PhysAddr::new(0xD0_0000_0000));
+        let va = VirtAddr::new(0x1234_5000);
+        let first = mmu.translate(va);
+        let second = mmu.translate(va);
+        assert!(!first.metadata_accesses.is_empty());
+        assert!(second.metadata_accesses.is_empty());
+        assert!(mmu.tar_hit_ratio() > 0.0);
+    }
+
+    #[test]
+    fn larger_restsegs_touch_a_larger_metadata_footprint() {
+        let base = PhysAddr::new(0xD0_0000_0000);
+        let small_cfg = UtopiaMmuConfig::paper_baseline().with_restseg_bytes(1 << 30);
+        let large_cfg = UtopiaMmuConfig::paper_baseline().with_restseg_bytes(64 << 30);
+        let mut small = UtopiaMmu::new(small_cfg, base);
+        let mut large = UtopiaMmu::new(large_cfg, base);
+        let mut small_span = 0u64;
+        let mut large_span = 0u64;
+        for i in 0..4096u64 {
+            let va = VirtAddr::new(i * 0x40_0000 + 0x123_0000);
+            for a in small.translate(va).metadata_accesses {
+                small_span = small_span.max(a.raw() - base.raw());
+            }
+            for a in large.translate(va).metadata_accesses {
+                large_span = large_span.max(a.raw() - base.raw());
+            }
+        }
+        assert!(
+            large_span > small_span,
+            "large RestSeg metadata should span more memory ({large_span} vs {small_span})"
+        );
+    }
+
+    #[test]
+    fn latency_includes_both_cache_probes() {
+        let mut mmu = UtopiaMmu::new(UtopiaMmuConfig::paper_baseline(), PhysAddr::new(0xD0_0000_0000));
+        let t = mmu.translate(VirtAddr::new(0x9000));
+        assert_eq!(t.latency, Cycles::new(4));
+    }
+
+    #[test]
+    fn sets_scale_with_size() {
+        let small = UtopiaMmuConfig::paper_baseline().with_restseg_bytes(1 << 30);
+        let large = UtopiaMmuConfig::paper_baseline().with_restseg_bytes(8 << 30);
+        assert!(large.sets() > small.sets());
+    }
+}

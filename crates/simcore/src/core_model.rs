@@ -1,0 +1,250 @@
+//! The core timing model: an out-of-order-approximating accounting model
+//! that charges compute instructions at the core's sustained IPC and memory
+//! instructions with partially overlapped memory latency.
+
+use serde::{Deserialize, Serialize};
+use vm_types::{Counter, Cycles, Frequency};
+
+/// Configuration of the core timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Sustained issue rate for non-memory instructions (instructions per
+    /// cycle); the paper's baseline is a 4-wide out-of-order core, which
+    /// sustains roughly 2–3 IPC on integer code.
+    pub compute_ipc: f64,
+    /// Fraction of a memory access's latency that the out-of-order window
+    /// hides by overlapping it with other work (0 = fully exposed,
+    /// 1 = fully hidden). Typical OoO cores hide a substantial part of L2/L3
+    /// hits but little of DRAM latency for dependent accesses.
+    pub memory_overlap: f64,
+    /// Core clock frequency.
+    pub frequency: Frequency,
+}
+
+impl CoreConfig {
+    /// The paper's baseline core (Table 4): 4-way out-of-order at 2.9 GHz.
+    pub fn paper_baseline() -> Self {
+        CoreConfig {
+            compute_ipc: 2.5,
+            memory_overlap: 0.35,
+            frequency: Frequency::from_ghz(2.9),
+        }
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig::paper_baseline()
+    }
+}
+
+/// Statistics of the core model.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CoreStats {
+    /// Application instructions retired.
+    pub app_instructions: Counter,
+    /// Kernel (injected MimicOS) instructions retired.
+    pub kernel_instructions: Counter,
+    /// Cycles spent executing application work.
+    pub app_cycles: u64,
+    /// Cycles spent executing injected kernel work.
+    pub kernel_cycles: u64,
+    /// Cycles the core stalled waiting for address translation (page walks
+    /// and page faults), counted inside the above.
+    pub translation_stall_cycles: u64,
+}
+
+/// The core timing model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CoreModel {
+    config: CoreConfig,
+    cycles_x1000: u64,
+    stats: CoreStats,
+    /// When `true`, retired work is attributed to the kernel stream.
+    in_kernel_mode: bool,
+}
+
+impl CoreModel {
+    /// Creates a core model.
+    pub fn new(config: CoreConfig) -> Self {
+        CoreModel {
+            config,
+            cycles_x1000: 0,
+            stats: CoreStats::default(),
+            in_kernel_mode: false,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CoreConfig {
+        &self.config
+    }
+
+    /// Statistics.
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// Total elapsed cycles.
+    pub fn cycles(&self) -> Cycles {
+        Cycles::new(self.cycles_x1000 / 1000)
+    }
+
+    /// Total retired instructions (application + kernel).
+    pub fn instructions(&self) -> u64 {
+        self.stats.app_instructions.get() + self.stats.kernel_instructions.get()
+    }
+
+    /// Instructions per cycle over the whole run (application + kernel).
+    pub fn ipc(&self) -> f64 {
+        let cycles = self.cycles().raw();
+        if cycles == 0 {
+            0.0
+        } else {
+            self.instructions() as f64 / cycles as f64
+        }
+    }
+
+    /// IPC of the application instructions only, with kernel cycles still
+    /// counted as elapsed time (the application-visible slowdown).
+    pub fn app_ipc(&self) -> f64 {
+        let cycles = self.cycles().raw();
+        if cycles == 0 {
+            0.0
+        } else {
+            self.stats.app_instructions.get() as f64 / cycles as f64
+        }
+    }
+
+    /// Switches attribution between application and kernel work (entering /
+    /// leaving an injected MimicOS instruction stream).
+    pub fn set_kernel_mode(&mut self, enabled: bool) {
+        self.in_kernel_mode = enabled;
+    }
+
+    /// `true` while retiring an injected kernel stream.
+    pub fn in_kernel_mode(&self) -> bool {
+        self.in_kernel_mode
+    }
+
+    fn advance(&mut self, cycles_x1000: u64, instructions: u64) {
+        self.cycles_x1000 += cycles_x1000;
+        if self.in_kernel_mode {
+            self.stats.kernel_instructions.add(instructions);
+            self.stats.kernel_cycles += cycles_x1000 / 1000;
+        } else {
+            self.stats.app_instructions.add(instructions);
+            self.stats.app_cycles += cycles_x1000 / 1000;
+        }
+    }
+
+    /// Retires `count` non-memory instructions.
+    pub fn retire_compute(&mut self, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let cycles_x1000 = (count as f64 * 1000.0 / self.config.compute_ipc) as u64;
+        self.advance(cycles_x1000, count);
+    }
+
+    /// Retires one memory instruction whose memory-system latency was
+    /// `latency`; the out-of-order window hides `memory_overlap` of it.
+    pub fn retire_memory(&mut self, latency: Cycles) {
+        let exposed = latency.raw() as f64 * (1.0 - self.config.memory_overlap);
+        // The instruction itself also occupies an issue slot.
+        let cycles_x1000 = (exposed * 1000.0) as u64 + (1000.0 / self.config.compute_ipc) as u64;
+        self.advance(cycles_x1000, 1);
+    }
+
+    /// Charges a translation stall (page-walk latency beyond the TLB, or a
+    /// page-fault service time) without retiring an instruction. The stall
+    /// is attributed to the current mode and also recorded separately.
+    pub fn stall_translation(&mut self, latency: Cycles) {
+        self.stats.translation_stall_cycles += latency.raw();
+        self.advance(latency.raw() * 1000, 0);
+    }
+
+    /// Charges an arbitrary stall (e.g. storage I/O) without retiring an
+    /// instruction.
+    pub fn stall(&mut self, latency: Cycles) {
+        self.advance(latency.raw() * 1000, 0);
+    }
+
+    /// Elapsed wall-clock time in nanoseconds at the configured frequency.
+    pub fn elapsed_ns(&self) -> f64 {
+        self.cycles().to_nanos(self.config.frequency).as_nanos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_instructions_retire_at_configured_ipc() {
+        let mut core = CoreModel::new(CoreConfig {
+            compute_ipc: 2.0,
+            memory_overlap: 0.0,
+            frequency: Frequency::from_ghz(1.0),
+        });
+        core.retire_compute(1000);
+        assert_eq!(core.cycles(), Cycles::new(500));
+        assert!((core.ipc() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_latency_is_partially_hidden() {
+        let cfg = CoreConfig {
+            compute_ipc: 1.0,
+            memory_overlap: 0.5,
+            frequency: Frequency::from_ghz(1.0),
+        };
+        let mut core = CoreModel::new(cfg);
+        core.retire_memory(Cycles::new(100));
+        // 50 cycles exposed + 1 issue cycle.
+        assert_eq!(core.cycles(), Cycles::new(51));
+    }
+
+    #[test]
+    fn kernel_mode_attributes_work_separately() {
+        let mut core = CoreModel::new(CoreConfig::paper_baseline());
+        core.retire_compute(100);
+        core.set_kernel_mode(true);
+        core.retire_compute(50);
+        core.retire_memory(Cycles::new(80));
+        core.set_kernel_mode(false);
+        assert_eq!(core.stats().app_instructions.get(), 100);
+        assert_eq!(core.stats().kernel_instructions.get(), 51);
+        assert!(core.stats().kernel_cycles > 0);
+        assert_eq!(core.instructions(), 151);
+        assert!(core.app_ipc() < core.ipc() + 1e-12);
+    }
+
+    #[test]
+    fn translation_stalls_accumulate() {
+        let mut core = CoreModel::new(CoreConfig::paper_baseline());
+        core.stall_translation(Cycles::new(120));
+        core.stall_translation(Cycles::new(30));
+        assert_eq!(core.stats().translation_stall_cycles, 150);
+        assert_eq!(core.instructions(), 0);
+        assert!(core.cycles() >= Cycles::new(150));
+    }
+
+    #[test]
+    fn elapsed_time_respects_frequency() {
+        let mut core = CoreModel::new(CoreConfig {
+            compute_ipc: 1.0,
+            memory_overlap: 0.0,
+            frequency: Frequency::from_ghz(2.0),
+        });
+        core.retire_compute(2000);
+        assert!((core.elapsed_ns() - 1000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn zero_work_has_zero_ipc() {
+        let core = CoreModel::new(CoreConfig::paper_baseline());
+        assert_eq!(core.ipc(), 0.0);
+        assert_eq!(core.cycles(), Cycles::ZERO);
+    }
+}

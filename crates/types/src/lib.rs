@@ -1,0 +1,38 @@
+//! Common types for the Virtuoso virtual-memory simulation framework.
+//!
+//! This crate provides the vocabulary shared by every other crate in the
+//! workspace:
+//!
+//! * strongly-typed addresses and page sizes ([`addr`]),
+//! * simulation time in core cycles and nanoseconds ([`cycles`]),
+//! * memory-access descriptors with requestor attribution ([`access`]),
+//! * statistics primitives — counters, histograms, running means ([`stats`]),
+//! * a deterministic, seedable random number generator ([`rng`]),
+//! * the crate-wide error type ([`error`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use vm_types::{VirtAddr, PageSize};
+//!
+//! let va = VirtAddr::new(0x7f00_1234_5678);
+//! assert_eq!(va.page_offset(PageSize::Size4K), 0x678);
+//! assert_eq!(va.page_number(PageSize::Size4K).floor(PageSize::Size4K), va.page_base(PageSize::Size4K));
+//! ```
+
+pub mod access;
+pub mod addr;
+pub mod cycles;
+pub mod error;
+pub mod rng;
+pub mod stats;
+
+pub use access::{AccessType, MemoryAccess, Requestor};
+pub use addr::{PageNumber, PageSize, PhysAddr, VirtAddr, CACHE_LINE_BYTES};
+pub use cycles::{Cycles, Frequency, Nanoseconds};
+pub use error::VmError;
+pub use rng::DetRng;
+pub use stats::{Counter, Histogram, LatencyStats, Percentiles, RunningStats};
+
+/// Result alias used across the workspace.
+pub type VmResult<T> = std::result::Result<T, VmError>;

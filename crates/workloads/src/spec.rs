@@ -1,0 +1,164 @@
+//! Workload specifications: footprint, access pattern, memory layout and
+//! intensity knobs.
+
+use crate::generator::SyntheticWorkload;
+use serde::{Deserialize, Serialize};
+use vm_types::VirtAddr;
+
+/// Long-running (translation-bound) vs short-running (allocation-bound)
+/// workloads, the paper's two categories (§1, Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadClass {
+    /// Execution time ≫ 100 s: address-translation overheads dominate.
+    LongRunning,
+    /// Execution time < 1 s: memory-allocation overheads dominate.
+    ShortRunning,
+}
+
+/// The memory-access pattern of the workload's dominant phase.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// Pointer-chasing over a large irregular structure (graph analytics):
+    /// near-uniform random accesses over the footprint.
+    PointerChasing,
+    /// Uniform random accesses (GUPS / randacc).
+    UniformRandom,
+    /// Mostly-sequential streaming with occasional random jumps
+    /// (XSBench-like lookups, image kernels).
+    Streaming {
+        /// Probability of a random jump instead of the next element.
+        jump_probability: f64,
+    },
+    /// Small working set touched repeatedly, then discarded — the
+    /// allocation-dominated behaviour of FaaS functions and LLM token
+    /// processing.
+    AllocateAndTouch {
+        /// Fraction of instructions that touch a *new* (never-touched) page.
+        new_page_fraction: f64,
+    },
+}
+
+/// One region of the workload's address space.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryRegion {
+    /// Virtual start address.
+    pub start: VirtAddr,
+    /// Length in bytes.
+    pub bytes: u64,
+    /// `true` if the region is file-backed (goes through the page cache).
+    pub file_backed: bool,
+    /// Weight of this region in the access stream (relative).
+    pub access_weight: f64,
+}
+
+/// A complete workload specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Name (matches the paper's Table 5 labels, e.g. `"BC"`, `"JSON"`).
+    pub name: String,
+    /// Long- or short-running.
+    pub class: WorkloadClass,
+    /// Regions to map before the run.
+    pub regions: Vec<MemoryRegion>,
+    /// Access pattern of the dominant phase.
+    pub pattern: AccessPattern,
+    /// Fraction of instructions that reference data memory.
+    pub memory_fraction: f64,
+    /// Total instructions the generator will produce.
+    pub instructions: u64,
+}
+
+impl WorkloadSpec {
+    /// Creates a single-region anonymous workload.
+    pub fn simple(
+        name: &str,
+        class: WorkloadClass,
+        footprint_bytes: u64,
+        pattern: AccessPattern,
+        instructions: u64,
+    ) -> Self {
+        WorkloadSpec {
+            name: name.to_string(),
+            class,
+            regions: vec![MemoryRegion {
+                start: VirtAddr::new(0x10_0000_0000),
+                bytes: footprint_bytes,
+                file_backed: false,
+                access_weight: 1.0,
+            }],
+            pattern,
+            memory_fraction: 0.4,
+            instructions,
+        }
+    }
+
+    /// Total mapped footprint in bytes.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.regions.iter().map(|r| r.bytes).sum()
+    }
+
+    /// Scales the instruction budget (used by quick-running benches).
+    pub fn with_instructions(mut self, instructions: u64) -> Self {
+        self.instructions = instructions;
+        self
+    }
+
+    /// Scales every region's size by `factor` (used to shrink footprints for
+    /// laptop-scale runs while preserving the access pattern).
+    pub fn scaled_footprint(mut self, factor: f64) -> Self {
+        for r in &mut self.regions {
+            r.bytes = ((r.bytes as f64 * factor) as u64).max(4096) & !0xfff;
+        }
+        self
+    }
+
+    /// Builds the trace generator for this specification.
+    pub fn build(&self, seed: u64) -> SyntheticWorkload {
+        SyntheticWorkload::new(self.clone(), seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_spec_has_one_region() {
+        let spec = WorkloadSpec::simple(
+            "X",
+            WorkloadClass::LongRunning,
+            1 << 30,
+            AccessPattern::UniformRandom,
+            1000,
+        );
+        assert_eq!(spec.regions.len(), 1);
+        assert_eq!(spec.footprint_bytes(), 1 << 30);
+    }
+
+    #[test]
+    fn scaling_preserves_page_alignment() {
+        let spec = WorkloadSpec::simple(
+            "X",
+            WorkloadClass::LongRunning,
+            1 << 30,
+            AccessPattern::UniformRandom,
+            1000,
+        )
+        .scaled_footprint(0.013);
+        assert!(spec.footprint_bytes() % 4096 == 0);
+        assert!(spec.footprint_bytes() >= 4096);
+    }
+
+    #[test]
+    fn with_instructions_overrides_budget() {
+        let spec = WorkloadSpec::simple(
+            "X",
+            WorkloadClass::ShortRunning,
+            1 << 20,
+            AccessPattern::AllocateAndTouch { new_page_fraction: 0.1 },
+            1000,
+        )
+        .with_instructions(42);
+        assert_eq!(spec.instructions, 42);
+    }
+}

@@ -1,0 +1,45 @@
+//! Use Case 2 (paper §7.5) in miniature: page-fault latency under different
+//! physical memory allocation policies for LLM-inference-like workloads.
+//!
+//! Run with `cargo run --example llm_allocation_policies`.
+
+use virtuoso_suite::prelude::*;
+
+fn main() {
+    let policies = [
+        AllocationPolicy::BuddyFourK,
+        AllocationPolicy::ConservativeReservationThp,
+        AllocationPolicy::AggressiveReservationThp,
+        AllocationPolicy::utopia_32mb_16way(),
+    ];
+
+    for spec in catalog::llm_workloads() {
+        println!("=== {} ===", spec.name);
+        println!(
+            "{:<16} {:>12} {:>14} {:>14} {:>14}",
+            "policy", "faults", "median (ns)", "p99 (ns)", "max (ns)"
+        );
+        for policy in policies {
+            let config = SystemConfig::small_test().with_allocation_policy(policy);
+            let mut system = System::new(config);
+            for (i, region) in spec.regions.iter().enumerate() {
+                if region.file_backed {
+                    system.mmap_file(region.start, region.bytes, i as u64 + 1).unwrap();
+                } else {
+                    system.mmap_anonymous(region.start, region.bytes).unwrap();
+                }
+            }
+            let report = system.run(&mut spec.clone().with_instructions(40_000).build(3), None);
+            let p = report.fault_latency_percentiles();
+            println!(
+                "{:<16} {:>12} {:>14.1} {:>14.1} {:>14.1}",
+                policy.label(),
+                report.total_faults(),
+                p.p50,
+                p.p99,
+                p.max
+            );
+        }
+        println!();
+    }
+}

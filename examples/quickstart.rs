@@ -1,0 +1,39 @@
+//! Quickstart: build the paper's baseline system (scaled down), run a small
+//! pointer-chasing workload through it, and print the simulation report.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use virtuoso_suite::prelude::*;
+
+fn main() {
+    // A scaled-down version of the paper's Table 4 machine.
+    let mut config = SystemConfig::small_test();
+    config.mode = SimulationMode::Detailed;
+    let mut system = System::new(config);
+
+    // Map a 64 MB anonymous heap for the workload.
+    system
+        .mmap_anonymous(VirtAddr::new(0x10_0000_0000), 64 * 1024 * 1024)
+        .expect("mapping the heap");
+
+    // A graph-analytics-like workload: random pointer chasing over the heap.
+    let spec = WorkloadSpec::simple(
+        "quickstart-pointer-chase",
+        WorkloadClass::LongRunning,
+        64 * 1024 * 1024,
+        AccessPattern::PointerChasing,
+        50_000,
+    );
+    let report = system.run(&mut spec.build(42), None);
+
+    println!("=== Virtuoso quickstart ===");
+    println!("{}", report.to_table());
+    println!(
+        "address translation consumed {:.1}% of execution time",
+        report.translation_time_fraction() * 100.0
+    );
+    println!(
+        "physical memory allocation consumed {:.1}% of execution time",
+        report.allocation_time_fraction() * 100.0
+    );
+}

@@ -1,0 +1,58 @@
+//! Property-based integration tests: cross-crate invariants that must hold
+//! for arbitrary (small) workloads.
+
+use proptest::prelude::*;
+use virtuoso_suite::prelude::*;
+
+fn run_workload(footprint_mb: u64, instructions: u64, seed: u64, pattern: AccessPattern) -> SimulationReport {
+    let spec = WorkloadSpec::simple(
+        "prop",
+        WorkloadClass::LongRunning,
+        footprint_mb * 1024 * 1024,
+        pattern,
+        instructions,
+    );
+    let mut system = System::new(SystemConfig::small_test());
+    system
+        .mmap_anonymous(spec.regions[0].start, spec.regions[0].bytes)
+        .unwrap();
+    system.run(&mut spec.build(seed), None)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn simulation_is_deterministic(seed in 0u64..1000) {
+        let a = run_workload(8, 3_000, seed, AccessPattern::UniformRandom);
+        let b = run_workload(8, 3_000, seed, AccessPattern::UniformRandom);
+        prop_assert_eq!(a.cycles, b.cycles);
+        prop_assert_eq!(a.minor_faults, b.minor_faults);
+        prop_assert_eq!(a.dram_row_conflicts, b.dram_row_conflicts);
+    }
+
+    #[test]
+    fn instruction_accounting_is_exact(instructions in 500u64..5_000, seed in 0u64..100) {
+        let report = run_workload(4, instructions, seed, AccessPattern::PointerChasing);
+        prop_assert_eq!(report.instructions, instructions);
+        prop_assert!(report.cycles > 0);
+        prop_assert!(report.ipc > 0.0);
+    }
+
+    #[test]
+    fn time_fractions_are_probabilities(seed in 0u64..100) {
+        let report = run_workload(16, 4_000, seed, AccessPattern::UniformRandom);
+        let t = report.translation_time_fraction();
+        let a = report.allocation_time_fraction();
+        prop_assert!((0.0..=1.0).contains(&t));
+        prop_assert!((0.0..=1.0).contains(&a));
+    }
+
+    #[test]
+    fn faults_never_exceed_touched_pages(seed in 0u64..100) {
+        let report = run_workload(8, 4_000, seed, AccessPattern::UniformRandom);
+        // At most one fault per 4 KiB page of the footprint plus a small
+        // slack for huge-page regions.
+        prop_assert!(report.total_faults() <= 8 * 256 + 16);
+    }
+}

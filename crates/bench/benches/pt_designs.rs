@@ -14,11 +14,7 @@ fn pt_designs(c: &mut Criterion) {
     for kind in PageTableKind::ALL {
         group.bench_function(BenchmarkId::new("design", kind.label()), |b| {
             b.iter(|| {
-                run_spec_with_config(
-                    SystemConfig::small_test().with_page_table(kind),
-                    &spec,
-                    1,
-                )
+                run_spec_with_config(SystemConfig::small_test().with_page_table(kind), &spec, 1)
             })
         });
     }

@@ -1,10 +1,13 @@
 //! Regenerates Figure 1 of the Virtuoso paper (see EXPERIMENTS.md).
-//! Usage: cargo run --release -p virtuoso-bench --bin fig01_vm_overheads [scale]
+//! Usage: `cargo run --release -p virtuoso_bench --bin fig01_vm_overheads [scale]`
 
 fn main() {
     let scale = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(1u64);
-    println!("{}", virtuoso_bench::experiments::fig01_vm_overheads(scale).render());
+    println!(
+        "{}",
+        virtuoso_bench::experiments::fig01_vm_overheads(scale).render()
+    );
 }

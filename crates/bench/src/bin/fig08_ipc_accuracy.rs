@@ -1,10 +1,13 @@
 //! Regenerates Figure 8 of the Virtuoso paper (see EXPERIMENTS.md).
-//! Usage: cargo run --release -p virtuoso-bench --bin fig08_ipc_accuracy [scale]
+//! Usage: `cargo run --release -p virtuoso_bench --bin fig08_ipc_accuracy [scale]`
 
 fn main() {
     let scale = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(1u64);
-    println!("{}", virtuoso_bench::experiments::fig08_ipc_accuracy(scale).render());
+    println!(
+        "{}",
+        virtuoso_bench::experiments::fig08_ipc_accuracy(scale).render()
+    );
 }

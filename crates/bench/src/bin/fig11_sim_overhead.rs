@@ -1,10 +1,13 @@
 //! Regenerates Figure 11 of the Virtuoso paper (see EXPERIMENTS.md).
-//! Usage: cargo run --release -p virtuoso-bench --bin fig11_sim_overhead [scale]
+//! Usage: `cargo run --release -p virtuoso_bench --bin fig11_sim_overhead [scale]`
 
 fn main() {
     let scale = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(1u64);
-    println!("{}", virtuoso_bench::experiments::fig11_sim_overhead(scale).render());
+    println!(
+        "{}",
+        virtuoso_bench::experiments::fig11_sim_overhead(scale).render()
+    );
 }

@@ -1,6 +1,9 @@
 //! Regenerates Figure 18 of the Virtuoso paper (the BC VMA-size histogram).
-//! Usage: cargo run --release -p virtuoso-bench --bin fig18_vma_histogram
+//! Usage: `cargo run --release -p virtuoso_bench --bin fig18_vma_histogram`
 
 fn main() {
-    println!("{}", virtuoso_bench::experiments::fig18_vma_histogram().render());
+    println!(
+        "{}",
+        virtuoso_bench::experiments::fig18_vma_histogram().render()
+    );
 }

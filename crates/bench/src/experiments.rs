@@ -81,9 +81,20 @@ pub fn fig01_vm_overheads(scale: u64) -> ExperimentTable {
 pub fn fig02_mpf_distribution(scale: u64) -> ExperimentTable {
     let mut table = ExperimentTable::new(
         "Fig. 2: minor page-fault latency, THP enabled vs disabled",
-        &["config", "faults", "p25 ns", "median ns", "p75 ns", "max ns", "outlier share >10us"],
+        &[
+            "config",
+            "faults",
+            "p25 ns",
+            "median ns",
+            "p75 ns",
+            "max ns",
+            "outlier share >10us",
+        ],
     );
-    for (label, thp) in [("THP-enabled", ThpConfig::linux_default()), ("THP-disabled", ThpConfig::disabled())] {
+    for (label, thp) in [
+        ("THP-enabled", ThpConfig::linux_default()),
+        ("THP-disabled", ThpConfig::disabled()),
+    ] {
         let mut config = SystemConfig::small_test();
         config.os.thp = thp;
         let mut all = vm_types::LatencyStats::new();
@@ -124,7 +135,11 @@ pub fn fig03_ptw_variation(scale: u64) -> ExperimentTable {
     }
     let sssp = catalog::graphbig_sssp().with_instructions(budget(20_000, scale));
     let r = run_spec(&sssp, 3);
-    table.push_row(vec!["SSSP".into(), fmt(r.avg_ptw_latency_cycles), fmt(r.l2_tlb_mpki)]);
+    table.push_row(vec![
+        "SSSP".into(),
+        fmt(r.avg_ptw_latency_cycles),
+        fmt(r.l2_tlb_mpki),
+    ]);
     table
 }
 
@@ -148,11 +163,7 @@ fn reference_for(spec: &WorkloadSpec, scale: u64) -> (ReferenceMachine, f64, f64
         &spec.clone().with_instructions(budget(20_000, scale)),
         7,
     );
-    (
-        reference,
-        virtuoso_report.app_ipc,
-        emulation_report.app_ipc,
-    )
+    (reference, virtuoso_report.app_ipc, emulation_report.app_ipc)
 }
 
 /// Figure 8: IPC estimation accuracy of Virtuoso vs the fixed-latency
@@ -207,7 +218,15 @@ pub fn fig09_pf_cosine(scale: u64) -> ExperimentTable {
 pub fn fig10_mmu_validation(scale: u64) -> ExperimentTable {
     let mut table = ExperimentTable::new(
         "Fig. 10: MMU validation (L2 TLB MPKI and PTW latency accuracy)",
-        &["workload", "MPKI", "ref MPKI", "MPKI acc %", "PTW cyc", "ref PTW cyc", "PTW acc %"],
+        &[
+            "workload",
+            "MPKI",
+            "ref MPKI",
+            "MPKI acc %",
+            "PTW cyc",
+            "ref PTW cyc",
+            "PTW acc %",
+        ],
     );
     for spec in catalog::all_long_running() {
         let budgeted = spec.with_instructions(budget(20_000, scale));
@@ -217,7 +236,10 @@ pub fn fig10_mmu_validation(scale: u64) -> ExperimentTable {
             budgeted.name.clone(),
             fmt(estimate.l2_tlb_mpki),
             fmt(reference.l2_tlb_mpki),
-            fmt(accuracy_percent(estimate.l2_tlb_mpki, reference.l2_tlb_mpki)),
+            fmt(accuracy_percent(
+                estimate.l2_tlb_mpki,
+                reference.l2_tlb_mpki,
+            )),
             fmt(estimate.avg_ptw_latency_cycles),
             fmt(reference.avg_ptw_latency_cycles),
             fmt(accuracy_percent(
@@ -236,7 +258,11 @@ pub fn fig11_sim_overhead(scale: u64) -> ExperimentTable {
         "Fig. 11: simulation-time overhead of MimicOS integration",
         &["workload", "emulation ms", "detailed ms", "overhead %"],
     );
-    for spec in [catalog::gups_randacc(), catalog::graphbig_bfs(), catalog::faas_json()] {
+    for spec in [
+        catalog::gups_randacc(),
+        catalog::graphbig_bfs(),
+        catalog::faas_json(),
+    ] {
         let budgeted = spec.with_instructions(budget(40_000, scale));
         let start = std::time::Instant::now();
         let _ = run_spec_with_config(
@@ -268,7 +294,11 @@ pub fn fig11_sim_overhead(scale: u64) -> ExperimentTable {
 pub fn fig12_overhead_correlation(scale: u64) -> ExperimentTable {
     let mut table = ExperimentTable::new(
         "Fig. 12: kernel-instruction fraction vs simulation time",
-        &["new-page fraction", "kernel instr fraction", "normalized sim time"],
+        &[
+            "new-page fraction",
+            "kernel instr fraction",
+            "normalized sim time",
+        ],
     );
     let mut baseline_ms = None;
     for step in 0..6u32 {
@@ -381,7 +411,11 @@ pub fn fig15_mpf_reduction(scale: u64) -> ExperimentTable {
         "Fig. 15: minor-fault latency reduction over Radix",
         &["workload", "ECH %", "HDC %", "HT %"],
     );
-    for spec in [catalog::graphbig_bfs(), catalog::gups_randacc(), catalog::graphbig_tc()] {
+    for spec in [
+        catalog::graphbig_bfs(),
+        catalog::gups_randacc(),
+        catalog::graphbig_tc(),
+    ] {
         let budgeted = spec.with_instructions(budget(15_000, scale));
         let radix = run_spec_with_config(
             SystemConfig::small_test().with_page_table(PageTableKind::Radix),
@@ -416,15 +450,30 @@ pub fn fig15_mpf_reduction(scale: u64) -> ExperimentTable {
 pub fn fig16_llm_alloc_policies(scale: u64) -> ExperimentTable {
     let mut table = ExperimentTable::new(
         "Fig. 16: LLM page-fault latency by allocation policy",
-        &["workload", "policy", "median ns", "p99 ns", "max ns", "total us"],
+        &[
+            "workload",
+            "policy",
+            "median ns",
+            "p99 ns",
+            "max ns",
+            "total us",
+        ],
     );
     let policies = [
         AllocationPolicy::BuddyFourK,
         AllocationPolicy::ConservativeReservationThp,
         AllocationPolicy::AggressiveReservationThp,
-        AllocationPolicy::Utopia(mimic_os::UtopiaConfig::new(4 * 1024 * 1024, 8, PageSize::Size4K)),
+        AllocationPolicy::Utopia(mimic_os::UtopiaConfig::new(
+            4 * 1024 * 1024,
+            8,
+            PageSize::Size4K,
+        )),
         AllocationPolicy::utopia_32mb_16way(),
-        AllocationPolicy::Utopia(mimic_os::UtopiaConfig::new(128 * 1024 * 1024, 16, PageSize::Size4K)),
+        AllocationPolicy::Utopia(mimic_os::UtopiaConfig::new(
+            128 * 1024 * 1024,
+            16,
+            PageSize::Size4K,
+        )),
         AllocationPolicy::LinuxThp,
     ];
     for spec in catalog::llm_workloads() {
@@ -458,8 +507,10 @@ pub fn fig17_midgard_breakdown(scale: u64) -> ExperimentTable {
     );
     for spec in catalog::all_long_running() {
         let budgeted = spec.with_instructions(budget(20_000, scale));
-        let mut midgard =
-            MidgardMmu::new(MidgardConfig::paper_baseline(), PhysAddr::new(0xE0_0000_0000));
+        let mut midgard = MidgardMmu::new(
+            MidgardConfig::paper_baseline(),
+            PhysAddr::new(0xE0_0000_0000),
+        );
         for region in &budgeted.regions {
             midgard.register_vma(region.start, region.bytes);
         }
@@ -551,21 +602,31 @@ pub fn fig20_swap_activity(scale: u64) -> ExperimentTable {
         memory_bytes: memory,
         swap_bytes: 256 * 1024 * 1024,
         swap_threshold: 0.9,
-        thp: ThpConfig { mode: ThpMode::Never, ..ThpConfig::linux_default() },
+        thp: ThpConfig {
+            mode: ThpMode::Never,
+            ..ThpConfig::linux_default()
+        },
         fragmentation_target: None,
         populate_page_cache: false,
         ..OsConfig::small_test()
     };
     // Radix (buddy-only) baseline.
     let mut radix_cfg = SystemConfig::small_test();
-    radix_cfg.os = OsConfig { policy: AllocationPolicy::BuddyFourK, ..base_os.clone() };
+    radix_cfg.os = OsConfig {
+        policy: AllocationPolicy::BuddyFourK,
+        ..base_os.clone()
+    };
     let radix = run_spec_with_config(radix_cfg, &spec, 43);
     let radix_io = radix.swap_io_ns.max(1.0);
     for coverage in [50u64, 70, 90] {
         let restseg = memory * coverage / 100;
         let mut cfg = SystemConfig::small_test();
         cfg.os = OsConfig {
-            policy: AllocationPolicy::Utopia(mimic_os::UtopiaConfig::new(restseg, 4, PageSize::Size4K)),
+            policy: AllocationPolicy::Utopia(mimic_os::UtopiaConfig::new(
+                restseg,
+                4,
+                PageSize::Size4K,
+            )),
             ..base_os.clone()
         };
         let r = run_spec_with_config(cfg, &spec, 43);
@@ -583,17 +644,20 @@ pub fn fig20_swap_activity(scale: u64) -> ExperimentTable {
 pub fn fig21_rmm_conflicts(scale: u64) -> ExperimentTable {
     let mut table = ExperimentTable::new(
         "Fig. 21: reduction in translation-metadata DRAM conflicts (RMM vs Radix)",
-        &["workload", "free 2MB fraction", "radix conflicts", "rmm fallback walks", "reduction %"],
+        &[
+            "workload",
+            "free 2MB fraction",
+            "radix conflicts",
+            "rmm fallback walks",
+            "reduction %",
+        ],
     );
     for spec in [catalog::graphbig_bfs(), catalog::gups_randacc()] {
         let budgeted = spec.with_instructions(budget(15_000, scale));
         for free in [0.94, 0.6] {
             // Radix side: a full system run, counting PT-walker DRAM conflicts.
-            let radix = run_spec_with_config(
-                fragmented_config(PageTableKind::Radix, free),
-                &budgeted,
-                47,
-            );
+            let radix =
+                run_spec_with_config(fragmented_config(PageTableKind::Radix, free), &budgeted, 47);
             // RMM side: eager paging creates ranges; translations covered by a
             // range never walk the page table, so the conflicts they would
             // have caused disappear. We measure coverage with the RMM MMU.
@@ -638,7 +702,11 @@ mod tests {
     fn fig18_reports_the_bc_profile() {
         let table = fig18_vma_histogram();
         assert_eq!(table.rows.len(), 10);
-        let total: u64 = table.rows.iter().map(|r| r[1].parse::<u64>().unwrap()).sum();
+        let total: u64 = table
+            .rows
+            .iter()
+            .map(|r| r[1].parse::<u64>().unwrap())
+            .sum();
         assert_eq!(total, 148);
     }
 

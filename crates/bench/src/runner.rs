@@ -58,7 +58,11 @@ impl ExperimentTable {
 
 /// Builds a system for `spec` (mapping its regions) and runs it, returning
 /// the report.
-pub fn run_spec_with_config(config: SystemConfig, spec: &WorkloadSpec, seed: u64) -> SimulationReport {
+pub fn run_spec_with_config(
+    config: SystemConfig,
+    spec: &WorkloadSpec,
+    seed: u64,
+) -> SimulationReport {
     let mut system = System::new(config);
     for (i, region) in spec.regions.iter().enumerate() {
         if region.file_backed {

@@ -199,7 +199,12 @@ impl Cache {
 
     /// Looks up a cache line without modifying contents on a miss.
     /// Updates hit/miss statistics and replacement state on hits.
-    pub fn lookup(&mut self, paddr: PhysAddr, is_write: bool, requestor: Requestor) -> LookupResult {
+    pub fn lookup(
+        &mut self,
+        paddr: PhysAddr,
+        is_write: bool,
+        requestor: Requestor,
+    ) -> LookupResult {
         let (set_idx, tag) = self.index_and_tag(paddr);
         let set = &mut self.sets[set_idx];
         if let Some(way) = set.iter().position(|l| l.valid && l.tag == tag) {

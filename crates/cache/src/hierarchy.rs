@@ -188,7 +188,11 @@ impl CacheHierarchy {
         let mut writebacks = Vec::new();
         let mut dram_fetches = Vec::new();
 
-        let l1 = if is_fetch { &mut self.l1i } else { &mut self.l1d };
+        let l1 = if is_fetch {
+            &mut self.l1i
+        } else {
+            &mut self.l1d
+        };
         latency += l1.latency();
         let hit_level = if l1.lookup(paddr, is_write, requestor).is_hit() {
             if is_fetch {
@@ -200,14 +204,22 @@ impl CacheHierarchy {
             latency += self.l2.latency();
             if self.l2.lookup(paddr, is_write, requestor).is_hit() {
                 // Fill into L1.
-                let l1 = if is_fetch { &mut self.l1i } else { &mut self.l1d };
+                let l1 = if is_fetch {
+                    &mut self.l1i
+                } else {
+                    &mut self.l1d
+                };
                 writebacks.extend(l1.fill(paddr, is_write, false));
                 Level::L2
             } else {
                 latency += self.l3.latency();
                 if self.l3.lookup(paddr, is_write, requestor).is_hit() {
                     writebacks.extend(self.l2.fill(paddr, false, false));
-                    let l1 = if is_fetch { &mut self.l1i } else { &mut self.l1d };
+                    let l1 = if is_fetch {
+                        &mut self.l1i
+                    } else {
+                        &mut self.l1d
+                    };
                     writebacks.extend(l1.fill(paddr, is_write, false));
                     Level::L3
                 } else {
@@ -216,7 +228,11 @@ impl CacheHierarchy {
                     dram_fetches.push(paddr.cache_line());
                     writebacks.extend(self.l3.fill(paddr, false, false));
                     writebacks.extend(self.l2.fill(paddr, false, false));
-                    let l1 = if is_fetch { &mut self.l1i } else { &mut self.l1d };
+                    let l1 = if is_fetch {
+                        &mut self.l1i
+                    } else {
+                        &mut self.l1d
+                    };
                     writebacks.extend(l1.fill(paddr, is_write, false));
                     Level::Memory
                 }
@@ -315,12 +331,20 @@ mod tests {
     #[test]
     fn cold_access_misses_to_memory_then_hits_in_l1() {
         let mut h = hierarchy();
-        let a = h.access(PhysAddr::new(0x1000), AccessType::Read, Requestor::Application);
+        let a = h.access(
+            PhysAddr::new(0x1000),
+            AccessType::Read,
+            Requestor::Application,
+        );
         assert_eq!(a.hit_level, Level::Memory);
         assert!(a.needs_dram());
         assert_eq!(a.dram_fetches.len(), 1);
 
-        let b = h.access(PhysAddr::new(0x1000), AccessType::Read, Requestor::Application);
+        let b = h.access(
+            PhysAddr::new(0x1000),
+            AccessType::Read,
+            Requestor::Application,
+        );
         assert_eq!(b.hit_level, Level::L1D);
         assert!(!b.needs_dram());
         assert!(b.latency < a.latency);
@@ -329,11 +353,23 @@ mod tests {
     #[test]
     fn instruction_fetches_use_l1i() {
         let mut h = hierarchy();
-        h.access(PhysAddr::new(0x2000), AccessType::Fetch, Requestor::Application);
-        let again = h.access(PhysAddr::new(0x2000), AccessType::Fetch, Requestor::Application);
+        h.access(
+            PhysAddr::new(0x2000),
+            AccessType::Fetch,
+            Requestor::Application,
+        );
+        let again = h.access(
+            PhysAddr::new(0x2000),
+            AccessType::Fetch,
+            Requestor::Application,
+        );
         assert_eq!(again.hit_level, Level::L1I);
         // The same line is NOT in L1D.
-        let data = h.access(PhysAddr::new(0x2000), AccessType::Read, Requestor::Application);
+        let data = h.access(
+            PhysAddr::new(0x2000),
+            AccessType::Read,
+            Requestor::Application,
+        );
         assert_ne!(data.hit_level, Level::L1D);
     }
 
@@ -341,8 +377,16 @@ mod tests {
     fn latency_grows_with_depth() {
         let cfg = HierarchyConfig::paper_baseline();
         let mut h = CacheHierarchy::new(cfg.clone());
-        let miss = h.access(PhysAddr::new(0x9000), AccessType::Read, Requestor::Application);
-        let l1_hit = h.access(PhysAddr::new(0x9000), AccessType::Read, Requestor::Application);
+        let miss = h.access(
+            PhysAddr::new(0x9000),
+            AccessType::Read,
+            Requestor::Application,
+        );
+        let l1_hit = h.access(
+            PhysAddr::new(0x9000),
+            AccessType::Read,
+            Requestor::Application,
+        );
         assert_eq!(
             miss.latency,
             cfg.l1d.latency + cfg.l2.latency + cfg.l3.latency
@@ -356,7 +400,11 @@ mod tests {
         // Touch many distinct lines so early ones fall out of tiny L1 but stay
         // in the larger L2/L3.
         for i in 0..32u64 {
-            h.access(PhysAddr::new(i * 64), AccessType::Read, Requestor::Application);
+            h.access(
+                PhysAddr::new(i * 64),
+                AccessType::Read,
+                Requestor::Application,
+            );
         }
         let back = h.access(PhysAddr::new(0), AccessType::Read, Requestor::Application);
         assert!(matches!(back.hit_level, Level::L2 | Level::L3 | Level::L1D));
@@ -386,9 +434,17 @@ mod tests {
     #[test]
     fn invalidate_flushes_all_levels() {
         let mut h = hierarchy();
-        h.access(PhysAddr::new(0x7000), AccessType::Read, Requestor::Application);
+        h.access(
+            PhysAddr::new(0x7000),
+            AccessType::Read,
+            Requestor::Application,
+        );
         h.invalidate(PhysAddr::new(0x7000));
-        let again = h.access(PhysAddr::new(0x7000), AccessType::Read, Requestor::Application);
+        let again = h.access(
+            PhysAddr::new(0x7000),
+            AccessType::Read,
+            Requestor::Application,
+        );
         assert_eq!(again.hit_level, Level::Memory);
     }
 
@@ -415,7 +471,11 @@ mod tests {
         let mut h = hierarchy();
         // Fill with application data.
         for i in 0..16u64 {
-            h.access(PhysAddr::new(i * 64), AccessType::Read, Requestor::Application);
+            h.access(
+                PhysAddr::new(i * 64),
+                AccessType::Read,
+                Requestor::Application,
+            );
         }
         // Kernel touches a large footprint.
         for i in 0..256u64 {
@@ -436,12 +496,20 @@ mod tests {
         let mut h = hierarchy();
         // Dirty many lines, then stream reads to force dirty evictions.
         for i in 0..64u64 {
-            h.access(PhysAddr::new(i * 64), AccessType::Write, Requestor::Application);
+            h.access(
+                PhysAddr::new(i * 64),
+                AccessType::Write,
+                Requestor::Application,
+            );
         }
         let mut wb = 0;
         for i in 64..4096u64 {
             wb += h
-                .access(PhysAddr::new(i * 64), AccessType::Read, Requestor::Application)
+                .access(
+                    PhysAddr::new(i * 64),
+                    AccessType::Read,
+                    Requestor::Application,
+                )
                 .writebacks
                 .len();
         }

@@ -167,7 +167,9 @@ mod tests {
         let ech = base.clone().with_page_table(PageTableKind::ElasticCuckoo);
         assert_eq!(ech.mmu.page_table, PageTableKind::ElasticCuckoo);
         assert_eq!(ech.os, base.os);
-        let bd = base.clone().with_allocation_policy(mimic_os::AllocationPolicy::BuddyFourK);
+        let bd = base
+            .clone()
+            .with_allocation_policy(mimic_os::AllocationPolicy::BuddyFourK);
         assert_eq!(bd.os.policy, mimic_os::AllocationPolicy::BuddyFourK);
         assert_eq!(bd.mmu, base.mmu);
     }

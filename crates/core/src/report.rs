@@ -106,7 +106,10 @@ impl SimulationReport {
         push("ipc", format!("{:.4}", self.ipc));
         push("app_ipc", format!("{:.4}", self.app_ipc));
         push("l2_tlb_mpki", format!("{:.3}", self.l2_tlb_mpki));
-        push("avg_ptw_latency_cycles", format!("{:.2}", self.avg_ptw_latency_cycles));
+        push(
+            "avg_ptw_latency_cycles",
+            format!("{:.2}", self.avg_ptw_latency_cycles),
+        );
         push("minor_faults", self.minor_faults.to_string());
         push("major_faults", self.major_faults.to_string());
         push(

@@ -165,7 +165,8 @@ impl System {
     /// Periodic background OS work: zeroed-pool refill and khugepaged, with
     /// the khugepaged stream injected in detailed mode.
     fn housekeeping(&mut self) {
-        self.functional.post_request(KernelRequest::BackgroundTick { pid: self.pid });
+        self.functional
+            .post_request(KernelRequest::BackgroundTick { pid: self.pid });
         let _ = self.functional.take_request();
         self.os.background_tick();
         let stream = self.os.khugepaged_tick(self.pid);
@@ -220,7 +221,9 @@ impl System {
         };
 
         // The data access through caches and DRAM.
-        let access = self.caches.access_with_pc(pc, paddr, kind, Requestor::Application);
+        let access = self
+            .caches
+            .access_with_pc(pc, paddr, kind, Requestor::Application);
         total_latency += access.latency;
         for (i, line) in access.dram_fetches.iter().enumerate() {
             let requestor = if i == 0 {
@@ -252,7 +255,9 @@ impl System {
     /// serial (radix) walks cost the sum.
     fn charge_page_walk(&mut self, parallel: bool, accesses: &[PhysAddr]) -> Cycles {
         match self.config.mode {
-            SimulationMode::Emulation { fixed_ptw_latency, .. } => {
+            SimulationMode::Emulation {
+                fixed_ptw_latency, ..
+            } => {
                 if accesses.is_empty() {
                     Cycles::ZERO
                 } else {
@@ -303,7 +308,12 @@ impl System {
             is_write,
         });
         let request = self.functional.take_request().expect("request just posted");
-        let KernelRequest::PageFault { pid, vaddr, is_write } = request else {
+        let KernelRequest::PageFault {
+            pid,
+            vaddr,
+            is_write,
+        } = request
+        else {
             unreachable!("only page-fault requests are posted here");
         };
 
@@ -314,7 +324,10 @@ impl System {
                     additional: outcome.additional_mappings.clone(),
                     device_latency_ns: outcome.device_latency_ns,
                 });
-                let response = self.functional.take_response().expect("response just posted");
+                let response = self
+                    .functional
+                    .take_response()
+                    .expect("response just posted");
                 let KernelResponse::FaultHandled {
                     mapping,
                     additional,
@@ -332,12 +345,14 @@ impl System {
                         for extra in &additional {
                             self.install_mapping_detailed(extra);
                         }
-                        let device_cycles = (device_latency_ns
-                            * self.config.core.frequency.ghz())
-                        .round() as u64;
+                        let device_cycles =
+                            (device_latency_ns * self.config.core.frequency.ghz()).round() as u64;
                         self.core.stall(Cycles::new(device_cycles));
                     }
-                    SimulationMode::Emulation { fixed_fault_latency, .. } => {
+                    SimulationMode::Emulation {
+                        fixed_fault_latency,
+                        ..
+                    } => {
                         self.mmu.install_mapping(&mapping);
                         for extra in &additional {
                             self.mmu.install_mapping(extra);
@@ -427,7 +442,9 @@ impl System {
         let app_instructions = core_stats.app_instructions.get();
         let freq = self.config.core.frequency;
         let total_time_ns = self.core.cycles().to_nanos(freq).as_nanos();
-        let translation_ns = Cycles::new(self.translation_cycles).to_nanos(freq).as_nanos();
+        let translation_ns = Cycles::new(self.translation_cycles)
+            .to_nanos(freq)
+            .as_nanos();
 
         SimulationReport {
             workload: self.workload_name.clone(),
@@ -495,7 +512,10 @@ mod tests {
         assert!(report.cycles > 0);
         assert!(report.ipc > 0.0);
         assert!(report.minor_faults > 0, "first-touch faults expected");
-        assert!(report.kernel_instructions > 0, "kernel streams must be injected");
+        assert!(
+            report.kernel_instructions > 0,
+            "kernel streams must be injected"
+        );
         assert_eq!(system.segfaults(), 0);
     }
 

@@ -116,10 +116,7 @@ impl DramModel {
                 RowBufferOutcome::Conflict,
                 self.config.t_rp + self.config.t_rcd + self.config.t_cl,
             ),
-            None => (
-                RowBufferOutcome::Miss,
-                self.config.t_rcd + self.config.t_cl,
-            ),
+            None => (RowBufferOutcome::Miss, self.config.t_rcd + self.config.t_cl),
         };
 
         bank.open_row = Some(loc.row);

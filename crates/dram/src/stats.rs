@@ -46,9 +46,7 @@ pub struct DramStats {
 
 impl DramStats {
     fn entry(&mut self, requestor: Requestor) -> &mut RequestorStats {
-        self.per_requestor
-            .entry(requestor.to_string())
-            .or_default()
+        self.per_requestor.entry(requestor.to_string()).or_default()
     }
 
     fn get(&self, requestor: Requestor) -> Option<&RequestorStats> {
@@ -126,7 +124,11 @@ mod tests {
     #[test]
     fn record_attributes_to_requestor() {
         let mut s = DramStats::default();
-        s.record(Requestor::Application, RowBufferOutcome::Hit, Cycles::new(50));
+        s.record(
+            Requestor::Application,
+            RowBufferOutcome::Hit,
+            Cycles::new(50),
+        );
         s.record(
             Requestor::PageTableWalker,
             RowBufferOutcome::Conflict,
@@ -146,8 +148,16 @@ mod tests {
     fn hit_rate_and_latency() {
         let mut s = DramStats::default();
         assert_eq!(s.hit_rate(), 0.0);
-        s.record(Requestor::Application, RowBufferOutcome::Hit, Cycles::new(40));
-        s.record(Requestor::Application, RowBufferOutcome::Miss, Cycles::new(80));
+        s.record(
+            Requestor::Application,
+            RowBufferOutcome::Hit,
+            Cycles::new(40),
+        );
+        s.record(
+            Requestor::Application,
+            RowBufferOutcome::Miss,
+            Cycles::new(80),
+        );
         assert!((s.hit_rate() - 0.5).abs() < 1e-12);
         assert!((s.average_latency_cycles() - 60.0).abs() < 1e-12);
     }

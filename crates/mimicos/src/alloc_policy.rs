@@ -73,11 +73,9 @@ impl AllocationPolicy {
             AllocationPolicy::ConservativeReservationThp => "CR-THP".to_string(),
             AllocationPolicy::AggressiveReservationThp => "AR-THP".to_string(),
             AllocationPolicy::EagerPaging => "Eager".to_string(),
-            AllocationPolicy::Utopia(cfg) => format!(
-                "UT-{}MB/{}-way",
-                cfg.size_bytes / (1024 * 1024),
-                cfg.ways
-            ),
+            AllocationPolicy::Utopia(cfg) => {
+                format!("UT-{}MB/{}-way", cfg.size_bytes / (1024 * 1024), cfg.ways)
+            }
         }
     }
 }
@@ -101,7 +99,10 @@ mod tests {
     #[test]
     fn labels_match_paper_legends() {
         assert_eq!(AllocationPolicy::BuddyFourK.label(), "BD");
-        assert_eq!(AllocationPolicy::ConservativeReservationThp.label(), "CR-THP");
+        assert_eq!(
+            AllocationPolicy::ConservativeReservationThp.label(),
+            "CR-THP"
+        );
         assert_eq!(AllocationPolicy::AggressiveReservationThp.label(), "AR-THP");
         assert_eq!(
             AllocationPolicy::utopia_32mb_16way().label(),

@@ -10,16 +10,16 @@ use crate::page_cache::PageCache;
 use crate::process::Process;
 use crate::slab::SlabAllocator;
 use crate::swap::SwapManager;
-use crate::thp::{HugetlbPool, KhugepagedDaemon, ReservationThp, ThpConfig, ThpMode, ZeroedPagePool};
+use crate::thp::{
+    HugetlbPool, KhugepagedDaemon, ReservationThp, ThpConfig, ThpMode, ZeroedPagePool,
+};
 use crate::utopia::UtopiaAllocator;
 use crate::vma::{Vma, VmaKind};
 use serde::{Deserialize, Serialize};
 use ssd_sim::{SsdConfig, SsdModel};
 use std::collections::BTreeMap;
 use std::fmt;
-use vm_types::{
-    Counter, DetRng, LatencyStats, PageSize, PhysAddr, VirtAddr, VmError, VmResult,
-};
+use vm_types::{Counter, DetRng, LatencyStats, PageSize, PhysAddr, VirtAddr, VmError, VmResult};
 
 /// Identifier of a simulated process.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -510,7 +510,8 @@ impl MimicOs {
         // Spurious fault: another thread (or eager paging) already mapped it.
         if let Some(existing) = self.processes[pid.0].lookup_mapping(vaddr) {
             stream.compute(40);
-            let outcome = self.finish_fault(existing, Vec::new(), FaultKind::Spurious, stream, 0.0, 0, 0);
+            let outcome =
+                self.finish_fault(existing, Vec::new(), FaultKind::Spurious, stream, 0.0, 0, 0);
             return Ok(outcome);
         }
 
@@ -613,7 +614,10 @@ impl MimicOs {
         if let VmaKind::FileBacked { file_id } = vma.kind {
             let page_index = (vaddr.page_base(PageSize::Size4K).offset_from(vma.start)) / 4096;
             let mut kind = FaultKind::Minor;
-            let frame = match self.page_cache.lookup_traced(file_id, page_index, &mut stream) {
+            let frame = match self
+                .page_cache
+                .lookup_traced(file_id, page_index, &mut stream)
+            {
                 Some(f) => f,
                 None => {
                     // Page-cache miss: read from the device (major fault).
@@ -635,7 +639,13 @@ impl MimicOs {
             };
             self.install_mapping(pid, mapping, &mut stream);
             let outcome = self.finish_fault(
-                mapping, additional, kind, stream, device_ns, zeroed_bytes, pt_frames,
+                mapping,
+                additional,
+                kind,
+                stream,
+                device_ns,
+                zeroed_bytes,
+                pt_frames,
             );
             return Ok(outcome);
         }
@@ -697,14 +707,18 @@ impl MimicOs {
         let region_base = vaddr.page_base(PageSize::Size2M);
         let region_fits_vma =
             region_base >= vma.start && region_base.add(PageSize::Size2M.bytes()) <= vma.end;
-        let region_untouched =
-            !self.processes[pid.0].region_has_mappings(vaddr, PageSize::Size2M);
+        let region_untouched = !self.processes[pid.0].region_has_mappings(vaddr, PageSize::Size2M);
 
         // Keep headroom: under memory pressure Linux's huge-page allocation
         // (compaction) fails and the fault falls back to a base page, which
         // avoids THP bloat exhausting physical memory.
         let headroom_ok = self.buddy.free_bytes() > self.config.memory_bytes / 8;
-        if thp_eligible && vma.kind.is_anonymous() && region_fits_vma && region_untouched && headroom_ok {
+        if thp_eligible
+            && vma.kind.is_anonymous()
+            && region_fits_vma
+            && region_untouched
+            && headroom_ok
+        {
             stream.compute(90);
             // Prefer a pre-zeroed huge page from the pool. The pool is only
             // replenished by background work (`background_tick`), so bursts
@@ -800,7 +814,10 @@ impl MimicOs {
         zeroed_bytes: &mut u64,
         device_ns: &mut f64,
     ) -> VmResult<Mapping> {
-        let utopia = self.utopia.as_mut().expect("utopia policy implies segments");
+        let utopia = self
+            .utopia
+            .as_mut()
+            .expect("utopia policy implies segments");
         if let Some((frame, size)) = utopia.try_place(vaddr, PageSize::Size4K, stream) {
             *zeroed_bytes += self.zero_page(frame, size.bytes().min(4096), stream);
             return Ok(Mapping {
@@ -944,7 +961,9 @@ impl MimicOs {
                 self.processes[pid.0].swap_out(victim.vaddr, slot);
                 let _ = self.buddy.free(victim.paddr, ORDER_2M);
                 device_ns += io.as_nanos();
-                self.stats.reclaimed_pages.add(PageSize::Size2M.base_pages());
+                self.stats
+                    .reclaimed_pages
+                    .add(PageSize::Size2M.base_pages());
                 stream.compute(512 * 3);
             }
             return Ok(device_ns);

@@ -200,12 +200,18 @@ mod tests {
         let mut p = Process::new();
         p.insert_mapping(map4k(0x1000, 0x8000));
         p.insert_mapping(map2m(0x20_0000, 0x40_0000));
-        assert_eq!(p.lookup_mapping(VirtAddr::new(0x1000)).unwrap().paddr.raw(), 0x8000);
+        assert_eq!(
+            p.lookup_mapping(VirtAddr::new(0x1000)).unwrap().paddr.raw(),
+            0x8000
+        );
         assert!(p.lookup_mapping(VirtAddr::new(0x1fff)).is_some());
         assert!(p.lookup_mapping(VirtAddr::new(0x2000)).is_none());
         // Any address inside the 2 MiB page resolves to the huge mapping.
         let inside = VirtAddr::new(0x20_0000 + 0x12_345);
-        assert_eq!(p.lookup_mapping(inside).unwrap().page_size, PageSize::Size2M);
+        assert_eq!(
+            p.lookup_mapping(inside).unwrap().page_size,
+            PageSize::Size2M
+        );
     }
 
     #[test]
@@ -227,7 +233,9 @@ mod tests {
         assert_eq!(removed.len(), 512);
         assert_eq!(p.mapping_count(), 1);
         assert_eq!(
-            p.lookup_mapping(VirtAddr::new(0x20_0000 + 0x1234)).unwrap().page_size,
+            p.lookup_mapping(VirtAddr::new(0x20_0000 + 0x1234))
+                .unwrap()
+                .page_size,
             PageSize::Size2M
         );
     }

@@ -45,7 +45,10 @@ impl SlabAllocator {
     /// Panics if `object_bytes` is zero or larger than 4 KiB.
     pub fn new(object_bytes: u64) -> Self {
         assert!(object_bytes > 0, "object size must be non-zero");
-        assert!(object_bytes <= 4096, "objects larger than a frame are unsupported");
+        assert!(
+            object_bytes <= 4096,
+            "objects larger than a frame are unsupported"
+        );
         SlabAllocator {
             object_bytes,
             objects_per_slab: 4096 / object_bytes,
@@ -96,8 +99,7 @@ impl SlabAllocator {
             self.slabs.push(slab);
             self.stats.slab_refills.inc();
             for i in 0..self.objects_per_slab {
-                self.free_objects
-                    .push_back(slab.add(i * self.object_bytes));
+                self.free_objects.push_back(slab.add(i * self.object_bytes));
             }
             if let Some(s) = stream.as_deref_mut() {
                 // Slab construction: initialize the freelist.

@@ -230,7 +230,8 @@ mod tests {
         let mut ssd = ssd();
         let mut swap = SwapManager::new(64 * 4096);
         for i in 0..8u64 {
-            swap.swap_out(PhysAddr::new(0x1000 + i * 4096), &mut ssd).unwrap();
+            swap.swap_out(PhysAddr::new(0x1000 + i * 4096), &mut ssd)
+                .unwrap();
         }
         assert!(swap.stats().total_io_ns > 0.0);
         assert_eq!(swap.stats().total_ops(), 8);

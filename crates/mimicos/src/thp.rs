@@ -175,8 +175,8 @@ impl KhugepagedDaemon {
                 stream.load(PhysAddr::new(0xFFFF_B000_0000_0000 + i * 64));
             }
             let present = process.mapped_4k_in_region(region);
-            let threshold =
-                (PageSize::Size2M.base_pages() as f64 * config.khugepaged_collapse_threshold) as u64;
+            let threshold = (PageSize::Size2M.base_pages() as f64
+                * config.khugepaged_collapse_threshold) as u64;
             if present == 0 || present < threshold {
                 self.rejected_scans.inc();
                 continue;
@@ -275,7 +275,9 @@ impl ReservationThp {
         let region = addr.page_base(PageSize::Size2M);
         let offset_pages = (addr.raw() - region.raw()) / 4096;
         stream.compute(50);
-        stream.load(PhysAddr::new(0xFFFF_C000_0000_0000 + (region.raw() >> 12) % 4096));
+        stream.load(PhysAddr::new(
+            0xFFFF_C000_0000_0000 + (region.raw() >> 12) % 4096,
+        ));
 
         let entry = self.reservations.entry(region.raw());
         let reservation = match entry {
@@ -447,7 +449,10 @@ mod tests {
             let (frame, promote) = thp
                 .on_fault(region.add(i * 4096), &mut buddy, &mut s)
                 .unwrap();
-            assert!(frame.raw() < 64 * MB, "frame must come from the reservation");
+            assert!(
+                frame.raw() < 64 * MB,
+                "frame must come from the reservation"
+            );
             if promote.is_some() {
                 promoted = promote;
             }
@@ -467,11 +472,15 @@ mod tests {
         let mut first_promote_c = None;
         for i in 0..512u64 {
             let mut s = stream();
-            if let Some((_, Some(_))) = aggressive.on_fault(region.add(i * 4096), &mut buddy_a, &mut s) {
+            if let Some((_, Some(_))) =
+                aggressive.on_fault(region.add(i * 4096), &mut buddy_a, &mut s)
+            {
                 first_promote_a.get_or_insert(i);
             }
             let mut s = stream();
-            if let Some((_, Some(_))) = conservative.on_fault(region.add(i * 4096), &mut buddy_c, &mut s) {
+            if let Some((_, Some(_))) =
+                conservative.on_fault(region.add(i * 4096), &mut buddy_c, &mut s)
+            {
                 first_promote_c.get_or_insert(i);
             }
         }

@@ -421,7 +421,8 @@ mod tests {
         use crate::buddy::BuddyAllocator;
         let mut seg = small_seg(16);
         let mut utopia_stream = UtopiaAllocator::new_stream();
-        seg.try_place(VirtAddr::new(0x9000), &mut utopia_stream).unwrap();
+        seg.try_place(VirtAddr::new(0x9000), &mut utopia_stream)
+            .unwrap();
 
         let mut buddy = BuddyAllocator::new(64 * MB);
         let mut buddy_stream = BuddyAllocator::new_alloc_stream();

@@ -243,7 +243,8 @@ mod tests {
     fn insert_and_find() {
         let mut tree = VmaTree::new();
         tree.insert(Vma::anonymous(va(0x1000), 0x3000)).unwrap();
-        tree.insert(Vma::file_backed(va(0x10_0000), 0x1000, 7)).unwrap();
+        tree.insert(Vma::file_backed(va(0x10_0000), 0x1000, 7))
+            .unwrap();
         assert!(tree.find(va(0x1000)).is_some());
         assert!(tree.find(va(0x3fff)).is_some());
         assert!(tree.find(va(0x4000)).is_none());
@@ -303,14 +304,18 @@ mod tests {
         }
         let mut stream = KernelInstructionStream::new(KernelRoutine::FindVma);
         tree.find_traced(va(0x1_0000), &mut stream);
-        assert!(stream.memory_references() >= 6, "log2(64)+1 levels expected");
+        assert!(
+            stream.memory_references() >= 6,
+            "log2(64)+1 levels expected"
+        );
     }
 
     #[test]
     fn size_histogram_matches_fig18_buckets() {
         let mut tree = VmaTree::new();
         tree.insert(Vma::anonymous(va(0x1000), 4 * 1024)).unwrap();
-        tree.insert(Vma::anonymous(va(0x100_0000), 64 * 1024)).unwrap();
+        tree.insert(Vma::anonymous(va(0x100_0000), 64 * 1024))
+            .unwrap();
         tree.insert(Vma::anonymous(va(0x2_0000_0000), 77 * 1024 * 1024 * 1024))
             .unwrap();
         let h = tree.size_histogram();

@@ -216,7 +216,12 @@ impl MidgardMmu {
             frontend_latency += self.config.l2_vlb_latency;
             if Self::probe_vlb(&mut self.l2_vlb, idx, self.clock) {
                 self.stats.l2_vlb_hits.inc();
-                Self::fill_vlb(&mut self.l1_vlb, self.config.l1_vlb_entries, idx, self.clock);
+                Self::fill_vlb(
+                    &mut self.l1_vlb,
+                    self.config.l1_vlb_entries,
+                    idx,
+                    self.clock,
+                );
             } else {
                 // Walk the in-memory VMA B-tree: log2(n) node accesses.
                 self.stats.frontend_walks.inc();
@@ -227,8 +232,18 @@ impl MidgardMmu {
                     ));
                     frontend_latency += Cycles::new(20);
                 }
-                Self::fill_vlb(&mut self.l2_vlb, self.config.l2_vlb_entries, idx, self.clock);
-                Self::fill_vlb(&mut self.l1_vlb, self.config.l1_vlb_entries, idx, self.clock);
+                Self::fill_vlb(
+                    &mut self.l2_vlb,
+                    self.config.l2_vlb_entries,
+                    idx,
+                    self.clock,
+                );
+                Self::fill_vlb(
+                    &mut self.l1_vlb,
+                    self.config.l1_vlb_entries,
+                    idx,
+                    self.clock,
+                );
             }
         }
         self.stats.frontend_cycles += frontend_latency.raw();
@@ -263,11 +278,15 @@ mod tests {
 
     #[test]
     fn few_large_vmas_are_served_by_the_l1_vlb() {
-        let mut mmu = MidgardMmu::new(MidgardConfig::paper_baseline(), PhysAddr::new(0xE0_0000_0000));
+        let mut mmu = MidgardMmu::new(
+            MidgardConfig::paper_baseline(),
+            PhysAddr::new(0xE0_0000_0000),
+        );
         mmu.register_vma(VirtAddr::new(0x1000_0000), 1 << 30);
         // Warm-up translation, then repeated hits.
         for i in 0..100u64 {
-            mmu.translate(VirtAddr::new(0x1000_0000 + i * 0x10_000)).unwrap();
+            mmu.translate(VirtAddr::new(0x1000_0000 + i * 0x10_000))
+                .unwrap();
         }
         assert!(mmu.stats().l1_vlb_hits.get() >= 99);
         assert!(mmu.stats().frontend_fraction() < 0.5);
@@ -275,7 +294,10 @@ mod tests {
 
     #[test]
     fn many_small_vmas_thrash_the_vlbs() {
-        let mut mmu = MidgardMmu::new(MidgardConfig::paper_baseline(), PhysAddr::new(0xE0_0000_0000));
+        let mut mmu = MidgardMmu::new(
+            MidgardConfig::paper_baseline(),
+            PhysAddr::new(0xE0_0000_0000),
+        );
         // 147 small VMAs (the BC profile of Fig. 18).
         for i in 0..147u64 {
             mmu.register_vma(VirtAddr::new(0x2000_0000 + i * 0x100_0000), 64 * 1024);
@@ -293,7 +315,10 @@ mod tests {
 
     #[test]
     fn translation_preserves_offsets_within_the_vma() {
-        let mut mmu = MidgardMmu::new(MidgardConfig::paper_baseline(), PhysAddr::new(0xE0_0000_0000));
+        let mut mmu = MidgardMmu::new(
+            MidgardConfig::paper_baseline(),
+            PhysAddr::new(0xE0_0000_0000),
+        );
         let vma = mmu.register_vma(VirtAddr::new(0x4000_0000), 1 << 24);
         let t = mmu.translate(VirtAddr::new(0x4000_1234)).unwrap();
         assert_eq!(t.midgard_addr, vma.midgard_start + 0x1234);
@@ -301,14 +326,20 @@ mod tests {
 
     #[test]
     fn uncovered_addresses_return_none() {
-        let mut mmu = MidgardMmu::new(MidgardConfig::paper_baseline(), PhysAddr::new(0xE0_0000_0000));
+        let mut mmu = MidgardMmu::new(
+            MidgardConfig::paper_baseline(),
+            PhysAddr::new(0xE0_0000_0000),
+        );
         mmu.register_vma(VirtAddr::new(0x4000_0000), 4096);
         assert!(mmu.translate(VirtAddr::new(0x9000_0000)).is_none());
     }
 
     #[test]
     fn backend_accesses_match_configured_levels() {
-        let mut mmu = MidgardMmu::new(MidgardConfig::paper_baseline(), PhysAddr::new(0xE0_0000_0000));
+        let mut mmu = MidgardMmu::new(
+            MidgardConfig::paper_baseline(),
+            PhysAddr::new(0xE0_0000_0000),
+        );
         mmu.register_vma(VirtAddr::new(0x4000_0000), 1 << 24);
         let t = mmu.translate(VirtAddr::new(0x4000_0000)).unwrap();
         assert_eq!(t.backend_accesses.len(), 6);
@@ -316,7 +347,10 @@ mod tests {
 
     #[test]
     fn distinct_vmas_get_distinct_midgard_ranges() {
-        let mut mmu = MidgardMmu::new(MidgardConfig::paper_baseline(), PhysAddr::new(0xE0_0000_0000));
+        let mut mmu = MidgardMmu::new(
+            MidgardConfig::paper_baseline(),
+            PhysAddr::new(0xE0_0000_0000),
+        );
         let a = mmu.register_vma(VirtAddr::new(0x1000_0000), 1 << 20);
         let b = mmu.register_vma(VirtAddr::new(0x9000_0000), 1 << 20);
         assert!(b.midgard_start >= a.midgard_start + (1 << 20));

@@ -195,7 +195,10 @@ mod tests {
         }
         let walk = pt.walk(VirtAddr::new(0x0), 0);
         assert!(!walk.is_fault());
-        assert!(walk.accesses.len() > 2, "chain walk should touch overflow blocks");
+        assert!(
+            walk.accesses.len() > 2,
+            "chain walk should touch overflow blocks"
+        );
     }
 
     #[test]

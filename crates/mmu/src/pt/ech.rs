@@ -266,7 +266,10 @@ mod tests {
         updated.paddr = PhysAddr::new(0xdead_0000);
         pt.insert(updated);
         assert_eq!(pt.len(), count_before);
-        assert_eq!(pt.walk(VirtAddr::new(0x5000), 0).mapping.unwrap().paddr, updated.paddr);
+        assert_eq!(
+            pt.walk(VirtAddr::new(0x5000), 0).mapping.unwrap().paddr,
+            updated.paddr
+        );
     }
 
     #[test]

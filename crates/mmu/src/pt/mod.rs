@@ -145,9 +145,7 @@ pub fn build_page_table(kind: PageTableKind, metadata_base: PhysAddr) -> Box<dyn
         PageTableKind::HashedOpenAddressing => {
             Box::new(OpenAddressingPageTable::new(metadata_base, 4 << 30))
         }
-        PageTableKind::HashedChained => {
-            Box::new(ChainedHashPageTable::new(metadata_base, 4 << 30))
-        }
+        PageTableKind::HashedChained => Box::new(ChainedHashPageTable::new(metadata_base, 4 << 30)),
     }
 }
 
@@ -177,7 +175,10 @@ mod tests {
         // Insert then walk finds the mapping.
         let m = sample_mapping(0x1234_5000, PageSize::Size4K);
         let insert_accesses = pt.insert(m);
-        assert!(!insert_accesses.is_empty(), "{kind}: insert must touch metadata");
+        assert!(
+            !insert_accesses.is_empty(),
+            "{kind}: insert must touch metadata"
+        );
         let hit = pt.walk(VirtAddr::new(0x1234_5678), 0);
         assert_eq!(hit.mapping, Some(m), "{kind}");
         assert!(!hit.accesses.is_empty(), "{kind}: walk must touch metadata");
@@ -189,7 +190,10 @@ mod tests {
         assert_eq!(hit.mapping, Some(huge), "{kind}");
 
         // Unrelated addresses still fault.
-        assert!(pt.walk(VirtAddr::new(0x7fff_0000_0000), 0).is_fault(), "{kind}");
+        assert!(
+            pt.walk(VirtAddr::new(0x7fff_0000_0000), 0).is_fault(),
+            "{kind}"
+        );
 
         // Removal makes the mapping unreachable.
         pt.remove(VirtAddr::new(0x1234_5000));

@@ -210,11 +210,8 @@ impl RmmMmu {
     /// range walker (empty on an RLB hit). Returns `None` when no range
     /// covers `va` (the ordinary page-table path must be used).
     pub fn translate(&mut self, va: VirtAddr) -> Option<(PhysAddr, Cycles, Vec<PhysAddr>)> {
-        let translate_with = |range: &RangeMapping| {
-            range
-                .phys_start
-                .add(va.raw() - range.virt_start.raw())
-        };
+        let translate_with =
+            |range: &RangeMapping| range.phys_start.add(va.raw() - range.virt_start.raw());
         if let Some(range) = self.rlb.lookup(va) {
             self.range_translations.inc();
             return Some((translate_with(&range), self.config.rlb_latency, Vec::new()));
@@ -305,7 +302,11 @@ mod tests {
         let mut large = RangeTable::new(PhysAddr::new(0xC0_0000_0000));
         small.insert(range(0x1000, 0x10_000, 4096));
         for i in 0..10_000u64 {
-            large.insert(range(0x10_0000 + i * 0x10_000, 0x1_0000_0000 + i * 0x10_000, 4096));
+            large.insert(range(
+                0x10_0000 + i * 0x10_000,
+                0x1_0000_0000 + i * 0x10_000,
+                4096,
+            ));
         }
         let (_, a_small) = small.walk(VirtAddr::new(0x1000), 8);
         let (_, a_large) = large.walk(VirtAddr::new(0x10_0000), 8);

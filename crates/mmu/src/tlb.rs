@@ -22,7 +22,13 @@ pub struct TlbConfig {
 
 impl TlbConfig {
     /// Builds a TLB configuration.
-    pub fn new(name: &str, entries: usize, ways: usize, latency_cycles: u64, sizes: &[PageSize]) -> Self {
+    pub fn new(
+        name: &str,
+        entries: usize,
+        ways: usize,
+        latency_cycles: u64,
+        sizes: &[PageSize],
+    ) -> Self {
         TlbConfig {
             name: name.to_string(),
             entries,

@@ -184,7 +184,10 @@ mod tests {
 
     #[test]
     fn repeated_translations_hit_the_tar_cache() {
-        let mut mmu = UtopiaMmu::new(UtopiaMmuConfig::paper_baseline(), PhysAddr::new(0xD0_0000_0000));
+        let mut mmu = UtopiaMmu::new(
+            UtopiaMmuConfig::paper_baseline(),
+            PhysAddr::new(0xD0_0000_0000),
+        );
         let va = VirtAddr::new(0x1234_5000);
         let first = mmu.translate(va);
         let second = mmu.translate(va);
@@ -219,7 +222,10 @@ mod tests {
 
     #[test]
     fn latency_includes_both_cache_probes() {
-        let mut mmu = UtopiaMmu::new(UtopiaMmuConfig::paper_baseline(), PhysAddr::new(0xD0_0000_0000));
+        let mut mmu = UtopiaMmu::new(
+            UtopiaMmuConfig::paper_baseline(),
+            PhysAddr::new(0xD0_0000_0000),
+        );
         let t = mmu.translate(VirtAddr::new(0x9000));
         assert_eq!(t.latency, Cycles::new(4));
     }

@@ -86,7 +86,9 @@ mod tests {
 
     #[test]
     fn low_latency_is_faster() {
-        assert!(SsdConfig::low_latency().read_latency_ns < SsdConfig::nvme_datacenter().read_latency_ns);
+        assert!(
+            SsdConfig::low_latency().read_latency_ns < SsdConfig::nvme_datacenter().read_latency_ns
+        );
     }
 
     #[test]

@@ -67,7 +67,10 @@ impl fmt::Display for VmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             VmError::OutOfMemory { requested, free } => {
-                write!(f, "out of physical memory: requested {requested} bytes, {free} free")
+                write!(
+                    f,
+                    "out of physical memory: requested {requested} bytes, {free} free"
+                )
             }
             VmError::SegmentationFault { vaddr } => {
                 write!(f, "segmentation fault at {vaddr}")
@@ -96,15 +99,32 @@ mod tests {
     #[test]
     fn display_messages_are_lowercase_and_informative() {
         let cases: Vec<VmError> = vec![
-            VmError::OutOfMemory { requested: 4096, free: 0 },
-            VmError::SegmentationFault { vaddr: VirtAddr::new(0xdead) },
-            VmError::NotMapped { vaddr: VirtAddr::new(0x1000) },
-            VmError::InvalidFree { paddr: PhysAddr::new(0x2000) },
-            VmError::InvalidVma { reason: "zero length".into() },
-            VmError::InvalidConfig { reason: "tlb ways is zero".into() },
+            VmError::OutOfMemory {
+                requested: 4096,
+                free: 0,
+            },
+            VmError::SegmentationFault {
+                vaddr: VirtAddr::new(0xdead),
+            },
+            VmError::NotMapped {
+                vaddr: VirtAddr::new(0x1000),
+            },
+            VmError::InvalidFree {
+                paddr: PhysAddr::new(0x2000),
+            },
+            VmError::InvalidVma {
+                reason: "zero length".into(),
+            },
+            VmError::InvalidConfig {
+                reason: "tlb ways is zero".into(),
+            },
             VmError::SwapFull,
-            VmError::HashPlacementFailed { structure: "elastic cuckoo" },
-            VmError::ChannelProtocol { reason: "response before request".into() },
+            VmError::HashPlacementFailed {
+                structure: "elastic cuckoo",
+            },
+            VmError::ChannelProtocol {
+                reason: "response before request".into(),
+            },
         ];
         for e in cases {
             let msg = e.to_string();
@@ -122,7 +142,9 @@ mod tests {
 
     #[test]
     fn segfault_mentions_address() {
-        let e = VmError::SegmentationFault { vaddr: VirtAddr::new(0xabc) };
+        let e = VmError::SegmentationFault {
+            vaddr: VirtAddr::new(0xabc),
+        };
         assert!(e.to_string().contains("0xabc"));
     }
 }

@@ -20,6 +20,8 @@
 //! assert_eq!(va.page_number(PageSize::Size4K).floor(PageSize::Size4K), va.page_base(PageSize::Size4K));
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod access;
 pub mod addr;
 pub mod cycles;

@@ -49,10 +49,7 @@ impl DetRng {
 
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.state[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.state[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.state[1] << 17;
         self.state[2] ^= self.state[0];
         self.state[3] ^= self.state[1];
@@ -106,7 +103,10 @@ impl DetRng {
     pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
         assert!(!weights.is_empty(), "weighted_index requires weights");
         let total: f64 = weights.iter().sum();
-        assert!(total > 0.0, "weighted_index requires a positive total weight");
+        assert!(
+            total > 0.0,
+            "weighted_index requires a positive total weight"
+        );
         let mut target = self.next_f64() * total;
         for (i, &w) in weights.iter().enumerate() {
             if target < w {

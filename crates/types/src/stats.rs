@@ -302,7 +302,12 @@ impl LatencyStats {
         if total <= 0.0 {
             return 0.0;
         }
-        let outliers: f64 = self.samples.iter().copied().filter(|&v| v > threshold).sum();
+        let outliers: f64 = self
+            .samples
+            .iter()
+            .copied()
+            .filter(|&v| v > threshold)
+            .sum();
         outliers / total
     }
 

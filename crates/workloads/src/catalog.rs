@@ -100,7 +100,13 @@ pub fn graphbig_kc() -> WorkloadSpec {
 
 /// PageRank.
 pub fn graphbig_pr() -> WorkloadSpec {
-    long_running("PR", 512 * MB, AccessPattern::Streaming { jump_probability: 0.3 })
+    long_running(
+        "PR",
+        512 * MB,
+        AccessPattern::Streaming {
+            jump_probability: 0.3,
+        },
+    )
 }
 
 /// Single-source shortest path (the paper's highest-PTW-latency workload).
@@ -115,7 +121,13 @@ pub fn graphbig_tc() -> WorkloadSpec {
 
 /// XSBench: Monte Carlo neutron-transport lookup kernel (HPC).
 pub fn xsbench() -> WorkloadSpec {
-    long_running("XS", 640 * MB, AccessPattern::Streaming { jump_probability: 0.5 })
+    long_running(
+        "XS",
+        640 * MB,
+        AccessPattern::Streaming {
+            jump_probability: 0.5,
+        },
+    )
 }
 
 /// GUPS / randacc: uniformly random updates, the paper's worst-case
@@ -191,7 +203,9 @@ fn llm(name: &str, working_set: u64) -> WorkloadSpec {
                 access_weight: 0.55,
             },
         ],
-        pattern: AccessPattern::AllocateAndTouch { new_page_fraction: 0.35 },
+        pattern: AccessPattern::AllocateAndTouch {
+            new_page_fraction: 0.35,
+        },
         memory_fraction: 0.4,
         instructions: SHORT_RUNNING_INSTRUCTIONS,
     }

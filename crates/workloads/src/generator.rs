@@ -77,7 +77,9 @@ impl SyntheticWorkload {
                 } else {
                     // Revisit a recently touched page.
                     let hot = self.touched_pages.max(1).min(64);
-                    let page = self.touched_pages.saturating_sub(self.rng.gen_range(1, hot + 1));
+                    let page = self
+                        .touched_pages
+                        .saturating_sub(self.rng.gen_range(1, hot + 1));
                     page * 4096 + (self.rng.gen_range(0, 4096) & !0x7)
                 }
             }
@@ -144,8 +146,12 @@ mod tests {
         for pattern in [
             AccessPattern::UniformRandom,
             AccessPattern::PointerChasing,
-            AccessPattern::Streaming { jump_probability: 0.05 },
-            AccessPattern::AllocateAndTouch { new_page_fraction: 0.2 },
+            AccessPattern::Streaming {
+                jump_probability: 0.05,
+            },
+            AccessPattern::AllocateAndTouch {
+                new_page_fraction: 0.2,
+            },
         ] {
             let s = spec(pattern);
             let start = s.regions[0].start.raw();
@@ -153,7 +159,10 @@ mod tests {
             let mut w = s.build(3);
             while let Some(instr) = w.next_instruction() {
                 if let Some((addr, _)) = instr.memory {
-                    assert!(addr.raw() >= start && addr.raw() < end, "{addr} outside region");
+                    assert!(
+                        addr.raw() >= start && addr.raw() < end,
+                        "{addr} outside region"
+                    );
                 }
             }
         }
@@ -200,7 +209,10 @@ mod tests {
 
     #[test]
     fn allocate_and_touch_grows_footprint_monotonically() {
-        let mut w = spec(AccessPattern::AllocateAndTouch { new_page_fraction: 0.3 }).build(17);
+        let mut w = spec(AccessPattern::AllocateAndTouch {
+            new_page_fraction: 0.3,
+        })
+        .build(17);
         let mut max_page = 0u64;
         while let Some(i) = w.next_instruction() {
             if let Some((addr, _)) = i.memory {

@@ -155,7 +155,9 @@ mod tests {
             "X",
             WorkloadClass::ShortRunning,
             1 << 20,
-            AccessPattern::AllocateAndTouch { new_page_fraction: 0.1 },
+            AccessPattern::AllocateAndTouch {
+                new_page_fraction: 0.1,
+            },
             1000,
         )
         .with_instructions(42);

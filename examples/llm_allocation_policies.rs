@@ -24,7 +24,9 @@ fn main() {
             let mut system = System::new(config);
             for (i, region) in spec.regions.iter().enumerate() {
                 if region.file_backed {
-                    system.mmap_file(region.start, region.bytes, i as u64 + 1).unwrap();
+                    system
+                        .mmap_file(region.start, region.bytes, i as u64 + 1)
+                        .unwrap();
                 } else {
                     system.mmap_anonymous(region.start, region.bytes).unwrap();
                 }

@@ -14,7 +14,10 @@ use virtuoso_suite::sim_core::TraceSource;
 fn main() {
     // --- Midgard: frontend vs backend latency (Use Case 3 / Fig. 17) -----
     let bc = catalog::graphbig_bc();
-    let mut midgard = MidgardMmu::new(MidgardConfig::paper_baseline(), PhysAddr::new(0xE0_0000_0000));
+    let mut midgard = MidgardMmu::new(
+        MidgardConfig::paper_baseline(),
+        PhysAddr::new(0xE0_0000_0000),
+    );
     for region in &bc.regions {
         midgard.register_vma(region.start, region.bytes);
     }
@@ -63,7 +66,5 @@ fn main() {
             }
         }
     }
-    println!(
-        "RMM: {hits} translations served by ranges, {misses} fell back to the page table"
-    );
+    println!("RMM: {hits} translations served by ranges, {misses} fell back to the page table");
 }

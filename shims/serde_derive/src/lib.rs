@@ -1,0 +1,310 @@
+//! Vendored minimal stand-in for the `serde_derive` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors a tiny derive implementation that covers exactly what
+//! Virtuoso needs: `#[derive(Serialize)]` generates a `write_json` impl for
+//! the shim `serde::Serialize` trait (named structs, tuple/unit structs,
+//! and enums with unit/named/tuple variants), and `#[derive(Deserialize)]`
+//! generates a marker impl. Generic types are not supported — none of the
+//! workspace types that derive serde traits are generic.
+//!
+//! The derive is written against `proc_macro` alone (no `syn`/`quote`):
+//! it walks the raw token stream, extracts the item shape, and emits the
+//! impl as formatted source text.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field layout of a struct or an enum variant.
+enum Fields {
+    /// Named fields (`{ a: T, b: U }`), in declaration order.
+    Named(Vec<String>),
+    /// Tuple fields (`(T, U)`), by arity.
+    Tuple(usize),
+    /// No fields.
+    Unit,
+}
+
+/// Parsed shape of the item the derive is attached to.
+enum ItemKind {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+/// Derives the shim `serde::Serialize` trait (JSON text output).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive shim generated invalid Rust")
+}
+
+/// Derives the shim `serde::Deserialize` marker trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!("impl ::serde::Deserialize for {} {{}}", item.name)
+        .parse()
+        .expect("serde_derive shim generated invalid Rust")
+}
+
+fn ident_str(tt: &TokenTree) -> String {
+    match tt {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected identifier, found `{other}`"),
+    }
+}
+
+fn is_punct(tt: &TokenTree, c: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+    loop {
+        if is_punct(&toks[i], '#') {
+            i += 2; // `#` + bracket group
+        } else if matches!(&toks[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        } else {
+            break;
+        }
+    }
+    let keyword = ident_str(&toks[i]);
+    i += 1;
+    let name = ident_str(&toks[i]);
+    i += 1;
+    if toks.get(i).is_some_and(|t| is_punct(t, '<')) {
+        panic!("serde_derive shim: generic types are not supported (deriving for `{name}`)");
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            _ => ItemKind::Struct(Fields::Unit),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("serde_derive shim: malformed enum `{name}`"),
+        },
+        other => panic!("serde_derive shim: cannot derive for `{other} {name}`"),
+    };
+    Item { name, kind }
+}
+
+/// Extracts the field names from the body of a brace-delimited field list,
+/// skipping attributes, visibility, and types (angle-bracket aware so that
+/// commas inside generics such as `HashMap<u64, Vma>` do not split fields).
+fn parse_named_fields(ts: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        while i < toks.len() && is_punct(&toks[i], '#') {
+            i += 2;
+        }
+        if i >= toks.len() {
+            break;
+        }
+        if matches!(&toks[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        fields.push(ident_str(&toks[i]));
+        i += 1; // field name
+        i += 1; // `:`
+        let mut depth = 0i64;
+        while i < toks.len() {
+            if let TokenTree::Punct(p) = &toks[i] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a paren-delimited (tuple) field list.
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i64;
+    let mut count = 1;
+    let mut trailing_comma = false;
+    for tt in &toks {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    count += 1;
+                    trailing_comma = true;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<(String, Fields)> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        while i < toks.len() && is_punct(&toks[i], '#') {
+            i += 2;
+        }
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_str(&toks[i]);
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip any discriminant (`= expr`) up to the variant separator.
+        while i < toks.len() && !is_punct(&toks[i], ',') {
+            i += 1;
+        }
+        i += 1;
+        variants.push((name, fields));
+    }
+    variants
+}
+
+/// Emits `out.push_str("...");` for a raw JSON fragment.
+fn push_lit(code: &mut String, fragment: &str) {
+    code.push_str("out.push_str(\"");
+    for c in fragment.chars() {
+        match c {
+            '"' => code.push_str("\\\""),
+            '\\' => code.push_str("\\\\"),
+            other => code.push(other),
+        }
+    }
+    code.push_str("\");\n");
+}
+
+/// Emits a `write_json` call for the expression `expr`.
+fn push_ser(code: &mut String, expr: &str) {
+    code.push_str("::serde::Serialize::write_json(");
+    code.push_str(expr);
+    code.push_str(", out);\n");
+}
+
+fn gen_fields_body(code: &mut String, fields: &Fields, access: &dyn Fn(&str) -> String) {
+    match fields {
+        Fields::Named(names) => {
+            push_lit(code, "{");
+            for (k, f) in names.iter().enumerate() {
+                if k > 0 {
+                    push_lit(code, ",");
+                }
+                push_lit(code, &format!("\"{f}\":"));
+                push_ser(code, &access(f));
+            }
+            push_lit(code, "}");
+        }
+        Fields::Tuple(1) => push_ser(code, &access("0")),
+        Fields::Tuple(n) => {
+            push_lit(code, "[");
+            for k in 0..*n {
+                if k > 0 {
+                    push_lit(code, ",");
+                }
+                push_ser(code, &access(&k.to_string()));
+            }
+            push_lit(code, "]");
+        }
+        Fields::Unit => push_lit(code, "null"),
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let mut body = String::new();
+    match &item.kind {
+        ItemKind::Struct(fields) => {
+            gen_fields_body(&mut body, fields, &|f| format!("&self.{f}"));
+        }
+        ItemKind::Enum(variants) => {
+            body.push_str("match self {\n");
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        body.push_str(&format!("Self::{v} => {{\n"));
+                        push_lit(&mut body, &format!("\"{v}\""));
+                        body.push_str("}\n");
+                    }
+                    Fields::Named(names) => {
+                        body.push_str(&format!("Self::{v} {{ {} }} => {{\n", names.join(", ")));
+                        push_lit(&mut body, &format!("{{\"{v}\":"));
+                        gen_fields_body(&mut body, fields, &|f| f.to_string());
+                        push_lit(&mut body, "}");
+                        body.push_str("}\n");
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        body.push_str(&format!("Self::{v}({}) => {{\n", binds.join(", ")));
+                        push_lit(&mut body, &format!("{{\"{v}\":"));
+                        gen_fields_body(&mut body, fields, &|f| format!("__f{f}"));
+                        push_lit(&mut body, "}");
+                        body.push_str("}\n");
+                    }
+                }
+            }
+            body.push_str("}\n");
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn write_json(&self, out: &mut ::std::string::String) {{\n\
+         {body}\
+         }}\n\
+         }}\n",
+        name = item.name,
+    )
+}

@@ -1,0 +1,35 @@
+//! Vendored minimal stand-in for the `serde_json` crate.
+//!
+//! Provides [`to_string`] / [`to_string_pretty`] over the shim
+//! [`serde::Serialize`] trait, which writes compact JSON text directly.
+//! Serialization in this workspace is write-only (reports dumped for human
+//! inspection), so no parser is provided.
+
+use std::fmt;
+
+/// Serialization error. The shim serializer is infallible, so this is never
+/// actually constructed; it exists to keep call sites source-compatible with
+/// the real `serde_json` API.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("json serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.write_json(&mut out);
+    Ok(out)
+}
+
+/// Serializes `value` to JSON. The shim does not pretty-print; output is
+/// identical to [`to_string`].
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    to_string(value)
+}

@@ -54,7 +54,10 @@ fn detailed_mode_differs_from_emulation_mode_in_timing_not_function() {
     let mut emulated = build_system(SystemConfig::small_test().with_emulation_baseline(), &spec);
     let d = detailed.run(&mut spec.build(3), None);
     let e = emulated.run(&mut spec.build(3), None);
-    assert_eq!(d.minor_faults + d.major_faults, e.minor_faults + e.major_faults);
+    assert_eq!(
+        d.minor_faults + d.major_faults,
+        e.minor_faults + e.major_faults
+    );
     assert!(d.kernel_instructions > 0);
     assert_eq!(e.kernel_instructions, 0);
 }
@@ -63,7 +66,9 @@ fn detailed_mode_differs_from_emulation_mode_in_timing_not_function() {
 fn every_page_table_design_completes_the_same_workload() {
     // Scale the footprint so it fits the small-test machine's 256 MB of
     // physical memory even under THP.
-    let spec = catalog::graphbig_bfs().scaled_footprint(0.25).with_instructions(15_000);
+    let spec = catalog::graphbig_bfs()
+        .scaled_footprint(0.25)
+        .with_instructions(15_000);
     for kind in [
         PageTableKind::Radix,
         PageTableKind::ElasticCuckoo,
@@ -83,12 +88,17 @@ fn allocation_policies_complete_and_differ_in_huge_page_usage() {
     let spec = catalog::llm_llama().with_instructions(20_000);
     let mut huge_by_policy = Vec::new();
     for policy in [AllocationPolicy::BuddyFourK, AllocationPolicy::LinuxThp] {
-        let mut system =
-            build_system(SystemConfig::small_test().with_allocation_policy(policy), &spec);
+        let mut system = build_system(
+            SystemConfig::small_test().with_allocation_policy(policy),
+            &spec,
+        );
         let report = system.run(&mut spec.build(5), None);
         huge_by_policy.push(report.huge_mappings);
     }
-    assert_eq!(huge_by_policy[0], 0, "BuddyFourK must not create huge pages");
+    assert_eq!(
+        huge_by_policy[0], 0,
+        "BuddyFourK must not create huge pages"
+    );
     assert!(huge_by_policy[1] > 0, "LinuxThp should create huge pages");
 }
 
@@ -115,7 +125,10 @@ fn swap_path_exercises_the_ssd_model() {
     );
     let mut system = build_system(config, &spec);
     let report = system.run(&mut spec.build(6), None);
-    assert!(report.swapped_pages > 0, "memory pressure must trigger swapping");
+    assert!(
+        report.swapped_pages > 0,
+        "memory pressure must trigger swapping"
+    );
     assert!(report.swap_io_ns > 0.0);
     assert!(system.os().ssd().stats().total_requests() > 0);
 }

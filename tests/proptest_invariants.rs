@@ -4,7 +4,12 @@
 use proptest::prelude::*;
 use virtuoso_suite::prelude::*;
 
-fn run_workload(footprint_mb: u64, instructions: u64, seed: u64, pattern: AccessPattern) -> SimulationReport {
+fn run_workload(
+    footprint_mb: u64,
+    instructions: u64,
+    seed: u64,
+    pattern: AccessPattern,
+) -> SimulationReport {
     let spec = WorkloadSpec::simple(
         "prop",
         WorkloadClass::LongRunning,

@@ -1,0 +1,14 @@
+//! Multi-process interference study: the GUPS + Llama mix interleaved by
+//! the MimicOS scheduler, with ASID-tagged TLBs vs the full-flush baseline.
+//! Usage: `cargo run --release -p virtuoso_bench --bin multiprogram [scale]`
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1u64);
+    println!(
+        "{}",
+        virtuoso_bench::experiments::multiprogram_interference(scale).render()
+    );
+}

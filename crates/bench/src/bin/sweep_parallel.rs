@@ -1,0 +1,14 @@
+//! Parallel figure sweep: independent (workload × page-table) cells
+//! sharded across worker threads by the work-stealing runner. Results are
+//! bit-identical at any `--jobs` level.
+//! Usage: `cargo run --release -p virtuoso_bench --bin sweep_parallel -- [--jobs N] [scale]`
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (jobs, rest) = virtuoso_bench::jobs_from_args(&args);
+    let scale = rest.first().and_then(|s| s.parse().ok()).unwrap_or(1u64);
+    println!(
+        "{}",
+        virtuoso_bench::experiments::parallel_pt_sweep(scale, jobs).render()
+    );
+}

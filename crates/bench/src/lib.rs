@@ -10,4 +10,7 @@
 pub mod experiments;
 pub mod runner;
 
-pub use runner::{run_spec, run_spec_with_config, ExperimentTable};
+pub use runner::{
+    cell_seed, jobs_from_args, map_spec_regions, run_cells, run_multiprogram_specs, run_spec,
+    run_spec_with_config, steady_state_overheads, ExperimentCell, ExperimentTable,
+};

@@ -83,6 +83,7 @@ impl SystemConfig {
                 page_walk_caches: true,
                 page_table,
                 metadata_base: PhysAddr::new(0x30_0000_0000),
+                asid_tlb_tags: true,
             },
             os: OsConfig::paper_baseline(),
             mode: SimulationMode::Detailed,

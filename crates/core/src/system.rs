@@ -1,15 +1,37 @@
 //! The assembled simulated system: core + caches + DRAM + MMU + MimicOS,
 //! wired together through the functional and instruction-stream channels.
+//!
+//! The system runs one process ([`System::run`]) or several
+//! ([`System::run_multiprogram`]): the MimicOS scheduler time-slices the
+//! core between the processes' trace sources, every address-space operation
+//! is tagged with the process's ASID, and context switches apply the
+//! configured TLB policy (ASID-tagged survival vs full flush).
 
 use crate::channel::{FunctionalChannel, InstructionStreamChannel, KernelRequest, KernelResponse};
 use crate::config::{SimulationMode, SystemConfig};
-use crate::report::SimulationReport;
+use crate::report::{MultiProgramReport, ProcessReport, SimulationReport};
 use cache_sim::CacheHierarchy;
 use dram_sim::DramModel;
+use mimic_os::sched::ContextSwitch;
 use mimic_os::{KernelInstructionStream, KernelOp, Mapping, MimicOs, ProcessId};
 use mmu_sim::Mmu;
 use sim_core::{CoreModel, Instruction, TraceSource};
-use vm_types::{AccessType, Cycles, PhysAddr, Requestor, VirtAddr, VmError, VmResult};
+use std::collections::BTreeMap;
+use vm_types::{
+    AccessType, Asid, Cycles, PageSize, PhysAddr, Requestor, VirtAddr, VmError, VmResult,
+};
+
+/// Per-process performance accounting kept by the framework (the OS keeps
+/// the functional per-process state; this is the architectural side).
+#[derive(Debug, Clone, Copy, Default)]
+struct ProcPerf {
+    instructions: u64,
+    cycles: u64,
+    translation_cycles: u64,
+    ptw_latency_cycles: u64,
+    ptw_count: u64,
+    segfaults: u64,
+}
 
 /// The full simulated machine.
 ///
@@ -22,7 +44,15 @@ pub struct System {
     dram: DramModel,
     mmu: Mmu,
     os: MimicOs,
-    pid: ProcessId,
+    /// The first process, used by the single-process convenience API.
+    primary: ProcessId,
+    /// The process currently holding the simulated core.
+    current: ProcessId,
+    per_proc: BTreeMap<usize, ProcPerf>,
+    /// Context switches performed by the framework.
+    context_switches: u64,
+    /// TLB entries dropped by context-switch flushes.
+    switch_flushed_entries: u64,
     functional: FunctionalChannel,
     streams: InstructionStreamChannel,
     workload_name: String,
@@ -52,7 +82,11 @@ impl System {
             dram: DramModel::new(config.dram.clone()),
             mmu: Mmu::new(config.mmu.clone()),
             os,
-            pid,
+            primary: pid,
+            current: pid,
+            per_proc: BTreeMap::new(),
+            context_switches: 0,
+            switch_flushed_entries: 0,
             functional: FunctionalChannel::new(),
             streams: InstructionStreamChannel::new(),
             workload_name: String::new(),
@@ -90,9 +124,30 @@ impl System {
         &self.core
     }
 
-    /// The process the workload runs in.
+    /// The first process — the one the single-process API runs.
     pub fn pid(&self) -> ProcessId {
-        self.pid
+        self.primary
+    }
+
+    /// The process currently holding the core.
+    pub fn current_pid(&self) -> ProcessId {
+        self.current
+    }
+
+    /// The ASID of a process.
+    pub fn asid_of(pid: ProcessId) -> Asid {
+        Asid::new(pid.0 as u16)
+    }
+
+    /// Context switches performed so far.
+    pub fn context_switches(&self) -> u64 {
+        self.context_switches
+    }
+
+    /// TLB entries dropped by context-switch flushes so far (non-zero only
+    /// without ASID tags).
+    pub fn switch_flushed_entries(&self) -> u64 {
+        self.switch_flushed_entries
     }
 
     /// Number of accesses that faulted outside any VMA and were skipped.
@@ -100,31 +155,111 @@ impl System {
         self.segfaults
     }
 
-    /// Maps an anonymous region for the workload process.
+    /// Creates an additional process (admitted to the scheduler's run
+    /// queue) and returns its identifier.
+    pub fn spawn_process(&mut self) -> ProcessId {
+        self.os.spawn_process()
+    }
+
+    /// Maps an anonymous region for the primary process.
     ///
     /// # Errors
     ///
     /// Propagates [`VmError::InvalidVma`] for overlapping or empty regions.
     pub fn mmap_anonymous(&mut self, start: VirtAddr, len: u64) -> VmResult<()> {
-        self.os.mmap_anonymous(self.pid, start, len, false)
+        self.mmap_anonymous_for(self.primary, start, len)
     }
 
-    /// Maps a hugetlbfs-backed region for the workload process.
+    /// Maps an anonymous region for a specific process.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`VmError::InvalidVma`] for overlapping or empty regions.
+    pub fn mmap_anonymous_for(
+        &mut self,
+        pid: ProcessId,
+        start: VirtAddr,
+        len: u64,
+    ) -> VmResult<()> {
+        self.os.mmap_anonymous(pid, start, len, false)
+    }
+
+    /// Maps a hugetlbfs-backed region for the primary process.
     ///
     /// # Errors
     ///
     /// Propagates [`VmError::InvalidVma`] for overlapping or empty regions.
     pub fn mmap_hugetlb(&mut self, start: VirtAddr, len: u64) -> VmResult<()> {
-        self.os.mmap_anonymous(self.pid, start, len, true)
+        self.os.mmap_anonymous(self.primary, start, len, true)
     }
 
-    /// Maps a file-backed region for the workload process.
+    /// Maps a file-backed region for the primary process.
     ///
     /// # Errors
     ///
     /// Propagates [`VmError::InvalidVma`] for overlapping or empty regions.
     pub fn mmap_file(&mut self, start: VirtAddr, len: u64, file_id: u64) -> VmResult<()> {
-        self.os.mmap_file(self.pid, start, len, file_id)
+        self.mmap_file_for(self.primary, start, len, file_id)
+    }
+
+    /// Maps a file-backed region for a specific process.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`VmError::InvalidVma`] for overlapping or empty regions.
+    pub fn mmap_file_for(
+        &mut self,
+        pid: ProcessId,
+        start: VirtAddr,
+        len: u64,
+        file_id: u64,
+    ) -> VmResult<()> {
+        self.os.mmap_file(pid, start, len, file_id)
+    }
+
+    /// Pre-faults every page of every VMA of `pid` (the equivalent of
+    /// `MAP_POPULATE`): mappings are established functionally and installed
+    /// in the MMU, but no simulated time is charged and no kernel streams
+    /// are injected. Used to measure steady-state behaviour of long-running
+    /// workloads without their cold first-touch phase.
+    pub fn populate(&mut self, pid: ProcessId) {
+        let asid = Self::asid_of(pid);
+        let vmas: Vec<(VirtAddr, u64)> = self
+            .os
+            .process(pid)
+            .vmas
+            .iter()
+            .map(|v| (v.start, v.len()))
+            .collect();
+        for (start, len) in vmas {
+            let mut offset = 0u64;
+            while offset < len {
+                let va = start.add(offset);
+                if let Some(existing) = self.os.process(pid).lookup_mapping(va) {
+                    self.mmu.install_mapping(asid, &existing);
+                    offset = existing.vaddr.add(existing.page_size.bytes()).raw() - start.raw();
+                    continue;
+                }
+                match self.os.handle_page_fault(pid, va, false) {
+                    Ok(outcome) => {
+                        self.mmu.install_mapping(asid, &outcome.mapping);
+                        for extra in &outcome.additional_mappings {
+                            self.mmu.install_mapping(asid, extra);
+                        }
+                        offset = outcome
+                            .mapping
+                            .vaddr
+                            .add(outcome.mapping.page_size.bytes())
+                            .raw()
+                            - start.raw();
+                    }
+                    Err(_) => {
+                        // Out of memory (or swap): leave the rest untouched.
+                        offset += PageSize::Size4K.bytes();
+                    }
+                }
+            }
+        }
     }
 
     /// Runs a workload until its trace ends or `max_instructions` retire.
@@ -147,12 +282,163 @@ impl System {
         self.report()
     }
 
-    /// Executes one application instruction.
+    /// Runs several processes concurrently, interleaved by the MimicOS
+    /// round-robin scheduler: each runnable process executes up to one
+    /// quantum of its trace, then the kernel preempts it, the context
+    /// switch is charged (switch-code instruction stream, TLB flush policy)
+    /// and the next process takes the core. The run ends when every trace
+    /// is exhausted or `max_instructions` have retired in total.
+    ///
+    /// Every `(pid, source)` pair must name a process created by
+    /// [`System::spawn_process`] (or [`System::pid`] for the first).
+    /// Processes known to the scheduler but absent from `programs` are
+    /// treated as immediately exited.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same `pid` appears twice in `programs`.
+    pub fn run_multiprogram(
+        &mut self,
+        programs: &mut [(ProcessId, &mut dyn TraceSource)],
+        max_instructions: Option<u64>,
+    ) -> MultiProgramReport {
+        let mut names: BTreeMap<usize, String> = BTreeMap::new();
+        for (pid, src) in programs.iter() {
+            assert!(
+                names.insert(pid.0, src.name().to_string()).is_none(),
+                "{pid} appears twice"
+            );
+        }
+        self.workload_name = {
+            let mut all: Vec<&str> = names.values().map(String::as_str).collect();
+            all.sort_unstable();
+            all.join("+")
+        };
+
+        let limit = max_instructions.unwrap_or(u64::MAX);
+        let mut retired_total = 0u64;
+        'outer: while retired_total < limit {
+            let Some(pid) = self.os.scheduler_mut().schedule() else {
+                break; // every process exited
+            };
+            if pid != self.current {
+                // Dispatch after an exit (or an externally spawned process):
+                // architecturally still a context switch.
+                self.apply_context_switch(ContextSwitch {
+                    from: self.current,
+                    to: pid,
+                });
+            }
+            let Some((_, source)) = programs.iter_mut().find(|(p, _)| *p == pid) else {
+                // No trace for this process: it exits immediately.
+                self.os.scheduler_mut().exit(pid);
+                continue;
+            };
+
+            let quantum = self.os.scheduler().quantum();
+            let mut ran = 0u64;
+            let mut exhausted = false;
+            while ran < quantum {
+                let Some(instr) = source.next_instruction() else {
+                    exhausted = true;
+                    break;
+                };
+                self.step(&instr);
+                ran += 1;
+                retired_total += 1;
+                if retired_total >= limit {
+                    if ran > 0 {
+                        self.os.scheduler_mut().account(ran);
+                    }
+                    break 'outer;
+                }
+            }
+            let expired = ran > 0 && self.os.scheduler_mut().account(ran);
+            if exhausted {
+                self.os.scheduler_mut().exit(pid);
+            } else if expired {
+                if let Some(switch) = self.os.scheduler_mut().preempt() {
+                    self.apply_context_switch(switch);
+                }
+            }
+        }
+
+        let processes = names
+            .iter()
+            .map(|(&pid, name)| self.process_report(ProcessId(pid), name.clone()))
+            .collect();
+        MultiProgramReport {
+            processes,
+            context_switches: self.context_switches,
+            switch_flushed_tlb_entries: self.switch_flushed_entries,
+            rollup: self.report(),
+        }
+    }
+
+    /// Applies the architectural consequences of a context switch: the
+    /// switch-code kernel stream, the TLB flush policy and the bookkeeping.
+    fn apply_context_switch(&mut self, switch: ContextSwitch) {
+        let stream = self.os.context_switch_stream(switch);
+        match self.config.mode {
+            SimulationMode::Detailed => {
+                self.streams.send(stream);
+                self.drain_kernel_streams();
+            }
+            SimulationMode::Emulation { .. } => {
+                // Emulation mode charges the switch as a fixed stall instead
+                // of simulating the switch code.
+                self.core
+                    .stall(Cycles::new(u64::from(self.config.os.context_switch_cost)));
+            }
+        }
+        let dropped = self.mmu.context_switch(Self::asid_of(switch.to));
+        self.switch_flushed_entries += dropped as u64;
+        self.context_switches += 1;
+        self.current = switch.to;
+    }
+
+    /// Builds the per-process slice of the report for `pid`.
+    fn process_report(&self, pid: ProcessId, workload: String) -> ProcessReport {
+        let perf = self.per_proc.get(&pid.0).copied().unwrap_or_default();
+        let asid_stats = self.mmu.stats().for_asid(Self::asid_of(pid));
+        let process = self.os.process(pid);
+        ProcessReport {
+            pid: pid.0,
+            workload,
+            instructions: perf.instructions,
+            cycles: perf.cycles,
+            ipc: if perf.cycles == 0 {
+                0.0
+            } else {
+                perf.instructions as f64 / perf.cycles as f64
+            },
+            translation_cycles: perf.translation_cycles,
+            page_walks: asid_stats.walks.get(),
+            tlb_translations: asid_stats.translations.get(),
+            tlb_hits: asid_stats.hits(),
+            avg_ptw_latency_cycles: if perf.ptw_count == 0 {
+                0.0
+            } else {
+                perf.ptw_latency_cycles as f64 / perf.ptw_count as f64
+            },
+            minor_faults: process.minor_faults,
+            major_faults: process.major_faults,
+            segfaults: perf.segfaults,
+            scheduled_instructions: self.os.scheduler().stats().instructions_of(pid),
+        }
+    }
+
+    /// Executes one application instruction, attributing its cost to the
+    /// current process.
     pub fn step(&mut self, instr: &Instruction) {
+        let cycles_before = self.core.cycles().raw();
         match instr.memory {
             None => self.core.retire_compute(1),
             Some((vaddr, kind)) => self.memory_access(instr.pc, vaddr, kind),
         }
+        let perf = self.per_proc.entry(self.current.0).or_default();
+        perf.instructions += 1;
+        perf.cycles += self.core.cycles().raw() - cycles_before;
         self.instructions_since_housekeeping += 1;
         if self.config.housekeeping_interval > 0
             && self.instructions_since_housekeeping >= self.config.housekeeping_interval
@@ -166,10 +452,10 @@ impl System {
     /// the khugepaged stream injected in detailed mode.
     fn housekeeping(&mut self) {
         self.functional
-            .post_request(KernelRequest::BackgroundTick { pid: self.pid });
+            .post_request(KernelRequest::BackgroundTick { pid: self.current });
         let _ = self.functional.take_request();
         self.os.background_tick();
-        let stream = self.os.khugepaged_tick(self.pid);
+        let stream = self.os.khugepaged_tick(self.current);
         self.functional.post_response(KernelResponse::TickDone);
         let _ = self.functional.take_response();
         if self.config.mode.is_detailed() && !stream.is_empty() {
@@ -178,26 +464,42 @@ impl System {
         }
     }
 
+    /// Flushes locally accumulated translation costs into the global and
+    /// per-process accounting (one map lookup per memory access).
+    fn credit_translation(&mut self, cycles: u64, ptw_latency: u64, ptw_count: u64) {
+        self.translation_cycles += cycles;
+        self.ptw_latency_cycles += ptw_latency;
+        self.ptw_count += ptw_count;
+        let perf = self.per_proc.entry(self.current.0).or_default();
+        perf.translation_cycles += cycles;
+        perf.ptw_latency_cycles += ptw_latency;
+        perf.ptw_count += ptw_count;
+    }
+
     /// Performs one data memory access: translation, possible fault
     /// handling, then the data access itself.
     fn memory_access(&mut self, pc: VirtAddr, vaddr: VirtAddr, kind: AccessType) {
+        let asid = Self::asid_of(self.current);
         let mut total_latency = Cycles::ZERO;
         let mut paddr: Option<PhysAddr> = None;
+        let mut translation_cycles = 0u64;
+        let mut ptw_latency = 0u64;
+        let mut ptw_count = 0u64;
 
         // Translation (with at most one fault retry).
         for attempt in 0..2 {
-            let result = self.mmu.translate(vaddr);
+            let result = self.mmu.translate(asid, vaddr);
             total_latency += result.fixed_latency;
             // Anything beyond the 1-cycle L1 TLB probe counts as address
             // translation overhead.
-            self.translation_cycles += result.fixed_latency.raw().saturating_sub(1);
+            translation_cycles += result.fixed_latency.raw().saturating_sub(1);
 
             if let Some(walk) = &result.walk {
                 let walk_latency = self.charge_page_walk(walk.parallel, &walk.accesses);
                 total_latency += walk_latency;
-                self.translation_cycles += walk_latency.raw();
-                self.ptw_latency_cycles += walk_latency.raw();
-                self.ptw_count += 1;
+                translation_cycles += walk_latency.raw();
+                ptw_latency += walk_latency.raw();
+                ptw_count += 1;
             }
 
             match result.paddr {
@@ -208,12 +510,14 @@ impl System {
                 None => {
                     if attempt == 1 || !self.handle_fault(vaddr, kind.is_write()) {
                         // Unresolvable fault: skip the access.
+                        self.credit_translation(translation_cycles, ptw_latency, ptw_count);
                         self.core.retire_compute(1);
                         return;
                     }
                 }
             }
         }
+        self.credit_translation(translation_cycles, ptw_latency, ptw_count);
 
         let Some(paddr) = paddr else {
             self.core.retire_compute(1);
@@ -303,7 +607,7 @@ impl System {
     /// be resolved (segmentation fault).
     fn handle_fault(&mut self, vaddr: VirtAddr, is_write: bool) -> bool {
         self.functional.post_request(KernelRequest::PageFault {
-            pid: self.pid,
+            pid: self.current,
             vaddr,
             is_write,
         });
@@ -316,6 +620,7 @@ impl System {
         else {
             unreachable!("only page-fault requests are posted here");
         };
+        let asid = Self::asid_of(pid);
 
         match self.os.handle_page_fault(pid, vaddr, is_write) {
             Ok(outcome) => {
@@ -341,9 +646,9 @@ impl System {
                     SimulationMode::Detailed => {
                         self.streams.send(outcome.stream);
                         self.drain_kernel_streams();
-                        self.install_mapping_detailed(&mapping);
+                        self.install_mapping_detailed(asid, &mapping);
                         for extra in &additional {
-                            self.install_mapping_detailed(extra);
+                            self.install_mapping_detailed(asid, extra);
                         }
                         let device_cycles =
                             (device_latency_ns * self.config.core.frequency.ghz()).round() as u64;
@@ -353,9 +658,9 @@ impl System {
                         fixed_fault_latency,
                         ..
                     } => {
-                        self.mmu.install_mapping(&mapping);
+                        self.mmu.install_mapping(asid, &mapping);
                         for extra in &additional {
-                            self.mmu.install_mapping(extra);
+                            self.mmu.install_mapping(asid, extra);
                         }
                         self.core.stall(fixed_fault_latency);
                     }
@@ -368,6 +673,7 @@ impl System {
                 });
                 let _ = self.functional.take_response();
                 self.segfaults += 1;
+                self.per_proc.entry(pid.0).or_default().segfaults += 1;
                 false
             }
             Err(error) => {
@@ -375,6 +681,7 @@ impl System {
                     .post_response(KernelResponse::FaultFailed { error });
                 let _ = self.functional.take_response();
                 self.segfaults += 1;
+                self.per_proc.entry(pid.0).or_default().segfaults += 1;
                 false
             }
         }
@@ -382,8 +689,8 @@ impl System {
 
     /// Installs a mapping in detailed mode, charging the page-table update
     /// accesses as kernel memory traffic.
-    fn install_mapping_detailed(&mut self, mapping: &Mapping) {
-        let accesses = self.mmu.install_mapping(mapping);
+    fn install_mapping_detailed(&mut self, asid: Asid, mapping: &Mapping) {
+        let accesses = self.mmu.install_mapping(asid, mapping);
         self.core.set_kernel_mode(true);
         for pa in accesses {
             let lat = self.charge_kernel_access(pa, AccessType::Write);
@@ -615,5 +922,114 @@ mod tests {
         );
         assert!(system.streams.streams_sent.get() > 0);
         assert_eq!(system.streams.pending(), 0, "all streams must be consumed");
+    }
+
+    #[test]
+    fn populate_prefaults_the_whole_vma() {
+        let mut system = System::new(SystemConfig::small_test());
+        system
+            .mmap_anonymous(VirtAddr::new(0x1000_0000), 8 * 1024 * 1024)
+            .unwrap();
+        let pid = system.pid();
+        system.populate(pid);
+        assert!(system.os().process(pid).resident_bytes() >= 8 * 1024 * 1024);
+        // A populated run takes no further faults.
+        let before = system.os().stats().total_faults();
+        let trace = linear_trace(0x1000_0000, 2000, 4096);
+        system.run(&mut SliceFrontend::new("warm", trace), None);
+        assert_eq!(system.os().stats().total_faults(), before);
+    }
+
+    fn two_process_system(asid_tags: bool) -> (System, ProcessId, ProcessId) {
+        let mut config = SystemConfig::small_test();
+        config.mmu.asid_tlb_tags = asid_tags;
+        let mut system = System::new(config);
+        let a = system.pid();
+        let b = system.spawn_process();
+        system
+            .mmap_anonymous_for(a, VirtAddr::new(0x1000_0000), 16 * 1024 * 1024)
+            .unwrap();
+        system
+            .mmap_anonymous_for(b, VirtAddr::new(0x1000_0000), 16 * 1024 * 1024)
+            .unwrap();
+        (system, a, b)
+    }
+
+    #[test]
+    fn multiprogram_run_interleaves_and_reports_per_process() {
+        let (mut system, a, b) = two_process_system(true);
+        let mut fa = SliceFrontend::new("A", linear_trace(0x1000_0000, 8000, 64));
+        let mut fb = SliceFrontend::new("B", linear_trace(0x1000_0000, 6000, 4096));
+        let report = {
+            let mut programs: Vec<(ProcessId, &mut dyn TraceSource)> =
+                vec![(a, &mut fa), (b, &mut fb)];
+            system.run_multiprogram(&mut programs, None)
+        };
+        assert_eq!(report.processes.len(), 2);
+        let ra = &report.processes[0];
+        let rb = &report.processes[1];
+        assert_eq!(ra.workload, "A");
+        assert_eq!(rb.workload, "B");
+        assert_eq!(ra.instructions, 8000);
+        assert_eq!(rb.instructions, 6000);
+        assert_eq!(report.rollup.instructions, 14_000);
+        assert_eq!(ra.instructions, ra.scheduled_instructions);
+        assert!(report.context_switches > 0, "quantum is 2500 instructions");
+        assert!(ra.minor_faults > 0);
+        assert!(rb.minor_faults > 0);
+        // Same virtual addresses, distinct address spaces: both took their
+        // own faults and their own page walks.
+        assert!(ra.tlb_translations > 0);
+        assert!(rb.tlb_translations > 0);
+        // Per-process cycles sum to the total (every cycle is attributed).
+        assert!(ra.cycles + rb.cycles <= report.rollup.cycles);
+    }
+
+    #[test]
+    fn asid_tags_avoid_flush_induced_tlb_misses() {
+        let run = |asid_tags: bool| {
+            let (mut system, a, b) = two_process_system(asid_tags);
+            // Small working sets that fit the TLB, revisited every quantum.
+            let mut fa = SliceFrontend::new("A", linear_trace(0x1000_0000, 12_000, 0));
+            let mut fb = SliceFrontend::new("B", linear_trace(0x1000_0000, 12_000, 0));
+            let mut programs: Vec<(ProcessId, &mut dyn TraceSource)> =
+                vec![(a, &mut fa), (b, &mut fb)];
+            let report = system.run_multiprogram(&mut programs, None);
+            let walks: u64 = report.processes.iter().map(|p| p.page_walks).sum();
+            (report, walks)
+        };
+        let (tagged_report, tagged_walks) = run(true);
+        let (flushed_report, flushed_walks) = run(false);
+        assert_eq!(tagged_report.switch_flushed_tlb_entries, 0);
+        assert!(flushed_report.switch_flushed_tlb_entries > 0);
+        assert!(
+            tagged_walks < flushed_walks,
+            "ASID tags must avoid flush-induced walks: {tagged_walks} vs {flushed_walks}"
+        );
+    }
+
+    #[test]
+    fn multiprogram_respects_the_total_instruction_limit() {
+        let (mut system, a, b) = two_process_system(true);
+        let mut fa = SliceFrontend::new("A", linear_trace(0x1000_0000, 50_000, 64));
+        let mut fb = SliceFrontend::new("B", linear_trace(0x1000_0000, 50_000, 64));
+        let mut programs: Vec<(ProcessId, &mut dyn TraceSource)> = vec![(a, &mut fa), (b, &mut fb)];
+        let report = system.run_multiprogram(&mut programs, Some(10_000));
+        assert_eq!(report.rollup.instructions, 10_000);
+        let per_proc: u64 = report.processes.iter().map(|p| p.instructions).sum();
+        assert_eq!(per_proc, 10_000);
+    }
+
+    #[test]
+    fn multiprogram_rollup_and_table_render() {
+        let (mut system, a, b) = two_process_system(true);
+        let mut fa = SliceFrontend::new("A", linear_trace(0x1000_0000, 3000, 64));
+        let mut fb = SliceFrontend::new("B", linear_trace(0x1000_0000, 3000, 64));
+        let mut programs: Vec<(ProcessId, &mut dyn TraceSource)> = vec![(a, &mut fa), (b, &mut fb)];
+        let report = system.run_multiprogram(&mut programs, None);
+        assert_eq!(report.rollup.workload, "A+B");
+        let table = report.to_table();
+        assert!(table.contains("pid"));
+        assert!(table.contains("context_switches"));
     }
 }

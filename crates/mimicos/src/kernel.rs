@@ -8,6 +8,7 @@ use crate::fault::{FaultKind, Mapping, PageFaultOutcome};
 use crate::kernel_stream::{KernelInstructionStream, KernelRoutine};
 use crate::page_cache::PageCache;
 use crate::process::Process;
+use crate::sched::{ContextSwitch, Scheduler};
 use crate::slab::SlabAllocator;
 use crate::swap::SwapManager;
 use crate::thp::{
@@ -70,6 +71,13 @@ pub struct OsConfig {
     /// mirroring the paper's methodology of pre-populating the page cache so
     /// short-running workloads take minor rather than major faults.
     pub populate_page_cache: bool,
+    /// Scheduler quantum in application instructions (0 disables
+    /// preemption). Scaled down with the rest of the simulation: a few
+    /// thousand instructions play the role of a millisecond timeslice.
+    pub sched_quantum: u64,
+    /// Kernel instructions charged for one context switch (scheduler
+    /// bookkeeping, register save/restore, switch_mm).
+    pub context_switch_cost: u32,
     /// Seed for the kernel's deterministic RNG.
     pub seed: u64,
 }
@@ -90,6 +98,8 @@ impl OsConfig {
             reclaim_batch: 32,
             ssd: SsdConfig::nvme_datacenter(),
             populate_page_cache: true,
+            sched_quantum: 50_000,
+            context_switch_cost: 4_000,
             seed: 0x5afa_51,
         }
     }
@@ -102,6 +112,7 @@ impl OsConfig {
             swap_bytes: 16 * 1024 * 1024,
             page_cache_pages: 4096,
             fragmentation_target: None,
+            sched_quantum: 2_500,
             ..OsConfig::paper_baseline()
         }
     }
@@ -204,6 +215,7 @@ pub struct MimicOs {
     utopia: Option<UtopiaAllocator>,
     hugetlb: HugetlbPool,
     processes: Vec<Process>,
+    scheduler: Scheduler,
     ranges: BTreeMap<usize, Vec<RangeMapping>>,
     rng: DetRng,
     stats: OsStats,
@@ -265,6 +277,7 @@ impl MimicOs {
             utopia,
             hugetlb: HugetlbPool::new(),
             processes: Vec::new(),
+            scheduler: Scheduler::new(config.sched_quantum),
             ranges: BTreeMap::new(),
             rng,
             stats: OsStats::default(),
@@ -319,11 +332,45 @@ impl MimicOs {
         &self.khugepaged
     }
 
-    /// Creates a new process and returns its identifier.
+    /// Creates a new process, admits it to the scheduler's run queue and
+    /// returns its identifier.
     pub fn spawn_process(&mut self) -> ProcessId {
         self.processes.push(Process::new());
         self.ranges.insert(self.processes.len() - 1, Vec::new());
-        ProcessId(self.processes.len() - 1)
+        let pid = ProcessId(self.processes.len() - 1);
+        self.scheduler.admit(pid);
+        pid
+    }
+
+    /// The process scheduler.
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
+    /// Mutable access to the process scheduler (the simulation loop drives
+    /// dispatch, accounting and preemption through it).
+    pub fn scheduler_mut(&mut self) -> &mut Scheduler {
+        &mut self.scheduler
+    }
+
+    /// Performs the kernel half of a context switch and returns the
+    /// instruction stream of the switch code (scheduler bookkeeping,
+    /// register save/restore, `switch_mm`).
+    pub fn context_switch_stream(&mut self, switch: ContextSwitch) -> KernelInstructionStream {
+        let mut stream = KernelInstructionStream::new(KernelRoutine::ContextSwitch);
+        stream.compute(self.config.context_switch_cost);
+        // Touch both task structs and the incoming mm_struct, so the switch
+        // pollutes the caches the way real switch code does.
+        for pid in [switch.from, switch.to] {
+            stream.store(PhysAddr::new(
+                0xFFFF_C000_0000_0000 + (pid.0 as u64) * 0x4000,
+            ));
+        }
+        stream.store(PhysAddr::new(
+            0xFFFF_C800_0000_0000 + (switch.to.0 as u64) * 0x2000,
+        ));
+        self.stats.kernel_instructions += stream.instruction_count();
+        stream
     }
 
     /// Immutable access to a process.
@@ -510,8 +557,16 @@ impl MimicOs {
         // Spurious fault: another thread (or eager paging) already mapped it.
         if let Some(existing) = self.processes[pid.0].lookup_mapping(vaddr) {
             stream.compute(40);
-            let outcome =
-                self.finish_fault(existing, Vec::new(), FaultKind::Spurious, stream, 0.0, 0, 0);
+            let outcome = self.finish_fault(
+                pid,
+                existing,
+                Vec::new(),
+                FaultKind::Spurious,
+                stream,
+                0.0,
+                0,
+                0,
+            );
             return Ok(outcome);
         }
 
@@ -544,6 +599,7 @@ impl MimicOs {
             };
             self.install_mapping(pid, mapping, &mut stream);
             let outcome = self.finish_fault(
+                pid,
                 mapping,
                 additional,
                 FaultKind::SwapIn,
@@ -572,6 +628,7 @@ impl MimicOs {
             };
             self.install_mapping(pid, mapping, &mut stream);
             let outcome = self.finish_fault(
+                pid,
                 mapping,
                 additional,
                 FaultKind::Hugetlb,
@@ -599,6 +656,7 @@ impl MimicOs {
             };
             self.install_mapping(pid, mapping, &mut stream);
             let outcome = self.finish_fault(
+                pid,
                 mapping,
                 additional,
                 FaultKind::Minor,
@@ -639,6 +697,7 @@ impl MimicOs {
             };
             self.install_mapping(pid, mapping, &mut stream);
             let outcome = self.finish_fault(
+                pid,
                 mapping,
                 additional,
                 kind,
@@ -678,6 +737,7 @@ impl MimicOs {
         };
         self.install_mapping(pid, mapping, &mut stream);
         let outcome = self.finish_fault(
+            pid,
             mapping,
             additional,
             FaultKind::Minor,
@@ -991,10 +1051,12 @@ impl MimicOs {
         Ok(device_ns)
     }
 
-    /// Finalizes an outcome and records statistics.
+    /// Finalizes an outcome and records kernel-wide plus per-process
+    /// statistics.
     #[allow(clippy::too_many_arguments)]
     fn finish_fault(
         &mut self,
+        pid: ProcessId,
         mapping: Mapping,
         additional: Vec<Mapping>,
         kind: FaultKind,
@@ -1011,12 +1073,20 @@ impl MimicOs {
             FaultKind::Minor => {
                 self.stats.minor_faults.inc();
                 self.stats.minor_fault_latency_ns.record(total_ns);
+                self.processes[pid.0].minor_faults += 1;
             }
-            FaultKind::Major => self.stats.major_faults.inc(),
-            FaultKind::SwapIn => self.stats.swap_in_faults.inc(),
+            FaultKind::Major => {
+                self.stats.major_faults.inc();
+                self.processes[pid.0].major_faults += 1;
+            }
+            FaultKind::SwapIn => {
+                self.stats.swap_in_faults.inc();
+                self.processes[pid.0].major_faults += 1;
+            }
             FaultKind::Hugetlb => {
                 self.stats.hugetlb_faults.inc();
                 self.stats.minor_fault_latency_ns.record(total_ns);
+                self.processes[pid.0].minor_faults += 1;
             }
             FaultKind::Spurious => self.stats.spurious_faults.inc(),
         }

@@ -47,6 +47,8 @@ pub enum KernelRoutine {
     Reclaim,
     /// mmap / munmap system call work.
     Mmap,
+    /// Scheduler context switch (`__schedule`, `switch_mm`, `switch_to`).
+    ContextSwitch,
 }
 
 /// One operation in a kernel instruction stream: either a block of

@@ -46,6 +46,7 @@ pub mod kernel;
 pub mod kernel_stream;
 pub mod page_cache;
 pub mod process;
+pub mod sched;
 pub mod slab;
 pub mod swap;
 pub mod thp;
@@ -59,6 +60,7 @@ pub use kernel::{MimicOs, OsConfig, OsStats, ProcessId};
 pub use kernel_stream::{KernelInstructionStream, KernelOp, KernelRoutine};
 pub use page_cache::PageCache;
 pub use process::Process;
+pub use sched::{ContextSwitch, SchedStats, Scheduler};
 pub use slab::SlabAllocator;
 pub use swap::{SwapManager, SwapStats};
 pub use thp::{KhugepagedDaemon, ThpConfig, ThpMode};

@@ -1,0 +1,241 @@
+//! The MimicOS process scheduler: a round-robin, fixed-quantum scheduler
+//! imitating the behaviour (not the implementation) of Linux CFS under a
+//! steady multi-programmed load.
+//!
+//! The scheduler decides *which* process's trace the Virtuoso framework
+//! feeds to the core model; the framework reports back how many
+//! instructions actually ran and asks for a preemption decision when the
+//! quantum expires. Context switches are surfaced as [`ContextSwitch`]
+//! events so the framework can apply the architectural consequences (TLB
+//! flush policy, switch-code instruction stream).
+
+use crate::kernel::ProcessId;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+use vm_types::Counter;
+
+/// A context-switch event: the outgoing and incoming process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ContextSwitch {
+    /// The process being descheduled.
+    pub from: ProcessId,
+    /// The process taking the core.
+    pub to: ProcessId,
+}
+
+/// Scheduler statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedStats {
+    /// Context switches performed (a quantum expiry with only one runnable
+    /// process does not switch).
+    pub context_switches: Counter,
+    /// Quanta that ran to expiry.
+    pub quanta_expired: Counter,
+    /// Instructions accounted to each process, keyed by raw pid.
+    pub instructions_by_pid: BTreeMap<usize, u64>,
+}
+
+impl SchedStats {
+    /// Total instructions accounted across all processes.
+    pub fn total_instructions(&self) -> u64 {
+        self.instructions_by_pid.values().sum()
+    }
+
+    /// Instructions accounted to one process.
+    pub fn instructions_of(&self, pid: ProcessId) -> u64 {
+        self.instructions_by_pid.get(&pid.0).copied().unwrap_or(0)
+    }
+}
+
+/// The round-robin quantum scheduler.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scheduler {
+    quantum: u64,
+    runqueue: VecDeque<ProcessId>,
+    current: Option<ProcessId>,
+    ran_in_quantum: u64,
+    stats: SchedStats,
+}
+
+impl Scheduler {
+    /// Builds a scheduler with the given quantum (in instructions). A
+    /// quantum of zero disables preemption.
+    pub fn new(quantum: u64) -> Self {
+        Scheduler {
+            quantum: if quantum == 0 { u64::MAX } else { quantum },
+            runqueue: VecDeque::new(),
+            current: None,
+            ran_in_quantum: 0,
+            stats: SchedStats::default(),
+        }
+    }
+
+    /// The quantum in instructions.
+    pub fn quantum(&self) -> u64 {
+        self.quantum
+    }
+
+    /// Statistics.
+    pub fn stats(&self) -> &SchedStats {
+        &self.stats
+    }
+
+    /// Admits a process to the tail of the run queue.
+    pub fn admit(&mut self, pid: ProcessId) {
+        self.runqueue.push_back(pid);
+    }
+
+    /// The process currently holding the core, if any.
+    pub fn current(&self) -> Option<ProcessId> {
+        self.current
+    }
+
+    /// Number of runnable processes (running + queued).
+    pub fn runnable(&self) -> usize {
+        self.runqueue.len() + usize::from(self.current.is_some())
+    }
+
+    /// Ensures some process holds the core, dispatching the head of the run
+    /// queue if none does. Returns the running process, or `None` when the
+    /// run queue is empty.
+    pub fn schedule(&mut self) -> Option<ProcessId> {
+        if self.current.is_none() {
+            self.current = self.runqueue.pop_front();
+            self.ran_in_quantum = 0;
+        }
+        self.current
+    }
+
+    /// Accounts `instructions` retired by the current process. Returns
+    /// `true` when the quantum has expired and [`Scheduler::preempt`]
+    /// should be consulted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no process is current.
+    pub fn account(&mut self, instructions: u64) -> bool {
+        let pid = self.current.expect("account() without a running process");
+        *self.stats.instructions_by_pid.entry(pid.0).or_insert(0) += instructions;
+        self.ran_in_quantum += instructions;
+        self.ran_in_quantum >= self.quantum
+    }
+
+    /// Ends the current quantum. If another process is queued, rotates to
+    /// it and returns the [`ContextSwitch`]; with a single runnable process
+    /// the quantum simply restarts.
+    pub fn preempt(&mut self) -> Option<ContextSwitch> {
+        let from = self.current?;
+        self.stats.quanta_expired.inc();
+        self.ran_in_quantum = 0;
+        let Some(to) = self.runqueue.pop_front() else {
+            return None;
+        };
+        self.runqueue.push_back(from);
+        self.current = Some(to);
+        self.stats.context_switches.inc();
+        Some(ContextSwitch { from, to })
+    }
+
+    /// Removes a process (its trace ended or it was killed). If it was
+    /// running, the core becomes idle until the next
+    /// [`Scheduler::schedule`] call dispatches a successor.
+    pub fn exit(&mut self, pid: ProcessId) {
+        if self.current == Some(pid) {
+            self.current = None;
+            self.ran_in_quantum = 0;
+        } else {
+            self.runqueue.retain(|&p| p != pid);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(n: usize) -> ProcessId {
+        ProcessId(n)
+    }
+
+    #[test]
+    fn round_robin_rotates_through_the_runqueue() {
+        let mut s = Scheduler::new(100);
+        s.admit(pid(0));
+        s.admit(pid(1));
+        s.admit(pid(2));
+        assert_eq!(s.schedule(), Some(pid(0)));
+        assert!(s.account(100));
+        assert_eq!(
+            s.preempt(),
+            Some(ContextSwitch {
+                from: pid(0),
+                to: pid(1)
+            })
+        );
+        assert!(s.account(150));
+        assert_eq!(
+            s.preempt(),
+            Some(ContextSwitch {
+                from: pid(1),
+                to: pid(2)
+            })
+        );
+        assert!(s.account(100));
+        // Back to the head.
+        assert_eq!(s.preempt().unwrap().to, pid(0));
+        assert_eq!(s.stats().context_switches.get(), 3);
+    }
+
+    #[test]
+    fn a_lone_process_restarts_its_quantum_without_switching() {
+        let mut s = Scheduler::new(50);
+        s.admit(pid(4));
+        assert_eq!(s.schedule(), Some(pid(4)));
+        assert!(s.account(50));
+        assert_eq!(s.preempt(), None);
+        assert_eq!(s.current(), Some(pid(4)));
+        assert_eq!(s.stats().context_switches.get(), 0);
+        assert_eq!(s.stats().quanta_expired.get(), 1);
+    }
+
+    #[test]
+    fn accounting_sums_to_the_total_run() {
+        let mut s = Scheduler::new(10);
+        s.admit(pid(0));
+        s.admit(pid(1));
+        s.schedule();
+        let mut total = 0u64;
+        for n in [10u64, 7, 10, 3, 10] {
+            total += n;
+            if s.account(n) {
+                s.preempt();
+            }
+        }
+        assert_eq!(s.stats().total_instructions(), total);
+        assert!(s.stats().instructions_of(pid(0)) > 0);
+        assert!(s.stats().instructions_of(pid(1)) > 0);
+    }
+
+    #[test]
+    fn exit_frees_the_core_and_the_queue() {
+        let mut s = Scheduler::new(100);
+        s.admit(pid(0));
+        s.admit(pid(1));
+        s.schedule();
+        s.exit(pid(0));
+        assert_eq!(s.current(), None);
+        assert_eq!(s.schedule(), Some(pid(1)));
+        s.exit(pid(1));
+        assert_eq!(s.schedule(), None);
+        assert_eq!(s.runnable(), 0);
+    }
+
+    #[test]
+    fn zero_quantum_never_preempts() {
+        let mut s = Scheduler::new(0);
+        s.admit(pid(0));
+        s.admit(pid(1));
+        s.schedule();
+        assert!(!s.account(u64::MAX / 2));
+    }
+}

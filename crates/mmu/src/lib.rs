@@ -17,19 +17,22 @@
 //! ```
 //! use mmu_sim::{Mmu, MmuConfig, PageTableKind};
 //! use mimic_os::Mapping;
-//! use vm_types::{PageSize, PhysAddr, VirtAddr};
+//! use vm_types::{Asid, PageSize, PhysAddr, VirtAddr};
 //!
 //! let mut mmu = Mmu::new(MmuConfig::paper_baseline(PageTableKind::Radix));
-//! mmu.install_mapping(&Mapping {
+//! let asid = Asid::new(1);
+//! mmu.install_mapping(asid, &Mapping {
 //!     vaddr: VirtAddr::new(0x2000),
 //!     paddr: PhysAddr::new(0x8000_2000),
 //!     page_size: PageSize::Size4K,
 //! });
 //! mmu.flush_tlb();                              // drop the install-time fill
-//! let first = mmu.translate(VirtAddr::new(0x2010));
+//! let first = mmu.translate(asid, VirtAddr::new(0x2010));
 //! assert!(first.tlb_hit_level.is_none());       // cold TLB: page walk
-//! let second = mmu.translate(VirtAddr::new(0x2010));
+//! let second = mmu.translate(asid, VirtAddr::new(0x2010));
 //! assert!(second.tlb_hit_level.is_some());      // now the TLB hits
+//! // Another address space never observes these translations.
+//! assert!(mmu.translate(Asid::new(2), VirtAddr::new(0x2010)).is_fault());
 //! ```
 
 pub mod midgard;
@@ -40,7 +43,7 @@ pub mod rmm;
 pub mod tlb;
 pub mod utopia_mmu;
 
-pub use crate::mmu::{Mmu, MmuConfig, MmuStats, TranslationResult};
+pub use crate::mmu::{AsidMmuStats, Mmu, MmuConfig, MmuStats, TranslationResult};
 pub use midgard::{MidgardConfig, MidgardMmu, MidgardStats};
 pub use pt::{PageTable, PageTableKind, WalkOutcome};
 pub use pwc::PageWalkCaches;

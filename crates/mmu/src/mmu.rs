@@ -1,12 +1,24 @@
-//! The top-level MMU: TLB hierarchy + page-walk caches + a page-table
-//! walker for the configured page-table design.
+//! The top-level MMU: TLB hierarchy + page-walk caches + one page-table
+//! walker per address space for the configured page-table design.
+//!
+//! Every request names the [`Asid`] it executes under. TLB entries are
+//! tagged (see [`crate::tlb`]); page tables are instantiated per address
+//! space, each with its own metadata region in physical memory. A context
+//! switch either keeps the TLBs warm (ASID-tagged mode, the default) or
+//! performs the full flush of an ASID-less machine — the comparison the
+//! multi-process experiments read out.
 
 use crate::pt::{build_page_table, PageTable, PageTableKind, WalkOutcome};
 use crate::pwc::PageWalkCaches;
 use crate::tlb::{TlbHierarchy, TlbHierarchyConfig, TlbLevel};
 use mimic_os::Mapping;
 use serde::{Deserialize, Serialize};
-use vm_types::{Counter, Cycles, PhysAddr, VirtAddr};
+use std::collections::BTreeMap;
+use vm_types::{Asid, Counter, Cycles, PhysAddr, VirtAddr};
+
+/// Physical distance between the per-ASID page-table metadata regions
+/// (4 GiB — far more than any scaled-down table needs).
+const ASID_TABLE_STRIDE: u64 = 0x1_0000_0000;
 
 /// Configuration of the full MMU.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -18,8 +30,13 @@ pub struct MmuConfig {
     pub page_walk_caches: bool,
     /// Page-table design walked on TLB misses.
     pub page_table: PageTableKind,
-    /// Physical base address where page-table metadata is placed.
+    /// Physical base address where page-table metadata is placed. Each
+    /// address space gets its own region at a fixed stride above this base.
     pub metadata_base: PhysAddr,
+    /// `true` (default): TLB entries are ASID-tagged and survive context
+    /// switches. `false`: the ASID-less baseline that flushes the whole
+    /// TLB hierarchy on every switch.
+    pub asid_tlb_tags: bool,
 }
 
 impl MmuConfig {
@@ -30,6 +47,7 @@ impl MmuConfig {
             page_walk_caches: true,
             page_table,
             metadata_base: PhysAddr::new(0x30_0000_0000),
+            asid_tlb_tags: true,
         }
     }
 
@@ -40,11 +58,50 @@ impl MmuConfig {
             ..MmuConfig::paper_baseline(page_table)
         }
     }
+
+    /// Disables ASID tagging (full TLB flush on every context switch),
+    /// keeping everything else identical — the baseline of the
+    /// multi-process interference experiments.
+    pub fn without_asid_tags(mut self) -> Self {
+        self.asid_tlb_tags = false;
+        self
+    }
 }
 
 impl Default for MmuConfig {
     fn default() -> Self {
         MmuConfig::paper_baseline(PageTableKind::Radix)
+    }
+}
+
+/// Translation statistics of one address space.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AsidMmuStats {
+    /// Translations requested under this ASID.
+    pub translations: Counter,
+    /// Translations satisfied by the L1 TLBs.
+    pub l1_hits: Counter,
+    /// Translations satisfied by the L2 TLB.
+    pub l2_hits: Counter,
+    /// Page-table walks performed.
+    pub walks: Counter,
+    /// Walks that ended in a page fault.
+    pub faults: Counter,
+}
+
+impl AsidMmuStats {
+    /// TLB hits (either level) under this ASID.
+    pub fn hits(&self) -> u64 {
+        self.l1_hits.get() + self.l2_hits.get()
+    }
+
+    /// Miss ratio of this address space's translations, in `[0, 1]`.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.translations.get() == 0 {
+            0.0
+        } else {
+            self.walks.get() as f64 / self.translations.get() as f64
+        }
     }
 }
 
@@ -65,6 +122,13 @@ pub struct MmuStats {
     pub faults: Counter,
     /// Page-table update accesses performed on behalf of the kernel.
     pub insert_accesses: Counter,
+    /// Context switches observed by the MMU.
+    pub context_switches: Counter,
+    /// TLB entries dropped by context-switch flushes (non-zero only in the
+    /// ASID-less full-flush mode).
+    pub switch_flushed_entries: Counter,
+    /// Per-address-space hit/miss accounting, keyed by raw ASID.
+    pub per_asid: BTreeMap<u16, AsidMmuStats>,
 }
 
 impl MmuStats {
@@ -76,6 +140,12 @@ impl MmuStats {
         } else {
             self.walks.get() as f64 * 1000.0 / instructions as f64
         }
+    }
+
+    /// Translation statistics of one address space (zeros if the ASID never
+    /// translated).
+    pub fn for_asid(&self, asid: Asid) -> AsidMmuStats {
+        self.per_asid.get(&asid.raw()).cloned().unwrap_or_default()
     }
 }
 
@@ -106,7 +176,8 @@ pub struct Mmu {
     config: MmuConfig,
     tlb: TlbHierarchy,
     pwc: PageWalkCaches,
-    page_table: Box<dyn PageTable + Send>,
+    /// One page table per address space, created on first use.
+    tables: Vec<(Asid, Box<dyn PageTable + Send>)>,
     stats: MmuStats,
 }
 
@@ -115,7 +186,8 @@ impl std::fmt::Debug for Mmu {
         f.debug_struct("Mmu")
             .field("config", &self.config)
             .field("stats", &self.stats)
-            .field("page_table_kind", &self.page_table.kind())
+            .field("page_table_kind", &self.config.page_table)
+            .field("address_spaces", &self.tables.len())
             .finish_non_exhaustive()
     }
 }
@@ -128,13 +200,17 @@ impl Mmu {
         } else {
             PageWalkCaches::disabled()
         };
-        Mmu {
+        let mut mmu = Mmu {
             tlb: TlbHierarchy::new(config.tlb.clone()),
             pwc,
-            page_table: build_page_table(config.page_table, config.metadata_base),
+            tables: Vec::new(),
             stats: MmuStats::default(),
             config,
-        }
+        };
+        // The first address space exists from boot, as before the MMU went
+        // multi-process — `page_table()` is valid on a fresh MMU.
+        mmu.table_for(Asid::KERNEL);
+        mmu
     }
 
     /// The MMU's configuration.
@@ -152,22 +228,54 @@ impl Mmu {
         &self.tlb
     }
 
-    /// The underlying page table.
-    pub fn page_table(&self) -> &(dyn PageTable + Send) {
-        self.page_table.as_ref()
+    /// The page table of address space `asid`, if it has one.
+    pub fn page_table_of(&self, asid: Asid) -> Option<&(dyn PageTable + Send)> {
+        self.tables
+            .iter()
+            .find(|(a, _)| *a == asid)
+            .map(|(_, t)| t.as_ref())
     }
 
-    /// Translates `va`. On a TLB miss the configured page table is walked;
-    /// the returned [`WalkOutcome`] carries the page-table accesses the
-    /// caller must replay through the memory hierarchy to obtain the walk
-    /// latency.
-    pub fn translate(&mut self, va: VirtAddr) -> TranslationResult {
+    /// The page table of the first address space ([`Asid::KERNEL`]) — the
+    /// single-process case. Always present (it is created at boot).
+    pub fn page_table(&self) -> &(dyn PageTable + Send) {
+        self.page_table_of(Asid::KERNEL)
+            .expect("the ASID-0 table is created by Mmu::new")
+    }
+
+    fn table_for(&mut self, asid: Asid) -> &mut Box<dyn PageTable + Send> {
+        if let Some(idx) = self.tables.iter().position(|(a, _)| *a == asid) {
+            return &mut self.tables[idx].1;
+        }
+        let base = PhysAddr::new(
+            self.config.metadata_base.raw() + u64::from(asid.raw()) * ASID_TABLE_STRIDE,
+        );
+        self.tables
+            .push((asid, build_page_table(self.config.page_table, base)));
+        &mut self.tables.last_mut().expect("just pushed").1
+    }
+
+    fn asid_stats(&mut self, asid: Asid) -> &mut AsidMmuStats {
+        self.stats.per_asid.entry(asid.raw()).or_default()
+    }
+
+    /// Translates `va` in address space `asid`. On a TLB miss the address
+    /// space's page table is walked; the returned [`WalkOutcome`] carries
+    /// the page-table accesses the caller must replay through the memory
+    /// hierarchy to obtain the walk latency.
+    pub fn translate(&mut self, asid: Asid, va: VirtAddr) -> TranslationResult {
         self.stats.translations.inc();
-        let (tlb_hit, mut fixed_latency) = self.tlb.lookup(va);
+        let (tlb_hit, mut fixed_latency) = self.tlb.lookup(asid, va);
         if let Some((mapping, level)) = tlb_hit {
             match level {
                 TlbLevel::L1 => self.stats.l1_hits.inc(),
                 TlbLevel::L2 => self.stats.l2_hits.inc(),
+            }
+            let per_asid = self.asid_stats(asid);
+            per_asid.translations.inc();
+            match level {
+                TlbLevel::L1 => per_asid.l1_hits.inc(),
+                TlbLevel::L2 => per_asid.l2_hits.inc(),
             }
             return TranslationResult {
                 paddr: Some(mapping.translate(va)),
@@ -186,12 +294,22 @@ impl Mmu {
             0
         };
         self.stats.walks.inc();
-        let walk = self.page_table.walk(va, skip);
+        let walk = self.table_for(asid).walk(va, skip);
         self.stats.walk_accesses.add(walk.accesses.len() as u64);
+        let faulted = walk.mapping.is_none();
+        if faulted {
+            self.stats.faults.inc();
+        }
+        let per_asid = self.asid_stats(asid);
+        per_asid.translations.inc();
+        per_asid.walks.inc();
+        if faulted {
+            per_asid.faults.inc();
+        }
 
         match walk.mapping {
             Some(mapping) => {
-                self.tlb.fill(mapping);
+                self.tlb.fill(asid, mapping);
                 if self.config.page_table == PageTableKind::Radix {
                     self.pwc.fill(va);
                 }
@@ -203,40 +321,61 @@ impl Mmu {
                     walk: Some(walk),
                 }
             }
-            None => {
-                self.stats.faults.inc();
-                TranslationResult {
-                    paddr: None,
-                    mapping: None,
-                    tlb_hit_level: None,
-                    fixed_latency,
-                    walk: Some(walk),
-                }
-            }
+            None => TranslationResult {
+                paddr: None,
+                mapping: None,
+                tlb_hit_level: None,
+                fixed_latency,
+                walk: Some(walk),
+            },
         }
     }
 
     /// Installs a mapping produced by the kernel (after a page fault) into
-    /// the page table and the TLB. Returns the page-table update accesses
-    /// (to be charged as kernel memory traffic).
-    pub fn install_mapping(&mut self, mapping: &Mapping) -> Vec<PhysAddr> {
-        let accesses = self.page_table.insert(*mapping);
+    /// the address space's page table and the TLB. Returns the page-table
+    /// update accesses (to be charged as kernel memory traffic).
+    pub fn install_mapping(&mut self, asid: Asid, mapping: &Mapping) -> Vec<PhysAddr> {
+        let accesses = self.table_for(asid).insert(*mapping);
         self.stats.insert_accesses.add(accesses.len() as u64);
-        self.tlb.fill(*mapping);
+        self.tlb.fill(asid, *mapping);
         accesses
     }
 
-    /// Removes the translation covering `va` from the page table and
-    /// invalidates the TLBs (a TLB shootdown). Returns the update accesses.
-    pub fn remove_mapping(&mut self, va: VirtAddr) -> Vec<PhysAddr> {
-        let accesses = self.page_table.remove(va);
-        self.tlb.invalidate(va);
+    /// Removes the translation covering `va` from the address space's page
+    /// table and invalidates the TLBs (a TLB shootdown). Returns the update
+    /// accesses.
+    pub fn remove_mapping(&mut self, asid: Asid, va: VirtAddr) -> Vec<PhysAddr> {
+        let accesses = self.table_for(asid).remove(va);
+        self.tlb.invalidate(asid, va);
         accesses
     }
 
-    /// Flushes the TLB hierarchy (context switch without ASIDs).
+    /// Notifies the MMU of a context switch into `to`. In ASID-tagged mode
+    /// the TLBs survive; in the full-flush baseline every entry is dropped.
+    /// The page-walk caches tag by virtual address alone and are flushed in
+    /// both modes. Returns the number of TLB entries dropped.
+    pub fn context_switch(&mut self, to: Asid) -> usize {
+        let _ = to;
+        self.stats.context_switches.inc();
+        self.pwc.flush();
+        if self.config.asid_tlb_tags {
+            0
+        } else {
+            let dropped = self.tlb.flush();
+            self.stats.switch_flushed_entries.add(dropped as u64);
+            dropped
+        }
+    }
+
+    /// Flushes the TLB hierarchy (all address spaces).
     pub fn flush_tlb(&mut self) {
         self.tlb.flush();
+    }
+
+    /// Flushes only the TLB entries of `asid` (address-space teardown).
+    /// Returns the number of entries dropped.
+    pub fn flush_asid(&mut self, asid: Asid) -> usize {
+        self.tlb.flush_asid(asid)
     }
 }
 
@@ -244,6 +383,8 @@ impl Mmu {
 mod tests {
     use super::*;
     use vm_types::PageSize;
+
+    const A0: Asid = Asid::KERNEL;
 
     fn mapping(va: u64, size: PageSize) -> Mapping {
         Mapping {
@@ -257,13 +398,13 @@ mod tests {
     fn translate_miss_walk_then_tlb_hit() {
         let mut mmu = Mmu::new(MmuConfig::small_test(PageTableKind::Radix));
         let m = mapping(0x7f00_1000, PageSize::Size4K);
-        mmu.install_mapping(&m);
+        mmu.install_mapping(A0, &m);
         mmu.flush_tlb();
-        let first = mmu.translate(VirtAddr::new(0x7f00_1234));
+        let first = mmu.translate(A0, VirtAddr::new(0x7f00_1234));
         assert_eq!(first.paddr, Some(m.translate(VirtAddr::new(0x7f00_1234))));
         assert!(first.tlb_hit_level.is_none());
         assert!(first.walk.is_some());
-        let second = mmu.translate(VirtAddr::new(0x7f00_1234));
+        let second = mmu.translate(A0, VirtAddr::new(0x7f00_1234));
         assert!(second.tlb_hit_level.is_some());
         assert!(second.walk.is_none());
         assert_eq!(mmu.stats().walks.get(), 1);
@@ -273,7 +414,7 @@ mod tests {
     #[test]
     fn unmapped_translation_faults() {
         let mut mmu = Mmu::new(MmuConfig::small_test(PageTableKind::Radix));
-        let result = mmu.translate(VirtAddr::new(0xdead_beef_000));
+        let result = mmu.translate(A0, VirtAddr::new(0xdead_beef_000));
         assert!(result.is_fault());
         assert_eq!(mmu.stats().faults.get(), 1);
     }
@@ -282,8 +423,8 @@ mod tests {
     fn install_fills_tlb_so_next_access_hits() {
         let mut mmu = Mmu::new(MmuConfig::small_test(PageTableKind::Radix));
         let m = mapping(0x1000, PageSize::Size4K);
-        mmu.install_mapping(&m);
-        let r = mmu.translate(VirtAddr::new(0x1000));
+        mmu.install_mapping(A0, &m);
+        let r = mmu.translate(A0, VirtAddr::new(0x1000));
         assert!(r.tlb_hit_level.is_some());
     }
 
@@ -291,9 +432,9 @@ mod tests {
     fn remove_mapping_causes_subsequent_fault() {
         let mut mmu = Mmu::new(MmuConfig::small_test(PageTableKind::Radix));
         let m = mapping(0x1000, PageSize::Size4K);
-        mmu.install_mapping(&m);
-        mmu.remove_mapping(VirtAddr::new(0x1000));
-        assert!(mmu.translate(VirtAddr::new(0x1000)).is_fault());
+        mmu.install_mapping(A0, &m);
+        mmu.remove_mapping(A0, VirtAddr::new(0x1000));
+        assert!(mmu.translate(A0, VirtAddr::new(0x1000)).is_fault());
     }
 
     #[test]
@@ -301,9 +442,9 @@ mod tests {
         for kind in PageTableKind::ALL {
             let mut mmu = Mmu::new(MmuConfig::small_test(kind));
             let m = mapping(0x2222_0000, PageSize::Size4K);
-            mmu.install_mapping(&m);
+            mmu.install_mapping(A0, &m);
             mmu.flush_tlb();
-            let r = mmu.translate(VirtAddr::new(0x2222_0abc));
+            let r = mmu.translate(A0, VirtAddr::new(0x2222_0abc));
             assert_eq!(r.paddr, Some(PhysAddr::new(0x10_2222_0abc)), "{kind}");
             assert!(r.walk.is_some(), "{kind}");
         }
@@ -314,12 +455,12 @@ mod tests {
         let mut mmu = Mmu::new(MmuConfig::small_test(PageTableKind::Radix));
         // Map many pages in the same 2 MiB region.
         for i in 0..16u64 {
-            mmu.install_mapping(&mapping(0x7f00_0000 + i * 4096, PageSize::Size4K));
+            mmu.install_mapping(A0, &mapping(0x7f00_0000 + i * 4096, PageSize::Size4K));
         }
         mmu.flush_tlb();
-        let first = mmu.translate(VirtAddr::new(0x7f00_0000));
+        let first = mmu.translate(A0, VirtAddr::new(0x7f00_0000));
         mmu.flush_tlb();
-        let warm = mmu.translate(VirtAddr::new(0x7f00_1000));
+        let warm = mmu.translate(A0, VirtAddr::new(0x7f00_1000));
         let first_len = first.walk.unwrap().accesses.len();
         let warm_len = warm.walk.unwrap().accesses.len();
         assert!(warm_len < first_len, "PWC should shorten the second walk");
@@ -329,11 +470,11 @@ mod tests {
     fn mpki_reflects_walk_count() {
         let mut mmu = Mmu::new(MmuConfig::small_test(PageTableKind::Radix));
         for i in 0..100u64 {
-            mmu.install_mapping(&mapping(i * (1 << 21), PageSize::Size4K));
+            mmu.install_mapping(A0, &mapping(i * (1 << 21), PageSize::Size4K));
         }
         mmu.flush_tlb();
         for i in 0..100u64 {
-            mmu.translate(VirtAddr::new(i * (1 << 21)));
+            mmu.translate(A0, VirtAddr::new(i * (1 << 21)));
         }
         // Sparse accesses across 2 MiB-strided pages: most should walk.
         assert!(mmu.stats().l2_mpki(100_000) > 0.5);
@@ -343,8 +484,103 @@ mod tests {
     fn huge_mappings_translate_any_interior_address() {
         let mut mmu = Mmu::new(MmuConfig::small_test(PageTableKind::Radix));
         let m = mapping(0x4000_0000, PageSize::Size2M);
-        mmu.install_mapping(&m);
-        let r = mmu.translate(VirtAddr::new(0x4012_3456));
+        mmu.install_mapping(A0, &m);
+        let r = mmu.translate(A0, VirtAddr::new(0x4012_3456));
         assert_eq!(r.paddr.unwrap().raw(), 0x10_4012_3456);
+    }
+
+    #[test]
+    fn address_spaces_are_isolated() {
+        let mut mmu = Mmu::new(MmuConfig::small_test(PageTableKind::Radix));
+        let a = Asid::new(1);
+        let b = Asid::new(2);
+        // Same virtual page mapped to different frames in two processes.
+        let ma = Mapping {
+            vaddr: VirtAddr::new(0x5000),
+            paddr: PhysAddr::new(0x10_0000_5000),
+            page_size: PageSize::Size4K,
+        };
+        let mb = Mapping {
+            vaddr: VirtAddr::new(0x5000),
+            paddr: PhysAddr::new(0x20_0000_5000),
+            page_size: PageSize::Size4K,
+        };
+        mmu.install_mapping(a, &ma);
+        mmu.install_mapping(b, &mb);
+        assert_eq!(
+            mmu.translate(a, VirtAddr::new(0x5008)).paddr,
+            Some(PhysAddr::new(0x10_0000_5008))
+        );
+        assert_eq!(
+            mmu.translate(b, VirtAddr::new(0x5008)).paddr,
+            Some(PhysAddr::new(0x20_0000_5008))
+        );
+        // A third address space sees nothing at all (walks its own, empty
+        // table).
+        assert!(mmu
+            .translate(Asid::new(3), VirtAddr::new(0x5008))
+            .is_fault());
+        // Per-ASID accounting tracked each request.
+        assert_eq!(mmu.stats().for_asid(a).translations.get(), 1);
+        assert_eq!(mmu.stats().for_asid(b).translations.get(), 1);
+        assert_eq!(mmu.stats().for_asid(Asid::new(3)).faults.get(), 1);
+    }
+
+    #[test]
+    fn per_asid_tables_use_disjoint_metadata_regions() {
+        let mut mmu = Mmu::new(MmuConfig::small_test(PageTableKind::Radix));
+        let a = Asid::new(1);
+        let b = Asid::new(2);
+        mmu.install_mapping(a, &mapping(0x9000, PageSize::Size4K));
+        mmu.install_mapping(b, &mapping(0x9000, PageSize::Size4K));
+        mmu.flush_tlb();
+        let wa = mmu.translate(a, VirtAddr::new(0x9000)).walk.unwrap();
+        let wb = mmu.translate(b, VirtAddr::new(0x9000)).walk.unwrap();
+        let overlap = wa.accesses.iter().any(|pa| wb.accesses.contains(pa));
+        assert!(!overlap, "walk accesses must target different tables");
+    }
+
+    #[test]
+    fn asid_mode_keeps_tlb_warm_across_context_switches() {
+        let mut mmu = Mmu::new(MmuConfig::small_test(PageTableKind::Radix));
+        let a = Asid::new(1);
+        let m = mapping(0x9000, PageSize::Size4K);
+        mmu.install_mapping(a, &m);
+        let dropped = mmu.context_switch(Asid::new(2));
+        assert_eq!(dropped, 0);
+        let back = mmu.context_switch(a);
+        assert_eq!(back, 0);
+        let r = mmu.translate(a, VirtAddr::new(0x9000));
+        assert!(r.tlb_hit_level.is_some(), "entry survived both switches");
+        assert_eq!(mmu.stats().context_switches.get(), 2);
+        assert_eq!(mmu.stats().switch_flushed_entries.get(), 0);
+    }
+
+    #[test]
+    fn full_flush_mode_drops_entries_on_context_switches() {
+        let mut mmu = Mmu::new(MmuConfig::small_test(PageTableKind::Radix).without_asid_tags());
+        let a = Asid::new(1);
+        let m = mapping(0x9000, PageSize::Size4K);
+        mmu.install_mapping(a, &m);
+        let dropped = mmu.context_switch(Asid::new(2));
+        assert!(dropped > 0, "install filled L1+L2, flush drops them");
+        mmu.context_switch(a);
+        let r = mmu.translate(a, VirtAddr::new(0x9000));
+        assert!(r.tlb_hit_level.is_none(), "entry lost to the full flush");
+        assert!(mmu.stats().switch_flushed_entries.get() > 0);
+    }
+
+    #[test]
+    fn flush_asid_tears_down_one_address_space() {
+        let mut mmu = Mmu::new(MmuConfig::small_test(PageTableKind::Radix));
+        let a = Asid::new(1);
+        let b = Asid::new(2);
+        mmu.install_mapping(a, &mapping(0x9000, PageSize::Size4K));
+        mmu.install_mapping(b, &mapping(0x9000, PageSize::Size4K));
+        assert!(mmu.flush_asid(a) > 0);
+        assert!(mmu
+            .translate(b, VirtAddr::new(0x9000))
+            .tlb_hit_level
+            .is_some());
     }
 }

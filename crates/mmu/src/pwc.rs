@@ -144,6 +144,19 @@ impl PageWalkCaches {
         }
     }
 
+    /// Drops every cached intermediate entry. The PWCs tag by virtual
+    /// address alone (no ASID), so a context switch must flush them to keep
+    /// walks of the incoming address space honest.
+    pub fn flush(&mut self) {
+        for level in &mut self.levels {
+            for set in &mut level.tags {
+                for slot in set {
+                    *slot = None;
+                }
+            }
+        }
+    }
+
     /// Total hits across all levels.
     pub fn hits(&self) -> u64 {
         self.levels.iter().map(|l| l.hits.get()).sum()

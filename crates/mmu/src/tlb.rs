@@ -1,9 +1,14 @@
 //! Translation lookaside buffers: a generic set-associative TLB and the
 //! multi-level, multi-page-size hierarchy of the paper's baseline (Table 4).
+//!
+//! Every entry is tagged with the [`Asid`] of the address space that
+//! installed it, so lookups from one process never observe another
+//! process's translations and a context switch can either keep all entries
+//! resident (ASID-tagged mode) or flush selectively per address space.
 
 use mimic_os::Mapping;
 use serde::{Deserialize, Serialize};
-use vm_types::{Counter, Cycles, PageSize, VirtAddr};
+use vm_types::{Asid, Counter, Cycles, PageSize, VirtAddr};
 
 /// Configuration of a single TLB.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -50,6 +55,10 @@ pub struct TlbStats {
     pub evictions: Counter,
     /// Entries invalidated by shootdowns.
     pub invalidations: Counter,
+    /// Entries removed by full flushes.
+    pub flushed_entries: Counter,
+    /// Entries removed by ASID-selective flushes.
+    pub asid_flushed_entries: Counter,
 }
 
 impl TlbStats {
@@ -66,13 +75,14 @@ impl TlbStats {
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 struct TlbEntry {
+    asid: Asid,
     vpn: u64,
     size: PageSize,
     mapping: Mapping,
     lru: u64,
 }
 
-/// A set-associative TLB.
+/// A set-associative, ASID-tagged TLB.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Tlb {
     config: TlbConfig,
@@ -117,15 +127,17 @@ impl Tlb {
         (vpn % self.sets.len() as u64) as usize
     }
 
-    /// Looks up `va`, probing every supported page size. Returns the mapping
-    /// on a hit.
-    pub fn lookup(&mut self, va: VirtAddr) -> Option<Mapping> {
+    /// Looks up `va` in the address space `asid`, probing every supported
+    /// page size. Returns the mapping on a hit. Entries installed under a
+    /// different ASID never match.
+    pub fn lookup(&mut self, asid: Asid, va: VirtAddr) -> Option<Mapping> {
         self.clock += 1;
-        for &size in &self.config.page_sizes.clone() {
+        for size_idx in 0..self.config.page_sizes.len() {
+            let size = self.config.page_sizes[size_idx];
             let vpn = va.page_number(size).number();
             let set_idx = self.set_index(vpn);
             for entry in self.sets[set_idx].iter_mut().flatten() {
-                if entry.size == size && entry.vpn == vpn {
+                if entry.asid == asid && entry.size == size && entry.vpn == vpn {
                     entry.lru = self.clock;
                     self.stats.hits.inc();
                     return Some(entry.mapping);
@@ -136,9 +148,10 @@ impl Tlb {
         None
     }
 
-    /// Fills a mapping into the TLB (after a walk), evicting the LRU entry
-    /// of the target set if necessary. Returns the evicted mapping, if any.
-    pub fn fill(&mut self, mapping: Mapping) -> Option<Mapping> {
+    /// Fills a mapping for address space `asid` into the TLB (after a
+    /// walk), evicting the LRU entry of the target set if necessary.
+    /// Returns the evicted mapping, if any.
+    pub fn fill(&mut self, asid: Asid, mapping: Mapping) -> Option<Mapping> {
         if !self.supports(mapping.page_size) {
             return None;
         }
@@ -149,7 +162,7 @@ impl Tlb {
         let set = &mut self.sets[set_idx];
         // Already present: refresh.
         for entry in set.iter_mut().flatten() {
-            if entry.size == mapping.page_size && entry.vpn == vpn {
+            if entry.asid == asid && entry.size == mapping.page_size && entry.vpn == vpn {
                 entry.mapping = mapping;
                 entry.lru = clock;
                 return None;
@@ -158,6 +171,7 @@ impl Tlb {
         // Free way?
         if let Some(slot) = set.iter_mut().find(|e| e.is_none()) {
             *slot = Some(TlbEntry {
+                asid,
                 vpn,
                 size: mapping.page_size,
                 mapping,
@@ -174,6 +188,7 @@ impl Tlb {
             .unwrap_or(0);
         let victim = set[victim_idx].map(|e| e.mapping);
         set[victim_idx] = Some(TlbEntry {
+            asid,
             vpn,
             size: mapping.page_size,
             mapping,
@@ -183,16 +198,17 @@ impl Tlb {
         victim
     }
 
-    /// Invalidates any entry covering `va` (TLB shootdown). Returns `true`
-    /// if an entry was removed.
-    pub fn invalidate(&mut self, va: VirtAddr) -> bool {
+    /// Invalidates any entry of address space `asid` covering `va` (TLB
+    /// shootdown). Returns `true` if an entry was removed.
+    pub fn invalidate(&mut self, asid: Asid, va: VirtAddr) -> bool {
         let mut removed = false;
-        for &size in &self.config.page_sizes.clone() {
+        for size_idx in 0..self.config.page_sizes.len() {
+            let size = self.config.page_sizes[size_idx];
             let vpn = va.page_number(size).number();
             let set_idx = self.set_index(vpn);
             for slot in &mut self.sets[set_idx] {
                 if let Some(e) = slot {
-                    if e.size == size && e.vpn == vpn {
+                    if e.asid == asid && e.size == size && e.vpn == vpn {
                         *slot = None;
                         removed = true;
                         self.stats.invalidations.inc();
@@ -203,13 +219,36 @@ impl Tlb {
         removed
     }
 
-    /// Flushes the entire TLB (e.g. on a context switch without ASIDs).
-    pub fn flush(&mut self) {
+    /// Flushes the entire TLB (a context switch without ASID support).
+    /// Returns the number of entries dropped.
+    pub fn flush(&mut self) -> usize {
+        let mut dropped = 0;
         for set in &mut self.sets {
             for slot in set {
-                *slot = None;
+                if slot.take().is_some() {
+                    dropped += 1;
+                }
             }
         }
+        self.stats.flushed_entries.add(dropped as u64);
+        dropped
+    }
+
+    /// Flushes only the entries of address space `asid` (e.g. on address
+    /// space teardown, or `invpcid` on x86). Returns the number of entries
+    /// dropped.
+    pub fn flush_asid(&mut self, asid: Asid) -> usize {
+        let mut dropped = 0;
+        for set in &mut self.sets {
+            for slot in set {
+                if matches!(slot, Some(e) if e.asid == asid) {
+                    *slot = None;
+                    dropped += 1;
+                }
+            }
+        }
+        self.stats.asid_flushed_entries.add(dropped as u64);
+        dropped
     }
 
     /// Number of valid entries currently resident.
@@ -217,6 +256,18 @@ impl Tlb {
         self.sets
             .iter()
             .map(|s| s.iter().filter(|e| e.is_some()).count())
+            .sum()
+    }
+
+    /// Number of valid entries belonging to address space `asid`.
+    pub fn occupancy_of(&self, asid: Asid) -> usize {
+        self.sets
+            .iter()
+            .map(|s| {
+                s.iter()
+                    .filter(|e| matches!(e, Some(e) if e.asid == asid))
+                    .count()
+            })
             .sum()
     }
 }
@@ -308,56 +359,66 @@ impl TlbHierarchy {
         }
     }
 
-    /// Looks up `va`. On a hit, returns the mapping, the level that hit and
-    /// the accumulated lookup latency; on a full miss returns the latency of
-    /// probing both levels.
-    pub fn lookup(&mut self, va: VirtAddr) -> (Option<(Mapping, TlbLevel)>, Cycles) {
+    /// Looks up `va` in address space `asid`. On a hit, returns the
+    /// mapping, the level that hit and the accumulated lookup latency; on a
+    /// full miss returns the latency of probing both levels.
+    pub fn lookup(&mut self, asid: Asid, va: VirtAddr) -> (Option<(Mapping, TlbLevel)>, Cycles) {
         let mut latency = self.l1_4k.latency();
-        if let Some(m) = self.l1_4k.lookup(va) {
+        if let Some(m) = self.l1_4k.lookup(asid, va) {
             return (Some((m, TlbLevel::L1)), latency);
         }
-        if let Some(m) = self.l1_2m.lookup(va) {
+        if let Some(m) = self.l1_2m.lookup(asid, va) {
             return (Some((m, TlbLevel::L1)), latency);
         }
         latency += self.l2.latency();
-        if let Some(m) = self.l2.lookup(va) {
+        if let Some(m) = self.l2.lookup(asid, va) {
             // Promote to the appropriate L1.
-            self.fill_l1(m);
+            self.fill_l1(asid, m);
             return (Some((m, TlbLevel::L2)), latency);
         }
         self.full_misses.inc();
         (None, latency)
     }
 
-    fn fill_l1(&mut self, mapping: Mapping) {
+    fn fill_l1(&mut self, asid: Asid, mapping: Mapping) {
         match mapping.page_size {
             PageSize::Size4K => {
-                self.l1_4k.fill(mapping);
+                self.l1_4k.fill(asid, mapping);
             }
             _ => {
-                self.l1_2m.fill(mapping);
+                self.l1_2m.fill(asid, mapping);
             }
         }
     }
 
-    /// Fills a mapping into both levels after a page walk.
-    pub fn fill(&mut self, mapping: Mapping) {
-        self.fill_l1(mapping);
-        self.l2.fill(mapping);
+    /// Fills a mapping for address space `asid` into both levels after a
+    /// page walk.
+    pub fn fill(&mut self, asid: Asid, mapping: Mapping) {
+        self.fill_l1(asid, mapping);
+        self.l2.fill(asid, mapping);
     }
 
-    /// Invalidates any entries covering `va` in every level.
-    pub fn invalidate(&mut self, va: VirtAddr) {
-        self.l1_4k.invalidate(va);
-        self.l1_2m.invalidate(va);
-        self.l2.invalidate(va);
+    /// Invalidates any entries of `asid` covering `va` in every level.
+    pub fn invalidate(&mut self, asid: Asid, va: VirtAddr) {
+        self.l1_4k.invalidate(asid, va);
+        self.l1_2m.invalidate(asid, va);
+        self.l2.invalidate(asid, va);
     }
 
-    /// Flushes every level.
-    pub fn flush(&mut self) {
-        self.l1_4k.flush();
-        self.l1_2m.flush();
-        self.l2.flush();
+    /// Flushes every level. Returns the number of entries dropped.
+    pub fn flush(&mut self) -> usize {
+        self.l1_4k.flush() + self.l1_2m.flush() + self.l2.flush()
+    }
+
+    /// Flushes only the entries of `asid` in every level. Returns the
+    /// number of entries dropped.
+    pub fn flush_asid(&mut self, asid: Asid) -> usize {
+        self.l1_4k.flush_asid(asid) + self.l1_2m.flush_asid(asid) + self.l2.flush_asid(asid)
+    }
+
+    /// Number of resident entries belonging to `asid`, across all levels.
+    pub fn occupancy_of(&self, asid: Asid) -> usize {
+        self.l1_4k.occupancy_of(asid) + self.l1_2m.occupancy_of(asid) + self.l2.occupancy_of(asid)
     }
 
     /// The L2 (second-level) TLB statistics — the level whose MPKI the paper
@@ -382,6 +443,8 @@ mod tests {
     use super::*;
     use vm_types::PhysAddr;
 
+    const A0: Asid = Asid::KERNEL;
+
     fn mapping(va: u64, size: PageSize) -> Mapping {
         Mapping {
             vaddr: VirtAddr::new(va).page_base(size),
@@ -394,9 +457,9 @@ mod tests {
     fn miss_fill_hit_roundtrip() {
         let mut tlb = Tlb::new(TlbConfig::new("T", 16, 4, 1, &[PageSize::Size4K]));
         let m = mapping(0x5000, PageSize::Size4K);
-        assert!(tlb.lookup(VirtAddr::new(0x5000)).is_none());
-        tlb.fill(m);
-        assert_eq!(tlb.lookup(VirtAddr::new(0x5abc)), Some(m));
+        assert!(tlb.lookup(A0, VirtAddr::new(0x5000)).is_none());
+        tlb.fill(A0, m);
+        assert_eq!(tlb.lookup(A0, VirtAddr::new(0x5abc)), Some(m));
         assert_eq!(tlb.stats().hits.get(), 1);
         assert_eq!(tlb.stats().misses.get(), 1);
     }
@@ -404,42 +467,89 @@ mod tests {
     #[test]
     fn capacity_evictions_use_lru() {
         let mut tlb = Tlb::new(TlbConfig::new("T", 2, 2, 1, &[PageSize::Size4K]));
-        tlb.fill(mapping(0x1000, PageSize::Size4K));
-        tlb.fill(mapping(0x2000, PageSize::Size4K));
+        tlb.fill(A0, mapping(0x1000, PageSize::Size4K));
+        tlb.fill(A0, mapping(0x2000, PageSize::Size4K));
         // Touch the first entry so the second becomes LRU.
-        tlb.lookup(VirtAddr::new(0x1000));
-        let evicted = tlb.fill(mapping(0x3000, PageSize::Size4K));
+        tlb.lookup(A0, VirtAddr::new(0x1000));
+        let evicted = tlb.fill(A0, mapping(0x3000, PageSize::Size4K));
         assert_eq!(evicted.unwrap().vaddr, VirtAddr::new(0x2000));
-        assert!(tlb.lookup(VirtAddr::new(0x1000)).is_some());
-        assert!(tlb.lookup(VirtAddr::new(0x2000)).is_none());
+        assert!(tlb.lookup(A0, VirtAddr::new(0x1000)).is_some());
+        assert!(tlb.lookup(A0, VirtAddr::new(0x2000)).is_none());
     }
 
     #[test]
     fn unsupported_page_size_is_not_cached() {
         let mut tlb = Tlb::new(TlbConfig::new("T", 16, 4, 1, &[PageSize::Size4K]));
-        assert!(tlb.fill(mapping(0x20_0000, PageSize::Size2M)).is_none());
-        assert!(tlb.lookup(VirtAddr::new(0x20_0000)).is_none());
+        assert!(tlb.fill(A0, mapping(0x20_0000, PageSize::Size2M)).is_none());
+        assert!(tlb.lookup(A0, VirtAddr::new(0x20_0000)).is_none());
         assert_eq!(tlb.occupancy(), 0);
     }
 
     #[test]
     fn invalidate_removes_entry() {
         let mut tlb = Tlb::new(TlbConfig::new("T", 16, 4, 1, &[PageSize::Size4K]));
-        tlb.fill(mapping(0x7000, PageSize::Size4K));
-        assert!(tlb.invalidate(VirtAddr::new(0x7000)));
-        assert!(!tlb.invalidate(VirtAddr::new(0x7000)));
-        assert!(tlb.lookup(VirtAddr::new(0x7000)).is_none());
+        tlb.fill(A0, mapping(0x7000, PageSize::Size4K));
+        assert!(tlb.invalidate(A0, VirtAddr::new(0x7000)));
+        assert!(!tlb.invalidate(A0, VirtAddr::new(0x7000)));
+        assert!(tlb.lookup(A0, VirtAddr::new(0x7000)).is_none());
     }
 
     #[test]
     fn flush_clears_everything() {
         let mut tlb = Tlb::new(TlbConfig::new("T", 16, 4, 1, &[PageSize::Size4K]));
         for i in 0..8u64 {
-            tlb.fill(mapping(0x1000 * (i + 1), PageSize::Size4K));
+            tlb.fill(A0, mapping(0x1000 * (i + 1), PageSize::Size4K));
         }
         assert!(tlb.occupancy() > 0);
-        tlb.flush();
+        let dropped = tlb.flush();
         assert_eq!(tlb.occupancy(), 0);
+        assert_eq!(tlb.stats().flushed_entries.get(), dropped as u64);
+    }
+
+    #[test]
+    fn different_asids_do_not_alias() {
+        let mut tlb = Tlb::new(TlbConfig::new("T", 16, 4, 1, &[PageSize::Size4K]));
+        let a = Asid::new(1);
+        let b = Asid::new(2);
+        let ma = mapping(0x5000, PageSize::Size4K);
+        let mut mb = mapping(0x5000, PageSize::Size4K);
+        mb.paddr = PhysAddr::new(0x2_0000_0000);
+        tlb.fill(a, ma);
+        tlb.fill(b, mb);
+        // Same virtual page, two address spaces: each sees its own frame.
+        assert_eq!(tlb.lookup(a, VirtAddr::new(0x5123)), Some(ma));
+        assert_eq!(tlb.lookup(b, VirtAddr::new(0x5123)), Some(mb));
+        assert!(tlb.lookup(Asid::new(3), VirtAddr::new(0x5123)).is_none());
+        assert_eq!(tlb.occupancy(), 2);
+    }
+
+    #[test]
+    fn flush_asid_is_selective() {
+        let mut tlb = Tlb::new(TlbConfig::new("T", 16, 4, 1, &[PageSize::Size4K]));
+        let a = Asid::new(1);
+        let b = Asid::new(2);
+        for i in 0..4u64 {
+            tlb.fill(a, mapping(0x1000 * (i + 1), PageSize::Size4K));
+            tlb.fill(b, mapping(0x1000 * (i + 1), PageSize::Size4K));
+        }
+        assert_eq!(tlb.occupancy_of(a), 4);
+        let dropped = tlb.flush_asid(a);
+        assert_eq!(dropped, 4);
+        assert_eq!(tlb.occupancy_of(a), 0);
+        assert_eq!(tlb.occupancy_of(b), 4, "other address space untouched");
+        assert_eq!(tlb.stats().asid_flushed_entries.get(), 4);
+        assert!(tlb.lookup(b, VirtAddr::new(0x1000)).is_some());
+    }
+
+    #[test]
+    fn invalidate_is_asid_scoped() {
+        let mut tlb = Tlb::new(TlbConfig::new("T", 16, 4, 1, &[PageSize::Size4K]));
+        let a = Asid::new(1);
+        let b = Asid::new(2);
+        tlb.fill(a, mapping(0x7000, PageSize::Size4K));
+        tlb.fill(b, mapping(0x7000, PageSize::Size4K));
+        assert!(tlb.invalidate(a, VirtAddr::new(0x7000)));
+        assert!(tlb.lookup(b, VirtAddr::new(0x7000)).is_some());
     }
 
     #[test]
@@ -447,12 +557,12 @@ mod tests {
         let mut h = TlbHierarchy::new(TlbHierarchyConfig::small_test());
         let m = mapping(0x9000, PageSize::Size4K);
         // Fill only the L2 by filling then flushing L1s via many conflicting fills.
-        h.fill(m);
+        h.fill(A0, m);
         // Evict from tiny L1 by filling conflicting entries.
         for i in 1..64u64 {
-            h.fill(mapping(0x9000 + i * 0x1000, PageSize::Size4K));
+            h.fill(A0, mapping(0x9000 + i * 0x1000, PageSize::Size4K));
         }
-        let (hit, _) = h.lookup(VirtAddr::new(0x9000));
+        let (hit, _) = h.lookup(A0, VirtAddr::new(0x9000));
         // Whether it hits in L1 or L2 depends on conflicts, but it must hit
         // somewhere because the L2 is large enough in this test.
         if let Some((_, level)) = hit {
@@ -463,7 +573,7 @@ mod tests {
     #[test]
     fn hierarchy_full_miss_counts() {
         let mut h = TlbHierarchy::new(TlbHierarchyConfig::small_test());
-        let (hit, latency) = h.lookup(VirtAddr::new(0xdead_0000));
+        let (hit, latency) = h.lookup(A0, VirtAddr::new(0xdead_0000));
         assert!(hit.is_none());
         assert_eq!(h.full_misses.get(), 1);
         // Full miss pays L1 + L2 latency.
@@ -473,8 +583,8 @@ mod tests {
     #[test]
     fn huge_pages_live_in_the_2m_l1() {
         let mut h = TlbHierarchy::new(TlbHierarchyConfig::paper_baseline());
-        h.fill(mapping(0x20_0000, PageSize::Size2M));
-        let (hit, latency) = h.lookup(VirtAddr::new(0x20_1234));
+        h.fill(A0, mapping(0x20_0000, PageSize::Size2M));
+        let (hit, latency) = h.lookup(A0, VirtAddr::new(0x20_1234));
         assert!(hit.is_some());
         assert_eq!(latency, Cycles::new(1));
         assert_eq!(h.l1_2m_stats().hits.get(), 1);
@@ -484,7 +594,7 @@ mod tests {
     fn l2_mpki_inputs_are_tracked() {
         let mut h = TlbHierarchy::new(TlbHierarchyConfig::small_test());
         for i in 0..1000u64 {
-            h.lookup(VirtAddr::new(i * 0x10_0000));
+            h.lookup(A0, VirtAddr::new(i * 0x10_0000));
         }
         assert_eq!(h.l2_stats().misses.get(), 1000);
         assert!(h.l2_stats().miss_ratio() > 0.99);
@@ -493,8 +603,23 @@ mod tests {
     #[test]
     fn one_gig_mappings_are_supported() {
         let mut h = TlbHierarchy::new(TlbHierarchyConfig::paper_baseline());
-        h.fill(mapping(0x4000_0000, PageSize::Size1G));
-        let (hit, _) = h.lookup(VirtAddr::new(0x7fff_ffff));
+        h.fill(A0, mapping(0x4000_0000, PageSize::Size1G));
+        let (hit, _) = h.lookup(A0, VirtAddr::new(0x7fff_ffff));
         assert!(hit.is_some());
+    }
+
+    #[test]
+    fn hierarchy_flush_asid_spans_all_levels() {
+        let mut h = TlbHierarchy::new(TlbHierarchyConfig::small_test());
+        let a = Asid::new(1);
+        let b = Asid::new(2);
+        h.fill(a, mapping(0x1000, PageSize::Size4K));
+        h.fill(a, mapping(0x20_0000, PageSize::Size2M));
+        h.fill(b, mapping(0x1000, PageSize::Size4K));
+        assert!(h.occupancy_of(a) >= 2);
+        let dropped = h.flush_asid(a);
+        assert!(dropped >= 2, "entries dropped from L1s and L2");
+        assert_eq!(h.occupancy_of(a), 0);
+        assert!(h.occupancy_of(b) > 0);
     }
 }

@@ -4,6 +4,7 @@
 //! workspace:
 //!
 //! * strongly-typed addresses and page sizes ([`addr`]),
+//! * address-space identifiers tagging TLB entries ([`asid`]),
 //! * simulation time in core cycles and nanoseconds ([`cycles`]),
 //! * memory-access descriptors with requestor attribution ([`access`]),
 //! * statistics primitives — counters, histograms, running means ([`stats`]),
@@ -24,6 +25,7 @@
 
 pub mod access;
 pub mod addr;
+pub mod asid;
 pub mod cycles;
 pub mod error;
 pub mod rng;
@@ -31,6 +33,7 @@ pub mod stats;
 
 pub use access::{AccessType, MemoryAccess, Requestor};
 pub use addr::{PageNumber, PageSize, PhysAddr, VirtAddr, CACHE_LINE_BYTES};
+pub use asid::Asid;
 pub use cycles::{Cycles, Frequency, Nanoseconds};
 pub use error::VmError;
 pub use rng::DetRng;

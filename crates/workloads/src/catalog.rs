@@ -269,6 +269,19 @@ pub fn llm_workloads() -> Vec<WorkloadSpec> {
     vec![llm_bagel(), llm_llama(), llm_mistral()]
 }
 
+/// The multi-programmed mix used by the multi-process scenarios: a
+/// translation-bound random-access aggressor (GUPS) co-scheduled with an
+/// allocation-bound LLM inference victim. Footprints are scaled down so the
+/// pair fits the small-test machine together (the paper's workloads are
+/// run one-per-machine; interleaving them is the scenario-diversity
+/// extension enabled by the MimicOS scheduler).
+pub fn multiprogram_mix() -> Vec<WorkloadSpec> {
+    vec![
+        gups_randacc().scaled_footprint(0.125), // 64 MB random updates
+        llm_llama().scaled_footprint(0.25),     // 40 MB weights + 20 MB KV cache
+    ]
+}
+
 /// A stress-ng-style sweep of `count` configurations with increasing memory
 /// intensity (footprint and memory fraction), used for the Fig. 3 / Fig. 12
 /// style studies.
@@ -330,6 +343,18 @@ mod tests {
             assert!(spec.regions.iter().any(|r| r.file_backed), "{}", spec.name);
             assert!(spec.regions.iter().any(|r| !r.file_backed), "{}", spec.name);
         }
+    }
+
+    #[test]
+    fn multiprogram_mix_pairs_aggressor_with_victim() {
+        let mix = multiprogram_mix();
+        assert_eq!(mix.len(), 2);
+        assert_eq!(mix[0].class, WorkloadClass::LongRunning);
+        assert_eq!(mix[1].class, WorkloadClass::ShortRunning);
+        // Scaled to co-reside in the 256 MB small-test machine.
+        let total: u64 = mix.iter().map(|s| s.footprint_bytes()).sum();
+        assert!(total < 160 * MB, "mix footprint {total} too large");
+        assert!(mix[1].regions.iter().any(|r| r.file_backed));
     }
 
     #[test]

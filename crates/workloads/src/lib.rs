@@ -33,6 +33,6 @@ pub mod catalog;
 pub mod generator;
 pub mod spec;
 
-pub use catalog::{all_long_running, all_short_running, stress_sweep};
+pub use catalog::{all_long_running, all_short_running, multiprogram_mix, stress_sweep};
 pub use generator::SyntheticWorkload;
 pub use spec::{AccessPattern, MemoryRegion, WorkloadClass, WorkloadSpec};

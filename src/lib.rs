@@ -40,10 +40,12 @@ pub use vm_workloads;
 
 /// Convenient single-import prelude for examples and quick experiments.
 pub mod prelude {
-    pub use mimic_os::{AllocationPolicy, MimicOs, OsConfig};
+    pub use mimic_os::{AllocationPolicy, MimicOs, OsConfig, ProcessId, Scheduler};
     pub use mmu_sim::{Mmu, MmuConfig, PageTableKind};
     pub use sim_core::{Instruction, SliceFrontend, TraceSource};
-    pub use virtuoso::{SimulationMode, SimulationReport, System, SystemConfig};
-    pub use vm_types::{PageSize, PhysAddr, VirtAddr};
+    pub use virtuoso::{
+        MultiProgramReport, ProcessReport, SimulationMode, SimulationReport, System, SystemConfig,
+    };
+    pub use vm_types::{Asid, PageSize, PhysAddr, VirtAddr};
     pub use vm_workloads::{catalog, AccessPattern, WorkloadClass, WorkloadSpec};
 }

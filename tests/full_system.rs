@@ -141,3 +141,69 @@ fn reports_serialize_to_json() {
     let json = serde_json::to_string(&report).expect("report serializes");
     assert!(json.contains("\"workload\""));
 }
+
+/// The acceptance scenario of the multi-process extension: the catalogue's
+/// GUPS + Llama mix runs interleaved under the scheduler, produces
+/// per-process reports, and the ASID-tagged TLB configuration takes fewer
+/// flush-induced page walks than the full-flush baseline.
+#[test]
+fn two_process_interleaved_run_with_asid_selective_flushes() {
+    let run = |asid_tags: bool| {
+        let mut config = SystemConfig::small_test();
+        config.mmu.asid_tlb_tags = asid_tags;
+        let mut system = System::new(config);
+        let specs: Vec<WorkloadSpec> = catalog::multiprogram_mix()
+            .into_iter()
+            .map(|s| s.with_instructions(8_000))
+            .collect();
+        let pids = vec![system.pid(), system.spawn_process()];
+        for (pid, spec) in pids.iter().zip(&specs) {
+            for (i, region) in spec.regions.iter().enumerate() {
+                if region.file_backed {
+                    system
+                        .mmap_file_for(*pid, region.start, region.bytes, i as u64 + 1)
+                        .unwrap();
+                } else {
+                    system
+                        .mmap_anonymous_for(*pid, region.start, region.bytes)
+                        .unwrap();
+                }
+            }
+        }
+        let mut sources: Vec<_> = specs.iter().map(|s| s.build(9)).collect();
+        let mut programs: Vec<(ProcessId, &mut dyn TraceSource)> = pids
+            .iter()
+            .copied()
+            .zip(sources.iter_mut().map(|s| s as &mut dyn TraceSource))
+            .collect();
+        system.run_multiprogram(&mut programs, None)
+    };
+
+    let tagged = run(true);
+    let flushed = run(false);
+
+    // The run completes with one report per process.
+    assert_eq!(tagged.processes.len(), 2);
+    assert_eq!(tagged.processes[0].workload, "RND");
+    assert_eq!(tagged.processes[1].workload, "Llama-2-7B");
+    for p in &tagged.processes {
+        assert_eq!(p.instructions, 8_000);
+        assert!(p.cycles > 0);
+        assert!(p.tlb_translations > 0);
+        assert!(p.minor_faults > 0);
+    }
+    assert_eq!(tagged.rollup.instructions, 16_000);
+    assert!(tagged.context_switches > 0);
+
+    // ASID-selective behaviour: no entries lost to switches, and fewer
+    // flush-induced TLB misses (page walks) than the full-flush baseline.
+    assert_eq!(tagged.switch_flushed_tlb_entries, 0);
+    assert!(flushed.switch_flushed_tlb_entries > 0);
+    let walks = |r: &MultiProgramReport| -> u64 { r.processes.iter().map(|p| p.page_walks).sum() };
+    assert!(
+        walks(&tagged) < walks(&flushed),
+        "ASID tags: {} walks, full flush: {} walks",
+        walks(&tagged),
+        walks(&flushed)
+    );
+}

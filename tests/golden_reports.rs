@@ -1,0 +1,112 @@
+//! Golden-report regression tests: three small single-process
+//! configurations whose serialized [`SimulationReport`]s must stay
+//! byte-identical across refactors, optimization levels and thread counts.
+//!
+//! The simulator is fully deterministic (seeded RNGs, no wall-clock, no
+//! float environment games), so the serialized report of a fixed
+//! (config, workload, seed) triple is a strong fingerprint of the whole
+//! stack: a one-cycle timing change anywhere shows up here.
+//!
+//! Regenerate the goldens after an *intentional* behaviour change with:
+//!
+//! ```text
+//! VIRTUOSO_BLESS_GOLDEN=1 cargo test --test golden_reports
+//! ```
+
+use virtuoso_suite::prelude::*;
+
+/// The three golden cells: name, configuration, workload.
+fn golden_cells() -> Vec<(&'static str, SystemConfig, WorkloadSpec)> {
+    vec![
+        (
+            "faas_json_detailed",
+            SystemConfig::small_test(),
+            WorkloadSpec::simple(
+                "JSON",
+                WorkloadClass::ShortRunning,
+                8 * 1024 * 1024,
+                AccessPattern::AllocateAndTouch {
+                    new_page_fraction: 0.5,
+                },
+                4_000,
+            ),
+        ),
+        (
+            "gups_emulation",
+            SystemConfig::small_test().with_emulation_baseline(),
+            WorkloadSpec::simple(
+                "RND",
+                WorkloadClass::LongRunning,
+                16 * 1024 * 1024,
+                AccessPattern::UniformRandom,
+                4_000,
+            ),
+        ),
+        (
+            "stream_hashed_pt",
+            SystemConfig::small_test().with_page_table(PageTableKind::HashedOpenAddressing),
+            WorkloadSpec::simple(
+                "XS",
+                WorkloadClass::LongRunning,
+                16 * 1024 * 1024,
+                AccessPattern::Streaming {
+                    jump_probability: 0.3,
+                },
+                4_000,
+            ),
+        ),
+    ]
+}
+
+fn run_cell(config: SystemConfig, spec: &WorkloadSpec) -> SimulationReport {
+    let mut system = System::new(config);
+    for region in &spec.regions {
+        system
+            .mmap_anonymous(region.start, region.bytes)
+            .expect("mapping golden region");
+    }
+    system.run(&mut spec.build(0xF00D), None)
+}
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.json"))
+}
+
+#[test]
+fn simulation_reports_are_byte_stable() {
+    let bless = std::env::var_os("VIRTUOSO_BLESS_GOLDEN").is_some();
+    let mut mismatches = Vec::new();
+    for (name, config, spec) in golden_cells() {
+        let report = run_cell(config, &spec);
+        let actual = serde_json::to_string(&report).expect("serialize report");
+        let path = golden_path(name);
+        if bless {
+            std::fs::write(&path, &actual).expect("write golden");
+            continue;
+        }
+        let expected = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+        if actual != expected {
+            mismatches.push(name);
+            eprintln!("golden mismatch for {name}:");
+            eprintln!("  expected: {expected}");
+            eprintln!("  actual:   {actual}");
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "golden reports drifted: {mismatches:?} — if the behaviour change is \
+         intentional, regenerate with VIRTUOSO_BLESS_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_runs_are_reproducible_within_a_process() {
+    for (name, config, spec) in golden_cells() {
+        let a = serde_json::to_string(&run_cell(config.clone(), &spec)).unwrap();
+        let b = serde_json::to_string(&run_cell(config, &spec)).unwrap();
+        assert_eq!(a, b, "cell {name} must be deterministic");
+    }
+}

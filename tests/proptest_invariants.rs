@@ -60,4 +60,118 @@ proptest! {
         // slack for huge-page regions.
         prop_assert!(report.total_faults() <= 8 * 256 + 16);
     }
+
+    #[test]
+    fn asid_tagged_tlb_never_crosses_address_spaces(seed in 0u64..500) {
+        // Install the same random virtual pages in two address spaces with
+        // disjoint physical bases; every translation must resolve within
+        // the requesting space's base, regardless of TLB state.
+        use virtuoso_suite::mimic_os::Mapping;
+        let mut rng = virtuoso_suite::vm_types::DetRng::new(seed);
+        let mut mmu = Mmu::new(MmuConfig::small_test(PageTableKind::Radix));
+        let a = Asid::new(1);
+        let b = Asid::new(2);
+        const BASE_A: u64 = 0x10_0000_0000;
+        const BASE_B: u64 = 0x20_0000_0000;
+        let mut pages = Vec::new();
+        for _ in 0..64 {
+            let va = (rng.gen_range(0, 1 << 20)) * 4096;
+            pages.push(va);
+            for (asid, base) in [(a, BASE_A), (b, BASE_B)] {
+                mmu.install_mapping(asid, &Mapping {
+                    vaddr: VirtAddr::new(va),
+                    paddr: PhysAddr::new(base + va),
+                    page_size: PageSize::Size4K,
+                });
+            }
+        }
+        for _ in 0..256 {
+            let va = pages[rng.gen_range(0, pages.len() as u64) as usize]
+                + rng.gen_range(0, 4096);
+            let (asid, base) = if rng.gen_bool(0.5) { (a, BASE_A) } else { (b, BASE_B) };
+            let result = mmu.translate(asid, VirtAddr::new(va));
+            prop_assert_eq!(result.paddr, Some(PhysAddr::new(base + va)));
+        }
+        // A third address space must fault on every one of those pages.
+        let stranger = Asid::new(3);
+        for &va in pages.iter().take(16) {
+            prop_assert!(mmu.translate(stranger, VirtAddr::new(va)).is_fault());
+        }
+    }
+
+    #[test]
+    fn scheduler_accounting_sums_to_total_instructions(
+        instrs_a in 1_000u64..6_000,
+        instrs_b in 1_000u64..6_000,
+        seed in 0u64..100,
+    ) {
+        let spec_a = WorkloadSpec::simple(
+            "A", WorkloadClass::LongRunning, 8 << 20,
+            AccessPattern::UniformRandom, instrs_a,
+        );
+        let spec_b = WorkloadSpec::simple(
+            "B", WorkloadClass::LongRunning, 8 << 20,
+            AccessPattern::PointerChasing, instrs_b,
+        );
+        let mut system = System::new(SystemConfig::small_test());
+        let a = system.pid();
+        let b = system.spawn_process();
+        let region_a = spec_a.regions[0];
+        let region_b = spec_b.regions[0];
+        system.mmap_anonymous_for(a, region_a.start, region_a.bytes).unwrap();
+        system.mmap_anonymous_for(b, region_b.start, region_b.bytes).unwrap();
+        let mut src_a = spec_a.build(seed);
+        let mut src_b = spec_b.build(seed + 1);
+        let mut programs: Vec<(ProcessId, &mut dyn TraceSource)> =
+            vec![(a, &mut src_a), (b, &mut src_b)];
+        let report = system.run_multiprogram(&mut programs, None);
+        // Every retired instruction is attributed to exactly one process,
+        // by both the framework and the scheduler's own accounting.
+        prop_assert_eq!(report.rollup.instructions, instrs_a + instrs_b);
+        let per_proc: u64 = report.processes.iter().map(|p| p.instructions).sum();
+        prop_assert_eq!(per_proc, instrs_a + instrs_b);
+        for p in &report.processes {
+            prop_assert_eq!(p.scheduled_instructions, p.instructions);
+        }
+        // Attributed cycles never exceed the machine total.
+        let cycles: u64 = report.processes.iter().map(|p| p.cycles).sum();
+        prop_assert!(cycles <= report.rollup.cycles);
+    }
+
+    #[test]
+    fn buddy_frames_stay_disjoint_under_process_interleavings(seed in 0u64..200) {
+        // Three processes fault random pages in a random interleaving; no
+        // physical frame may ever back two live mappings, and the buddy
+        // allocator's accounting must stay consistent.
+        let mut rng = virtuoso_suite::vm_types::DetRng::new(seed ^ 0xB0DD7);
+        let config = OsConfig {
+            policy: AllocationPolicy::LinuxThp,
+            ..OsConfig::small_test()
+        };
+        let mut os = MimicOs::new(config);
+        let pids: Vec<ProcessId> = (0..3).map(|_| os.spawn_process()).collect();
+        for &pid in &pids {
+            os.mmap_anonymous(pid, VirtAddr::new(0x4000_0000), 16 << 20, false).unwrap();
+        }
+        for _ in 0..300 {
+            let pid = pids[rng.gen_range(0, 3) as usize];
+            let va = 0x4000_0000 + rng.gen_range(0, (16 << 20) / 4096) * 4096;
+            let _ = os.handle_page_fault(pid, VirtAddr::new(va), rng.gen_bool(0.5));
+        }
+        prop_assert!(os.buddy().free_bytes() <= os.buddy().capacity_bytes());
+        // Collect every live (start, end) physical range across processes.
+        let mut ranges: Vec<(u64, u64)> = Vec::new();
+        for &pid in &pids {
+            for m in os.process(pid).mappings() {
+                ranges.push((m.paddr.raw(), m.paddr.raw() + m.page_size.bytes()));
+            }
+        }
+        ranges.sort_unstable();
+        for pair in ranges.windows(2) {
+            prop_assert!(
+                pair[0].1 <= pair[1].0,
+                "physical ranges overlap: {:x?} vs {:x?}", pair[0], pair[1]
+            );
+        }
+    }
 }

@@ -1,0 +1,61 @@
+//! Sustained-simulation-speed harness: measures simulated MIPS for the
+//! catalog workloads in detailed and emulation modes and writes
+//! `BENCH_simspeed.json` at the repository root (the perf trajectory every
+//! PR is compared against).
+//!
+//! Usage:
+//! `cargo run --release -p virtuoso_bench --bin simspeed -- [--quick]
+//! [--ref-mips X] [--out PATH]`
+//!
+//! * `--quick` — CI smoke budget (small instruction counts).
+//! * `--ref-mips X` — record `X` as the pre-optimization reference MIPS of
+//!   the headline (GUPS detailed) cell and report the speedup against it.
+//! * `--out PATH` — write the JSON somewhere else than the repo root.
+
+use virtuoso_bench::simspeed::{measure, render, SpeedOptions};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut opts = if quick {
+        SpeedOptions::quick()
+    } else {
+        SpeedOptions::full()
+    };
+    let mut out_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--ref-mips" => {
+                opts.reference_mips = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--ref-mips needs a number");
+                i += 2;
+            }
+            "--out" => {
+                out_path = Some(args.get(i + 1).expect("--out needs a path").clone());
+                i += 2;
+            }
+            _ => i += 1,
+        }
+    }
+
+    let report = measure(&opts);
+    print!("{}", render(&report));
+
+    let path = out_path.unwrap_or_else(|| {
+        // crates/bench/../../ == the repository root — when the binary
+        // runs on the host it was built on. A copied binary (e.g. a CI
+        // artifact) falls back to the current working directory.
+        let repo_root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+        if std::path::Path::new(repo_root).is_dir() {
+            format!("{repo_root}/BENCH_simspeed.json")
+        } else {
+            "BENCH_simspeed.json".to_string()
+        }
+    });
+    let json = serde_json::to_string_pretty(&report).expect("serialize speed report");
+    std::fs::write(&path, json + "\n").expect("write BENCH_simspeed.json");
+    println!("wrote {path}");
+}

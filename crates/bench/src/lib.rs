@@ -9,6 +9,7 @@
 
 pub mod experiments;
 pub mod runner;
+pub mod simspeed;
 
 pub use runner::{
     cell_seed, jobs_from_args, map_spec_regions, run_cells, run_multiprogram_specs, run_spec,

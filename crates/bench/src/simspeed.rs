@@ -1,0 +1,275 @@
+//! The sustained-simulation-speed harness behind the `simspeed` binary.
+//!
+//! Fig. 11/12 of the paper sell Virtuoso on *simulation-speed overhead*:
+//! the detailed MimicOS integration must stay affordable relative to the
+//! emulation baseline. This module measures what the paper plots — the
+//! sustained simulated-MIPS (millions of simulated instructions per host
+//! second) of the steady-state instruction loop — for a fixed set of
+//! catalog workloads in both simulation modes, and serializes the result
+//! to `BENCH_simspeed.json` at the repository root so every future PR has
+//! a performance trajectory to compare against.
+//!
+//! The measured segment deliberately excludes system construction and
+//! region mapping (one-off setup) but includes everything the instruction
+//! loop does: translation, page walks, cache/DRAM traffic, fault handling
+//! and kernel-stream injection.
+
+use serde::Serialize;
+use std::time::Instant;
+use virtuoso::{SimulationReport, System, SystemConfig};
+use vm_workloads::{catalog, WorkloadSpec};
+
+/// One measured (workload × mode) point.
+#[derive(Debug, Clone, Serialize)]
+pub struct SpeedCell {
+    /// Workload label (catalog name).
+    pub workload: String,
+    /// `"detailed"` or `"emulation"`.
+    pub mode: String,
+    /// Simulated instructions per repetition.
+    pub instructions: u64,
+    /// Timed repetitions (best one is reported).
+    pub repetitions: u32,
+    /// Wall-clock seconds of the best repetition.
+    pub best_elapsed_s: f64,
+    /// Sustained simulated MIPS of the best repetition.
+    pub mips: f64,
+    /// Simulated IPC of the run (sanity anchor: must not change when the
+    /// host gets faster).
+    pub sim_ipc: f64,
+}
+
+/// The full report written to `BENCH_simspeed.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct SpeedReport {
+    /// Report schema tag.
+    pub schema: String,
+    /// `true` when run with `--quick` (CI smoke budget).
+    pub quick: bool,
+    /// All measured cells.
+    pub cells: Vec<SpeedCell>,
+    /// The headline number: GUPS (`RND`) in detailed mode, the paper's
+    /// worst-case translation-bound workload.
+    pub headline_mips: f64,
+    /// Reference MIPS of the pre-optimization commit (passed with
+    /// `--ref-mips`), 0.0 when not supplied.
+    pub reference_mips: f64,
+    /// `headline_mips / reference_mips` (0.0 when no reference given).
+    pub speedup_vs_reference: f64,
+}
+
+impl SpeedReport {
+    /// The cell for (workload, mode), if measured.
+    pub fn cell(&self, workload: &str, mode: &str) -> Option<&SpeedCell> {
+        self.cells
+            .iter()
+            .find(|c| c.workload == workload && c.mode == mode)
+    }
+}
+
+/// Options of a measurement run.
+#[derive(Debug, Clone)]
+pub struct SpeedOptions {
+    /// Simulated instructions per repetition.
+    pub instructions: u64,
+    /// Timed repetitions per cell (the best is kept).
+    pub repetitions: u32,
+    /// Marks the report as a quick (CI smoke) run.
+    pub quick: bool,
+    /// Pre-optimization reference MIPS for the headline cell.
+    pub reference_mips: f64,
+}
+
+impl SpeedOptions {
+    /// The full measurement (committed trajectory numbers).
+    pub fn full() -> Self {
+        SpeedOptions {
+            instructions: 400_000,
+            repetitions: 3,
+            quick: false,
+            reference_mips: 0.0,
+        }
+    }
+
+    /// The CI smoke budget (`--quick`).
+    pub fn quick() -> Self {
+        SpeedOptions {
+            instructions: 40_000,
+            repetitions: 2,
+            quick: true,
+            reference_mips: 0.0,
+        }
+    }
+}
+
+/// The workloads measured: the paper's worst-case translation-bound
+/// workload (GUPS), a streaming long-running one (PR), and an
+/// allocation-bound short-running one (JSON). Footprints are scaled to
+/// co-exist with the small-test machine so the harness runs in seconds.
+pub fn speed_workloads() -> Vec<WorkloadSpec> {
+    vec![
+        catalog::gups_randacc().scaled_footprint(0.125),
+        catalog::graphbig_pr().scaled_footprint(0.125),
+        catalog::faas_json(),
+    ]
+}
+
+fn run_once(config: SystemConfig, spec: &WorkloadSpec) -> (f64, SimulationReport) {
+    let mut system = System::new(config);
+    let pid = system.pid();
+    crate::runner::map_spec_regions(&mut system, pid, spec, 0);
+    let mut source = spec.build(0xBEEF);
+    let start = Instant::now();
+    let report = system.run(&mut source, None);
+    (start.elapsed().as_secs_f64(), report)
+}
+
+/// Measures one (config, spec) cell: one untimed warmup repetition, then
+/// `repetitions` timed ones, keeping the fastest.
+pub fn measure_cell(
+    config: &SystemConfig,
+    spec: &WorkloadSpec,
+    mode: &str,
+    opts: &SpeedOptions,
+) -> SpeedCell {
+    let spec = spec.clone().with_instructions(opts.instructions);
+    // Warmup: page in the host-side allocations and warm the branch
+    // predictors with a shorter run.
+    let _ = run_once(
+        config.clone(),
+        &spec.clone().with_instructions(opts.instructions / 4),
+    );
+    let mut best_elapsed = f64::INFINITY;
+    let mut last_report = None;
+    for _ in 0..opts.repetitions.max(1) {
+        let (elapsed, report) = run_once(config.clone(), &spec);
+        if elapsed < best_elapsed {
+            best_elapsed = elapsed;
+        }
+        last_report = Some(report);
+    }
+    let report = last_report.expect("at least one repetition");
+    SpeedCell {
+        workload: spec.name.clone(),
+        mode: mode.to_string(),
+        instructions: opts.instructions,
+        repetitions: opts.repetitions,
+        best_elapsed_s: best_elapsed,
+        mips: opts.instructions as f64 / best_elapsed / 1e6,
+        sim_ipc: report.ipc,
+    }
+}
+
+/// Runs the whole measurement matrix (workloads × {detailed, emulation}).
+pub fn measure(opts: &SpeedOptions) -> SpeedReport {
+    let detailed = SystemConfig::small_test();
+    let emulation = SystemConfig::small_test().with_emulation_baseline();
+    let mut cells = Vec::new();
+    for spec in speed_workloads() {
+        cells.push(measure_cell(&detailed, &spec, "detailed", opts));
+        cells.push(measure_cell(&emulation, &spec, "emulation", opts));
+    }
+    let headline_mips = cells
+        .iter()
+        .find(|c| c.workload == "RND" && c.mode == "detailed")
+        .map(|c| c.mips)
+        .unwrap_or(0.0);
+    SpeedReport {
+        schema: "virtuoso-simspeed-v1".to_string(),
+        quick: opts.quick,
+        headline_mips,
+        reference_mips: opts.reference_mips,
+        speedup_vs_reference: if opts.reference_mips > 0.0 {
+            headline_mips / opts.reference_mips
+        } else {
+            0.0
+        },
+        cells,
+    }
+}
+
+/// Renders the report as an aligned console table.
+pub fn render(report: &SpeedReport) -> String {
+    let mut table = crate::runner::ExperimentTable::new(
+        "Sustained simulation speed (simulated MIPS per host second)",
+        &["workload", "mode", "instrs", "best_s", "MIPS", "sim_ipc"],
+    );
+    for c in &report.cells {
+        table.push_row(vec![
+            c.workload.clone(),
+            c.mode.clone(),
+            c.instructions.to_string(),
+            format!("{:.4}", c.best_elapsed_s),
+            format!("{:.3}", c.mips),
+            format!("{:.3}", c.sim_ipc),
+        ]);
+    }
+    let mut out = table.render();
+    out.push_str(&format!(
+        "headline (RND/detailed): {:.3} MIPS\n",
+        report.headline_mips
+    ));
+    if report.reference_mips > 0.0 {
+        out.push_str(&format!(
+            "vs reference {:.3} MIPS: {:.2}x\n",
+            report.reference_mips, report.speedup_vs_reference
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_opts() -> SpeedOptions {
+        SpeedOptions {
+            instructions: 2_000,
+            repetitions: 1,
+            quick: true,
+            reference_mips: 0.0,
+        }
+    }
+
+    #[test]
+    fn measures_every_workload_in_both_modes() {
+        let report = measure(&tiny_opts());
+        assert_eq!(report.cells.len(), speed_workloads().len() * 2);
+        for cell in &report.cells {
+            assert!(
+                cell.mips > 0.0,
+                "{}/{} has no speed",
+                cell.workload,
+                cell.mode
+            );
+            assert!(cell.best_elapsed_s > 0.0);
+        }
+        assert!(report.headline_mips > 0.0);
+        assert!(report.cell("RND", "detailed").is_some());
+        assert!(report.cell("RND", "emulation").is_some());
+    }
+
+    #[test]
+    fn reference_speedup_is_computed() {
+        let mut opts = tiny_opts();
+        opts.reference_mips = 1.0;
+        let report = measure(&opts);
+        assert!((report.speedup_vs_reference - report.headline_mips).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let report = measure(&tiny_opts());
+        let json = serde_json::to_string(&report).expect("serialize");
+        assert!(json.contains("\"schema\":\"virtuoso-simspeed-v1\""));
+        assert!(json.contains("\"headline_mips\""));
+    }
+
+    #[test]
+    fn render_mentions_the_headline() {
+        let report = measure(&tiny_opts());
+        let text = render(&report);
+        assert!(text.contains("headline (RND/detailed)"));
+        assert!(text.contains("MIPS"));
+    }
+}

@@ -2,7 +2,7 @@
 
 use crate::replacement::{ReplacementPolicy, SetReplacement};
 use serde::{Deserialize, Serialize};
-use vm_types::{Counter, Cycles, PhysAddr, Requestor, CACHE_LINE_BYTES};
+use vm_types::{Counter, Cycles, FastDiv, PhysAddr, Requestor, CACHE_LINE_BYTES};
 
 /// Configuration of one cache level.
 ///
@@ -153,6 +153,9 @@ pub struct Cache {
     sets: Vec<Vec<Line>>,
     replacement: Vec<SetReplacement>,
     stats: CacheStats,
+    /// Precomputed set-count divisor (a mask/shift for the power-of-two
+    /// geometries every shipped configuration uses).
+    set_div: FastDiv,
 }
 
 impl Cache {
@@ -167,6 +170,7 @@ impl Cache {
                 .collect(),
             config,
             stats: CacheStats::default(),
+            set_div: FastDiv::new(num_sets as u64),
         }
     }
 
@@ -192,8 +196,8 @@ impl Cache {
 
     fn index_and_tag(&self, paddr: PhysAddr) -> (usize, u64) {
         let line = paddr.raw() / CACHE_LINE_BYTES;
-        let set = (line % self.sets.len() as u64) as usize;
-        let tag = line / self.sets.len() as u64;
+        let set = self.set_div.rem(line) as usize;
+        let tag = self.set_div.div(line);
         (set, tag)
     }
 
@@ -243,8 +247,14 @@ impl Cache {
             return None;
         }
 
-        let valid: Vec<bool> = set.iter().map(|l| l.valid).collect();
-        let victim_way = self.replacement[set_idx].choose_victim(&valid);
+        // Way validity as a stack bitmask: no per-fill heap allocation.
+        let mut valid_mask = 0u64;
+        for (way, line) in set.iter().enumerate() {
+            if line.valid {
+                valid_mask |= 1 << way;
+            }
+        }
+        let victim_way = self.replacement[set_idx].choose_victim_mask(valid_mask);
         let victim = set[victim_way];
         let mut writeback = None;
         if victim.valid {

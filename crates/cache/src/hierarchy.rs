@@ -2,9 +2,18 @@
 //! mirroring the paper's baseline configuration (Table 4).
 
 use crate::cache::{Cache, CacheConfig, CacheStats};
-use crate::prefetch::{IpStridePrefetcher, Prefetcher, StreamPrefetcher};
+use crate::prefetch::{IpStridePrefetcher, PrefetchTargets, Prefetcher, StreamPrefetcher};
 use serde::{Deserialize, Serialize};
-use vm_types::{AccessType, Cycles, PhysAddr, Requestor, VirtAddr};
+use vm_types::{AccessType, Cycles, FixedVec, PhysAddr, Requestor, VirtAddr};
+
+/// Cache-line addresses fetched from DRAM by one hierarchy access: the
+/// demand line plus any prefetch targets that missed. Inline capacity
+/// covers 1 demand + the baseline prefetchers' combined degree.
+pub type DramFetchList = FixedVec<PhysAddr, 8>;
+
+/// Dirty lines written back to DRAM by one hierarchy access: at most one
+/// per fill (3 demand fills + 2 per prefetch target).
+pub type WritebackList = FixedVec<PhysAddr, 16>;
 
 /// Cache levels, from closest to the core to closest to memory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -89,9 +98,10 @@ pub struct HierarchyAccess {
     pub latency: Cycles,
     /// Cache-line addresses that must be fetched from DRAM (the demand line
     /// when the access missed everywhere, plus any prefetches that missed).
-    pub dram_fetches: Vec<PhysAddr>,
-    /// Dirty lines that must be written back to DRAM.
-    pub writebacks: Vec<PhysAddr>,
+    /// Stored inline — building this list allocates nothing.
+    pub dram_fetches: DramFetchList,
+    /// Dirty lines that must be written back to DRAM. Stored inline.
+    pub writebacks: WritebackList,
 }
 
 impl HierarchyAccess {
@@ -185,8 +195,8 @@ impl CacheHierarchy {
         let is_write = kind.is_write();
         let is_fetch = kind == AccessType::Fetch;
         let mut latency = Cycles::ZERO;
-        let mut writebacks = Vec::new();
-        let mut dram_fetches = Vec::new();
+        let mut writebacks = WritebackList::new();
+        let mut dram_fetches = DramFetchList::new();
 
         let l1 = if is_fetch {
             &mut self.l1i
@@ -240,15 +250,17 @@ impl CacheHierarchy {
         };
 
         // Train prefetchers on demand data accesses from the application.
+        let mut prefetch_spilled = false;
         if !is_fetch && requestor == Requestor::Application {
-            let mut prefetch_targets = Vec::new();
+            let mut prefetch_targets = PrefetchTargets::new();
             if let Some(pf) = &mut self.l1_prefetcher {
-                prefetch_targets.extend(pf.observe(pc, paddr));
+                pf.observe(pc, paddr, &mut prefetch_targets);
             }
             if let Some(pf) = &mut self.l2_prefetcher {
-                prefetch_targets.extend(pf.observe(pc, paddr));
+                pf.observe(pc, paddr, &mut prefetch_targets);
             }
-            for target in prefetch_targets {
+            prefetch_spilled = prefetch_targets.spilled();
+            for &target in prefetch_targets.iter() {
                 if !self.l2.contains(target) && !self.l3.contains(target) {
                     dram_fetches.push(target.cache_line());
                     writebacks.extend(self.l3.fill(target, false, true));
@@ -256,6 +268,15 @@ impl CacheHierarchy {
                 }
             }
         }
+
+        // The demand path fills at most three levels and the baseline
+        // prefetchers propose at most 6 lines; both lists must therefore
+        // stay inline unless a non-default prefetcher overflowed its own
+        // inline budget first.
+        debug_assert!(
+            prefetch_spilled || (!dram_fetches.spilled() && !writebacks.spilled()),
+            "hierarchy access fan-out must fit the inline lists"
+        );
 
         HierarchyAccess {
             hit_level,
@@ -270,16 +291,18 @@ impl CacheHierarchy {
     /// matching common MMU designs); otherwise it always goes to memory.
     pub fn access_page_table(&mut self, paddr: PhysAddr) -> HierarchyAccess {
         if !self.config.cache_page_table {
+            let mut dram_fetches = DramFetchList::new();
+            dram_fetches.push(paddr.cache_line());
             return HierarchyAccess {
                 hit_level: Level::Memory,
                 latency: Cycles::ZERO,
-                dram_fetches: vec![paddr.cache_line()],
-                writebacks: Vec::new(),
+                dram_fetches,
+                writebacks: WritebackList::new(),
             };
         }
         let mut latency = self.l2.latency();
-        let mut writebacks = Vec::new();
-        let mut dram_fetches = Vec::new();
+        let mut writebacks = WritebackList::new();
+        let mut dram_fetches = DramFetchList::new();
         let hit_level = if self
             .l2
             .lookup(paddr, false, Requestor::PageTableWalker)

@@ -29,6 +29,9 @@ pub mod prefetch;
 pub mod replacement;
 
 pub use cache::{Cache, CacheConfig, CacheStats, LookupResult};
-pub use hierarchy::{CacheHierarchy, HierarchyAccess, HierarchyConfig, HierarchyStats, Level};
-pub use prefetch::{IpStridePrefetcher, Prefetcher, StreamPrefetcher};
+pub use hierarchy::{
+    CacheHierarchy, DramFetchList, HierarchyAccess, HierarchyConfig, HierarchyStats, Level,
+    WritebackList,
+};
+pub use prefetch::{IpStridePrefetcher, PrefetchTargets, Prefetcher, StreamPrefetcher};
 pub use replacement::ReplacementPolicy;

@@ -2,14 +2,21 @@
 //! the paper's baseline configuration (Table 4).
 
 use serde::{Deserialize, Serialize};
-use vm_types::{PhysAddr, VirtAddr, CACHE_LINE_BYTES};
+use vm_types::{FixedVec, PhysAddr, VirtAddr, CACHE_LINE_BYTES};
+
+/// The prefetch-target list filled by [`Prefetcher::observe`]: inline
+/// capacity covers the combined degree of the baseline prefetchers
+/// (IP-stride degree 2 + stream degree 4), so the steady-state loop never
+/// heap-allocates for prefetch proposals.
+pub type PrefetchTargets = FixedVec<PhysAddr, 8>;
 
 /// A hardware prefetcher observing the demand-access stream of one cache and
 /// proposing additional line addresses to fetch.
 pub trait Prefetcher {
     /// Observes one demand access (with the program counter that issued it,
-    /// when available) and returns the physical line addresses to prefetch.
-    fn observe(&mut self, pc: VirtAddr, paddr: PhysAddr) -> Vec<PhysAddr>;
+    /// when available) and appends the physical line addresses to prefetch
+    /// to `out` (an inline vector — no allocation on the hot path).
+    fn observe(&mut self, pc: VirtAddr, paddr: PhysAddr, out: &mut PrefetchTargets);
 }
 
 /// IP-stride prefetcher (Fu et al., MICRO 1992): tracks the last address and
@@ -50,11 +57,10 @@ impl Default for IpStridePrefetcher {
 }
 
 impl Prefetcher for IpStridePrefetcher {
-    fn observe(&mut self, pc: VirtAddr, paddr: PhysAddr) -> Vec<PhysAddr> {
+    fn observe(&mut self, pc: VirtAddr, paddr: PhysAddr, out: &mut PrefetchTargets) {
         let idx = (pc.raw() as usize / 4) % self.table_size;
         let entry = &mut self.entries[idx];
         let addr = paddr.raw();
-        let mut out = Vec::new();
 
         if entry.valid && entry.pc_tag == pc.raw() {
             let stride = addr as i64 - entry.last_addr as i64;
@@ -82,7 +88,6 @@ impl Prefetcher for IpStridePrefetcher {
                 confidence: 0,
             };
         }
-        out
     }
 }
 
@@ -113,9 +118,8 @@ impl Default for StreamPrefetcher {
 }
 
 impl Prefetcher for StreamPrefetcher {
-    fn observe(&mut self, _pc: VirtAddr, paddr: PhysAddr) -> Vec<PhysAddr> {
+    fn observe(&mut self, _pc: VirtAddr, paddr: PhysAddr, out: &mut PrefetchTargets) {
         let line = paddr.raw() / CACHE_LINE_BYTES;
-        let mut out = Vec::new();
         if let Some(last) = self.last_line {
             if line == last + 1 || line == last {
                 if line == last + 1 {
@@ -131,7 +135,6 @@ impl Prefetcher for StreamPrefetcher {
             }
         }
         self.last_line = Some(line);
-        out
     }
 }
 
@@ -140,22 +143,26 @@ impl Prefetcher for StreamPrefetcher {
 pub struct NullPrefetcher;
 
 impl Prefetcher for NullPrefetcher {
-    fn observe(&mut self, _pc: VirtAddr, _paddr: PhysAddr) -> Vec<PhysAddr> {
-        Vec::new()
-    }
+    fn observe(&mut self, _pc: VirtAddr, _paddr: PhysAddr, _out: &mut PrefetchTargets) {}
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn observe(pf: &mut impl Prefetcher, pc: VirtAddr, paddr: PhysAddr) -> PrefetchTargets {
+        let mut out = PrefetchTargets::new();
+        pf.observe(pc, paddr, &mut out);
+        out
+    }
+
     #[test]
     fn ip_stride_detects_constant_stride() {
         let mut pf = IpStridePrefetcher::new(16, 2);
         let pc = VirtAddr::new(0x400);
-        let mut issued = Vec::new();
+        let mut issued = PrefetchTargets::new();
         for i in 0..6u64 {
-            issued = pf.observe(pc, PhysAddr::new(0x1000 + i * 256));
+            issued = observe(&mut pf, pc, PhysAddr::new(0x1000 + i * 256));
         }
         assert_eq!(issued.len(), 2);
         assert!(issued[0].raw() > 0x1000);
@@ -168,7 +175,7 @@ mod tests {
         let addrs = [0x1000u64, 0x9000, 0x2000, 0xffff0, 0x300];
         let mut total = 0;
         for a in addrs {
-            total += pf.observe(pc, PhysAddr::new(a)).len();
+            total += observe(&mut pf, pc, PhysAddr::new(a)).len();
         }
         assert_eq!(total, 0);
     }
@@ -181,8 +188,8 @@ mod tests {
         let pc_b = VirtAddr::new(0x104);
         let mut a_prefetches = 0;
         for i in 0..8u64 {
-            a_prefetches += pf.observe(pc_a, PhysAddr::new(0x10_000 + i * 64)).len();
-            pf.observe(pc_b, PhysAddr::new(0x90_000 + i * 4096));
+            a_prefetches += observe(&mut pf, pc_a, PhysAddr::new(0x10_000 + i * 64)).len();
+            observe(&mut pf, pc_b, PhysAddr::new(0x90_000 + i * 4096));
         }
         assert!(a_prefetches > 0);
     }
@@ -190,9 +197,9 @@ mod tests {
     #[test]
     fn stream_prefetcher_follows_sequential_lines() {
         let mut pf = StreamPrefetcher::new(4);
-        let mut last = Vec::new();
+        let mut last = PrefetchTargets::new();
         for i in 0..5u64 {
-            last = pf.observe(VirtAddr::ZERO, PhysAddr::new(i * 64));
+            last = observe(&mut pf, VirtAddr::ZERO, PhysAddr::new(i * 64));
         }
         assert_eq!(last.len(), 4);
         assert_eq!(last[0].raw(), 5 * 64);
@@ -202,16 +209,37 @@ mod tests {
     fn stream_prefetcher_resets_on_jump() {
         let mut pf = StreamPrefetcher::new(4);
         for i in 0..5u64 {
-            pf.observe(VirtAddr::ZERO, PhysAddr::new(i * 64));
+            observe(&mut pf, VirtAddr::ZERO, PhysAddr::new(i * 64));
         }
         // A far jump breaks the stream.
-        let out = pf.observe(VirtAddr::ZERO, PhysAddr::new(0x100_0000));
+        let out = observe(&mut pf, VirtAddr::ZERO, PhysAddr::new(0x100_0000));
         assert!(out.is_empty());
     }
 
     #[test]
     fn null_prefetcher_never_prefetches() {
         let mut pf = NullPrefetcher;
-        assert!(pf.observe(VirtAddr::new(1), PhysAddr::new(2)).is_empty());
+        assert!(observe(&mut pf, VirtAddr::new(1), PhysAddr::new(2)).is_empty());
+    }
+
+    #[test]
+    fn baseline_degrees_never_spill_the_inline_buffer() {
+        let mut targets = PrefetchTargets::new();
+        let mut ip = IpStridePrefetcher::default();
+        let mut stream = StreamPrefetcher::default();
+        for i in 0..16u64 {
+            targets.clear();
+            ip.observe(
+                VirtAddr::new(0x400),
+                PhysAddr::new(0x1000 + i * 64),
+                &mut targets,
+            );
+            stream.observe(
+                VirtAddr::new(0x400),
+                PhysAddr::new(0x1000 + i * 64),
+                &mut targets,
+            );
+            assert!(!targets.spilled(), "degree 2 + degree 4 fit inline");
+        }
     }
 }

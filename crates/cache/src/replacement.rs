@@ -7,18 +7,13 @@
 use serde::{Deserialize, Serialize};
 
 /// Replacement policy selector for a set-associative cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum ReplacementPolicy {
     /// Least-recently-used.
+    #[default]
     Lru,
     /// Static re-reference interval prediction with 2-bit RRPV counters.
     Srrip,
-}
-
-impl Default for ReplacementPolicy {
-    fn default() -> Self {
-        ReplacementPolicy::Lru
-    }
 }
 
 /// Per-way replacement metadata. For LRU this is an age stamp; for SRRIP it
@@ -42,8 +37,11 @@ pub struct SetReplacement {
 }
 
 impl SetReplacement {
-    /// Creates replacement state for a set with `ways` ways.
+    /// Creates replacement state for a set with `ways` ways (at most 64,
+    /// so way validity fits one machine word on the victim-selection fast
+    /// path).
     pub fn new(policy: ReplacementPolicy, ways: usize) -> Self {
+        assert!(ways <= 64, "at most 64 ways per set (got {ways})");
         let init = match policy {
             ReplacementPolicy::Lru => 0,
             ReplacementPolicy::Srrip => SRRIP_MAX,
@@ -85,8 +83,31 @@ impl SetReplacement {
     /// `valid`. Invalid ways are always preferred.
     pub fn choose_victim(&mut self, valid: &[bool]) -> usize {
         debug_assert_eq!(valid.len(), self.meta.len());
-        if let Some(way) = valid.iter().position(|v| !v) {
-            return way;
+        let mut mask = 0u64;
+        for (way, &v) in valid.iter().enumerate() {
+            if v {
+                mask |= 1 << way;
+            }
+        }
+        self.choose_victim_mask(mask)
+    }
+
+    /// Chooses a victim way given the validity of each way as a bitmask
+    /// (bit `i` set ⇔ way `i` holds a valid line). Invalid ways are always
+    /// preferred. This is the allocation-free fast path of
+    /// [`choose_victim`](Self::choose_victim): the per-fill `Vec<bool>` it
+    /// replaced was one of the steady-state loop's hottest allocations.
+    pub fn choose_victim_mask(&mut self, valid_mask: u64) -> usize {
+        let ways = self.meta.len();
+        debug_assert!(ways <= 64, "bitmask replacement supports at most 64 ways");
+        let full = if ways == 64 {
+            u64::MAX
+        } else {
+            (1 << ways) - 1
+        };
+        let invalid = !valid_mask & full;
+        if invalid != 0 {
+            return invalid.trailing_zeros() as usize;
         }
         match self.policy {
             ReplacementPolicy::Lru => self
@@ -154,6 +175,51 @@ mod tests {
         }
         let victim = set.choose_victim(&valid);
         assert!(victim < 4);
+    }
+
+    #[test]
+    fn mask_and_slice_victim_selection_agree() {
+        for policy in [ReplacementPolicy::Lru, ReplacementPolicy::Srrip] {
+            let mut by_slice = SetReplacement::new(policy, 4);
+            let mut by_mask = SetReplacement::new(policy, 4);
+            for way in 0..4 {
+                by_slice.on_insert(way);
+                by_mask.on_insert(way);
+            }
+            by_slice.on_hit(1);
+            by_mask.on_hit(1);
+            let valid = [true, true, false, true];
+            let mask = 0b1011u64;
+            assert_eq!(
+                by_slice.choose_victim(&valid),
+                by_mask.choose_victim_mask(mask),
+                "{policy:?}"
+            );
+            let all = [true; 4];
+            assert_eq!(
+                by_slice.choose_victim(&all),
+                by_mask.choose_victim_mask(0b1111),
+                "{policy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mask_prefers_lowest_invalid_way() {
+        let mut set = SetReplacement::new(ReplacementPolicy::Lru, 8);
+        assert_eq!(set.choose_victim_mask(0b1111_0101), 1);
+        assert_eq!(set.choose_victim_mask(0), 0);
+    }
+
+    #[test]
+    fn full_64_way_mask_is_supported() {
+        let mut set = SetReplacement::new(ReplacementPolicy::Lru, 64);
+        for way in 0..64 {
+            set.on_insert(way);
+        }
+        set.on_hit(0);
+        let victim = set.choose_victim_mask(u64::MAX);
+        assert!(victim > 0 && victim < 64);
     }
 
     #[test]

@@ -10,11 +10,12 @@ use sim_core::CoreConfig;
 use vm_types::{Cycles, PhysAddr};
 
 /// How OS and translation overheads are simulated.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum SimulationMode {
     /// The Virtuoso methodology: page walks traverse the memory hierarchy,
     /// page faults are handled by MimicOS and its instruction stream is
     /// injected into the core model.
+    #[default]
     Detailed,
     /// The emulation-based baseline (e.g. unmodified Sniper/ChampSim):
     /// page walks and page faults cost fixed latencies and generate no
@@ -41,12 +42,6 @@ impl SimulationMode {
     /// `true` for the detailed (Virtuoso) mode.
     pub fn is_detailed(&self) -> bool {
         matches!(self, SimulationMode::Detailed)
-    }
-}
-
-impl Default for SimulationMode {
-    fn default() -> Self {
-        SimulationMode::Detailed
     }
 }
 

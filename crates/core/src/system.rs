@@ -48,7 +48,14 @@ pub struct System {
     primary: ProcessId,
     /// The process currently holding the simulated core.
     current: ProcessId,
-    per_proc: BTreeMap<usize, ProcPerf>,
+    /// Per-process performance accounting, indexed densely by raw pid
+    /// (pids are allocated sequentially from 0). Replaces the seed's
+    /// `BTreeMap`, whose two tree walks per retired instruction were one
+    /// of the instruction loop's dominant constant factors.
+    per_proc: Vec<ProcPerf>,
+    /// Cached index of `current` into `per_proc`, refreshed on context
+    /// switch so the steady-state loop does a single bounds-checked index.
+    current_slot: usize,
     /// Context switches performed by the framework.
     context_switches: u64,
     /// TLB entries dropped by context-switch flushes.
@@ -84,7 +91,8 @@ impl System {
             os,
             primary: pid,
             current: pid,
-            per_proc: BTreeMap::new(),
+            per_proc: vec![ProcPerf::default(); pid.0 + 1],
+            current_slot: pid.0,
             context_switches: 0,
             switch_flushed_entries: 0,
             functional: FunctionalChannel::new(),
@@ -158,7 +166,23 @@ impl System {
     /// Creates an additional process (admitted to the scheduler's run
     /// queue) and returns its identifier.
     pub fn spawn_process(&mut self) -> ProcessId {
-        self.os.spawn_process()
+        let pid = self.os.spawn_process();
+        self.ensure_perf_slot(pid);
+        pid
+    }
+
+    /// Grows the dense per-process accounting table to cover `pid`.
+    fn ensure_perf_slot(&mut self, pid: ProcessId) {
+        if pid.0 >= self.per_proc.len() {
+            self.per_proc.resize(pid.0 + 1, ProcPerf::default());
+        }
+    }
+
+    /// The accounting slot of `pid` (growing the table if the process was
+    /// created behind the system's back).
+    fn perf_mut(&mut self, pid: ProcessId) -> &mut ProcPerf {
+        self.ensure_perf_slot(pid);
+        &mut self.per_proc[pid.0]
     }
 
     /// Maps an anonymous region for the primary process.
@@ -395,11 +419,14 @@ impl System {
         self.switch_flushed_entries += dropped as u64;
         self.context_switches += 1;
         self.current = switch.to;
+        // Swap the cached accounting slot to the incoming process.
+        self.ensure_perf_slot(switch.to);
+        self.current_slot = switch.to.0;
     }
 
     /// Builds the per-process slice of the report for `pid`.
     fn process_report(&self, pid: ProcessId, workload: String) -> ProcessReport {
-        let perf = self.per_proc.get(&pid.0).copied().unwrap_or_default();
+        let perf = self.per_proc.get(pid.0).copied().unwrap_or_default();
         let asid_stats = self.mmu.stats().for_asid(Self::asid_of(pid));
         let process = self.os.process(pid);
         ProcessReport {
@@ -436,7 +463,7 @@ impl System {
             None => self.core.retire_compute(1),
             Some((vaddr, kind)) => self.memory_access(instr.pc, vaddr, kind),
         }
-        let perf = self.per_proc.entry(self.current.0).or_default();
+        let perf = &mut self.per_proc[self.current_slot];
         perf.instructions += 1;
         perf.cycles += self.core.cycles().raw() - cycles_before;
         self.instructions_since_housekeeping += 1;
@@ -465,12 +492,12 @@ impl System {
     }
 
     /// Flushes locally accumulated translation costs into the global and
-    /// per-process accounting (one map lookup per memory access).
+    /// per-process accounting (one dense-array index per memory access).
     fn credit_translation(&mut self, cycles: u64, ptw_latency: u64, ptw_count: u64) {
         self.translation_cycles += cycles;
         self.ptw_latency_cycles += ptw_latency;
         self.ptw_count += ptw_count;
-        let perf = self.per_proc.entry(self.current.0).or_default();
+        let perf = &mut self.per_proc[self.current_slot];
         perf.translation_cycles += cycles;
         perf.ptw_latency_cycles += ptw_latency;
         perf.ptw_count += ptw_count;
@@ -624,9 +651,13 @@ impl System {
 
         match self.os.handle_page_fault(pid, vaddr, is_write) {
             Ok(outcome) => {
+                // Move the mappings into the response instead of cloning
+                // them: the fault path allocates nothing beyond what the
+                // kernel already built.
+                let stream = outcome.stream;
                 self.functional.post_response(KernelResponse::FaultHandled {
                     mapping: outcome.mapping,
-                    additional: outcome.additional_mappings.clone(),
+                    additional: outcome.additional_mappings,
                     device_latency_ns: outcome.device_latency_ns,
                 });
                 let response = self
@@ -644,7 +675,7 @@ impl System {
 
                 match self.config.mode {
                     SimulationMode::Detailed => {
-                        self.streams.send(outcome.stream);
+                        self.streams.send(stream);
                         self.drain_kernel_streams();
                         self.install_mapping_detailed(asid, &mapping);
                         for extra in &additional {
@@ -673,7 +704,7 @@ impl System {
                 });
                 let _ = self.functional.take_response();
                 self.segfaults += 1;
-                self.per_proc.entry(pid.0).or_default().segfaults += 1;
+                self.perf_mut(pid).segfaults += 1;
                 false
             }
             Err(error) => {
@@ -681,7 +712,7 @@ impl System {
                     .post_response(KernelResponse::FaultFailed { error });
                 let _ = self.functional.take_response();
                 self.segfaults += 1;
-                self.per_proc.entry(pid.0).or_default().segfaults += 1;
+                self.perf_mut(pid).segfaults += 1;
                 false
             }
         }

@@ -8,7 +8,7 @@
 
 use crate::config::DramConfig;
 use serde::{Deserialize, Serialize};
-use vm_types::{PhysAddr, CACHE_LINE_BYTES};
+use vm_types::{FastDiv, PhysAddr, CACHE_LINE_BYTES};
 
 /// A physical location inside the DRAM device: channel, rank, bank and row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -36,20 +36,20 @@ impl DramLocation {
 /// Address-interleaving function from physical addresses to DRAM locations.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AddressMapping {
-    channels: usize,
-    ranks: usize,
-    banks: usize,
-    lines_per_row: u64,
+    channels: FastDiv,
+    ranks: FastDiv,
+    banks: FastDiv,
+    lines_per_row: FastDiv,
 }
 
 impl AddressMapping {
     /// Builds the mapping for a DRAM configuration.
     pub fn new(config: &DramConfig) -> Self {
         AddressMapping {
-            channels: config.channels,
-            ranks: config.ranks_per_channel,
-            banks: config.banks_per_rank,
-            lines_per_row: (config.row_bytes_per_bank / CACHE_LINE_BYTES).max(1),
+            channels: FastDiv::new(config.channels as u64),
+            ranks: FastDiv::new(config.ranks_per_channel as u64),
+            banks: FastDiv::new(config.banks_per_rank as u64),
+            lines_per_row: FastDiv::new((config.row_bytes_per_bank / CACHE_LINE_BYTES).max(1)),
         }
     }
 
@@ -61,14 +61,14 @@ impl AddressMapping {
     /// page-table walks) revisits the same banks with different rows.
     pub fn locate(&self, paddr: PhysAddr) -> DramLocation {
         let line = paddr.raw() / CACHE_LINE_BYTES;
-        let channel = (line % self.channels as u64) as usize;
-        let line = line / self.channels as u64;
-        let bank = (line % self.banks as u64) as usize;
-        let line = line / self.banks as u64;
-        let rank = (line % self.ranks as u64) as usize;
-        let line = line / self.ranks as u64;
-        let column = line % self.lines_per_row;
-        let row = line / self.lines_per_row;
+        let channel = self.channels.rem(line) as usize;
+        let line = self.channels.div(line);
+        let bank = self.banks.rem(line) as usize;
+        let line = self.banks.div(line);
+        let rank = self.ranks.rem(line) as usize;
+        let line = self.ranks.div(line);
+        let column = self.lines_per_row.rem(line);
+        let row = self.lines_per_row.div(line);
         DramLocation {
             channel,
             rank,

@@ -1,7 +1,6 @@
 //! DRAM access statistics with per-requestor attribution.
 
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 use vm_types::{Counter, Cycles, Requestor, RunningStats};
 
 /// Classification of a DRAM access with respect to the bank's row buffer.
@@ -36,7 +35,11 @@ impl RequestorStats {
 /// Aggregate DRAM statistics.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct DramStats {
-    per_requestor: BTreeMap<String, RequestorStats>,
+    /// Indexed by [`DramStats::requestor_index`] (the order of
+    /// [`Requestor::ALL`]). A dense array: the seed's
+    /// `BTreeMap<String, _>` built a fresh `String` key on every single
+    /// DRAM access — the hottest allocation in the whole simulator.
+    per_requestor: [RequestorStats; 4],
     latency: RunningStats,
     /// Read accesses.
     pub reads: Counter,
@@ -45,12 +48,24 @@ pub struct DramStats {
 }
 
 impl DramStats {
-    fn entry(&mut self, requestor: Requestor) -> &mut RequestorStats {
-        self.per_requestor.entry(requestor.to_string()).or_default()
+    /// Index of a requestor into the dense per-requestor table.
+    #[inline]
+    fn requestor_index(requestor: Requestor) -> usize {
+        match requestor {
+            Requestor::Application => 0,
+            Requestor::PageTableWalker => 1,
+            Requestor::Kernel => 2,
+            Requestor::Prefetcher => 3,
+        }
     }
 
-    fn get(&self, requestor: Requestor) -> Option<&RequestorStats> {
-        self.per_requestor.get(&requestor.to_string())
+    #[inline]
+    fn entry(&mut self, requestor: Requestor) -> &mut RequestorStats {
+        &mut self.per_requestor[Self::requestor_index(requestor)]
+    }
+
+    fn get(&self, requestor: Requestor) -> &RequestorStats {
+        &self.per_requestor[Self::requestor_index(requestor)]
     }
 
     /// Records one access outcome.
@@ -66,28 +81,28 @@ impl DramStats {
 
     /// Total row-buffer hits across all requestors.
     pub fn hits(&self) -> u64 {
-        self.per_requestor.values().map(|s| s.hits.get()).sum()
+        self.per_requestor.iter().map(|s| s.hits.get()).sum()
     }
 
     /// Total row-buffer misses across all requestors.
     pub fn misses(&self) -> u64 {
-        self.per_requestor.values().map(|s| s.misses.get()).sum()
+        self.per_requestor.iter().map(|s| s.misses.get()).sum()
     }
 
     /// Total row-buffer conflicts across all requestors.
     pub fn conflicts(&self) -> u64 {
-        self.per_requestor.values().map(|s| s.conflicts.get()).sum()
+        self.per_requestor.iter().map(|s| s.conflicts.get()).sum()
     }
 
     /// Row-buffer conflicts attributed to a given requestor (the requestor
     /// that *suffered*/caused the precharge by issuing the access).
     pub fn conflicts_by(&self, requestor: Requestor) -> u64 {
-        self.get(requestor).map_or(0, |s| s.conflicts.get())
+        self.get(requestor).conflicts.get()
     }
 
     /// Accesses issued by a given requestor.
     pub fn accesses_by(&self, requestor: Requestor) -> u64 {
-        self.get(requestor).map_or(0, |s| s.total())
+        self.get(requestor).total()
     }
 
     /// Conflicts attributed to address-translation metadata traffic
@@ -98,7 +113,7 @@ impl DramStats {
 
     /// Total number of DRAM accesses.
     pub fn total_accesses(&self) -> u64 {
-        self.per_requestor.values().map(|s| s.total()).sum()
+        self.per_requestor.iter().map(|s| s.total()).sum()
     }
 
     /// Row-buffer hit rate over all accesses (0 when idle).

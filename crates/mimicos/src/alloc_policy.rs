@@ -9,13 +9,14 @@ use std::fmt;
 use vm_types::PageSize;
 
 /// The physical memory allocation policy the kernel applies on page faults.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum AllocationPolicy {
     /// `BD`: the buddy allocator only ever provides 4 KiB pages.
     BuddyFourK,
     /// Linux-like transparent huge pages: try a 2 MiB allocation on the
     /// first fault of an eligible region, fall back to 4 KiB, and let
     /// khugepaged collapse later (the paper's baseline MimicOS policy).
+    #[default]
     LinuxThp,
     /// `CR-THP`: reservation-based THP that promotes a reserved 2 MiB region
     /// once more than 50 % of its 4 KiB pages are populated.
@@ -77,12 +78,6 @@ impl AllocationPolicy {
                 format!("UT-{}MB/{}-way", cfg.size_bytes / (1024 * 1024), cfg.ways)
             }
         }
-    }
-}
-
-impl Default for AllocationPolicy {
-    fn default() -> Self {
-        AllocationPolicy::LinuxThp
     }
 }
 

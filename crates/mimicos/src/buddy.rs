@@ -317,7 +317,7 @@ impl BuddyAllocator {
             }
         }
         self.free_lists[order as usize].insert(frame);
-        if let Some(s) = stream.as_deref_mut() {
+        if let Some(s) = stream {
             s.store(self.freelist_node_addr(frame));
         }
         Ok(())

@@ -100,7 +100,7 @@ impl OsConfig {
             populate_page_cache: true,
             sched_quantum: 50_000,
             context_switch_cost: 4_000,
-            seed: 0x5afa_51,
+            seed: 0x5a_fa_51,
         }
     }
 
@@ -123,7 +123,7 @@ impl OsConfig {
     ///
     /// Returns [`VmError::InvalidConfig`] when a parameter is out of range.
     pub fn validate(&self) -> VmResult<()> {
-        if self.memory_bytes == 0 || self.memory_bytes % 4096 != 0 {
+        if self.memory_bytes == 0 || !self.memory_bytes.is_multiple_of(4096) {
             return Err(VmError::InvalidConfig {
                 reason: "memory size must be a non-zero multiple of 4 KiB".to_string(),
             });
@@ -416,7 +416,7 @@ impl MimicOs {
         vma.eager_paging = matches!(self.config.policy, AllocationPolicy::EagerPaging);
         self.processes[pid.0].vmas.insert(vma.clone())?;
         if hugetlb {
-            let pages = (len + PageSize::Size2M.bytes() - 1) / PageSize::Size2M.bytes();
+            let pages = len.div_ceil(PageSize::Size2M.bytes());
             self.hugetlb.reserve(pages as usize, &mut self.buddy);
         }
         if vma.eager_paging {
@@ -968,7 +968,7 @@ impl MimicOs {
     ) {
         stream.compute(45);
         stream.store(PhysAddr::new(
-            0xFFFF_D000_0000_0000 + (mapping.vaddr.raw() >> 9 & 0xFFFF_FF8),
+            0xFFFF_D000_0000_0000 + (mapping.vaddr.raw() >> 9 & 0xF_FFF_FF8),
         ));
         self.processes[pid.0].insert_mapping(mapping);
         match mapping.page_size {

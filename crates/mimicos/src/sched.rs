@@ -127,9 +127,7 @@ impl Scheduler {
         let from = self.current?;
         self.stats.quanta_expired.inc();
         self.ran_in_quantum = 0;
-        let Some(to) = self.runqueue.pop_front() else {
-            return None;
-        };
+        let to = self.runqueue.pop_front()?;
         self.runqueue.push_back(from);
         self.current = Some(to);
         self.stats.context_switches.inc();

@@ -112,17 +112,17 @@ impl SlabAllocator {
             .pop_front()
             .expect("free list refilled above");
         self.stats.allocations.inc();
-        if let Some(s) = stream.as_deref_mut() {
+        if let Some(s) = stream {
             s.load(obj);
         }
         Ok(obj)
     }
 
     /// Returns an object to the cache.
-    pub fn free(&mut self, obj: PhysAddr, mut stream: Option<&mut KernelInstructionStream>) {
+    pub fn free(&mut self, obj: PhysAddr, stream: Option<&mut KernelInstructionStream>) {
         self.free_objects.push_back(obj);
         self.stats.frees.inc();
-        if let Some(s) = stream.as_deref_mut() {
+        if let Some(s) = stream {
             s.compute(20);
             s.store(obj);
         }

@@ -131,7 +131,7 @@ impl RestSeg {
         stream.compute(12);
         // Probe the set's tag array: contiguous metadata, one load per way
         // group of 8 tags.
-        let tag_probes = (self.config.ways as u64 + 7) / 8;
+        let tag_probes = (self.config.ways as u64).div_ceil(8);
         for i in 0..tag_probes {
             stream.load(self.tag_array_addr(set, i));
         }
@@ -184,7 +184,7 @@ impl RestSeg {
     pub fn tag_array_addr(&self, set: u64, group: u64) -> PhysAddr {
         self.base
             .add(self.config.size_bytes)
-            .add(set * 64 * ((self.config.ways as u64 + 7) / 8) + group * 64)
+            .add(set * 64 * (self.config.ways as u64).div_ceil(8) + group * 64)
     }
 
     /// Size in bytes of the translation metadata (virtual tags for every

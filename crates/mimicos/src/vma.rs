@@ -95,7 +95,7 @@ impl Vma {
 
     /// Number of base pages spanned by the VMA.
     pub fn base_pages(&self) -> u64 {
-        (self.len() + PageSize::Size4K.bytes() - 1) / PageSize::Size4K.bytes()
+        self.len().div_ceil(PageSize::Size4K.bytes())
     }
 }
 

@@ -45,7 +45,7 @@ pub mod utopia_mmu;
 
 pub use crate::mmu::{AsidMmuStats, Mmu, MmuConfig, MmuStats, TranslationResult};
 pub use midgard::{MidgardConfig, MidgardMmu, MidgardStats};
-pub use pt::{PageTable, PageTableKind, WalkOutcome};
+pub use pt::{PageTable, PageTableKind, WalkAccessList, WalkOutcome};
 pub use pwc::PageWalkCaches;
 pub use rmm::{RangeTable, RangeTlb, RmmConfig, RmmMmu};
 pub use tlb::{Tlb, TlbConfig, TlbHierarchy, TlbHierarchyConfig, TlbLevel};

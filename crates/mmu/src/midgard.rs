@@ -172,7 +172,7 @@ impl MidgardMmu {
         self.vmas.len()
     }
 
-    fn probe_vlb(vlb: &mut Vec<(usize, u64)>, idx: usize, clock: u64) -> bool {
+    fn probe_vlb(vlb: &mut [(usize, u64)], idx: usize, clock: u64) -> bool {
         if let Some(entry) = vlb.iter_mut().find(|(i, _)| *i == idx) {
             entry.1 = clock;
             true

@@ -13,7 +13,6 @@ use crate::pwc::PageWalkCaches;
 use crate::tlb::{TlbHierarchy, TlbHierarchyConfig, TlbLevel};
 use mimic_os::Mapping;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 use vm_types::{Asid, Counter, Cycles, PhysAddr, VirtAddr};
 
 /// Physical distance between the per-ASID page-table metadata regions
@@ -127,8 +126,11 @@ pub struct MmuStats {
     /// TLB entries dropped by context-switch flushes (non-zero only in the
     /// ASID-less full-flush mode).
     pub switch_flushed_entries: Counter,
-    /// Per-address-space hit/miss accounting, keyed by raw ASID.
-    pub per_asid: BTreeMap<u16, AsidMmuStats>,
+    /// Per-address-space hit/miss accounting, indexed densely by raw ASID
+    /// (ASIDs are allocated sequentially from the pid). A dense table
+    /// keeps the per-translation accounting to one bounds-checked index —
+    /// the seed's `BTreeMap` walk was paid on every single translation.
+    pub per_asid: Vec<AsidMmuStats>,
 }
 
 impl MmuStats {
@@ -145,7 +147,10 @@ impl MmuStats {
     /// Translation statistics of one address space (zeros if the ASID never
     /// translated).
     pub fn for_asid(&self, asid: Asid) -> AsidMmuStats {
-        self.per_asid.get(&asid.raw()).cloned().unwrap_or_default()
+        self.per_asid
+            .get(asid.raw() as usize)
+            .cloned()
+            .unwrap_or_default()
     }
 }
 
@@ -256,7 +261,11 @@ impl Mmu {
     }
 
     fn asid_stats(&mut self, asid: Asid) -> &mut AsidMmuStats {
-        self.stats.per_asid.entry(asid.raw()).or_default()
+        let idx = asid.raw() as usize;
+        if idx >= self.stats.per_asid.len() {
+            self.stats.per_asid.resize(idx + 1, AsidMmuStats::default());
+        }
+        &mut self.stats.per_asid[idx]
     }
 
     /// Translates `va` in address space `asid`. On a TLB miss the address

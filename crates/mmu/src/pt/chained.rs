@@ -2,11 +2,10 @@
 //! (the paper's `HT` configuration: a 4 GB global chain table with 8 PTEs
 //! per bucket and overflow chains).
 
-use super::{PageTable, PageTableKind, WalkOutcome};
+use super::{PageTable, PageTableKind, WalkAccessList, WalkOutcome};
 use mimic_os::Mapping;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
-use vm_types::{PageSize, PhysAddr, VirtAddr};
+use vm_types::{FastDiv, FxHashMap, PageSize, PhysAddr, VirtAddr};
 
 const PTES_PER_BUCKET: usize = 8;
 const BUCKET_BYTES: u64 = 64;
@@ -27,8 +26,8 @@ struct Bucket {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ChainedHashPageTable {
     metadata_base: PhysAddr,
-    buckets: u64,
-    storage: HashMap<u64, Bucket>,
+    buckets: FastDiv,
+    storage: FxHashMap<u64, Bucket>,
     occupied: usize,
     /// Overflow chain blocks allocated beyond the primary bucket array.
     overflow_blocks: u64,
@@ -40,8 +39,8 @@ impl ChainedHashPageTable {
     pub fn new(metadata_base: PhysAddr, table_bytes: u64) -> Self {
         ChainedHashPageTable {
             metadata_base,
-            buckets: (table_bytes / BUCKET_BYTES).max(1),
-            storage: HashMap::new(),
+            buckets: FastDiv::new((table_bytes / BUCKET_BYTES).max(1)),
+            storage: FxHashMap::default(),
             occupied: 0,
             overflow_blocks: 0,
         }
@@ -49,7 +48,7 @@ impl ChainedHashPageTable {
 
     fn hash(&self, vpn: u64, size: PageSize) -> u64 {
         let tag = vpn ^ ((size as u64 + 1) << 59);
-        tag.wrapping_mul(0xC2B2_AE3D_27D4_EB4F) % self.buckets
+        self.buckets.rem(tag.wrapping_mul(0xC2B2_AE3D_27D4_EB4F))
     }
 
     fn bucket_addr(&self, index: u64, chain_block: u64) -> PhysAddr {
@@ -57,8 +56,9 @@ impl ChainedHashPageTable {
             self.metadata_base.add(index * BUCKET_BYTES)
         } else {
             // Overflow blocks live past the primary array.
-            self.metadata_base
-                .add(self.buckets * BUCKET_BYTES + (index % 4096) * BUCKET_BYTES * chain_block)
+            self.metadata_base.add(
+                self.buckets.divisor() * BUCKET_BYTES + (index % 4096) * BUCKET_BYTES * chain_block,
+            )
         }
     }
 
@@ -69,7 +69,7 @@ impl ChainedHashPageTable {
 
 impl PageTable for ChainedHashPageTable {
     fn walk(&mut self, va: VirtAddr, _skip_levels: usize) -> WalkOutcome {
-        let mut accesses = Vec::new();
+        let mut accesses = WalkAccessList::new();
         for size in [PageSize::Size2M, PageSize::Size4K, PageSize::Size1G] {
             let vpn = Self::vpn_of(va, size);
             let idx = self.hash(vpn, size);
@@ -157,7 +157,7 @@ impl PageTable for ChainedHashPageTable {
     }
 
     fn metadata_bytes(&self) -> u64 {
-        self.buckets * BUCKET_BYTES + self.overflow_blocks * BUCKET_BYTES
+        self.buckets.divisor() * BUCKET_BYTES + self.overflow_blocks * BUCKET_BYTES
     }
 
     fn len(&self) -> usize {

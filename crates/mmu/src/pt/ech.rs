@@ -7,7 +7,7 @@
 //! candidate slot is taken. The table grows ("elastic" resize) when its load
 //! factor exceeds a threshold.
 
-use super::{PageTable, PageTableKind, WalkOutcome};
+use super::{PageTable, PageTableKind, WalkAccessList, WalkOutcome};
 use mimic_os::Mapping;
 use serde::{Deserialize, Serialize};
 use vm_types::{PageSize, PhysAddr, VirtAddr};
@@ -130,7 +130,7 @@ impl ElasticCuckooPageTable {
 
 impl PageTable for ElasticCuckooPageTable {
     fn walk(&mut self, va: VirtAddr, _skip_levels: usize) -> WalkOutcome {
-        let mut accesses = Vec::new();
+        let mut accesses = WalkAccessList::new();
         // Probe every nest for both page sizes (2 MiB first, as a real
         // implementation would use separate per-size tables probed in
         // parallel).

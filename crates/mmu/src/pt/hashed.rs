@@ -3,11 +3,10 @@
 //! configuration: a 4 GB global table with 8 PTEs packed per cache-line
 //! sized cluster and linear probing across clusters.
 
-use super::{PageTable, PageTableKind, WalkOutcome};
+use super::{PageTable, PageTableKind, WalkAccessList, WalkOutcome};
 use mimic_os::Mapping;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
-use vm_types::{PageSize, PhysAddr, VirtAddr};
+use vm_types::{FastDiv, FxHashMap, PageSize, PhysAddr, VirtAddr};
 
 /// PTEs per cluster (one 64-byte cache line of 8-byte entries).
 const PTES_PER_CLUSTER: usize = 8;
@@ -25,10 +24,10 @@ struct Pte {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct OpenAddressingPageTable {
     metadata_base: PhysAddr,
-    clusters: u64,
+    clusters: FastDiv,
     /// Sparse cluster storage: only clusters that hold at least one PTE are
     /// materialized (the table itself is 4 GB of physical address space).
-    storage: HashMap<u64, [Option<Pte>; PTES_PER_CLUSTER]>,
+    storage: FxHashMap<u64, [Option<Pte>; PTES_PER_CLUSTER]>,
     occupied: usize,
     /// Probes beyond the home cluster (collision chain length indicator).
     pub overflow_probes: u64,
@@ -40,8 +39,8 @@ impl OpenAddressingPageTable {
     pub fn new(metadata_base: PhysAddr, table_bytes: u64) -> Self {
         OpenAddressingPageTable {
             metadata_base,
-            clusters: (table_bytes / CLUSTER_BYTES).max(1),
-            storage: HashMap::new(),
+            clusters: FastDiv::new((table_bytes / CLUSTER_BYTES).max(1)),
+            storage: FxHashMap::default(),
             occupied: 0,
             overflow_probes: 0,
         }
@@ -49,7 +48,7 @@ impl OpenAddressingPageTable {
 
     fn hash(&self, vpn: u64, size: PageSize) -> u64 {
         let tag = vpn ^ ((size as u64 + 1) << 58);
-        tag.wrapping_mul(0x9E37_79B9_7F4A_7C15) % self.clusters
+        self.clusters.rem(tag.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
     fn cluster_addr(&self, index: u64) -> PhysAddr {
@@ -63,12 +62,12 @@ impl OpenAddressingPageTable {
 
 impl PageTable for OpenAddressingPageTable {
     fn walk(&mut self, va: VirtAddr, _skip_levels: usize) -> WalkOutcome {
-        let mut accesses = Vec::new();
+        let mut accesses = WalkAccessList::new();
         for size in [PageSize::Size2M, PageSize::Size4K, PageSize::Size1G] {
             let vpn = Self::vpn_of(va, size);
             let home = self.hash(vpn, size);
             for probe in 0..MAX_PROBES as u64 {
-                let idx = (home + probe) % self.clusters;
+                let idx = self.clusters.rem(home + probe);
                 if size == PageSize::Size4K || probe == 0 {
                     accesses.push(self.cluster_addr(idx));
                 }
@@ -112,7 +111,7 @@ impl PageTable for OpenAddressingPageTable {
             mapping,
         };
         for probe in 0..MAX_PROBES as u64 {
-            let idx = (home + probe) % self.clusters;
+            let idx = self.clusters.rem(home + probe);
             accesses.push(self.cluster_addr(idx));
             if probe > 0 {
                 self.overflow_probes += 1;
@@ -146,14 +145,14 @@ impl PageTable for OpenAddressingPageTable {
             let vpn = Self::vpn_of(va, size);
             let home = self.hash(vpn, size);
             for probe in 0..MAX_PROBES as u64 {
-                let idx = (home + probe) % self.clusters;
+                let idx = self.clusters.rem(home + probe);
                 let Some(cluster) = self.storage.get_mut(&idx) else {
                     break;
                 };
                 accesses.push(self.metadata_base.add(idx * CLUSTER_BYTES));
                 if let Some(slot) = cluster
                     .iter_mut()
-                    .find(|p| p.map_or(false, |p| p.vpn == vpn && p.size == size))
+                    .find(|p| p.is_some_and(|p| p.vpn == vpn && p.size == size))
                 {
                     *slot = None;
                     self.occupied -= 1;
@@ -172,7 +171,7 @@ impl PageTable for OpenAddressingPageTable {
     }
 
     fn metadata_bytes(&self) -> u64 {
-        self.clusters * CLUSTER_BYTES
+        self.clusters.divisor() * CLUSTER_BYTES
     }
 
     fn len(&self) -> usize {

@@ -31,7 +31,14 @@ pub use radix::RadixPageTable;
 use mimic_os::Mapping;
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use vm_types::{PhysAddr, VirtAddr};
+use vm_types::{FixedVec, PhysAddr, VirtAddr};
+
+/// The per-walk list of page-table accesses. Radix walks touch at most 5
+/// entries and the hash designs' typical probe sequences are shorter
+/// still, so the inline capacity of 8 keeps every ordinary walk
+/// allocation-free; pathological collision chains spill to the heap
+/// transparently (see [`vm_types::FixedVec`]).
+pub type WalkAccessList = FixedVec<PhysAddr, 8>;
 
 /// Which page-table design is in use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -79,8 +86,8 @@ pub struct WalkOutcome {
     /// entry (page fault).
     pub mapping: Option<Mapping>,
     /// The physical addresses of the page-table data the walker read, in
-    /// walk order.
-    pub accesses: Vec<PhysAddr>,
+    /// walk order. Inline storage — ordinary walks allocate nothing.
+    pub accesses: WalkAccessList,
     /// `true` when the accesses are independent and can be issued in
     /// parallel (hash-based designs probe all candidate locations at once);
     /// `false` for pointer-chasing walks whose accesses are serialized
@@ -94,7 +101,7 @@ impl WalkOutcome {
     pub fn fault_without_accesses() -> Self {
         WalkOutcome {
             mapping: None,
-            accesses: Vec::new(),
+            accesses: WalkAccessList::new(),
             parallel: false,
         }
     }

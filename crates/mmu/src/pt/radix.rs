@@ -1,10 +1,9 @@
 //! The x86-64 4-level radix page table.
 
-use super::{PageTable, PageTableKind, WalkOutcome};
+use super::{PageTable, PageTableKind, WalkAccessList, WalkOutcome};
 use mimic_os::Mapping;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
-use vm_types::{PageSize, PhysAddr, VirtAddr};
+use vm_types::{FxHashMap, PageSize, PhysAddr, VirtAddr};
 
 /// Size of one page-table node (one 4 KiB frame of 512 8-byte entries).
 const NODE_BYTES: u64 = 4096;
@@ -18,9 +17,15 @@ pub struct RadixPageTable {
     /// level 3 = PML4 (single node, prefix 0), level 2 = PDPT (prefix =
     /// va >> 39), level 1 = PD (prefix = va >> 30), level 0 = PT
     /// (prefix = va >> 21).
-    nodes: BTreeMap<(u8, u64), PhysAddr>,
+    /// (The maps use the deterministic Fx hasher: walks probe them on
+    /// every TLB miss, the hottest lookups in the whole simulator.)
+    nodes: FxHashMap<(u8, u64), PhysAddr>,
     /// Leaf translations keyed by page base address.
-    leaves: BTreeMap<u64, Mapping>,
+    leaves: FxHashMap<u64, Mapping>,
+    /// Resident-leaf count per page size (1G, 2M, 4K), letting lookups
+    /// skip probing sizes with no mappings at all — for a 4K-only address
+    /// space that removes two random-memory hash probes per page walk.
+    size_counts: [usize; 3],
     metadata_base: PhysAddr,
     next_node: u64,
 }
@@ -30,8 +35,9 @@ impl RadixPageTable {
     /// `metadata_base`.
     pub fn new(metadata_base: PhysAddr) -> Self {
         let mut pt = RadixPageTable {
-            nodes: BTreeMap::new(),
-            leaves: BTreeMap::new(),
+            nodes: FxHashMap::default(),
+            leaves: FxHashMap::default(),
+            size_counts: [0; 3],
             metadata_base,
             next_node: 0,
         };
@@ -75,8 +81,20 @@ impl RadixPageTable {
         node.add(idx * 8)
     }
 
+    /// Index into [`Self::size_counts`] for a page size.
+    fn size_index(size: PageSize) -> usize {
+        match size {
+            PageSize::Size1G => 0,
+            PageSize::Size2M => 1,
+            PageSize::Size4K => 2,
+        }
+    }
+
     fn find_leaf(&self, va: VirtAddr) -> Option<Mapping> {
         for size in [PageSize::Size1G, PageSize::Size2M, PageSize::Size4K] {
+            if self.size_counts[Self::size_index(size)] == 0 {
+                continue;
+            }
             let base = va.page_base(size);
             if let Some(m) = self.leaves.get(&base.raw()) {
                 if m.page_size == size {
@@ -102,7 +120,7 @@ impl PageTable for RadixPageTable {
     fn walk(&mut self, va: VirtAddr, skip_levels: usize) -> WalkOutcome {
         let leaf = self.find_leaf(va);
         let depth = leaf.map_or(4, |m| Self::walk_depth(m.page_size));
-        let mut accesses = Vec::new();
+        let mut accesses = WalkAccessList::new();
         // Walk from the top (level 3) down, honouring PWC skips. The skip
         // count removes the uppermost levels, never the leaf access.
         let start_level = 3_i32 - (skip_levels as i32).min(depth as i32 - 1);
@@ -136,7 +154,10 @@ impl PageTable for RadixPageTable {
             let node = self.allocate_node(l, Self::prefix(va, l));
             accesses.push(self.entry_addr(node, va, l));
         }
-        self.leaves.insert(va.raw(), mapping);
+        if let Some(prev) = self.leaves.insert(va.raw(), mapping) {
+            self.size_counts[Self::size_index(prev.page_size)] -= 1;
+        }
+        self.size_counts[Self::size_index(mapping.page_size)] += 1;
         accesses
     }
 
@@ -144,7 +165,9 @@ impl PageTable for RadixPageTable {
         let Some(mapping) = self.find_leaf(va) else {
             return Vec::new();
         };
-        self.leaves.remove(&mapping.vaddr.raw());
+        if let Some(removed) = self.leaves.remove(&mapping.vaddr.raw()) {
+            self.size_counts[Self::size_index(removed.page_size)] -= 1;
+        }
         let leaf_level = 4 - Self::walk_depth(mapping.page_size);
         match self.node(leaf_level, Self::prefix(mapping.vaddr, leaf_level)) {
             Some(node) => vec![self.entry_addr(node, mapping.vaddr, leaf_level)],

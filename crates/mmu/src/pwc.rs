@@ -4,7 +4,7 @@
 //! uses three 32-entry, 4-way, 2-cycle PWCs — one per intermediate level.
 
 use serde::{Deserialize, Serialize};
-use vm_types::{Counter, Cycles, VirtAddr};
+use vm_types::{Counter, Cycles, FastDiv, VirtAddr};
 
 /// One page-walk cache level (caching entries of one radix level).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -15,6 +15,8 @@ struct PwcLevel {
     clock: u64,
     hits: Counter,
     misses: Counter,
+    /// Precomputed set-count divisor for the per-probe index.
+    set_div: FastDiv,
 }
 
 impl PwcLevel {
@@ -27,12 +29,13 @@ impl PwcLevel {
             clock: 0,
             hits: Counter::new(),
             misses: Counter::new(),
+            set_div: FastDiv::new(sets as u64),
         }
     }
 
     fn probe(&mut self, tag: u64) -> bool {
         self.clock += 1;
-        let set = (tag % self.tags.len() as u64) as usize;
+        let set = self.set_div.rem(tag) as usize;
         for slot in self.tags[set].iter_mut().flatten() {
             if slot.0 == tag {
                 slot.1 = self.clock;
@@ -46,7 +49,7 @@ impl PwcLevel {
 
     fn fill(&mut self, tag: u64) {
         self.clock += 1;
-        let set = (tag % self.tags.len() as u64) as usize;
+        let set = self.set_div.rem(tag) as usize;
         let clock = self.clock;
         let ways = &mut self.tags[set];
         if let Some(slot) = ways.iter_mut().find(|s| s.is_none()) {

@@ -8,7 +8,7 @@
 
 use mimic_os::Mapping;
 use serde::{Deserialize, Serialize};
-use vm_types::{Asid, Counter, Cycles, PageSize, VirtAddr};
+use vm_types::{Asid, Counter, Cycles, FastDiv, PageSize, VirtAddr};
 
 /// Configuration of a single TLB.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -89,6 +89,8 @@ pub struct Tlb {
     sets: Vec<Vec<Option<TlbEntry>>>,
     clock: u64,
     stats: TlbStats,
+    /// Precomputed set-count divisor for the per-lookup index.
+    set_div: FastDiv,
 }
 
 impl Tlb {
@@ -99,6 +101,7 @@ impl Tlb {
             sets: vec![vec![None; config.ways]; sets],
             clock: 0,
             stats: TlbStats::default(),
+            set_div: FastDiv::new(sets as u64),
             config,
         }
     }
@@ -124,7 +127,7 @@ impl Tlb {
     }
 
     fn set_index(&self, vpn: u64) -> usize {
-        (vpn % self.sets.len() as u64) as usize
+        self.set_div.rem(vpn) as usize
     }
 
     /// Looks up `va` in the address space `asid`, probing every supported

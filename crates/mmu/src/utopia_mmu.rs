@@ -156,7 +156,7 @@ impl UtopiaMmu {
             // Fetch the set's tag group(s) from the in-memory tag array. The
             // tag array spans a region proportional to the RestSeg size, so
             // large RestSegs have poor locality here (Fig. 19).
-            let groups = (self.config.ways as u64 + 7) / 8;
+            let groups = (self.config.ways as u64).div_ceil(8);
             for g in 0..groups {
                 accesses.push(self.metadata_base.add(set * groups * 64 + g * 64));
             }

@@ -25,9 +25,12 @@ pub const CACHE_LINE_BYTES: u64 = 64;
 /// assert_eq!(PageSize::Size2M.order_4k(), 9);
 /// assert!(PageSize::Size1G > PageSize::Size4K);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
 pub enum PageSize {
     /// 4 KiB base page.
+    #[default]
     Size4K,
     /// 2 MiB huge page (one PMD entry).
     Size2M,
@@ -86,12 +89,6 @@ impl fmt::Display for PageSize {
             PageSize::Size2M => write!(f, "2MB"),
             PageSize::Size1G => write!(f, "1GB"),
         }
-    }
-}
-
-impl Default for PageSize {
-    fn default() -> Self {
-        PageSize::Size4K
     }
 }
 

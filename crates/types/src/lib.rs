@@ -8,6 +8,9 @@
 //! * simulation time in core cycles and nanoseconds ([`cycles`]),
 //! * memory-access descriptors with requestor attribution ([`access`]),
 //! * statistics primitives — counters, histograms, running means ([`stats`]),
+//! * an allocation-free inline vector for hot paths ([`fixedvec`]),
+//! * precomputed power-of-two-aware divisors ([`fastdiv`]),
+//! * a deterministic fast hasher for internal maps ([`fxhash`]),
 //! * a deterministic, seedable random number generator ([`rng`]),
 //! * the crate-wide error type ([`error`]).
 //!
@@ -28,6 +31,9 @@ pub mod addr;
 pub mod asid;
 pub mod cycles;
 pub mod error;
+pub mod fastdiv;
+pub mod fixedvec;
+pub mod fxhash;
 pub mod rng;
 pub mod stats;
 
@@ -36,6 +42,9 @@ pub use addr::{PageNumber, PageSize, PhysAddr, VirtAddr, CACHE_LINE_BYTES};
 pub use asid::Asid;
 pub use cycles::{Cycles, Frequency, Nanoseconds};
 pub use error::VmError;
+pub use fastdiv::FastDiv;
+pub use fixedvec::FixedVec;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use rng::DetRng;
 pub use stats::{Counter, Histogram, LatencyStats, Percentiles, RunningStats};
 

@@ -282,6 +282,30 @@ pub fn multiprogram_mix() -> Vec<WorkloadSpec> {
     ]
 }
 
+/// The TLB-resident multi-programmed mix: two random-access processes
+/// whose working sets are sized to fit the *paper-baseline* TLB hierarchy
+/// together (2 MB each = 512 four-KiB pages per process against a
+/// 2048-entry L2 TLB). With ASID-tagged TLBs both working sets stay
+/// resident across context switches; in the full-flush baseline every
+/// switch drops them and the next quantum re-walks its whole working set
+/// — the headline interference effect of the multi-process experiments,
+/// which the scaled [`multiprogram_mix`] (whose GUPS aggressor overflows
+/// the TLB regardless) cannot show.
+pub fn multiprogram_mix_resident() -> Vec<WorkloadSpec> {
+    let resident = |name: &str| {
+        let mut spec = WorkloadSpec::simple(
+            name,
+            WorkloadClass::LongRunning,
+            2 * MB,
+            AccessPattern::UniformRandom,
+            40_000,
+        );
+        spec.memory_fraction = 0.6;
+        spec
+    };
+    vec![resident("RES-A"), resident("RES-B")]
+}
+
 /// A stress-ng-style sweep of `count` configurations with increasing memory
 /// intensity (footprint and memory fraction), used for the Fig. 3 / Fig. 12
 /// style studies.
@@ -355,6 +379,22 @@ mod tests {
         let total: u64 = mix.iter().map(|s| s.footprint_bytes()).sum();
         assert!(total < 160 * MB, "mix footprint {total} too large");
         assert!(mix[1].regions.iter().any(|r| r.file_backed));
+    }
+
+    #[test]
+    fn resident_mix_fits_the_paper_baseline_tlb() {
+        let mix = multiprogram_mix_resident();
+        assert_eq!(mix.len(), 2);
+        // 2048-entry L2 TLB x 4 KiB pages = 8 MB of reach; both working
+        // sets together must fit with room to spare.
+        let total_pages: u64 = mix.iter().map(|s| s.footprint_bytes() / 4096).sum();
+        assert!(
+            total_pages <= 2048 / 2,
+            "resident mix needs {total_pages} TLB entries"
+        );
+        for spec in &mix {
+            assert_eq!(spec.class, WorkloadClass::LongRunning);
+        }
     }
 
     #[test]

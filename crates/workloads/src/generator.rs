@@ -73,10 +73,10 @@ impl SyntheticWorkload {
                     // a page fault in the simulator).
                     let page = self.touched_pages;
                     self.touched_pages += 1;
-                    page * 4096 + self.rng.gen_range(0, 4096) & !0x7
+                    (page * 4096 + self.rng.gen_range(0, 4096)) & !0x7
                 } else {
                     // Revisit a recently touched page.
-                    let hot = self.touched_pages.max(1).min(64);
+                    let hot = self.touched_pages.clamp(1, 64);
                     let page = self
                         .touched_pages
                         .saturating_sub(self.rng.gen_range(1, hot + 1));

@@ -1,0 +1,129 @@
+//! Pins the PR-3 tentpole: the steady-state instruction loop performs
+//! **zero heap allocations**, in both detailed and emulation modes.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; after a
+//! populated address space and a warmup segment (which fills the dense
+//! accounting tables, TLBs and caches), a measured segment of the
+//! workload must not allocate at all. Every `Vec` that used to sit on the
+//! per-instruction path — `HierarchyAccess::{dram_fetches,writebacks}`,
+//! `WalkOutcome::accesses`, the replacement-victim scratch list, the
+//! DRAM stats' string keys — would trip this test if it ever came back.
+//!
+//! The file deliberately contains a single `#[test]`: the allocation
+//! counter is process-global, and a sibling test allocating concurrently
+//! would produce false positives.
+
+use std::alloc::{GlobalAlloc, Layout, System as SystemAlloc};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use virtuoso_suite::prelude::*;
+
+/// Counts allocations (and growth reallocations) while armed.
+struct CountingAllocator;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { SystemAlloc.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { SystemAlloc.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { SystemAlloc.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Allocations observed while running `f` with the counter armed.
+fn allocations_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    let result = f();
+    ARMED.store(false, Ordering::SeqCst);
+    (ALLOCATIONS.load(Ordering::SeqCst), result)
+}
+
+fn steady_state_allocations(mode_label: &str, config: SystemConfig) -> u64 {
+    const FOOTPRINT: u64 = 32 * 1024 * 1024;
+    const WARMUP: u64 = 20_000;
+    const MEASURED: u64 = 50_000;
+
+    let mut system = System::new(config);
+    let pid = system.pid();
+    system
+        .mmap_anonymous(VirtAddr::new(0x10_0000_0000), FOOTPRINT)
+        .expect("map workload region");
+    // Establish every mapping up front (MAP_POPULATE): the measured
+    // segment then exercises translation, page walks, caches and DRAM —
+    // but takes no page faults.
+    system.populate(pid);
+
+    // GUPS-style uniform random accesses: the paper's worst-case
+    // translation-bound pattern, constantly missing the small-test TLB.
+    let spec = WorkloadSpec::simple(
+        "alloc-free",
+        WorkloadClass::LongRunning,
+        FOOTPRINT,
+        AccessPattern::UniformRandom,
+        WARMUP + MEASURED,
+    );
+    let mut source = spec.build(0xA110C);
+
+    let mut step = |n: u64, system: &mut System| {
+        for _ in 0..n {
+            let instr = source.next_instruction().expect("trace long enough");
+            system.step(&instr);
+        }
+    };
+
+    // Warmup: first touches of the dense accounting slots, TLB/PWC/cache
+    // fills, DRAM bank state.
+    step(WARMUP, &mut system);
+
+    let (allocations, ()) = allocations_during(|| step(MEASURED, &mut system));
+    eprintln!("{mode_label}: {allocations} allocations over {MEASURED} steady-state instructions");
+    allocations
+}
+
+#[test]
+fn steady_state_instructions_allocate_nothing() {
+    // Housekeeping (khugepaged, pool refill) is periodic background OS
+    // work that legitimately builds kernel instruction streams; the
+    // steady-state *instruction loop* itself is what must be
+    // allocation-free.
+    let mut detailed = SystemConfig::small_test();
+    detailed.housekeeping_interval = 0;
+    let mut emulation = SystemConfig::small_test().with_emulation_baseline();
+    emulation.housekeeping_interval = 0;
+
+    // Sanity-check the counter itself before trusting the zero results.
+    let (sanity, _) = allocations_during(|| std::hint::black_box(Vec::<u64>::with_capacity(16)));
+    assert!(
+        sanity > 0,
+        "the counting allocator must observe allocations"
+    );
+
+    let detailed_allocs = steady_state_allocations("detailed", detailed);
+    let emulation_allocs = steady_state_allocations("emulation", emulation);
+
+    assert_eq!(
+        detailed_allocs, 0,
+        "detailed-mode steady state must not allocate"
+    );
+    assert_eq!(
+        emulation_allocs, 0,
+        "emulation-mode steady state must not allocate"
+    );
+}

@@ -5,12 +5,16 @@
 //!
 //! Usage:
 //! `cargo run --release -p virtuoso_bench --bin simspeed -- [--quick]
-//! [--ref-mips X] [--out PATH]`
+//! [--ref-mips X] [--out PATH] [--engine LIST]`
 //!
 //! * `--quick` — CI smoke budget (small instruction counts).
 //! * `--ref-mips X` — record `X` as the pre-optimization reference MIPS of
-//!   the headline (GUPS detailed) cell and report the speedup against it.
+//!   the headline (GUPS detailed, page-table engine) cell and report the
+//!   speedup against it.
 //! * `--out PATH` — write the JSON somewhere else than the repo root.
+//! * `--engine LIST` — comma-separated alternative engines to measure on
+//!   the headline workload (`midgard,rmm,utopia`, the default; `none`
+//!   skips the per-engine rows).
 
 use virtuoso_bench::simspeed::{measure, render, SpeedOptions};
 
@@ -35,6 +39,15 @@ fn main() {
             }
             "--out" => {
                 out_path = Some(args.get(i + 1).expect("--out needs a path").clone());
+                i += 2;
+            }
+            "--engine" => {
+                let list = args.get(i + 1).expect("--engine needs a list");
+                opts.engines = if list == "none" {
+                    Vec::new()
+                } else {
+                    list.split(',').map(str::to_string).collect()
+                };
                 i += 2;
             }
             _ => i += 1,

@@ -14,9 +14,12 @@
 //! loop does: translation, page walks, cache/DRAM traffic, fault handling
 //! and kernel-stream injection.
 
+use mimic_os::AllocationPolicy;
+use mmu_sim::{EngineConfig, MidgardConfig, RmmConfig, UtopiaMmuConfig};
 use serde::Serialize;
 use std::time::Instant;
 use virtuoso::{SimulationReport, System, SystemConfig};
+use vm_types::PageSize;
 use vm_workloads::{catalog, WorkloadSpec};
 
 /// One measured (workload × mode) point.
@@ -26,6 +29,9 @@ pub struct SpeedCell {
     pub workload: String,
     /// `"detailed"` or `"emulation"`.
     pub mode: String,
+    /// Translation engine of the cell (`"page-table"`, `"midgard"`,
+    /// `"rmm"`, `"utopia"`).
+    pub engine: String,
     /// Simulated instructions per repetition.
     pub instructions: u64,
     /// Timed repetitions (best one is reported).
@@ -48,8 +54,9 @@ pub struct SpeedReport {
     pub quick: bool,
     /// All measured cells.
     pub cells: Vec<SpeedCell>,
-    /// The headline number: GUPS (`RND`) in detailed mode, the paper's
-    /// worst-case translation-bound workload.
+    /// The headline number: GUPS (`RND`) in detailed mode on the
+    /// page-table engine, the paper's worst-case translation-bound
+    /// workload.
     pub headline_mips: f64,
     /// Reference MIPS of the pre-optimization commit (passed with
     /// `--ref-mips`), 0.0 when not supplied.
@@ -59,11 +66,19 @@ pub struct SpeedReport {
 }
 
 impl SpeedReport {
-    /// The cell for (workload, mode), if measured.
+    /// The first cell for (workload, mode), if measured — the page-table
+    /// engine, which is always measured ahead of the alternatives.
     pub fn cell(&self, workload: &str, mode: &str) -> Option<&SpeedCell> {
         self.cells
             .iter()
             .find(|c| c.workload == workload && c.mode == mode)
+    }
+
+    /// The detailed-mode cell of (workload, engine), if measured.
+    pub fn engine_cell(&self, workload: &str, engine: &str) -> Option<&SpeedCell> {
+        self.cells
+            .iter()
+            .find(|c| c.workload == workload && c.mode == "detailed" && c.engine == engine)
     }
 }
 
@@ -78,6 +93,9 @@ pub struct SpeedOptions {
     pub quick: bool,
     /// Pre-optimization reference MIPS for the headline cell.
     pub reference_mips: f64,
+    /// Alternative translation engines measured on the headline workload
+    /// (detailed mode), in addition to the page-table engine.
+    pub engines: Vec<String>,
 }
 
 impl SpeedOptions {
@@ -88,6 +106,7 @@ impl SpeedOptions {
             repetitions: 3,
             quick: false,
             reference_mips: 0.0,
+            engines: SpeedOptions::all_engines(),
         }
     }
 
@@ -98,8 +117,44 @@ impl SpeedOptions {
             repetitions: 2,
             quick: true,
             reference_mips: 0.0,
+            engines: SpeedOptions::all_engines(),
         }
     }
+
+    /// Every alternative engine the harness knows how to configure.
+    pub fn all_engines() -> Vec<String> {
+        vec!["midgard".into(), "rmm".into(), "utopia".into()]
+    }
+}
+
+/// The system configuration of one engine dimension: the engine itself
+/// plus the allocation policy its design pairs with (eager paging feeds
+/// RMM's ranges; the Utopia policy places pages in the RestSeg).
+pub fn engine_system_config(engine: &str) -> SystemConfig {
+    let mut config = SystemConfig::small_test();
+    match engine {
+        "page-table" => {}
+        "midgard" => {
+            config = config.with_engine(EngineConfig::Midgard(MidgardConfig::paper_baseline()));
+        }
+        "rmm" => {
+            config = config.with_engine(EngineConfig::Rmm(RmmConfig::paper_baseline()));
+            config.os.policy = AllocationPolicy::EagerPaging;
+        }
+        "utopia" => {
+            let restseg_bytes: u64 = 64 * 1024 * 1024;
+            config = config.with_engine(EngineConfig::Utopia(
+                UtopiaMmuConfig::paper_baseline().with_restseg_bytes(restseg_bytes),
+            ));
+            config.os.policy = AllocationPolicy::Utopia(mimic_os::UtopiaConfig::new(
+                restseg_bytes,
+                16,
+                PageSize::Size4K,
+            ));
+        }
+        other => panic!("unknown engine {other:?} (page-table|midgard|rmm|utopia)"),
+    }
+    config
 }
 
 /// The workloads measured: the paper's worst-case translation-bound
@@ -130,6 +185,7 @@ pub fn measure_cell(
     config: &SystemConfig,
     spec: &WorkloadSpec,
     mode: &str,
+    engine: &str,
     opts: &SpeedOptions,
 ) -> SpeedCell {
     let spec = spec.clone().with_instructions(opts.instructions);
@@ -152,6 +208,7 @@ pub fn measure_cell(
     SpeedCell {
         workload: spec.name.clone(),
         mode: mode.to_string(),
+        engine: engine.to_string(),
         instructions: opts.instructions,
         repetitions: opts.repetitions,
         best_elapsed_s: best_elapsed,
@@ -160,22 +217,49 @@ pub fn measure_cell(
     }
 }
 
-/// Runs the whole measurement matrix (workloads × {detailed, emulation}).
+/// Runs the whole measurement matrix: workloads × {detailed, emulation}
+/// on the page-table engine, plus the headline workload (GUPS) in
+/// detailed mode under every alternative engine in `opts.engines` — the
+/// per-engine speed rows that guard against dispatch-overhead
+/// regressions and record what the alternative designs cost to simulate.
 pub fn measure(opts: &SpeedOptions) -> SpeedReport {
     let detailed = SystemConfig::small_test();
     let emulation = SystemConfig::small_test().with_emulation_baseline();
     let mut cells = Vec::new();
     for spec in speed_workloads() {
-        cells.push(measure_cell(&detailed, &spec, "detailed", opts));
-        cells.push(measure_cell(&emulation, &spec, "emulation", opts));
+        cells.push(measure_cell(
+            &detailed,
+            &spec,
+            "detailed",
+            "page-table",
+            opts,
+        ));
+        cells.push(measure_cell(
+            &emulation,
+            &spec,
+            "emulation",
+            "page-table",
+            opts,
+        ));
+    }
+    let headline_spec = catalog::gups_randacc().scaled_footprint(0.125);
+    for engine in &opts.engines {
+        let config = engine_system_config(engine);
+        cells.push(measure_cell(
+            &config,
+            &headline_spec,
+            "detailed",
+            engine,
+            opts,
+        ));
     }
     let headline_mips = cells
         .iter()
-        .find(|c| c.workload == "RND" && c.mode == "detailed")
+        .find(|c| c.workload == "RND" && c.mode == "detailed" && c.engine == "page-table")
         .map(|c| c.mips)
         .unwrap_or(0.0);
     SpeedReport {
-        schema: "virtuoso-simspeed-v1".to_string(),
+        schema: "virtuoso-simspeed-v2".to_string(),
         quick: opts.quick,
         headline_mips,
         reference_mips: opts.reference_mips,
@@ -192,12 +276,15 @@ pub fn measure(opts: &SpeedOptions) -> SpeedReport {
 pub fn render(report: &SpeedReport) -> String {
     let mut table = crate::runner::ExperimentTable::new(
         "Sustained simulation speed (simulated MIPS per host second)",
-        &["workload", "mode", "instrs", "best_s", "MIPS", "sim_ipc"],
+        &[
+            "workload", "mode", "engine", "instrs", "best_s", "MIPS", "sim_ipc",
+        ],
     );
     for c in &report.cells {
         table.push_row(vec![
             c.workload.clone(),
             c.mode.clone(),
+            c.engine.clone(),
             c.instructions.to_string(),
             format!("{:.4}", c.best_elapsed_s),
             format!("{:.3}", c.mips),
@@ -228,13 +315,17 @@ mod tests {
             repetitions: 1,
             quick: true,
             reference_mips: 0.0,
+            engines: SpeedOptions::all_engines(),
         }
     }
 
     #[test]
     fn measures_every_workload_in_both_modes() {
         let report = measure(&tiny_opts());
-        assert_eq!(report.cells.len(), speed_workloads().len() * 2);
+        assert_eq!(
+            report.cells.len(),
+            speed_workloads().len() * 2 + SpeedOptions::all_engines().len()
+        );
         for cell in &report.cells {
             assert!(
                 cell.mips > 0.0,
@@ -247,6 +338,15 @@ mod tests {
         assert!(report.headline_mips > 0.0);
         assert!(report.cell("RND", "detailed").is_some());
         assert!(report.cell("RND", "emulation").is_some());
+        for engine in SpeedOptions::all_engines() {
+            let cell = report.engine_cell("RND", &engine).unwrap();
+            assert!(cell.mips > 0.0, "{engine} row must be measured");
+        }
+        assert_eq!(
+            report.cell("RND", "detailed").unwrap().engine,
+            "page-table",
+            "the headline cell stays on the page-table engine"
+        );
     }
 
     #[test]
@@ -261,8 +361,9 @@ mod tests {
     fn report_serializes_to_json() {
         let report = measure(&tiny_opts());
         let json = serde_json::to_string(&report).expect("serialize");
-        assert!(json.contains("\"schema\":\"virtuoso-simspeed-v1\""));
+        assert!(json.contains("\"schema\":\"virtuoso-simspeed-v2\""));
         assert!(json.contains("\"headline_mips\""));
+        assert!(json.contains("\"engine\":\"midgard\""));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use cache_sim::HierarchyConfig;
 use dram_sim::DramConfig;
 use mimic_os::OsConfig;
-use mmu_sim::{MmuConfig, PageTableKind, TlbHierarchyConfig};
+use mmu_sim::{EngineConfig, MmuConfig, PageTableKind, TlbHierarchyConfig};
 use serde::{Deserialize, Serialize};
 use sim_core::CoreConfig;
 use vm_types::{Cycles, PhysAddr};
@@ -56,6 +56,11 @@ pub struct SystemConfig {
     pub dram: DramConfig,
     /// MMU (TLBs, PWCs, page-table design).
     pub mmu: MmuConfig,
+    /// Translation engine the machine runs (conventional page table,
+    /// Midgard, RMM or Utopia). The default page-table engine drives the
+    /// [`MmuConfig`] exactly as before; the alternative engines layer
+    /// their design-specific hardware on top of it.
+    pub engine: EngineConfig,
     /// MimicOS configuration.
     pub os: OsConfig,
     /// Simulation mode.
@@ -79,7 +84,9 @@ impl SystemConfig {
                 page_table,
                 metadata_base: PhysAddr::new(0x30_0000_0000),
                 asid_tlb_tags: true,
+                skip_empty_size_probes: false,
             },
+            engine: EngineConfig::PageTable,
             os: OsConfig::paper_baseline(),
             mode: SimulationMode::Detailed,
             housekeeping_interval: 100_000,
@@ -94,6 +101,7 @@ impl SystemConfig {
             caches: HierarchyConfig::small_test(),
             dram: DramConfig::small_test(),
             mmu: MmuConfig::small_test(PageTableKind::Radix),
+            engine: EngineConfig::PageTable,
             os: OsConfig::small_test(),
             mode: SimulationMode::Detailed,
             housekeeping_interval: 10_000,
@@ -111,6 +119,17 @@ impl SystemConfig {
     /// the sweep of Use Case 1.
     pub fn with_page_table(mut self, kind: PageTableKind) -> Self {
         self.mmu.page_table = kind;
+        self
+    }
+
+    /// Switches the translation engine, keeping everything else identical —
+    /// the engine comparisons of Use Cases 3–5. The Rmm engine is usually
+    /// paired with [`mimic_os::AllocationPolicy::EagerPaging`] (ranges come
+    /// from eager allocation) and the Utopia engine with
+    /// [`mimic_os::AllocationPolicy::Utopia`] (RestSeg placement happens in
+    /// the kernel); pair them explicitly in the experiment configuration.
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
         self
     }
 

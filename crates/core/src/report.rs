@@ -2,6 +2,7 @@
 //! serializable structure — plus the per-process breakdown produced by
 //! multi-programmed runs.
 
+use mmu_sim::EngineReport;
 use serde::{Deserialize, Serialize};
 use vm_types::{LatencyStats, Percentiles};
 
@@ -56,6 +57,12 @@ pub struct SimulationReport {
     pub huge_mappings: u64,
     /// 4 KiB mappings created by the kernel.
     pub base_mappings: u64,
+    /// Per-engine statistics (Midgard VLB behaviour, RMM range coverage,
+    /// Utopia RestSeg hits). `None` — and absent from the serialized JSON,
+    /// keeping the page-table-engine reports byte-identical — on the
+    /// conventional page-table engine.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub engine: Option<EngineReport>,
 }
 
 impl SimulationReport {
@@ -148,6 +155,46 @@ impl SimulationReport {
             "dram_translation_conflicts",
             self.dram_translation_conflicts.to_string(),
         );
+        match &self.engine {
+            None => {}
+            Some(EngineReport::Midgard {
+                frontend_fraction,
+                l2_vlb_hit_ratio,
+                backend_walks,
+                ..
+            }) => {
+                push("engine", "midgard".into());
+                push(
+                    "midgard_frontend_fraction",
+                    format!("{frontend_fraction:.4}"),
+                );
+                push("midgard_l2_vlb_hit_ratio", format!("{l2_vlb_hit_ratio:.4}"));
+                push("midgard_backend_walks", backend_walks.to_string());
+            }
+            Some(EngineReport::Rmm {
+                range_coverage,
+                fallback_translations,
+                ..
+            }) => {
+                push("engine", "rmm".into());
+                push("rmm_range_coverage", format!("{range_coverage:.4}"));
+                push(
+                    "rmm_fallback_translations",
+                    fallback_translations.to_string(),
+                );
+            }
+            Some(EngineReport::Utopia {
+                restseg_hits,
+                rsw_fetches,
+                tar_hit_ratio,
+                ..
+            }) => {
+                push("engine", "utopia".into());
+                push("utopia_restseg_hits", restseg_hits.to_string());
+                push("utopia_rsw_fetches", rsw_fetches.to_string());
+                push("utopia_tar_hit_ratio", format!("{tar_hit_ratio:.4}"));
+            }
+        }
         s
     }
 }

@@ -14,7 +14,7 @@ use cache_sim::CacheHierarchy;
 use dram_sim::DramModel;
 use mimic_os::sched::ContextSwitch;
 use mimic_os::{KernelInstructionStream, KernelOp, Mapping, MimicOs, ProcessId};
-use mmu_sim::Mmu;
+use mmu_sim::{InstallInfo, Mmu, TranslationEngine};
 use sim_core::{CoreModel, Instruction, TraceSource};
 use std::collections::BTreeMap;
 use vm_types::{
@@ -42,7 +42,13 @@ pub struct System {
     core: CoreModel,
     caches: CacheHierarchy,
     dram: DramModel,
+    /// The TLB hierarchy, page-walk caches and per-address-space page
+    /// tables — the translation infrastructure every engine composes with.
     mmu: Mmu,
+    /// The design-specific translation state (conventional page table,
+    /// Midgard, RMM or Utopia), selected by [`SystemConfig::engine`]. The
+    /// engine borrows [`System::mmu`] on every call.
+    engine: TranslationEngine,
     os: MimicOs,
     /// The first process, used by the single-process convenience API.
     primary: ProcessId,
@@ -88,6 +94,7 @@ impl System {
             caches: CacheHierarchy::new(config.caches.clone()),
             dram: DramModel::new(config.dram.clone()),
             mmu: Mmu::new(config.mmu.clone()),
+            engine: TranslationEngine::new(config.engine),
             os,
             primary: pid,
             current: pid,
@@ -117,9 +124,16 @@ impl System {
         &self.os
     }
 
-    /// The MMU (for TLB / page-table statistics).
+    /// The TLB-and-page-table side of the machine (for TLB / page-walk
+    /// statistics). Under the Midgard engine this is the Midgard-space
+    /// backend the engine repurposes; see [`mmu_sim::MidgardEngine`].
     pub fn mmu(&self) -> &Mmu {
         &self.mmu
+    }
+
+    /// The translation engine in use (for engine-specific statistics).
+    pub fn engine(&self) -> &TranslationEngine {
+        &self.engine
     }
 
     /// The DRAM model (for row-buffer statistics).
@@ -205,7 +219,9 @@ impl System {
         start: VirtAddr,
         len: u64,
     ) -> VmResult<()> {
-        self.os.mmap_anonymous(pid, start, len, false)
+        self.os.mmap_anonymous(pid, start, len, false)?;
+        self.engine_note_mapped_region(pid, start, len);
+        Ok(())
     }
 
     /// Maps a hugetlbfs-backed region for the primary process.
@@ -214,7 +230,9 @@ impl System {
     ///
     /// Propagates [`VmError::InvalidVma`] for overlapping or empty regions.
     pub fn mmap_hugetlb(&mut self, start: VirtAddr, len: u64) -> VmResult<()> {
-        self.os.mmap_anonymous(self.primary, start, len, true)
+        self.os.mmap_anonymous(self.primary, start, len, true)?;
+        self.engine_note_mapped_region(self.primary, start, len);
+        Ok(())
     }
 
     /// Maps a file-backed region for the primary process.
@@ -238,7 +256,20 @@ impl System {
         len: u64,
         file_id: u64,
     ) -> VmResult<()> {
-        self.os.mmap_file(pid, start, len, file_id)
+        self.os.mmap_file(pid, start, len, file_id)?;
+        self.engine_note_mapped_region(pid, start, len);
+        Ok(())
+    }
+
+    /// Feeds engine-specific metadata of a freshly mapped region to the
+    /// translation engine: the VMA itself (Midgard registers it with the
+    /// frontend) and any contiguous ranges the kernel allocated eagerly
+    /// for the address space (RMM registers them with the range table).
+    /// A no-op on the conventional page-table engine.
+    fn engine_note_mapped_region(&mut self, pid: ProcessId, start: VirtAddr, len: u64) {
+        let asid = Self::asid_of(pid);
+        self.engine.note_vma(asid, start, len);
+        self.engine.note_ranges(asid, self.os.ranges(pid));
     }
 
     /// Pre-faults every page of every VMA of `pid` (the equivalent of
@@ -260,15 +291,33 @@ impl System {
             while offset < len {
                 let va = start.add(offset);
                 if let Some(existing) = self.os.process(pid).lookup_mapping(va) {
-                    self.mmu.install_mapping(asid, &existing);
+                    self.engine.handle_fault_install(
+                        &mut self.mmu,
+                        asid,
+                        &existing,
+                        InstallInfo::default(),
+                    );
                     offset = existing.vaddr.add(existing.page_size.bytes()).raw() - start.raw();
                     continue;
                 }
                 match self.os.handle_page_fault(pid, va, false) {
                     Ok(outcome) => {
-                        self.mmu.install_mapping(asid, &outcome.mapping);
+                        let info = InstallInfo {
+                            restseg_placed: outcome.restseg_placed,
+                        };
+                        self.engine.handle_fault_install(
+                            &mut self.mmu,
+                            asid,
+                            &outcome.mapping,
+                            info,
+                        );
                         for extra in &outcome.additional_mappings {
-                            self.mmu.install_mapping(asid, extra);
+                            self.engine.handle_fault_install(
+                                &mut self.mmu,
+                                asid,
+                                extra,
+                                InstallInfo::default(),
+                            );
                         }
                         offset = outcome
                             .mapping
@@ -415,7 +464,9 @@ impl System {
                     .stall(Cycles::new(u64::from(self.config.os.context_switch_cost)));
             }
         }
-        let dropped = self.mmu.context_switch(Self::asid_of(switch.to));
+        let dropped = self
+            .engine
+            .context_switch(&mut self.mmu, Self::asid_of(switch.to));
         self.switch_flushed_entries += dropped as u64;
         self.context_switches += 1;
         self.current = switch.to;
@@ -515,7 +566,7 @@ impl System {
 
         // Translation (with at most one fault retry).
         for attempt in 0..2 {
-            let result = self.mmu.translate(asid, vaddr);
+            let result = self.engine.translate(&mut self.mmu, asid, vaddr);
             total_latency += result.fixed_latency;
             // Anything beyond the 1-cycle L1 TLB probe counts as address
             // translation overhead.
@@ -651,6 +702,11 @@ impl System {
 
         match self.os.handle_page_fault(pid, vaddr, is_write) {
             Ok(outcome) => {
+                // Engine-specific install metadata travels with the fault
+                // outcome (e.g. Utopia RestSeg placement).
+                let install_info = InstallInfo {
+                    restseg_placed: outcome.restseg_placed,
+                };
                 // Move the mappings into the response instead of cloning
                 // them: the fault path allocates nothing beyond what the
                 // kernel already built.
@@ -677,9 +733,9 @@ impl System {
                     SimulationMode::Detailed => {
                         self.streams.send(stream);
                         self.drain_kernel_streams();
-                        self.install_mapping_detailed(asid, &mapping);
+                        self.install_mapping_detailed(asid, &mapping, install_info);
                         for extra in &additional {
-                            self.install_mapping_detailed(asid, extra);
+                            self.install_mapping_detailed(asid, extra, InstallInfo::default());
                         }
                         let device_cycles =
                             (device_latency_ns * self.config.core.frequency.ghz()).round() as u64;
@@ -689,9 +745,19 @@ impl System {
                         fixed_fault_latency,
                         ..
                     } => {
-                        self.mmu.install_mapping(asid, &mapping);
+                        self.engine.handle_fault_install(
+                            &mut self.mmu,
+                            asid,
+                            &mapping,
+                            install_info,
+                        );
                         for extra in &additional {
-                            self.mmu.install_mapping(asid, extra);
+                            self.engine.handle_fault_install(
+                                &mut self.mmu,
+                                asid,
+                                extra,
+                                InstallInfo::default(),
+                            );
                         }
                         self.core.stall(fixed_fault_latency);
                     }
@@ -718,10 +784,12 @@ impl System {
         }
     }
 
-    /// Installs a mapping in detailed mode, charging the page-table update
-    /// accesses as kernel memory traffic.
-    fn install_mapping_detailed(&mut self, asid: Asid, mapping: &Mapping) {
-        let accesses = self.mmu.install_mapping(asid, mapping);
+    /// Installs a mapping in detailed mode, charging the translation-
+    /// metadata update accesses as kernel memory traffic.
+    fn install_mapping_detailed(&mut self, asid: Asid, mapping: &Mapping, info: InstallInfo) {
+        let accesses = self
+            .engine
+            .handle_fault_install(&mut self.mmu, asid, mapping, info);
         self.core.set_kernel_mode(true);
         for pa in accesses {
             let lat = self.charge_kernel_access(pa, AccessType::Write);
@@ -812,6 +880,7 @@ impl System {
             swap_io_ns: self.os.swap().stats().total_io_ns,
             huge_mappings: os_stats.huge_mappings.get(),
             base_mappings: os_stats.base_mappings.get(),
+            engine: self.engine.report(&self.mmu),
         }
     }
 }
@@ -969,6 +1038,150 @@ mod tests {
         let trace = linear_trace(0x1000_0000, 2000, 4096);
         system.run(&mut SliceFrontend::new("warm", trace), None);
         assert_eq!(system.os().stats().total_faults(), before);
+    }
+
+    mod engines {
+        use super::*;
+        use mimic_os::AllocationPolicy;
+        use mmu_sim::{EngineConfig, EngineReport, MidgardConfig, RmmConfig, UtopiaMmuConfig};
+
+        fn run_engine(config: SystemConfig, instructions: u64, stride: u64) -> SimulationReport {
+            let mut system = System::new(config);
+            system
+                .mmap_anonymous(VirtAddr::new(0x1000_0000), 32 * 1024 * 1024)
+                .unwrap();
+            let trace = linear_trace(0x1000_0000, instructions, stride);
+            system.run(&mut SliceFrontend::new("W", trace), None)
+        }
+
+        #[test]
+        fn midgard_runs_end_to_end_through_system() {
+            let config = SystemConfig::small_test()
+                .with_engine(EngineConfig::Midgard(MidgardConfig::paper_baseline()));
+            let report = run_engine(config, 5000, 4096);
+            assert_eq!(report.instructions, 5000);
+            assert!(report.minor_faults > 0, "faults flow through MimicOS");
+            assert!(report.kernel_instructions > 0, "kernel streams injected");
+            let Some(EngineReport::Midgard {
+                translations,
+                l1_vlb_hits,
+                ..
+            }) = report.engine
+            else {
+                panic!("midgard engine stats expected, got {:?}", report.engine);
+            };
+            assert!(translations > 0);
+            assert!(l1_vlb_hits > 0, "one VMA: the L1 VLB should serve it");
+        }
+
+        #[test]
+        fn rmm_engine_with_eager_paging_avoids_page_walks() {
+            let mut config = SystemConfig::small_test()
+                .with_engine(EngineConfig::Rmm(RmmConfig::paper_baseline()));
+            config.os.policy = AllocationPolicy::EagerPaging;
+            let report = run_engine(config, 5000, 4096);
+            assert_eq!(report.instructions, 5000);
+            let Some(EngineReport::Rmm {
+                range_translations,
+                range_coverage,
+                ranges,
+                ..
+            }) = report.engine
+            else {
+                panic!("rmm engine stats expected, got {:?}", report.engine);
+            };
+            assert!(ranges > 0, "eager paging must register ranges");
+            assert!(range_translations > 0);
+            assert!(range_coverage > 0.9, "coverage {range_coverage}");
+            // The same TLB-hostile stride on the radix baseline walks; the
+            // range path does not.
+            let baseline = run_engine(SystemConfig::small_test(), 5000, 4096);
+            assert!(
+                report.page_walks < baseline.page_walks,
+                "ranges must absorb page walks ({} vs {})",
+                report.page_walks,
+                baseline.page_walks
+            );
+        }
+
+        #[test]
+        fn utopia_engine_resolves_restseg_pages_without_walks() {
+            let mut config = SystemConfig::small_test().with_engine(EngineConfig::Utopia(
+                UtopiaMmuConfig::paper_baseline().with_restseg_bytes(64 * 1024 * 1024),
+            ));
+            config.os.policy = AllocationPolicy::Utopia(mimic_os::UtopiaConfig::new(
+                64 * 1024 * 1024,
+                16,
+                PageSize::Size4K,
+            ));
+            // Two passes over 2000 pages: the first faults every page in
+            // (RestSeg placement), the second overflows the small-test TLB
+            // so revisits resolve through the RestSeg walkers.
+            let mut system = System::new(config);
+            system
+                .mmap_anonymous(VirtAddr::new(0x1000_0000), 32 * 1024 * 1024)
+                .unwrap();
+            let trace: Vec<Instruction> = (0..4000u64)
+                .map(|i| {
+                    Instruction::load(
+                        VirtAddr::new(0x400),
+                        VirtAddr::new(0x1000_0000 + (i % 2000) * 4096),
+                    )
+                })
+                .collect();
+            let report = system.run(&mut SliceFrontend::new("UT", trace), None);
+            assert_eq!(report.instructions, 4000);
+            let Some(EngineReport::Utopia {
+                lookups,
+                restseg_hits,
+                rsw_fetches,
+                ..
+            }) = report.engine
+            else {
+                panic!("utopia engine stats expected, got {:?}", report.engine);
+            };
+            assert!(lookups > 0, "every TLB miss pays the RestSeg lookup");
+            assert!(restseg_hits > 0, "kernel placements resolve in the RestSeg");
+            assert!(rsw_fetches > 0, "tag-array traffic reaches the hierarchy");
+        }
+
+        #[test]
+        fn page_table_engine_report_has_no_engine_section() {
+            let report = run_engine(SystemConfig::small_test(), 2000, 64);
+            assert_eq!(report.engine, None);
+            let json = serde_json::to_string(&report).unwrap();
+            assert!(
+                !json.contains("\"engine\":"),
+                "page-table reports must serialize without an engine section"
+            );
+        }
+
+        #[test]
+        fn engines_run_multiprogram_with_per_process_attribution() {
+            let mut config = SystemConfig::small_test()
+                .with_engine(EngineConfig::Midgard(MidgardConfig::paper_baseline()));
+            config.os.sched_quantum = 500;
+            let mut system = System::new(config);
+            let a = system.pid();
+            let b = system.spawn_process();
+            for pid in [a, b] {
+                system
+                    .mmap_anonymous_for(pid, VirtAddr::new(0x1000_0000), 8 * 1024 * 1024)
+                    .unwrap();
+            }
+            let mut fa = SliceFrontend::new("A", linear_trace(0x1000_0000, 3000, 64));
+            let mut fb = SliceFrontend::new("B", linear_trace(0x1000_0000, 3000, 4096));
+            let mut programs: Vec<(ProcessId, &mut dyn TraceSource)> =
+                vec![(a, &mut fa), (b, &mut fb)];
+            let report = system.run_multiprogram(&mut programs, None);
+            assert_eq!(report.rollup.instructions, 6000);
+            assert!(report.context_switches > 0);
+            assert!(report.processes.iter().all(|p| p.minor_faults > 0));
+            assert!(matches!(
+                report.rollup.engine,
+                Some(EngineReport::Midgard { .. })
+            ));
+        }
     }
 
     fn two_process_system(asid_tags: bool) -> (System, ProcessId, ProcessId) {

@@ -115,6 +115,10 @@ pub struct PageFaultOutcome {
     pub zeroed_bytes: u64,
     /// Number of page-table frames newly allocated for this fault.
     pub pt_frames_allocated: u32,
+    /// The page was placed in a Utopia RestSeg (engine-specific install
+    /// metadata: the RestSeg walkers — not the page table — resolve the
+    /// page from now on). Always `false` outside the Utopia policy.
+    pub restseg_placed: bool,
 }
 
 impl PageFaultOutcome {
@@ -165,6 +169,7 @@ mod tests {
             device_latency_ns: 70_000.0,
             zeroed_bytes: 0,
             pt_frames_allocated: 2,
+            restseg_placed: false,
         };
         assert_eq!(outcome.total_latency_ns(), 71_500.0);
     }

@@ -711,6 +711,7 @@ impl MimicOs {
 
         // Anonymous memory: dispatch on the allocation policy.
         let pt_frames = self.charge_page_table_frames(pid, vaddr, &mut stream)?;
+        let mut restseg_placed = false;
         let mapping = match self.config.policy {
             AllocationPolicy::BuddyFourK | AllocationPolicy::EagerPaging => {
                 // Eager paging normally populates at mmap time; reaching this
@@ -731,12 +732,17 @@ impl MimicOs {
             | AllocationPolicy::AggressiveReservationThp => {
                 self.reservation_fault(pid, vaddr, &mut stream, &mut zeroed_bytes, &mut additional)?
             }
-            AllocationPolicy::Utopia(_) => {
-                self.utopia_fault(pid, vaddr, &mut stream, &mut zeroed_bytes, &mut device_ns)?
-            }
+            AllocationPolicy::Utopia(_) => self.utopia_fault(
+                pid,
+                vaddr,
+                &mut stream,
+                &mut zeroed_bytes,
+                &mut device_ns,
+                &mut restseg_placed,
+            )?,
         };
         self.install_mapping(pid, mapping, &mut stream);
-        let outcome = self.finish_fault(
+        let mut outcome = self.finish_fault(
             pid,
             mapping,
             additional,
@@ -746,6 +752,7 @@ impl MimicOs {
             zeroed_bytes,
             pt_frames,
         );
+        outcome.restseg_placed = restseg_placed;
         Ok(outcome)
     }
 
@@ -873,12 +880,14 @@ impl MimicOs {
         stream: &mut KernelInstructionStream,
         zeroed_bytes: &mut u64,
         device_ns: &mut f64,
+        restseg_placed: &mut bool,
     ) -> VmResult<Mapping> {
         let utopia = self
             .utopia
             .as_mut()
             .expect("utopia policy implies segments");
         if let Some((frame, size)) = utopia.try_place(vaddr, PageSize::Size4K, stream) {
+            *restseg_placed = true;
             *zeroed_bytes += self.zero_page(frame, size.bytes().min(4096), stream);
             return Ok(Mapping {
                 vaddr: vaddr.page_base(size),
@@ -1104,6 +1113,7 @@ impl MimicOs {
             device_latency_ns: device_ns,
             zeroed_bytes,
             pt_frames_allocated: pt_frames,
+            restseg_placed: false,
         }
     }
 }

@@ -35,6 +35,7 @@
 //! assert!(mmu.translate(Asid::new(2), VirtAddr::new(0x2010)).is_fault());
 //! ```
 
+pub mod engine;
 pub mod midgard;
 pub mod mmu;
 pub mod pt;
@@ -44,6 +45,10 @@ pub mod tlb;
 pub mod utopia_mmu;
 
 pub use crate::mmu::{AsidMmuStats, Mmu, MmuConfig, MmuStats, TranslationResult};
+pub use engine::{
+    EngineConfig, EngineReport, InstallInfo, MidgardEngine, RmmEngine, TranslationEngine,
+    UtopiaEngine,
+};
 pub use midgard::{MidgardConfig, MidgardMmu, MidgardStats};
 pub use pt::{PageTable, PageTableKind, WalkAccessList, WalkOutcome};
 pub use pwc::PageWalkCaches;

@@ -156,15 +156,34 @@ impl MidgardMmu {
 
     /// Registers a VMA with the frontend, assigning it a contiguous Midgard
     /// range. Returns the created descriptor.
+    ///
+    /// The assigned range preserves the VMA start's offset within 1 GiB
+    /// (`midgard_start ≡ virt_start (mod 1 GiB)`), so any page-aligned
+    /// virtual address stays page-aligned — at every supported page size —
+    /// after the linear virtual→Midgard remap. The end-to-end engine
+    /// relies on this to key its Midgard-space backend table by page base.
     pub fn register_vma(&mut self, virt_start: VirtAddr, bytes: u64) -> MidgardVma {
+        const GIB: u64 = 1 << 30;
+        let aligned = self.next_midgard.div_ceil(GIB) * GIB;
         let vma = MidgardVma {
             virt_start,
             bytes,
-            midgard_start: self.next_midgard,
+            midgard_start: aligned + (virt_start.raw() & (GIB - 1)),
         };
-        self.next_midgard += bytes.max(4096);
+        self.next_midgard = vma.midgard_start + bytes.max(4096);
         self.vmas.push(vma);
         vma
+    }
+
+    /// The Midgard address of `va`, or `None` when no registered VMA covers
+    /// it. A pure lookup: no VLB state or statistics are touched (used by
+    /// the engine's install path, which remaps kernel-established mappings
+    /// into the Midgard space).
+    pub fn midgard_of(&self, va: VirtAddr) -> Option<u64> {
+        self.vmas
+            .iter()
+            .find(|v| v.covers(va))
+            .map(|v| v.midgard_start + (va.raw() - v.virt_start.raw()))
     }
 
     /// Number of registered VMAs.
@@ -203,6 +222,38 @@ impl MidgardMmu {
     /// Midgard address would require. Returns `None` when no VMA covers
     /// `va`.
     pub fn translate(&mut self, va: VirtAddr) -> Option<MidgardTranslation> {
+        let (midgard_addr, frontend_latency, frontend_accesses) = self.translate_frontend(va)?;
+        // Backend: a radix walk over the Midgard space performed only on LLC
+        // misses; emit its node accesses for the framework to charge.
+        let backend_accesses: Vec<PhysAddr> = (0..self.config.backend_levels as u64)
+            .map(|level| {
+                PhysAddr::new(
+                    self.metadata_base
+                        + (1 << 30)
+                        + level * 4096
+                        + ((midgard_addr >> (12 + 9 * level.min(4))) & 0x1ff) * 8,
+                )
+            })
+            .collect();
+        self.stats.backend_cycles += 2 * self.config.backend_levels as u64;
+
+        Some(MidgardTranslation {
+            midgard_addr,
+            frontend_latency,
+            frontend_accesses,
+            backend_accesses,
+        })
+    }
+
+    /// The frontend half of [`MidgardMmu::translate`]: VLB probes plus the
+    /// VMA-tree walk when both miss, without synthesizing the standalone
+    /// backend-access model. Returns the Midgard address, the frontend
+    /// latency and the VMA-tree node accesses (empty on a VLB hit), or
+    /// `None` when no VMA covers `va`. The end-to-end engine uses this —
+    /// its backend is a real, separately-simulated structure, so the
+    /// synthetic backend accesses would be allocated only to be thrown
+    /// away on every single memory access.
+    pub fn translate_frontend(&mut self, va: VirtAddr) -> Option<(u64, Cycles, Vec<PhysAddr>)> {
         self.clock += 1;
         self.stats.translations.inc();
         let idx = self.vmas.iter().position(|v| v.covers(va))?;
@@ -249,26 +300,7 @@ impl MidgardMmu {
         self.stats.frontend_cycles += frontend_latency.raw();
 
         let midgard_addr = vma.midgard_start + (va.raw() - vma.virt_start.raw());
-        // Backend: a radix walk over the Midgard space performed only on LLC
-        // misses; emit its node accesses for the framework to charge.
-        let backend_accesses: Vec<PhysAddr> = (0..self.config.backend_levels as u64)
-            .map(|level| {
-                PhysAddr::new(
-                    self.metadata_base
-                        + (1 << 30)
-                        + level * 4096
-                        + ((midgard_addr >> (12 + 9 * level.min(4))) & 0x1ff) * 8,
-                )
-            })
-            .collect();
-        self.stats.backend_cycles += 2 * self.config.backend_levels as u64;
-
-        Some(MidgardTranslation {
-            midgard_addr,
-            frontend_latency,
-            frontend_accesses,
-            backend_accesses,
-        })
+        Some((midgard_addr, frontend_latency, frontend_accesses))
     }
 }
 

@@ -36,6 +36,18 @@ pub struct MmuConfig {
     /// switches. `false`: the ASID-less baseline that flushes the whole
     /// TLB hierarchy on every switch.
     pub asid_tlb_tags: bool,
+    /// When `true`, the hash-based page-table walkers (ECH, HDC, HT) skip
+    /// the probe for any page size with no resident leaves in the table
+    /// (e.g. a THP-disabled address space never probes the 2 MiB or 1 GiB
+    /// tables). This is a *modeling* choice, not just an optimization: the
+    /// skipped probes disappear from the walk's modeled memory accesses,
+    /// so walk latency and translation-metadata cache/DRAM traffic both
+    /// shrink. The hardware analogue is a per-size valid bit maintained by
+    /// the kernel. Default `false` — the paper's configuration probes all
+    /// sizes unconditionally. The radix walker is unaffected (its per-size
+    /// skip is a pure software fast path that never changes the modeled
+    /// access list).
+    pub skip_empty_size_probes: bool,
 }
 
 impl MmuConfig {
@@ -47,6 +59,7 @@ impl MmuConfig {
             page_table,
             metadata_base: PhysAddr::new(0x30_0000_0000),
             asid_tlb_tags: true,
+            skip_empty_size_probes: false,
         }
     }
 
@@ -56,6 +69,15 @@ impl MmuConfig {
             tlb: TlbHierarchyConfig::small_test(),
             ..MmuConfig::paper_baseline(page_table)
         }
+    }
+
+    /// Enables (or disables) skipping hash-table walk probes for page
+    /// sizes with no resident leaves — see
+    /// [`MmuConfig::skip_empty_size_probes`] for the modeled-access
+    /// implications. Keeps everything else identical.
+    pub fn with_skip_empty_size_probes(mut self, enabled: bool) -> Self {
+        self.skip_empty_size_probes = enabled;
+        self
     }
 
     /// Disables ASID tagging (full TLB flush on every context switch),
@@ -255,8 +277,9 @@ impl Mmu {
         let base = PhysAddr::new(
             self.config.metadata_base.raw() + u64::from(asid.raw()) * ASID_TABLE_STRIDE,
         );
-        self.tables
-            .push((asid, build_page_table(self.config.page_table, base)));
+        let mut table = build_page_table(self.config.page_table, base);
+        table.set_skip_empty_size_probes(self.config.skip_empty_size_probes);
+        self.tables.push((asid, table));
         &mut self.tables.last_mut().expect("just pushed").1
     }
 
@@ -272,9 +295,17 @@ impl Mmu {
     /// space's page table is walked; the returned [`WalkOutcome`] carries
     /// the page-table accesses the caller must replay through the memory
     /// hierarchy to obtain the walk latency.
+    ///
+    /// Semantically this is exactly [`Mmu::probe_tlb`] followed, on a
+    /// miss, by [`Mmu::walk_after_miss`] — the two halves the alternative
+    /// translation engines interpose between (pinned by the
+    /// `translate_equals_probe_plus_walk` test). The body is kept
+    /// monolithic rather than composed from the halves because the radix
+    /// hot path is allocation- and copy-sensitive: routing the hit result
+    /// through a `Result` return costs measurable sustained MIPS.
     pub fn translate(&mut self, asid: Asid, va: VirtAddr) -> TranslationResult {
         self.stats.translations.inc();
-        let (tlb_hit, mut fixed_latency) = self.tlb.lookup(asid, va);
+        let (tlb_hit, fixed_latency) = self.tlb.lookup(asid, va);
         if let Some((mapping, level)) = tlb_hit {
             match level {
                 TlbLevel::L1 => self.stats.l1_hits.inc(),
@@ -294,8 +325,49 @@ impl Mmu {
                 walk: None,
             };
         }
+        self.walk_after_miss(asid, va, fixed_latency)
+    }
 
-        // TLB miss: consult the PWCs (radix only) and walk the page table.
+    /// First half of a translation: the TLB hierarchy probe. On a hit the
+    /// completed [`TranslationResult`] is returned; on a miss the
+    /// accumulated probe latency is returned so the caller can either walk
+    /// the page table ([`Mmu::walk_after_miss`]) or consult an alternative
+    /// translation structure (range TLB, RestSeg walker, VLB) first.
+    #[inline]
+    pub fn probe_tlb(&mut self, asid: Asid, va: VirtAddr) -> Result<TranslationResult, Cycles> {
+        self.stats.translations.inc();
+        let (tlb_hit, fixed_latency) = self.tlb.lookup(asid, va);
+        if let Some((mapping, level)) = tlb_hit {
+            match level {
+                TlbLevel::L1 => self.stats.l1_hits.inc(),
+                TlbLevel::L2 => self.stats.l2_hits.inc(),
+            }
+            let per_asid = self.asid_stats(asid);
+            per_asid.translations.inc();
+            match level {
+                TlbLevel::L1 => per_asid.l1_hits.inc(),
+                TlbLevel::L2 => per_asid.l2_hits.inc(),
+            }
+            return Ok(TranslationResult {
+                paddr: Some(mapping.translate(va)),
+                mapping: Some(mapping),
+                tlb_hit_level: Some(level),
+                fixed_latency,
+                walk: None,
+            });
+        }
+        Err(fixed_latency)
+    }
+
+    /// Second half of a translation after a TLB miss: consult the PWCs
+    /// (radix only) and walk the page table. `fixed_latency` is whatever
+    /// the caller has already accumulated (at least the TLB probe cost).
+    pub fn walk_after_miss(
+        &mut self,
+        asid: Asid,
+        va: VirtAddr,
+        mut fixed_latency: Cycles,
+    ) -> TranslationResult {
         let skip = if self.config.page_table == PageTableKind::Radix {
             fixed_latency += self.pwc.latency();
             self.pwc.levels_skipped(va)
@@ -338,6 +410,17 @@ impl Mmu {
                 walk: Some(walk),
             },
         }
+    }
+
+    /// Records a translation completed by an alternative engine structure
+    /// (a range TLB, the RestSeg walkers) after a TLB miss: the address
+    /// space's per-ASID accounting sees the translation and the TLBs are
+    /// filled with `mapping` so subsequent accesses to the page hit. The
+    /// global `translations` counter was already incremented by the
+    /// [`Mmu::probe_tlb`] that preceded this call; no page walk is counted.
+    pub fn external_translation(&mut self, asid: Asid, mapping: &Mapping) {
+        self.asid_stats(asid).translations.inc();
+        self.tlb.fill(asid, *mapping);
     }
 
     /// Installs a mapping produced by the kernel (after a page fault) into
@@ -457,6 +540,59 @@ mod tests {
             assert_eq!(r.paddr, Some(PhysAddr::new(0x10_2222_0abc)), "{kind}");
             assert!(r.walk.is_some(), "{kind}");
         }
+    }
+
+    #[test]
+    fn translate_equals_probe_plus_walk() {
+        // `translate` keeps a monolithic body for hot-path reasons; this
+        // pins that it stays behaviorally identical — results and
+        // accumulated statistics — to the probe_tlb/walk_after_miss
+        // composition the alternative engines build on.
+        for kind in PageTableKind::ALL {
+            let mut mono = Mmu::new(MmuConfig::small_test(kind));
+            let mut split = Mmu::new(MmuConfig::small_test(kind));
+            let asids = [A0, Asid::new(1)];
+            for i in 0..64u64 {
+                let m = mapping(0x4000_0000 + i * 0x20_0000, PageSize::Size4K);
+                mono.install_mapping(asids[(i % 2) as usize], &m);
+                split.install_mapping(asids[(i % 2) as usize], &m);
+            }
+            mono.flush_tlb();
+            split.flush_tlb();
+            for i in 0..256u64 {
+                let asid = asids[(i % 2) as usize];
+                // Mix of mapped pages (repeated, so TLB hits occur too)
+                // and unmapped addresses (faulting walks).
+                let va = VirtAddr::new(0x4000_0000 + (i % 80) * 0x20_0000 + (i * 64) % 4096);
+                let a = mono.translate(asid, va);
+                let b = match split.probe_tlb(asid, va) {
+                    Ok(hit) => hit,
+                    Err(fixed) => split.walk_after_miss(asid, va, fixed),
+                };
+                assert_eq!(a, b, "{kind}: translation {i} diverged");
+            }
+            assert_eq!(mono.stats(), split.stats(), "{kind}: statistics diverged");
+        }
+    }
+
+    #[test]
+    fn skip_empty_size_probes_knob_changes_hash_walk_accesses_only_when_on() {
+        // Pin both settings of `MmuConfig::skip_empty_size_probes` against
+        // an open-addressing table holding only 4 KiB leaves: default off
+        // probes all three sizes (2 modeled accesses for a home-cluster
+        // hit), on elides the empty 2 MiB/1 GiB probes (1 access).
+        let walk_len = |skip: bool| {
+            let config = MmuConfig::small_test(PageTableKind::HashedOpenAddressing)
+                .with_skip_empty_size_probes(skip);
+            let mut mmu = Mmu::new(config);
+            mmu.install_mapping(A0, &mapping(0x7f00_1000, PageSize::Size4K));
+            mmu.flush_tlb();
+            let r = mmu.translate(A0, VirtAddr::new(0x7f00_1234));
+            assert!(!r.is_fault());
+            r.walk.expect("cold TLB walks").accesses.len()
+        };
+        assert_eq!(walk_len(false), 2, "default: every size is probed");
+        assert_eq!(walk_len(true), 1, "knob on: empty sizes skipped");
     }
 
     #[test]

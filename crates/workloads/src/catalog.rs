@@ -306,6 +306,19 @@ pub fn multiprogram_mix_resident() -> Vec<WorkloadSpec> {
     vec![resident("RES-A"), resident("RES-B")]
 }
 
+/// The interference mix used by the translation-engine comparison: the
+/// GUPS aggressor and the JSON FaaS victim, scaled so the pair co-resides
+/// with an engine's carve-outs (e.g. a 64 MB Utopia RestSeg) on the
+/// small-test machine. Run under the Midgard and Utopia engines — not
+/// just the radix baseline — by the `multiprogram` experiment's engine
+/// rows.
+pub fn multiprogram_mix_engines() -> Vec<WorkloadSpec> {
+    vec![
+        gups_randacc().scaled_footprint(0.0625), // 32 MB random updates
+        faas_json(),                             // 24 MB allocation-bound victim
+    ]
+}
+
 /// A stress-ng-style sweep of `count` configurations with increasing memory
 /// intensity (footprint and memory fraction), used for the Fig. 3 / Fig. 12
 /// style studies.
@@ -395,6 +408,15 @@ mod tests {
         for spec in &mix {
             assert_eq!(spec.class, WorkloadClass::LongRunning);
         }
+    }
+
+    #[test]
+    fn engine_mix_fits_beside_an_engine_carveout() {
+        let mix = multiprogram_mix_engines();
+        assert_eq!(mix.len(), 2);
+        let total: u64 = mix.iter().map(|s| s.footprint_bytes()).sum();
+        // 256 MB machine minus a 64 MB RestSeg leaves 192 MB of FlexSeg.
+        assert!(total < 128 * MB, "engine mix footprint {total} too large");
     }
 
     #[test]

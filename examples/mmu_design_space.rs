@@ -1,70 +1,102 @@
-//! Use Cases 3–5 (paper §7.6) in miniature: drive the Midgard, Utopia and
-//! RMM MMU models directly with workload address streams and report the
-//! paper's headline metrics for each.
+//! Use Cases 3–5 (paper §7.6) in miniature: run the Midgard, Utopia and
+//! RMM translation engines **end to end** — same `System::run` path as
+//! every other experiment, so faults, the kernel's placement decisions,
+//! caches and DRAM all participate — and report the paper's headline
+//! metric for each from the report's per-engine stats section.
 //!
 //! Run with `cargo run --example mmu_design_space`.
 
-use virtuoso_suite::mimic_os::kernel::RangeMapping;
-use virtuoso_suite::mmu_sim::{
-    MidgardConfig, MidgardMmu, RmmConfig, RmmMmu, UtopiaMmu, UtopiaMmuConfig,
-};
 use virtuoso_suite::prelude::*;
-use virtuoso_suite::sim_core::TraceSource;
+
+fn run(config: SystemConfig, spec: &WorkloadSpec, seed: u64) -> SimulationReport {
+    let mut system = System::new(config);
+    let pid = system.pid();
+    for (i, region) in spec.regions.iter().enumerate() {
+        if region.file_backed {
+            system
+                .mmap_file_for(pid, region.start, region.bytes, i as u64 + 1)
+                .expect("mapping region");
+        } else {
+            system
+                .mmap_anonymous_for(pid, region.start, region.bytes)
+                .expect("mapping region");
+        }
+    }
+    system.run(&mut spec.build(seed), None)
+}
 
 fn main() {
     // --- Midgard: frontend vs backend latency (Use Case 3 / Fig. 17) -----
-    let bc = catalog::graphbig_bc();
-    let mut midgard = MidgardMmu::new(
-        MidgardConfig::paper_baseline(),
-        PhysAddr::new(0xE0_0000_0000),
-    );
-    for region in &bc.regions {
-        midgard.register_vma(region.start, region.bytes);
+    // BC's 148-VMA profile thrashes the 16-entry L2 VLB (Fig. 18).
+    let bc = catalog::graphbig_bc()
+        .scaled_footprint(0.15)
+        .with_instructions(60_000);
+    let config = SystemConfig::small_test()
+        .with_engine(EngineConfig::Midgard(MidgardConfig::paper_baseline()));
+    let report = run(config, &bc, 11);
+    if let Some(EngineReport::Midgard {
+        frontend_fraction,
+        l2_vlb_hit_ratio,
+        ..
+    }) = report.engine
+    {
+        println!(
+            "Midgard on BC: frontend fraction {:.1}%, L2 VLB hit ratio {:.1}%",
+            frontend_fraction * 100.0,
+            l2_vlb_hit_ratio * 100.0
+        );
     }
-    let mut trace = bc.with_instructions(60_000).build(11);
-    while let Some(instr) = trace.next_instruction() {
-        if let Some((va, _)) = instr.memory {
-            midgard.translate(va);
-        }
-    }
-    println!(
-        "Midgard on BC: frontend fraction {:.1}%, L2 VLB hit ratio {:.1}%",
-        midgard.stats().frontend_fraction() * 100.0,
-        midgard.stats().l2_vlb_hit_ratio() * 100.0
-    );
 
     // --- Utopia: RestSeg size vs metadata footprint (Use Case 4 / Fig. 19)
-    for gb in [8u64, 16, 32, 64] {
-        let cfg = UtopiaMmuConfig::paper_baseline().with_restseg_bytes(gb << 30);
-        let mut utopia = UtopiaMmu::new(cfg, PhysAddr::new(0xD0_0000_0000));
-        let mut metadata_accesses = 0u64;
-        let mut t = catalog::gups_randacc().with_instructions(40_000).build(13);
-        while let Some(instr) = t.next_instruction() {
-            if let Some((va, _)) = instr.memory {
-                metadata_accesses += utopia.translate(va).metadata_accesses.len() as u64;
-            }
+    // RestSeg sizes scaled to the 256 MB small-test machine.
+    let gups = catalog::gups_randacc()
+        .scaled_footprint(0.125)
+        .with_instructions(40_000);
+    for mb in [32u64, 64, 96, 128] {
+        let restseg_bytes = mb << 20;
+        let mut config = SystemConfig::small_test().with_engine(EngineConfig::Utopia(
+            UtopiaMmuConfig::paper_baseline().with_restseg_bytes(restseg_bytes),
+        ));
+        config.os.policy = AllocationPolicy::Utopia(virtuoso_suite::mimic_os::UtopiaConfig::new(
+            restseg_bytes,
+            16,
+            PageSize::Size4K,
+        ));
+        let report = run(config, &gups, 13);
+        if let Some(EngineReport::Utopia {
+            rsw_fetches,
+            restseg_hits,
+            ..
+        }) = report.engine
+        {
+            println!(
+                "Utopia {mb:>3} MB RestSeg: {rsw_fetches} RSW metadata fetches, \
+                 {restseg_hits} RestSeg-resident translations"
+            );
         }
-        println!("Utopia {gb:>2} GB RestSeg: {metadata_accesses} RSW metadata fetches");
     }
 
     // --- RMM: range translation coverage (Use Case 5 / Fig. 21) ----------
-    let mut rmm = RmmMmu::new(RmmConfig::paper_baseline(), PhysAddr::new(0xC0_0000_0000));
-    rmm.register_range(RangeMapping {
-        virt_start: VirtAddr::new(0x10_0000_0000),
-        phys_start: PhysAddr::new(0x8_0000_0000),
-        bytes: 512 * 1024 * 1024,
-    });
-    let mut hits = 0u64;
-    let mut misses = 0u64;
-    let mut t = catalog::graphbig_sssp().with_instructions(40_000).build(17);
-    while let Some(instr) = t.next_instruction() {
-        if let Some((va, _)) = instr.memory {
-            if rmm.translate(va).is_some() {
-                hits += 1;
-            } else {
-                misses += 1;
-            }
-        }
+    // Eager paging builds the ranges; the range TLB absorbs the walks.
+    let sssp = catalog::graphbig_sssp()
+        .scaled_footprint(0.15)
+        .with_instructions(40_000);
+    let mut config =
+        SystemConfig::small_test().with_engine(EngineConfig::Rmm(RmmConfig::paper_baseline()));
+    config.os.policy = AllocationPolicy::EagerPaging;
+    let report = run(config, &sssp, 17);
+    if let Some(EngineReport::Rmm {
+        range_translations,
+        fallback_translations,
+        range_coverage,
+        ..
+    }) = report.engine
+    {
+        println!(
+            "RMM: {range_translations} translations served by ranges, \
+             {fallback_translations} fell back to the page table \
+             ({:.1}% coverage)",
+            range_coverage * 100.0
+        );
     }
-    println!("RMM: {hits} translations served by ranges, {misses} fell back to the page table");
 }

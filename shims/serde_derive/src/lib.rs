@@ -14,10 +14,17 @@
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// One named field: its identifier plus the predicate path of a
+/// `#[serde(skip_serializing_if = "path")]` attribute, when present.
+struct NamedField {
+    name: String,
+    skip_if: Option<String>,
+}
+
 /// Field layout of a struct or an enum variant.
 enum Fields {
     /// Named fields (`{ a: T, b: U }`), in declaration order.
-    Named(Vec<String>),
+    Named(Vec<NamedField>),
     /// Tuple fields (`(T, U)`), by arity.
     Tuple(usize),
     /// No fields.
@@ -109,15 +116,50 @@ fn parse_item(input: TokenStream) -> Item {
     Item { name, kind }
 }
 
+/// Extracts `skip_serializing_if = "path"` from the token stream of a
+/// `#[serde(...)]` attribute's bracket group, if present.
+fn skip_if_of_attr(group: &TokenTree) -> Option<String> {
+    let TokenTree::Group(g) = group else {
+        return None;
+    };
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    // Expect `serde ( ... )`.
+    if toks.len() != 2 || ident_str(&toks[0]) != "serde" {
+        return None;
+    }
+    let TokenTree::Group(inner) = &toks[1] else {
+        return None;
+    };
+    let inner: Vec<TokenTree> = inner.stream().into_iter().collect();
+    let mut i = 0;
+    while i < inner.len() {
+        if matches!(&inner[i], TokenTree::Ident(id) if id.to_string() == "skip_serializing_if") {
+            // `skip_serializing_if` `=` `"path"`
+            if let Some(TokenTree::Literal(lit)) = inner.get(i + 2) {
+                let raw = lit.to_string();
+                return Some(raw.trim_matches('"').to_string());
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
 /// Extracts the field names from the body of a brace-delimited field list,
 /// skipping attributes, visibility, and types (angle-bracket aware so that
 /// commas inside generics such as `HashMap<u64, Vma>` do not split fields).
-fn parse_named_fields(ts: TokenStream) -> Vec<String> {
+/// `#[serde(skip_serializing_if = "...")]` attributes are recorded on the
+/// field they precede.
+fn parse_named_fields(ts: TokenStream) -> Vec<NamedField> {
     let toks: Vec<TokenTree> = ts.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < toks.len() {
+        let mut skip_if = None;
         while i < toks.len() && is_punct(&toks[i], '#') {
+            if skip_if.is_none() {
+                skip_if = toks.get(i + 1).and_then(skip_if_of_attr);
+            }
             i += 2;
         }
         if i >= toks.len() {
@@ -130,7 +172,10 @@ fn parse_named_fields(ts: TokenStream) -> Vec<String> {
                 i += 1;
             }
         }
-        fields.push(ident_str(&toks[i]));
+        fields.push(NamedField {
+            name: ident_str(&toks[i]),
+            skip_if,
+        });
         i += 1; // field name
         i += 1; // `:`
         let mut depth = 0i64;
@@ -238,14 +283,37 @@ fn push_ser(code: &mut String, expr: &str) {
 
 fn gen_fields_body(code: &mut String, fields: &Fields, access: &dyn Fn(&str) -> String) {
     match fields {
+        Fields::Named(names) if names.iter().any(|f| f.skip_if.is_some()) => {
+            // At least one field is conditionally skipped: track whether a
+            // comma is due with a runtime flag. Types without skip
+            // attributes keep the straight-line body below, so their JSON
+            // byte stream is unchanged.
+            push_lit(code, "{");
+            code.push_str("let mut __virtuoso_first = true;\n");
+            for f in names {
+                let name = &f.name;
+                if let Some(pred) = &f.skip_if {
+                    code.push_str(&format!("if !{pred}(&{}) {{\n", access(name)));
+                }
+                code.push_str("if !__virtuoso_first { out.push(','); }\n");
+                code.push_str("__virtuoso_first = false;\n");
+                push_lit(code, &format!("\"{name}\":"));
+                push_ser(code, &access(name));
+                if f.skip_if.is_some() {
+                    code.push_str("}\n");
+                }
+            }
+            code.push_str("let _ = __virtuoso_first;\n");
+            push_lit(code, "}");
+        }
         Fields::Named(names) => {
             push_lit(code, "{");
             for (k, f) in names.iter().enumerate() {
                 if k > 0 {
                     push_lit(code, ",");
                 }
-                push_lit(code, &format!("\"{f}\":"));
-                push_ser(code, &access(f));
+                push_lit(code, &format!("\"{}\":", f.name));
+                push_ser(code, &access(&f.name));
             }
             push_lit(code, "}");
         }
@@ -280,7 +348,8 @@ fn gen_serialize(item: &Item) -> String {
                         body.push_str("}\n");
                     }
                     Fields::Named(names) => {
-                        body.push_str(&format!("Self::{v} {{ {} }} => {{\n", names.join(", ")));
+                        let binds: Vec<&str> = names.iter().map(|f| f.name.as_str()).collect();
+                        body.push_str(&format!("Self::{v} {{ {} }} => {{\n", binds.join(", ")));
                         push_lit(&mut body, &format!("{{\"{v}\":"));
                         gen_fields_body(&mut body, fields, &|f| f.to_string());
                         push_lit(&mut body, "}");

@@ -1,6 +1,9 @@
-//! Golden-report regression tests: three small single-process
-//! configurations whose serialized [`SimulationReport`]s must stay
-//! byte-identical across refactors, optimization levels and thread counts.
+//! Golden-report regression tests: small single-process configurations
+//! whose serialized [`SimulationReport`]s must stay byte-identical across
+//! refactors, optimization levels and thread counts — three on the
+//! conventional page-table engine, and one per alternative translation
+//! engine (Midgard, RMM, Utopia) exercising the unified `System` path end
+//! to end (engine-specific fault metadata, per-engine report section).
 //!
 //! The simulator is fully deterministic (seeded RNGs, no wall-clock, no
 //! float environment games), so the serialized report of a fixed
@@ -52,6 +55,56 @@ fn golden_cells() -> Vec<(&'static str, SystemConfig, WorkloadSpec)> {
                 AccessPattern::Streaming {
                     jump_probability: 0.3,
                 },
+                4_000,
+            ),
+        ),
+        (
+            "midgard_engine",
+            SystemConfig::small_test()
+                .with_engine(EngineConfig::Midgard(MidgardConfig::paper_baseline())),
+            WorkloadSpec::simple(
+                "MID",
+                WorkloadClass::LongRunning,
+                16 * 1024 * 1024,
+                AccessPattern::PointerChasing,
+                4_000,
+            ),
+        ),
+        (
+            "rmm_engine_eager",
+            {
+                let mut config = SystemConfig::small_test()
+                    .with_engine(EngineConfig::Rmm(RmmConfig::paper_baseline()));
+                config.os.policy = AllocationPolicy::EagerPaging;
+                config
+            },
+            WorkloadSpec::simple(
+                "RMM",
+                WorkloadClass::LongRunning,
+                16 * 1024 * 1024,
+                AccessPattern::UniformRandom,
+                4_000,
+            ),
+        ),
+        (
+            "utopia_engine_restseg",
+            {
+                let restseg_bytes: u64 = 32 * 1024 * 1024;
+                let mut config = SystemConfig::small_test().with_engine(EngineConfig::Utopia(
+                    UtopiaMmuConfig::paper_baseline().with_restseg_bytes(restseg_bytes),
+                ));
+                config.os.policy = AllocationPolicy::Utopia(mimic_os::UtopiaConfig::new(
+                    restseg_bytes,
+                    16,
+                    PageSize::Size4K,
+                ));
+                config
+            },
+            WorkloadSpec::simple(
+                "UTO",
+                WorkloadClass::LongRunning,
+                16 * 1024 * 1024,
+                AccessPattern::UniformRandom,
                 4_000,
             ),
         ),

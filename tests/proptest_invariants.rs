@@ -100,6 +100,74 @@ proptest! {
     }
 
     #[test]
+    fn page_table_engine_is_access_for_access_identical_to_the_mmu(seed in 0u64..500) {
+        // The tentpole's no-regression pin: driving random install /
+        // translate / context-switch / flush sequences through
+        // `TranslationEngine::PageTable` must produce results identical —
+        // down to every modeled walk access — to the direct `Mmu` path it
+        // wraps. Any divergence would also shift the radix golden reports.
+        use virtuoso_suite::mimic_os::Mapping;
+        use virtuoso_suite::mmu_sim::InstallInfo;
+        let mut rng = virtuoso_suite::vm_types::DetRng::new(seed ^ 0xE61E);
+        let config = MmuConfig::small_test(PageTableKind::Radix);
+        let mut engine = TranslationEngine::new(EngineConfig::PageTable);
+        let mut engine_mmu = Mmu::new(config.clone());
+        let mut mmu = Mmu::new(config);
+        let asids = [Asid::KERNEL, Asid::new(1), Asid::new(2)];
+        let mut installed: Vec<u64> = Vec::new();
+        for _ in 0..300 {
+            let asid = asids[rng.gen_range(0, asids.len() as u64) as usize];
+            match rng.gen_range(0, 10) {
+                // Install a page (occasionally huge) in a random space.
+                0..=2 => {
+                    let size = if rng.gen_bool(0.2) { PageSize::Size2M } else { PageSize::Size4K };
+                    let va = rng.gen_range(0, 1 << 18) * 4096;
+                    let mapping = Mapping {
+                        vaddr: VirtAddr::new(va).page_base(size),
+                        paddr: PhysAddr::new(0x10_0000_0000 + (va & !(size.bytes() - 1))),
+                        page_size: size,
+                    };
+                    installed.push(va);
+                    let ea = engine.handle_fault_install(
+                        &mut engine_mmu, asid, &mapping, InstallInfo::default(),
+                    );
+                    let ma = mmu.install_mapping(asid, &mapping);
+                    prop_assert_eq!(ea, ma, "install accesses must match");
+                }
+                // Context switch (both policies share the config).
+                3 => {
+                    let to = asids[rng.gen_range(0, asids.len() as u64) as usize];
+                    prop_assert_eq!(
+                        engine.context_switch(&mut engine_mmu, to),
+                        mmu.context_switch(to)
+                    );
+                }
+                // Tear down one address space.
+                4 => {
+                    prop_assert_eq!(
+                        engine.flush_asid(&mut engine_mmu, asid),
+                        mmu.flush_asid(asid)
+                    );
+                }
+                // Translate a previously installed or random address.
+                _ => {
+                    let va = if installed.is_empty() || rng.gen_bool(0.3) {
+                        rng.gen_range(0, 1 << 30)
+                    } else {
+                        installed[rng.gen_range(0, installed.len() as u64) as usize]
+                            + rng.gen_range(0, 4096)
+                    };
+                    let er = engine.translate(&mut engine_mmu, asid, VirtAddr::new(va));
+                    let mr = mmu.translate(asid, VirtAddr::new(va));
+                    prop_assert_eq!(er, mr, "translation results must match");
+                }
+            }
+        }
+        // Accumulated statistics agree too.
+        prop_assert_eq!(engine_mmu.stats(), mmu.stats());
+    }
+
+    #[test]
     fn scheduler_accounting_sums_to_total_instructions(
         instrs_a in 1_000u64..6_000,
         instrs_b in 1_000u64..6_000,

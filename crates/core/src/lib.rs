@@ -51,6 +51,6 @@ pub mod validation;
 
 pub use channel::{FunctionalChannel, InstructionStreamChannel, KernelRequest, KernelResponse};
 pub use config::{SimulationMode, SystemConfig};
-pub use report::{MultiProgramReport, ProcessReport, SimulationReport};
+pub use report::{MultiProgramReport, ProcessReport, ShootdownStats, SimulationReport};
 pub use system::System;
 pub use validation::{accuracy_percent, cosine_similarity_series, ReferenceMachine};

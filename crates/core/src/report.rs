@@ -6,6 +6,39 @@ use mmu_sim::EngineReport;
 use serde::{Deserialize, Serialize};
 use vm_types::{LatencyStats, Percentiles};
 
+/// TLB-shootdown activity applied by the framework on behalf of the
+/// kernel's invalidation batches (reclaim swap-outs, THP demotions,
+/// khugepaged collapses). All counters are zero on a run without memory
+/// pressure or collapses, and the whole section is omitted from the
+/// serialized report in that case.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShootdownStats {
+    /// Invalidation batches applied (one per kernel operation that tore
+    /// translations down — the IPI rounds of a real kernel).
+    pub batches: u64,
+    /// Page translations shot down.
+    pub pages: u64,
+    /// TLB entries actually dropped across the hierarchy.
+    pub tlb_entries_dropped: u64,
+    /// Page-walk-cache entries dropped.
+    pub pwc_entries_dropped: u64,
+    /// Engine-resident translations dropped or rewritten (RMM ranges,
+    /// Utopia RestSeg residency and TAR/SF lines).
+    pub engine_entries_dropped: u64,
+    /// Replacement mappings installed after shootdowns (THP-demotion
+    /// survivors, khugepaged collapse results).
+    pub replacements_installed: u64,
+}
+
+impl ShootdownStats {
+    /// `true` when no shootdown work happened (the section is then omitted
+    /// from serialized reports, keeping pressure-free reports identical to
+    /// those of builds without the shootdown subsystem).
+    pub fn is_zero(&self) -> bool {
+        *self == ShootdownStats::default()
+    }
+}
+
 /// The result of one simulation run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SimulationReport {
@@ -63,6 +96,11 @@ pub struct SimulationReport {
     /// conventional page-table engine.
     #[serde(skip_serializing_if = "Option::is_none")]
     pub engine: Option<EngineReport>,
+    /// TLB-shootdown activity (reclaim / demotion / collapse coherence
+    /// work). `None` — and absent from the serialized JSON — when the run
+    /// tore no translations down.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub shootdowns: Option<ShootdownStats>,
 }
 
 impl SimulationReport {
@@ -155,6 +193,18 @@ impl SimulationReport {
             "dram_translation_conflicts",
             self.dram_translation_conflicts.to_string(),
         );
+        if let Some(shootdowns) = &self.shootdowns {
+            push("shootdown_batches", shootdowns.batches.to_string());
+            push("shootdown_pages", shootdowns.pages.to_string());
+            push(
+                "shootdown_tlb_entries_dropped",
+                shootdowns.tlb_entries_dropped.to_string(),
+            );
+            push(
+                "shootdown_replacements",
+                shootdowns.replacements_installed.to_string(),
+            );
+        }
         match &self.engine {
             None => {}
             Some(EngineReport::Midgard {
@@ -227,6 +277,10 @@ pub struct ProcessReport {
     pub minor_faults: u64,
     /// Major page faults (device reads and swap-ins) the process took.
     pub major_faults: u64,
+    /// Faults the process took on read accesses (spurious ones included).
+    pub read_faults: u64,
+    /// Faults the process took on write accesses (spurious ones included).
+    pub write_faults: u64,
     /// Accesses the process made outside any VMA.
     pub segfaults: u64,
     /// Instructions accounted by the scheduler (cross-check: equals
@@ -342,6 +396,34 @@ mod tests {
         assert!(table.contains("app_ipc"));
         assert!(table.contains("l2_tlb_mpki"));
         assert!(table.contains("allocation_time_fraction"));
+    }
+
+    #[test]
+    fn shootdown_section_is_omitted_until_nonzero() {
+        let quiet = sample();
+        let json = serde_json::to_string(&quiet).unwrap();
+        assert!(
+            !json.contains("shootdowns"),
+            "pressure-free reports must serialize without a shootdown section"
+        );
+        assert!(!quiet.to_table().contains("shootdown_batches"));
+        let mut noisy = sample();
+        noisy.shootdowns = Some(ShootdownStats {
+            batches: 2,
+            pages: 64,
+            tlb_entries_dropped: 80,
+            pwc_entries_dropped: 6,
+            engine_entries_dropped: 3,
+            replacements_installed: 448,
+        });
+        let json = serde_json::to_string(&noisy).unwrap();
+        assert!(json.contains("\"shootdowns\":"));
+        assert!(json.contains("\"pages\":64"));
+        let table = noisy.to_table();
+        assert!(table.contains("shootdown_batches"));
+        assert!(table.contains("shootdown_replacements"));
+        assert!(ShootdownStats::default().is_zero());
+        assert!(!noisy.shootdowns.unwrap().is_zero());
     }
 
     #[test]

@@ -9,11 +9,11 @@
 
 use crate::channel::{FunctionalChannel, InstructionStreamChannel, KernelRequest, KernelResponse};
 use crate::config::{SimulationMode, SystemConfig};
-use crate::report::{MultiProgramReport, ProcessReport, SimulationReport};
+use crate::report::{MultiProgramReport, ProcessReport, ShootdownStats, SimulationReport};
 use cache_sim::CacheHierarchy;
 use dram_sim::DramModel;
 use mimic_os::sched::ContextSwitch;
-use mimic_os::{KernelInstructionStream, KernelOp, Mapping, MimicOs, ProcessId};
+use mimic_os::{InvalidationBatch, KernelInstructionStream, KernelOp, Mapping, MimicOs, ProcessId};
 use mmu_sim::{InstallInfo, Mmu, TranslationEngine};
 use sim_core::{CoreModel, Instruction, TraceSource};
 use std::collections::BTreeMap;
@@ -66,6 +66,8 @@ pub struct System {
     context_switches: u64,
     /// TLB entries dropped by context-switch flushes.
     switch_flushed_entries: u64,
+    /// Shootdown work applied on behalf of kernel invalidation batches.
+    shootdowns: ShootdownStats,
     functional: FunctionalChannel,
     streams: InstructionStreamChannel,
     workload_name: String,
@@ -102,6 +104,7 @@ impl System {
             current_slot: pid.0,
             context_switches: 0,
             switch_flushed_entries: 0,
+            shootdowns: ShootdownStats::default(),
             functional: FunctionalChannel::new(),
             streams: InstructionStreamChannel::new(),
             workload_name: String::new(),
@@ -175,6 +178,12 @@ impl System {
     /// Number of accesses that faulted outside any VMA and were skipped.
     pub fn segfaults(&self) -> u64 {
         self.segfaults
+    }
+
+    /// Shootdown work applied so far (zero counters on a run without
+    /// memory pressure or khugepaged collapses).
+    pub fn shootdown_stats(&self) -> &ShootdownStats {
+        &self.shootdowns
     }
 
     /// Creates an additional process (admitted to the scheduler's run
@@ -305,6 +314,10 @@ impl System {
                         let info = InstallInfo {
                             restseg_placed: outcome.restseg_placed,
                         };
+                        // Populating a footprint larger than memory can
+                        // reclaim; the shootdowns still apply (state, not
+                        // time — populate charges nothing by design).
+                        self.apply_invalidations(&outcome.invalidations, false);
                         self.engine.handle_fault_install(
                             &mut self.mmu,
                             asid,
@@ -327,7 +340,10 @@ impl System {
                             - start.raw();
                     }
                     Err(_) => {
-                        // Out of memory (or swap): leave the rest untouched.
+                        // Out of memory (or swap): leave the rest untouched,
+                        // but apply whatever reclaim tore down on the way.
+                        let pending = self.os.take_pending_invalidations();
+                        self.apply_invalidations(&pending, false);
                         offset += PageSize::Size4K.bytes();
                     }
                 }
@@ -501,6 +517,8 @@ impl System {
             },
             minor_faults: process.minor_faults,
             major_faults: process.major_faults,
+            read_faults: process.read_faults,
+            write_faults: process.write_faults,
             segfaults: perf.segfaults,
             scheduled_instructions: self.os.scheduler().stats().instructions_of(pid),
         }
@@ -527,19 +545,24 @@ impl System {
     }
 
     /// Periodic background OS work: zeroed-pool refill and khugepaged, with
-    /// the khugepaged stream injected in detailed mode.
+    /// the khugepaged stream injected in detailed mode. A collapse moves
+    /// the region to a *new* huge frame and frees the old base frames, so
+    /// its invalidation batch is applied just like a reclaim shootdown —
+    /// before the fix, the TLBs kept translating into the freed frames.
     fn housekeeping(&mut self) {
         self.functional
             .post_request(KernelRequest::BackgroundTick { pid: self.current });
         let _ = self.functional.take_request();
         self.os.background_tick();
-        let stream = self.os.khugepaged_tick(self.current);
+        let (stream, invalidations) = self.os.khugepaged_tick(self.current);
         self.functional.post_response(KernelResponse::TickDone);
         let _ = self.functional.take_response();
-        if self.config.mode.is_detailed() && !stream.is_empty() {
+        let detailed = self.config.mode.is_detailed();
+        if detailed && !stream.is_empty() {
             self.streams.send(stream);
             self.drain_kernel_streams();
         }
+        self.apply_invalidations(&invalidations, detailed);
     }
 
     /// Flushes locally accumulated translation costs into the global and
@@ -711,6 +734,7 @@ impl System {
                 // them: the fault path allocates nothing beyond what the
                 // kernel already built.
                 let stream = outcome.stream;
+                let invalidations = outcome.invalidations;
                 self.functional.post_response(KernelResponse::FaultHandled {
                     mapping: outcome.mapping,
                     additional: outcome.additional_mappings,
@@ -733,6 +757,10 @@ impl System {
                     SimulationMode::Detailed => {
                         self.streams.send(stream);
                         self.drain_kernel_streams();
+                        // Mirror the kernel's order: reclaim (and its
+                        // shootdowns) happened before the new mapping was
+                        // established.
+                        self.apply_invalidations(&invalidations, true);
                         self.install_mapping_detailed(asid, &mapping, install_info);
                         for extra in &additional {
                             self.install_mapping_detailed(asid, extra, InstallInfo::default());
@@ -745,6 +773,7 @@ impl System {
                         fixed_fault_latency,
                         ..
                     } => {
+                        self.apply_invalidations(&invalidations, false);
                         self.engine.handle_fault_install(
                             &mut self.mmu,
                             asid,
@@ -769,6 +798,7 @@ impl System {
                     error: VmError::SegmentationFault { vaddr },
                 });
                 let _ = self.functional.take_response();
+                self.apply_pending_invalidations();
                 self.segfaults += 1;
                 self.perf_mut(pid).segfaults += 1;
                 false
@@ -777,11 +807,36 @@ impl System {
                 self.functional
                     .post_response(KernelResponse::FaultFailed { error });
                 let _ = self.functional.take_response();
+                self.apply_pending_invalidations();
                 self.segfaults += 1;
                 self.perf_mut(pid).segfaults += 1;
                 false
             }
         }
+    }
+
+    /// Applies the shootdown work of faults that failed partway: the
+    /// kernel may have reclaimed (and torn translations down) before the
+    /// fault ultimately errored, and that work is real even though the
+    /// fault is not. The failed fault's stream died with it, so the
+    /// kernel rebuilds the shootdown-cost portion for injection.
+    fn apply_pending_invalidations(&mut self) {
+        let pending = self.os.take_pending_invalidations();
+        if pending.is_empty() {
+            return;
+        }
+        let detailed = self.config.mode.is_detailed();
+        // Build the replacement stream in both modes so the kernel-side
+        // instruction accounting stays mode-independent (as it is for
+        // successful faults); only the injection is detailed-only.
+        let stream = self
+            .os
+            .pending_shootdown_stream(pending.victims.len() as u64);
+        if detailed && !stream.is_empty() {
+            self.streams.send(stream);
+            self.drain_kernel_streams();
+        }
+        self.apply_invalidations(&pending, detailed);
     }
 
     /// Installs a mapping in detailed mode, charging the translation-
@@ -796,6 +851,54 @@ impl System {
             self.core.retire_memory(lat);
         }
         self.core.set_kernel_mode(false);
+    }
+
+    /// Applies a kernel invalidation batch: every victim is shot out of
+    /// the MMU (page table, TLBs, PWCs) and the engine's design-specific
+    /// state through [`TranslationEngine::invalidate`], then the
+    /// replacement mappings (THP-demotion survivors, khugepaged collapse
+    /// results) are installed. The IPI/`invlpg` *instruction* cost is
+    /// already part of the kernel stream MimicOS produced; `charge_memory`
+    /// additionally sends the metadata-update accesses through the cache
+    /// hierarchy (detailed mode on the simulated-time path; `populate`
+    /// passes `false` because it charges nothing by design).
+    fn apply_invalidations(&mut self, batch: &InvalidationBatch, charge_memory: bool) {
+        if batch.is_empty() {
+            return;
+        }
+        self.shootdowns.batches += 1;
+        for victim in &batch.victims {
+            let asid = Self::asid_of(victim.pid);
+            let outcome =
+                self.engine
+                    .invalidate(&mut self.mmu, asid, victim.vaddr, victim.page_size);
+            self.shootdowns.pages += 1;
+            self.shootdowns.tlb_entries_dropped += outcome.tlb_entries_dropped as u64;
+            self.shootdowns.pwc_entries_dropped += outcome.pwc_entries_dropped as u64;
+            self.shootdowns.engine_entries_dropped += outcome.engine_entries_dropped as u64;
+            if charge_memory {
+                self.core.set_kernel_mode(true);
+                for pa in outcome.accesses {
+                    let lat = self.charge_kernel_access(pa, AccessType::Write);
+                    self.core.retire_memory(lat);
+                }
+                self.core.set_kernel_mode(false);
+            }
+        }
+        for (pid, mapping) in &batch.replacements {
+            let asid = Self::asid_of(*pid);
+            if charge_memory {
+                self.install_mapping_detailed(asid, mapping, InstallInfo::default());
+            } else {
+                self.engine.handle_fault_install(
+                    &mut self.mmu,
+                    asid,
+                    mapping,
+                    InstallInfo::default(),
+                );
+            }
+            self.shootdowns.replacements_installed += 1;
+        }
     }
 
     /// Injects every pending kernel instruction stream into the core model,
@@ -881,6 +984,7 @@ impl System {
             huge_mappings: os_stats.huge_mappings.get(),
             base_mappings: os_stats.base_mappings.get(),
             engine: self.engine.report(&self.mmu),
+            shootdowns: (!self.shootdowns.is_zero()).then_some(self.shootdowns),
         }
     }
 }
@@ -1022,6 +1126,163 @@ mod tests {
         );
         assert!(system.streams.streams_sent.get() > 0);
         assert_eq!(system.streams.pending(), 0, "all streams must be consumed");
+    }
+
+    /// Every TLB entry and engine-resident translation must agree with the
+    /// owning process's mapping table — the coherence invariant of the
+    /// shootdown subsystem.
+    fn assert_translation_coherence(system: &System) {
+        for (asid, cached) in system.mmu().tlb().entries() {
+            let process = system.os().process(ProcessId(asid.raw() as usize));
+            let authoritative = process.lookup_mapping(cached.vaddr);
+            let expected = authoritative.map(|m| m.translate(cached.vaddr));
+            assert_eq!(
+                expected,
+                Some(cached.translate(cached.vaddr)),
+                "stale TLB entry {cached} for asid {}",
+                asid.raw()
+            );
+        }
+        for (asid, resident) in system.engine().resident_mappings() {
+            let process = system.os().process(ProcessId(asid.raw() as usize));
+            assert_eq!(
+                process.lookup_mapping(resident.vaddr).map(|m| m.paddr),
+                Some(resident.paddr),
+                "stale engine-resident translation {resident}"
+            );
+        }
+    }
+
+    fn pressure_config() -> SystemConfig {
+        let mut config = SystemConfig::small_test();
+        config.os.memory_bytes = 16 * 1024 * 1024;
+        config.os.swap_bytes = 64 * 1024 * 1024;
+        config.os.swap_threshold = 0.5;
+        config.os.policy = mimic_os::AllocationPolicy::BuddyFourK;
+        config.os.thp = mimic_os::ThpConfig::disabled();
+        config.os.populate_page_cache = false;
+        config
+    }
+
+    #[test]
+    fn reclaim_shoots_stale_translations_out_of_the_mmu() {
+        let mut system = System::new(pressure_config());
+        system
+            .mmap_anonymous(VirtAddr::new(0x1000_0000), 64 * 1024 * 1024)
+            .unwrap();
+        // Stream DOWN over more pages than memory holds: reclaim picks the
+        // lowest-addressed resident pages, which under this order are the
+        // most recently touched — i.e. TLB-resident — ones, the worst case
+        // for coherence.
+        let trace: Vec<Instruction> = (0..8000u64)
+            .map(|i| {
+                Instruction::load(
+                    VirtAddr::new(0x400 + (i % 64) * 4),
+                    VirtAddr::new(0x1000_0000 + (8000 - i) * 4096),
+                )
+            })
+            .collect();
+        let report = system.run(&mut SliceFrontend::new("pressure", trace), None);
+        assert!(report.swapped_pages > 0, "pressure must swap");
+        let shootdowns = report.shootdowns.expect("swapping implies shootdowns");
+        assert!(shootdowns.batches > 0);
+        assert_eq!(shootdowns.pages, report.swapped_pages);
+        assert!(
+            shootdowns.tlb_entries_dropped > 0,
+            "reclaimed pages were TLB-resident; the shootdown must drop them"
+        );
+        assert_translation_coherence(&system);
+        // Revisit a swapped-out page: it must fault back in (SwapIn)
+        // instead of silently translating through a stale entry into a
+        // reused frame.
+        let swapped_va = (0..8000u64)
+            .map(|i| VirtAddr::new(0x1000_0000 + (8000 - i) * 4096))
+            .find(|&va| system.os().process(system.pid()).is_swapped(va))
+            .expect("a swapped page must exist after the pressure run");
+        let swap_ins_before = system.os().stats().swap_in_faults.get();
+        let revisit = vec![Instruction::load(VirtAddr::new(0x400), swapped_va)];
+        system.run(&mut SliceFrontend::new("revisit", revisit), None);
+        assert_eq!(
+            system.os().stats().swap_in_faults.get(),
+            swap_ins_before + 1,
+            "the revisit must take a swap-in fault, not a stale TLB hit"
+        );
+    }
+
+    #[test]
+    fn khugepaged_collapse_retargets_translations_to_the_new_frame() {
+        // Before the shootdown subsystem, a collapse freed the base frames
+        // but the MMU kept translating into them through stale TLB entries
+        // and page-table leaves.
+        let mut config = SystemConfig::small_test();
+        config.os.thp = mimic_os::ThpConfig {
+            mode: mimic_os::ThpMode::Never,
+            ..mimic_os::ThpConfig::linux_default()
+        };
+        config.housekeeping_interval = 2_000;
+        let mut system = System::new(config);
+        system
+            .mmap_anonymous(VirtAddr::new(0x1000_0000), 8 * 1024 * 1024)
+            .unwrap();
+        // Touch every base page of a few regions, then keep running so a
+        // housekeeping tick collapses them.
+        let trace = linear_trace(0x1000_0000, 6000, 4096);
+        let report = system.run(&mut SliceFrontend::new("collapse", trace), None);
+        assert!(
+            system.os().khugepaged().collapses.get() > 0,
+            "the run must collapse at least one region"
+        );
+        let shootdowns = report.shootdowns.expect("collapses imply shootdowns");
+        assert!(shootdowns.replacements_installed > 0);
+        assert_translation_coherence(&system);
+        // The collapsed region translates to the huge mapping's frame.
+        let huge = system
+            .os()
+            .process(system.pid())
+            .mappings()
+            .find(|m| m.page_size == PageSize::Size2M)
+            .copied()
+            .expect("collapse created a huge mapping");
+        let asid = System::asid_of(system.pid());
+        let result = system.engine.translate(&mut system.mmu, asid, huge.vaddr);
+        assert_eq!(result.paddr, Some(huge.paddr));
+    }
+
+    #[test]
+    fn emulation_mode_applies_shootdowns_functionally() {
+        let mut system = System::new(pressure_config().with_emulation_baseline());
+        system
+            .mmap_anonymous(VirtAddr::new(0x1000_0000), 64 * 1024 * 1024)
+            .unwrap();
+        let trace = linear_trace(0x1000_0000, 8000, 4096);
+        let report = system.run(&mut SliceFrontend::new("emul", trace), None);
+        assert!(report.swapped_pages > 0);
+        assert!(report.shootdowns.is_some());
+        assert_translation_coherence(&system);
+    }
+
+    #[test]
+    fn process_reports_split_faults_by_access_kind() {
+        let (mut system, a, b) = two_process_system(true);
+        let mut fa = SliceFrontend::new("A", linear_trace(0x1000_0000, 3000, 4096));
+        let stores: Vec<Instruction> = (0..3000u64)
+            .map(|i| {
+                Instruction::store(VirtAddr::new(0x400), VirtAddr::new(0x1000_0000 + i * 4096))
+            })
+            .collect();
+        let mut fb = SliceFrontend::new("B", stores);
+        let mut programs: Vec<(ProcessId, &mut dyn TraceSource)> = vec![(a, &mut fa), (b, &mut fb)];
+        let report = system.run_multiprogram(&mut programs, None);
+        let ra = &report.processes[0];
+        let rb = &report.processes[1];
+        assert!(ra.read_faults > 0, "loads fault as reads");
+        assert_eq!(ra.write_faults, 0);
+        assert!(rb.write_faults > 0, "stores fault as writes");
+        assert_eq!(rb.read_faults, 0);
+        assert_eq!(
+            ra.read_faults + rb.write_faults,
+            system.os().stats().read_faults.get() + system.os().stats().write_faults.get()
+        );
     }
 
     #[test]

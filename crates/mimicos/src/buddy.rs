@@ -269,6 +269,41 @@ impl BuddyAllocator {
         })
     }
 
+    /// Splits the *allocated* block covering `addr` into individually
+    /// allocated 4 KiB frames (pure accounting — no frame becomes free).
+    /// This is the allocator side of THP demotion (`split_huge_page`):
+    /// after the split, each base frame can be freed on its own as reclaim
+    /// swaps individual pages out, and later frees coalesce back normally.
+    /// Works on any block order, so a 2 MiB mapping carved out of a larger
+    /// eager-paging allocation splits its whole containing block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::InvalidFree`] if no allocated block covers
+    /// `addr` (e.g. a Utopia RestSeg frame outside the buddy's memory).
+    pub fn split_allocated(&mut self, addr: PhysAddr) -> VmResult<()> {
+        let frame = addr.raw() / FRAME_BYTES;
+        let Some((&start, &order)) = self
+            .allocated
+            .range(..=frame)
+            .next_back()
+            .filter(|(&start, &order)| frame < start + (1u64 << order))
+        else {
+            return Err(VmError::InvalidFree { paddr: addr });
+        };
+        if order == 0 {
+            return Ok(()); // already a base frame
+        }
+        self.allocated.remove(&start);
+        for i in 0..(1u64 << order) {
+            self.allocated.insert(start + i, 0);
+        }
+        // Shattering an order-k block into base frames is 2^k - 1 buddy
+        // splits, mirroring the 2^k - 1 merges the frees will record.
+        self.stats.splits.add((1u64 << order) - 1);
+        Ok(())
+    }
+
     /// Frees a block previously returned by [`BuddyAllocator::alloc`] with
     /// the same order, coalescing buddies.
     ///
@@ -428,6 +463,31 @@ mod tests {
         assert_eq!(b.free_bytes(), 256 * MB);
         assert_eq!(b.utilization(), 0.0);
         assert!((b.huge_page_availability() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_allocated_lets_base_frames_free_individually() {
+        let mut b = BuddyAllocator::new(64 * MB);
+        let huge = b.alloc(ORDER_2M).unwrap();
+        // Whole-block accounting: freeing a 4 KiB piece is invalid...
+        assert!(b.free(huge, 0).is_err());
+        b.split_allocated(huge).unwrap();
+        // ...until the block is split; then each piece frees on its own.
+        // A second split is a no-op (the frame is already order 0).
+        assert!(b.split_allocated(huge).is_ok());
+        let free_before = b.free_bytes();
+        for i in 0..512u64 {
+            b.free(huge.add(i * 4096), 0).unwrap();
+        }
+        assert_eq!(b.free_bytes(), free_before + 2 * MB);
+        // The pieces coalesced back: the full 2 MiB block is allocatable.
+        assert!(b.can_alloc(ORDER_2M));
+        // An interior address of a larger block splits the whole block.
+        let big = b.alloc(ORDER_2M + 2).unwrap();
+        b.split_allocated(big.add(3 * 2 * MB)).unwrap();
+        b.free(big.add(5 * 4096), 0).unwrap();
+        // Addresses the buddy does not manage are rejected.
+        assert!(b.split_allocated(PhysAddr::new(1 << 40)).is_err());
     }
 
     #[test]

@@ -1,5 +1,8 @@
-//! Types describing the outcome of a page fault handled by MimicOS.
+//! Types describing the outcome of a page fault handled by MimicOS,
+//! including the translations the kernel tore down along the way (the
+//! shootdown work the framework must mirror into the MMU).
 
+use crate::kernel::ProcessId;
 use crate::kernel_stream::KernelInstructionStream;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -90,6 +93,63 @@ impl fmt::Display for FaultKind {
     }
 }
 
+/// One translation torn down by the kernel (swap-out, huge-page demotion,
+/// khugepaged collapse). The framework must shoot it down in the MMU: any
+/// TLB entry, page-walk-cache line, page-table leaf or engine-resident
+/// translation (RMM range, Utopia RestSeg residency, Midgard backend
+/// mapping) still covering the page is stale the moment the kernel removes
+/// it from the process's mapping table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InvalidationVictim {
+    /// Process whose address space lost the translation (its pid doubles
+    /// as the ASID in the framework).
+    pub pid: ProcessId,
+    /// Base virtual address of the torn-down page.
+    pub vaddr: VirtAddr,
+    /// Page size of the torn-down mapping.
+    pub page_size: PageSize,
+}
+
+/// The batch of invalidations one kernel operation (a page-fault handler
+/// invocation that reclaimed memory, or a khugepaged pass) performed.
+///
+/// Produced by MimicOS, consumed by the framework (`virtuoso::System`),
+/// which applies every victim through `TranslationEngine::invalidate` and
+/// installs every replacement — the imitation counterpart of the IPI-driven
+/// TLB shootdown a real kernel performs before reusing a reclaimed frame.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct InvalidationBatch {
+    /// Translations that must be shot down.
+    pub victims: Vec<InvalidationVictim>,
+    /// Mappings re-established in the same operation (the 4 KiB pieces a
+    /// THP demotion leaves resident, or the huge page a khugepaged
+    /// collapse installs over the removed base pages). Installed by the
+    /// framework after the victims are shot down.
+    pub replacements: Vec<(ProcessId, Mapping)>,
+}
+
+impl InvalidationBatch {
+    /// `true` when the batch carries no work.
+    pub fn is_empty(&self) -> bool {
+        self.victims.is_empty() && self.replacements.is_empty()
+    }
+
+    /// Records a torn-down translation.
+    pub fn push_victim(&mut self, pid: ProcessId, vaddr: VirtAddr, page_size: PageSize) {
+        self.victims.push(InvalidationVictim {
+            pid,
+            vaddr,
+            page_size,
+        });
+    }
+
+    /// Appends all of `other`'s work to this batch.
+    pub fn merge(&mut self, other: InvalidationBatch) {
+        self.victims.extend(other.victims);
+        self.replacements.extend(other.replacements);
+    }
+}
+
 /// Everything the kernel reports back to the simulator after handling a
 /// page fault — the payload of the functional channel response, plus the
 /// instruction stream for the instruction-stream channel.
@@ -119,6 +179,10 @@ pub struct PageFaultOutcome {
     /// metadata: the RestSeg walkers — not the page table — resolve the
     /// page from now on). Always `false` outside the Utopia policy.
     pub restseg_placed: bool,
+    /// Translations the kernel tore down while handling this fault
+    /// (reclaim under memory pressure, huge-page demotion). Empty on the
+    /// steady-state path.
+    pub invalidations: InvalidationBatch,
 }
 
 impl PageFaultOutcome {
@@ -170,8 +234,30 @@ mod tests {
             zeroed_bytes: 0,
             pt_frames_allocated: 2,
             restseg_placed: false,
+            invalidations: InvalidationBatch::default(),
         };
         assert_eq!(outcome.total_latency_ns(), 71_500.0);
+    }
+
+    #[test]
+    fn invalidation_batch_tracks_emptiness() {
+        let mut batch = InvalidationBatch::default();
+        assert!(batch.is_empty());
+        batch.push_victim(ProcessId(3), VirtAddr::new(0x4000), PageSize::Size4K);
+        assert!(!batch.is_empty());
+        assert_eq!(batch.victims[0].pid, ProcessId(3));
+        let replace_only = InvalidationBatch {
+            victims: Vec::new(),
+            replacements: vec![(
+                ProcessId(0),
+                Mapping {
+                    vaddr: VirtAddr::new(0x20_0000),
+                    paddr: PhysAddr::new(0x40_0000),
+                    page_size: PageSize::Size2M,
+                },
+            )],
+        };
+        assert!(!replace_only.is_empty());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use crate::alloc_policy::AllocationPolicy;
 use crate::buddy::{BuddyAllocator, ORDER_1G, ORDER_2M};
-use crate::fault::{FaultKind, Mapping, PageFaultOutcome};
+use crate::fault::{FaultKind, InvalidationBatch, Mapping, PageFaultOutcome};
 use crate::kernel_stream::{KernelInstructionStream, KernelRoutine};
 use crate::page_cache::PageCache;
 use crate::process::Process;
@@ -44,6 +44,39 @@ pub struct RangeMapping {
     pub bytes: u64,
 }
 
+impl RangeMapping {
+    /// `true` if `vaddr` falls inside the range.
+    pub fn covers(&self, vaddr: VirtAddr) -> bool {
+        vaddr >= self.virt_start && vaddr.raw() < self.virt_start.raw() + self.bytes
+    }
+
+    /// Splits the range around the page `[vaddr, vaddr + page_bytes)`,
+    /// returning the (possibly empty) left and right remainders. Used when
+    /// reclaim swaps a page out of an eagerly allocated range: the range no
+    /// longer translates the victim, but its flanks still do.
+    pub fn split_around(
+        &self,
+        vaddr: VirtAddr,
+        page_bytes: u64,
+    ) -> (Option<RangeMapping>, Option<RangeMapping>) {
+        debug_assert!(self.covers(vaddr));
+        let left_bytes = vaddr.raw() - self.virt_start.raw();
+        let right_start = vaddr.raw() + page_bytes;
+        let range_end = self.virt_start.raw() + self.bytes;
+        let left = (left_bytes > 0).then_some(RangeMapping {
+            virt_start: self.virt_start,
+            phys_start: self.phys_start,
+            bytes: left_bytes,
+        });
+        let right = (right_start < range_end).then(|| RangeMapping {
+            virt_start: VirtAddr::new(right_start),
+            phys_start: self.phys_start.add(right_start - self.virt_start.raw()),
+            bytes: range_end - right_start,
+        });
+        (left, right)
+    }
+}
+
 /// Configuration of the MimicOS kernel.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OsConfig {
@@ -78,6 +111,16 @@ pub struct OsConfig {
     /// Kernel instructions charged for one context switch (scheduler
     /// bookkeeping, register save/restore, switch_mm).
     pub context_switch_cost: u32,
+    /// Kernel instructions charged once per TLB-shootdown round: assembling
+    /// the cpumask, sending the IPIs and waiting for every remote core to
+    /// acknowledge (`flush_tlb_mm_range` / `smp_call_function_many`).
+    /// Charged whenever a reclaim pass or a khugepaged collapse tears
+    /// translations down.
+    pub shootdown_ipi_cost: u32,
+    /// Kernel instructions charged per page invalidated in a shootdown
+    /// round (the per-`invlpg` work on the receiving cores plus flush-list
+    /// bookkeeping on the sender).
+    pub shootdown_per_page_cost: u32,
     /// Seed for the kernel's deterministic RNG.
     pub seed: u64,
 }
@@ -100,6 +143,8 @@ impl OsConfig {
             populate_page_cache: true,
             sched_quantum: 50_000,
             context_switch_cost: 4_000,
+            shootdown_ipi_cost: 1_800,
+            shootdown_per_page_cost: 160,
             seed: 0x5a_fa_51,
         }
     }
@@ -146,6 +191,14 @@ impl OsConfig {
                     reason: "utopia restseg must be smaller than physical memory".to_string(),
                 });
             }
+            if !cfg.size_bytes.is_multiple_of(4096) {
+                // An unaligned carve-out would leave the FlexSeg with a
+                // fractional 4 KiB frame (caught deep in the buddy
+                // allocator otherwise).
+                return Err(VmError::InvalidConfig {
+                    reason: "utopia restseg size must be a multiple of 4 KiB".to_string(),
+                });
+            }
         }
         Ok(())
     }
@@ -170,6 +223,11 @@ pub struct OsStats {
     pub hugetlb_faults: Counter,
     /// Faults that found the page already mapped.
     pub spurious_faults: Counter,
+    /// Faults taken on read accesses (the `is_write = false` half of the
+    /// handler's entry conditions).
+    pub read_faults: Counter,
+    /// Faults taken on write accesses.
+    pub write_faults: Counter,
     /// Per-fault total latency samples (nanoseconds, software + device).
     pub fault_latency_ns: LatencyStats,
     /// Per-minor-fault latency samples (nanoseconds), the distribution shown
@@ -185,6 +243,11 @@ pub struct OsStats {
     pub base_mappings: Counter,
     /// Pages swapped out by reclaim.
     pub reclaimed_pages: Counter,
+    /// TLB-shootdown IPI rounds initiated (one per reclaim pass or
+    /// khugepaged scan that tore translations down).
+    pub shootdown_ipis: Counter,
+    /// Huge mappings demoted (split into base pages) by reclaim.
+    pub thp_demotions: Counter,
 }
 
 impl OsStats {
@@ -217,6 +280,16 @@ pub struct MimicOs {
     processes: Vec<Process>,
     scheduler: Scheduler,
     ranges: BTreeMap<usize, Vec<RangeMapping>>,
+    /// Round-robin position of the reclaim scan: the process the next
+    /// reclaim pass starts taking victims from, so one victim process does
+    /// not absorb all swap traffic under multiprogram pressure.
+    reclaim_cursor: usize,
+    /// Shootdown work from faults that *failed* after reclaim already tore
+    /// translations down (e.g. out-of-memory after an eviction-only
+    /// reclaim pass). The framework drains this with
+    /// [`MimicOs::take_pending_invalidations`] — losing it would leave
+    /// stale translations alive.
+    pending_invalidations: InvalidationBatch,
     rng: DetRng,
     stats: OsStats,
 }
@@ -279,6 +352,8 @@ impl MimicOs {
             processes: Vec::new(),
             scheduler: Scheduler::new(config.sched_quantum),
             ranges: BTreeMap::new(),
+            reclaim_cursor: 0,
+            pending_invalidations: InvalidationBatch::default(),
             rng,
             stats: OsStats::default(),
             buddy,
@@ -515,15 +590,53 @@ impl MimicOs {
     }
 
     /// Runs one khugepaged scan pass over a process, returning the kernel
-    /// instruction stream describing the background work.
-    pub fn khugepaged_tick(&mut self, pid: ProcessId) -> KernelInstructionStream {
-        let stream = self.khugepaged.scan(
+    /// instruction stream describing the background work plus the
+    /// translations the pass tore down: a collapse removes base mappings
+    /// whose frames are freed (and immediately reusable), so the caller
+    /// must shoot them down and install the replacement huge mapping —
+    /// exactly the `mmu_notifier` + TLB-flush dance `collapse_huge_page`
+    /// performs in Linux.
+    pub fn khugepaged_tick(
+        &mut self,
+        pid: ProcessId,
+    ) -> (KernelInstructionStream, InvalidationBatch) {
+        let (mut stream, collapses) = self.khugepaged.scan(
             &self.config.thp,
             &mut self.processes[pid.0],
             &mut self.buddy,
         );
+        let mut batch = InvalidationBatch::default();
+        for collapse in collapses {
+            for old in &collapse.removed {
+                batch.push_victim(pid, old.vaddr, old.page_size);
+            }
+            batch.replacements.push((pid, collapse.huge));
+        }
+        self.charge_shootdown(batch.victims.len() as u64, &mut stream);
         self.stats.kernel_instructions += stream.instruction_count();
-        stream
+        (stream, batch)
+    }
+
+    /// Records the instruction-stream cost of one shootdown round: the
+    /// IPI round trip plus the per-page invalidation work, and the store
+    /// of the flush descriptor every responding core reads (cross-core
+    /// cacheline ping-pong of the IPI handshake).
+    fn shootdown_cost_ops(&self, pages: u64, stream: &mut KernelInstructionStream) {
+        const FLUSH_DESCRIPTOR: PhysAddr = PhysAddr::new(0xFFFF_E000_0000_0000);
+        let cost = u64::from(self.config.shootdown_ipi_cost)
+            + u64::from(self.config.shootdown_per_page_cost) * pages;
+        stream.compute(cost.min(u32::MAX as u64) as u32);
+        stream.store(FLUSH_DESCRIPTOR);
+    }
+
+    /// Charges one TLB-shootdown round (IPIs + per-page invalidations) to
+    /// the given kernel stream. A no-op when nothing was invalidated.
+    fn charge_shootdown(&mut self, pages: u64, stream: &mut KernelInstructionStream) {
+        if pages == 0 {
+            return;
+        }
+        self.stats.shootdown_ipis.inc();
+        self.shootdown_cost_ops(pages, stream);
     }
 
     /// Handles a page fault at `vaddr` in process `pid`, implementing the
@@ -541,7 +654,53 @@ impl MimicOs {
         vaddr: VirtAddr,
         is_write: bool,
     ) -> VmResult<PageFaultOutcome> {
-        let _ = is_write;
+        let mut invalidations = InvalidationBatch::default();
+        match self.handle_page_fault_inner(pid, vaddr, is_write, &mut invalidations) {
+            Ok(mut outcome) => {
+                outcome.invalidations = invalidations;
+                Ok(outcome)
+            }
+            Err(error) => {
+                // The fault failed *after* reclaim may already have torn
+                // translations down (e.g. out of memory when evicting
+                // RestSeg pages frees no FlexSeg frames). Stash the work:
+                // the shootdowns are real even though the fault is not.
+                self.pending_invalidations.merge(invalidations);
+                Err(error)
+            }
+        }
+    }
+
+    /// Drains the shootdown work accumulated by failed faults (see
+    /// [`MimicOs::handle_page_fault`]). The framework must apply this
+    /// after any fault that returns an error.
+    pub fn take_pending_invalidations(&mut self) -> InvalidationBatch {
+        std::mem::take(&mut self.pending_invalidations)
+    }
+
+    /// Builds the kernel stream for the shootdown cost of a *failed*
+    /// fault's invalidation batch. The fault's own stream — which had the
+    /// cost charged into it — was abandoned with the fault, but the IPIs
+    /// and remote invalidations still executed; the framework injects this
+    /// replacement alongside the drained batch. The IPI-round statistic is
+    /// *not* re-incremented (it was counted when the victims were torn
+    /// down).
+    pub fn pending_shootdown_stream(&mut self, pages: u64) -> KernelInstructionStream {
+        let mut stream = KernelInstructionStream::new(KernelRoutine::Reclaim);
+        if pages > 0 {
+            self.shootdown_cost_ops(pages, &mut stream);
+            self.stats.kernel_instructions += stream.instruction_count();
+        }
+        stream
+    }
+
+    fn handle_page_fault_inner(
+        &mut self,
+        pid: ProcessId,
+        vaddr: VirtAddr,
+        is_write: bool,
+        invalidations: &mut InvalidationBatch,
+    ) -> VmResult<PageFaultOutcome> {
         let mut stream = KernelInstructionStream::new(KernelRoutine::PageFaultHandler);
         // Exception entry, register save, mmap_lock acquisition.
         stream.compute(220);
@@ -566,6 +725,7 @@ impl MimicOs {
                 0.0,
                 0,
                 0,
+                is_write,
             );
             return Ok(outcome);
         }
@@ -575,7 +735,7 @@ impl MimicOs {
         let mut additional = Vec::new();
 
         // Reclaim (kswapd-style) if memory pressure is above the threshold.
-        device_ns += self.reclaim_if_needed(pid, &mut stream)?;
+        device_ns += self.reclaim_if_needed(&mut stream, invalidations)?;
 
         // Swapped-out page: bring it back in.
         if self.processes[pid.0].is_swapped(vaddr) {
@@ -583,7 +743,7 @@ impl MimicOs {
             let slot = self.processes[pid.0]
                 .take_swap_slot(vaddr)
                 .expect("is_swapped implies a slot");
-            let dest = self.alloc_base_frame_for(pid, &mut stream)?;
+            let dest = self.alloc_base_frame_for(&mut stream, invalidations)?;
             let (frame, io) = self.swap.swap_in(slot, dest, &mut self.ssd)?;
             if frame != dest {
                 // The page was still in the swap cache; release the frame we
@@ -607,6 +767,7 @@ impl MimicOs {
                 device_ns,
                 zeroed_bytes,
                 pt_frames,
+                is_write,
             );
             return Ok(outcome);
         }
@@ -636,6 +797,7 @@ impl MimicOs {
                 device_ns,
                 zeroed_bytes,
                 pt_frames,
+                is_write,
             );
             return Ok(outcome);
         }
@@ -664,6 +826,7 @@ impl MimicOs {
                 device_ns,
                 zeroed_bytes,
                 pt_frames,
+                is_write,
             );
             return Ok(outcome);
         }
@@ -679,7 +842,7 @@ impl MimicOs {
                 Some(f) => f,
                 None => {
                     // Page-cache miss: read from the device (major fault).
-                    let frame = self.alloc_base_frame_for(pid, &mut stream)?;
+                    let frame = self.alloc_base_frame_for(&mut stream, invalidations)?;
                     let io = self.ssd.read(file_id * (1 << 30) + page_index * 4096);
                     device_ns += io.as_nanos();
                     if let Some(evicted) = self.page_cache.insert(file_id, page_index, frame) {
@@ -705,6 +868,7 @@ impl MimicOs {
                 device_ns,
                 zeroed_bytes,
                 pt_frames,
+                is_write,
             );
             return Ok(outcome);
         }
@@ -717,7 +881,7 @@ impl MimicOs {
                 // Eager paging normally populates at mmap time; reaching this
                 // point means the eager allocation ran out of memory, so fall
                 // back to on-demand 4 KiB pages.
-                let frame = self.alloc_base_frame_for(pid, &mut stream)?;
+                let frame = self.alloc_base_frame_for(&mut stream, invalidations)?;
                 zeroed_bytes += self.zero_page(frame, 4096, &mut stream);
                 Mapping {
                     vaddr: vaddr.page_base(PageSize::Size4K),
@@ -725,20 +889,30 @@ impl MimicOs {
                     page_size: PageSize::Size4K,
                 }
             }
-            AllocationPolicy::LinuxThp => {
-                self.linux_thp_fault(pid, vaddr, &vma, &mut stream, &mut zeroed_bytes)?
-            }
-            AllocationPolicy::ConservativeReservationThp
-            | AllocationPolicy::AggressiveReservationThp => {
-                self.reservation_fault(pid, vaddr, &mut stream, &mut zeroed_bytes, &mut additional)?
-            }
-            AllocationPolicy::Utopia(_) => self.utopia_fault(
+            AllocationPolicy::LinuxThp => self.linux_thp_fault(
                 pid,
+                vaddr,
+                &vma,
+                &mut stream,
+                &mut zeroed_bytes,
+                invalidations,
+            )?,
+            AllocationPolicy::ConservativeReservationThp
+            | AllocationPolicy::AggressiveReservationThp => self.reservation_fault(
+                pid,
+                vaddr,
+                &mut stream,
+                &mut zeroed_bytes,
+                &mut additional,
+                invalidations,
+            )?,
+            AllocationPolicy::Utopia(_) => self.utopia_fault(
                 vaddr,
                 &mut stream,
                 &mut zeroed_bytes,
                 &mut device_ns,
                 &mut restseg_placed,
+                invalidations,
             )?,
         };
         self.install_mapping(pid, mapping, &mut stream);
@@ -751,6 +925,7 @@ impl MimicOs {
             device_ns,
             zeroed_bytes,
             pt_frames,
+            is_write,
         );
         outcome.restseg_placed = restseg_placed;
         Ok(outcome)
@@ -765,6 +940,7 @@ impl MimicOs {
         vma: &Vma,
         stream: &mut KernelInstructionStream,
         zeroed_bytes: &mut u64,
+        batch: &mut InvalidationBatch,
     ) -> VmResult<Mapping> {
         let thp_eligible = match self.config.thp.mode {
             ThpMode::Always => true,
@@ -811,7 +987,7 @@ impl MimicOs {
             // Fallback path: compaction attempt failed, take a base page.
             stream.compute(400);
         }
-        let frame = self.alloc_base_frame_for(pid, stream)?;
+        let frame = self.alloc_base_frame_for(stream, batch)?;
         *zeroed_bytes += self.zero_page(frame, 4096, stream);
         self.khugepaged.notify(vaddr);
         Ok(Mapping {
@@ -829,6 +1005,7 @@ impl MimicOs {
         stream: &mut KernelInstructionStream,
         zeroed_bytes: &mut u64,
         additional: &mut Vec<Mapping>,
+        batch: &mut InvalidationBatch,
     ) -> VmResult<Mapping> {
         let reservation = self
             .reservation
@@ -859,7 +1036,7 @@ impl MimicOs {
             }
             None => {
                 // Reservation failed (no contiguous 2 MiB region): plain page.
-                let frame = self.alloc_base_frame_for(pid, stream)?;
+                let frame = self.alloc_base_frame_for(stream, batch)?;
                 *zeroed_bytes += self.zero_page(frame, 4096, stream);
                 Ok(Mapping {
                     vaddr: vaddr.page_base(PageSize::Size4K),
@@ -875,12 +1052,12 @@ impl MimicOs {
     /// the behaviour behind Fig. 20.
     fn utopia_fault(
         &mut self,
-        pid: ProcessId,
         vaddr: VirtAddr,
         stream: &mut KernelInstructionStream,
         zeroed_bytes: &mut u64,
         device_ns: &mut f64,
         restseg_placed: &mut bool,
+        batch: &mut InvalidationBatch,
     ) -> VmResult<Mapping> {
         let utopia = self
             .utopia
@@ -897,11 +1074,11 @@ impl MimicOs {
         }
         // Collision: spill to the FlexSeg. If the FlexSeg is out of memory,
         // reclaim by swapping out resident pages first.
-        let frame = match self.alloc_base_frame_for(pid, stream) {
+        let frame = match self.alloc_base_frame_for(stream, batch) {
             Ok(f) => f,
             Err(VmError::OutOfMemory { .. }) => {
-                *device_ns += self.reclaim_pages(pid, self.config.reclaim_batch, stream)?;
-                self.alloc_base_frame_for(pid, stream)?
+                *device_ns += self.reclaim_pages(self.config.reclaim_batch, stream, batch)?;
+                self.alloc_base_frame_for(stream, batch)?
             }
             Err(e) => return Err(e),
         };
@@ -917,13 +1094,13 @@ impl MimicOs {
     /// memory is exhausted, like the direct-reclaim path of a real kernel.
     fn alloc_base_frame_for(
         &mut self,
-        pid: ProcessId,
         stream: &mut KernelInstructionStream,
+        batch: &mut InvalidationBatch,
     ) -> VmResult<PhysAddr> {
         match self.buddy.alloc_traced(0, Some(stream)) {
             Ok(f) => Ok(f),
             Err(VmError::OutOfMemory { .. }) => {
-                self.reclaim_pages(pid, self.config.reclaim_batch.max(8), stream)?;
+                self.reclaim_pages(self.config.reclaim_batch.max(8), stream, batch)?;
                 self.buddy.alloc_traced(0, Some(stream))
             }
             Err(e) => Err(e),
@@ -987,62 +1164,137 @@ impl MimicOs {
     }
 
     /// Reclaims memory when utilization exceeds the swapping threshold.
-    /// Returns the device time spent.
+    /// Returns the device time spent; torn-down translations are appended
+    /// to `batch` for the framework to shoot down.
     fn reclaim_if_needed(
         &mut self,
-        pid: ProcessId,
         stream: &mut KernelInstructionStream,
+        batch: &mut InvalidationBatch,
     ) -> VmResult<f64> {
         if self.buddy.utilization() <= self.config.swap_threshold {
             return Ok(0.0);
         }
-        self.reclaim_pages(pid, self.config.reclaim_batch, stream)
+        self.reclaim_pages(self.config.reclaim_batch, stream, batch)
     }
 
-    /// Swaps out up to `count` resident 4 KiB pages of `pid`. When no base
-    /// pages are resident, huge mappings are demoted and released instead
-    /// (approximating huge-page splitting followed by reclaim).
+    /// Picks up to `count` 4 KiB reclaim victims, one page at a time
+    /// round-robin across the resident processes starting at the reclaim
+    /// cursor, so multiprogram pressure spreads the swap traffic instead
+    /// of draining one victim process.
+    fn reclaim_victims_round_robin(&mut self, count: usize) -> Vec<(ProcessId, Mapping)> {
+        let n = self.processes.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut queues: Vec<(usize, std::collections::VecDeque<Mapping>)> = Vec::new();
+        for i in 0..n {
+            let idx = (self.reclaim_cursor + i) % n;
+            let candidates = self.processes[idx].reclaim_candidates(count);
+            if !candidates.is_empty() {
+                queues.push((idx, candidates.into()));
+            }
+        }
+        let mut victims = Vec::new();
+        'fill: loop {
+            let mut progressed = false;
+            for (idx, queue) in &mut queues {
+                if let Some(mapping) = queue.pop_front() {
+                    victims.push((ProcessId(*idx), mapping));
+                    progressed = true;
+                    if victims.len() >= count {
+                        break 'fill;
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        if !victims.is_empty() {
+            self.reclaim_cursor = (self.reclaim_cursor + 1) % n;
+        }
+        victims
+    }
+
+    /// Demotes one resident 2 MiB mapping into 512 4 KiB pieces on the
+    /// same frames (`split_huge_page` + buddy split), searching processes
+    /// round-robin from the cursor. The huge translation goes into `batch`
+    /// as a shootdown victim; the pieces are returned so the caller can
+    /// reclaim some and report the survivors as replacements.
+    fn demote_one_huge(
+        &mut self,
+        stream: &mut KernelInstructionStream,
+        batch: &mut InvalidationBatch,
+    ) -> Option<(ProcessId, Vec<Mapping>)> {
+        let n = self.processes.len();
+        for i in 0..n {
+            let idx = (self.reclaim_cursor + i) % n;
+            let Some(vaddr) = self.processes[idx]
+                .mappings()
+                .find(|m| m.page_size == PageSize::Size2M)
+                .map(|m| m.vaddr)
+            else {
+                continue;
+            };
+            let (huge, pieces) = self.processes[idx]
+                .demote_mapping(vaddr)
+                .expect("a 2 MiB mapping was found above");
+            // The containing buddy block (the 2 MiB allocation itself, or
+            // the larger eager block it was carved from) becomes a set of
+            // individually freeable base frames; RestSeg frames live
+            // outside the buddy and simply stay where they are.
+            let _ = self.buddy.split_allocated(huge.paddr);
+            let pid = ProcessId(idx);
+            batch.push_victim(pid, huge.vaddr, huge.page_size);
+            self.stats.thp_demotions.inc();
+            // Splitting the PMD: per-PTE setup for the 512 new entries.
+            stream.compute(512 * 3);
+            return Some((pid, pieces));
+        }
+        None
+    }
+
+    /// Swaps out up to `count` resident 4 KiB pages, chosen round-robin
+    /// across all processes. When no base pages are resident anywhere, one
+    /// huge mapping is demoted first and its pieces reclaimed. Every
+    /// translation torn down is appended to `batch`, and the kernel stream
+    /// is charged the configured shootdown cost (IPI round + per-page
+    /// invalidation work).
     fn reclaim_pages(
         &mut self,
-        pid: ProcessId,
         count: usize,
         stream: &mut KernelInstructionStream,
+        batch: &mut InvalidationBatch,
     ) -> VmResult<f64> {
-        let victims = self.processes[pid.0].reclaim_candidates(count);
+        let victims_before = batch.victims.len();
         let mut device_ns = 0.0;
         stream.compute(200);
+        let mut victims = self.reclaim_victims_round_robin(count);
         if victims.is_empty() {
-            // Demote up to two huge mappings: write one representative page
-            // to swap, release the 2 MiB block, and leave the region
-            // swapped so a later touch faults it back in.
-            let huge_victims: Vec<Mapping> = self.processes[pid.0]
-                .mappings()
-                .filter(|m| m.page_size == PageSize::Size2M)
-                .take(2)
-                .copied()
-                .collect();
-            for victim in huge_victims {
-                let Ok((slot, io)) = self.swap.swap_out(victim.paddr, &mut self.ssd) else {
-                    break;
-                };
-                self.swap.drop_swap_cache(slot);
-                self.processes[pid.0].remove_mapping(victim.vaddr);
-                self.processes[pid.0].swap_out(victim.vaddr, slot);
-                let _ = self.buddy.free(victim.paddr, ORDER_2M);
-                device_ns += io.as_nanos();
-                self.stats
-                    .reclaimed_pages
-                    .add(PageSize::Size2M.base_pages());
-                stream.compute(512 * 3);
+            // No base pages anywhere: demote a huge mapping and reclaim
+            // from its pieces. Pieces that survive this pass stay resident
+            // as 4 KiB mappings and are reported as replacements.
+            let Some((pid, pieces)) = self.demote_one_huge(stream, batch) else {
+                return Ok(device_ns);
+            };
+            let reclaim_now = count.min(pieces.len());
+            for piece in &pieces[reclaim_now..] {
+                batch.replacements.push((pid, *piece));
             }
-            return Ok(device_ns);
+            victims = pieces[..reclaim_now].iter().map(|m| (pid, *m)).collect();
         }
-        for victim in victims {
+        for (pid, victim) in victims {
             let Ok((slot, io)) = self.swap.swap_out(victim.paddr, &mut self.ssd) else {
                 break;
             };
             self.swap.drop_swap_cache(slot);
-            self.processes[pid.0].swap_out(victim.vaddr, slot);
+            if self.processes[pid.0].swap_out(victim.vaddr, slot).is_some() {
+                batch.push_victim(pid, victim.vaddr, victim.page_size);
+                // An eagerly allocated range no longer translates the
+                // victim page: trim it (both here and, via the batch, in
+                // the engine's range table).
+                self.trim_ranges(pid, victim.vaddr, victim.page_size.bytes());
+            }
             if let Some(utopia) = self.utopia.as_mut() {
                 if utopia.remove(victim.vaddr) {
                     // Page lived in a RestSeg: no buddy frame to release.
@@ -1051,17 +1303,39 @@ impl MimicOs {
                     continue;
                 }
             }
-            let _ = self.buddy.free(victim.paddr, 0);
+            if self.buddy.free(victim.paddr, 0).is_err() {
+                // The frame is part of a larger allocation (an eager-paging
+                // block): split the block into base frames, then release.
+                if self.buddy.split_allocated(victim.paddr).is_ok() {
+                    let _ = self.buddy.free(victim.paddr, 0);
+                }
+            }
             device_ns += io.as_nanos();
             self.stats.reclaimed_pages.inc();
             stream.compute(80);
             stream.store(victim.paddr);
         }
+        self.charge_shootdown((batch.victims.len() - victims_before) as u64, stream);
         Ok(device_ns)
     }
 
+    /// Splits any eagerly allocated range of `pid` covering the reclaimed
+    /// page `[vaddr, vaddr + bytes)` into its remainders.
+    fn trim_ranges(&mut self, pid: ProcessId, vaddr: VirtAddr, bytes: u64) {
+        let Some(ranges) = self.ranges.get_mut(&pid.0) else {
+            return;
+        };
+        if let Some(idx) = ranges.iter().position(|r| r.covers(vaddr)) {
+            let range = ranges.swap_remove(idx);
+            let (left, right) = range.split_around(vaddr, bytes);
+            ranges.extend(left);
+            ranges.extend(right);
+        }
+    }
+
     /// Finalizes an outcome and records kernel-wide plus per-process
-    /// statistics.
+    /// statistics (including the read/write split of the faulting access —
+    /// every handled fault, spurious ones included, counts on one side).
     #[allow(clippy::too_many_arguments)]
     fn finish_fault(
         &mut self,
@@ -1073,6 +1347,7 @@ impl MimicOs {
         device_ns: f64,
         zeroed_bytes: u64,
         pt_frames: u32,
+        is_write: bool,
     ) -> PageFaultOutcome {
         // Exception return, TLB entry install, mmap_lock release.
         stream.compute(120);
@@ -1099,6 +1374,13 @@ impl MimicOs {
             }
             FaultKind::Spurious => self.stats.spurious_faults.inc(),
         }
+        if is_write {
+            self.stats.write_faults.inc();
+            self.processes[pid.0].write_faults += 1;
+        } else {
+            self.stats.read_faults.inc();
+            self.processes[pid.0].read_faults += 1;
+        }
         self.stats.fault_latency_ns.record(total_ns);
         self.stats.total_fault_ns += total_ns;
         self.stats.kernel_instructions += stream.instruction_count();
@@ -1114,6 +1396,7 @@ impl MimicOs {
             zeroed_bytes,
             pt_frames_allocated: pt_frames,
             restseg_placed: false,
+            invalidations: InvalidationBatch::default(),
         }
     }
 }
@@ -1430,9 +1713,21 @@ mod tests {
         for i in 0..512u64 {
             touch(&mut os, pid, 0x4000_0000 + i * 4096);
         }
-        let stream = os.khugepaged_tick(pid);
+        let (stream, batch) = os.khugepaged_tick(pid);
         assert!(stream.instruction_count() > 0);
         assert!(os.khugepaged().collapses.get() >= 1);
+        // The collapse reports the removed base translations as shootdown
+        // victims and the huge page as their replacement.
+        assert!(batch.victims.len() >= 512);
+        assert!(batch
+            .victims
+            .iter()
+            .all(|v| v.pid == pid && v.page_size == PageSize::Size4K));
+        assert!(batch
+            .replacements
+            .iter()
+            .any(|(p, m)| *p == pid && m.page_size == PageSize::Size2M));
+        assert!(os.stats().shootdown_ipis.get() >= 1);
         assert_eq!(
             os.process(pid)
                 .lookup_mapping(VirtAddr::new(0x4000_0000))
@@ -1482,6 +1777,198 @@ mod tests {
     }
 
     #[test]
+    fn faults_are_split_by_access_kind() {
+        let mut os = os_with_policy(AllocationPolicy::BuddyFourK);
+        let pid = os.spawn_process();
+        os.mmap_anonymous(pid, VirtAddr::new(0x4000_0000), MB, false)
+            .unwrap();
+        for i in 0..10u64 {
+            os.handle_page_fault(pid, VirtAddr::new(0x4000_0000 + i * 4096), i < 3)
+                .unwrap();
+        }
+        assert_eq!(os.stats().write_faults.get(), 3);
+        assert_eq!(os.stats().read_faults.get(), 7);
+        assert_eq!(os.process(pid).write_faults, 3);
+        assert_eq!(os.process(pid).read_faults, 7);
+    }
+
+    #[test]
+    fn reclaim_reports_shootdown_victims_and_charges_the_ipi() {
+        let config = OsConfig {
+            memory_bytes: 16 * MB,
+            swap_bytes: 32 * MB,
+            swap_threshold: 0.5,
+            policy: AllocationPolicy::BuddyFourK,
+            thp: ThpConfig::disabled(),
+            fragmentation_target: None,
+            populate_page_cache: false,
+            ..OsConfig::small_test()
+        };
+        let mut os = MimicOs::new(config);
+        let pid = os.spawn_process();
+        os.mmap_anonymous(pid, VirtAddr::new(0x4000_0000), 64 * MB, false)
+            .unwrap();
+        let mut batched_victims = 0usize;
+        for i in 0..3000u64 {
+            let outcome = touch(&mut os, pid, 0x4000_0000 + i * 4096);
+            for victim in &outcome.invalidations.victims {
+                assert_eq!(victim.pid, pid);
+                assert!(os.process(pid).is_swapped(victim.vaddr));
+                batched_victims += 1;
+            }
+        }
+        assert!(batched_victims > 0, "pressure must produce victims");
+        assert_eq!(batched_victims as u64, os.stats().reclaimed_pages.get());
+        assert!(os.stats().shootdown_ipis.get() > 0);
+    }
+
+    #[test]
+    fn multiprogram_reclaim_spreads_victims_round_robin() {
+        let config = OsConfig {
+            memory_bytes: 16 * MB,
+            swap_bytes: 64 * MB,
+            swap_threshold: 0.5,
+            policy: AllocationPolicy::BuddyFourK,
+            thp: ThpConfig::disabled(),
+            fragmentation_target: None,
+            populate_page_cache: false,
+            ..OsConfig::small_test()
+        };
+        let mut os = MimicOs::new(config);
+        let a = os.spawn_process();
+        let b = os.spawn_process();
+        for pid in [a, b] {
+            os.mmap_anonymous(pid, VirtAddr::new(0x4000_0000), 32 * MB, false)
+                .unwrap();
+        }
+        // Both processes establish a small resident set, then process A
+        // alone drives the memory pressure.
+        for i in 0..500u64 {
+            touch(&mut os, a, 0x4000_0000 + i * 4096);
+            touch(&mut os, b, 0x4000_0000 + i * 4096);
+        }
+        for i in 500..4000u64 {
+            touch(&mut os, a, 0x4000_0000 + i * 4096);
+        }
+        let swapped_a = os.process(a).swapped_page_count();
+        let swapped_b = os.process(b).swapped_page_count();
+        assert!(
+            swapped_a > 0 && swapped_b > 0,
+            "round-robin reclaim must hit both processes (a: {swapped_a}, b: {swapped_b})"
+        );
+    }
+
+    #[test]
+    fn demotion_splits_huge_pages_and_reports_replacements() {
+        // All-huge resident set under pressure: reclaim must demote.
+        let config = OsConfig {
+            memory_bytes: 32 * MB,
+            swap_bytes: 64 * MB,
+            swap_threshold: 0.5,
+            policy: AllocationPolicy::LinuxThp,
+            fragmentation_target: None,
+            populate_page_cache: false,
+            ..OsConfig::small_test()
+        };
+        let mut os = MimicOs::new(config);
+        let pid = os.spawn_process();
+        os.mmap_anonymous(pid, VirtAddr::new(0x4000_0000), 128 * MB, false)
+            .unwrap();
+        let mut saw_demotion_batch = false;
+        for i in 0..48u64 {
+            let outcome = touch(&mut os, pid, 0x4000_0000 + i * 2 * MB);
+            let huge_victims = outcome
+                .invalidations
+                .victims
+                .iter()
+                .filter(|v| v.page_size == PageSize::Size2M)
+                .count();
+            if huge_victims > 0 {
+                saw_demotion_batch = true;
+                assert!(
+                    !outcome.invalidations.replacements.is_empty(),
+                    "a demoted region keeps resident 4 KiB pieces"
+                );
+                for (rpid, piece) in &outcome.invalidations.replacements {
+                    assert_eq!(*rpid, pid);
+                    assert_eq!(piece.page_size, PageSize::Size4K);
+                    // Every replacement is still resident and translates
+                    // exactly as the process table says.
+                    assert_eq!(
+                        os.process(pid).lookup_mapping(piece.vaddr).map(|m| m.paddr),
+                        Some(piece.paddr)
+                    );
+                }
+            }
+        }
+        assert!(saw_demotion_batch, "pressure on huge pages must demote");
+        assert!(os.stats().thp_demotions.get() > 0);
+        assert!(os.swap().stats().swap_outs.get() > 0);
+    }
+
+    #[test]
+    fn reclaim_trims_eager_ranges_around_victims() {
+        let config = OsConfig {
+            memory_bytes: 16 * MB,
+            swap_bytes: 64 * MB,
+            swap_threshold: 0.5,
+            policy: AllocationPolicy::EagerPaging,
+            thp: ThpConfig::disabled(),
+            fragmentation_target: None,
+            populate_page_cache: false,
+            ..OsConfig::small_test()
+        };
+        let mut os = MimicOs::new(config);
+        let pid = os.spawn_process();
+        os.mmap_anonymous(pid, VirtAddr::new(0x4000_0000), 8 * MB, false)
+            .unwrap();
+        assert!(!os.ranges(pid).is_empty());
+        // Drive pressure until eager pages of this process get reclaimed.
+        os.mmap_anonymous(pid, VirtAddr::new(0x8000_0000), 32 * MB, false)
+            .unwrap();
+        for i in 0..3000u64 {
+            touch(&mut os, pid, 0x8000_0000 + i * 4096);
+        }
+        let swapped: Vec<VirtAddr> = (0..2048u64)
+            .map(|i| VirtAddr::new(0x4000_0000 + i * 4096))
+            .filter(|&va| os.process(pid).is_swapped(va))
+            .collect();
+        assert!(!swapped.is_empty(), "eager pages must be reclaimable");
+        // No surviving range may still cover a swapped-out page.
+        for va in swapped {
+            assert!(
+                !os.ranges(pid).iter().any(|r| r.covers(va)),
+                "range still covers swapped-out {va}"
+            );
+        }
+    }
+
+    #[test]
+    fn range_split_around_produces_exact_remainders() {
+        let range = RangeMapping {
+            virt_start: VirtAddr::new(0x1000_0000),
+            phys_start: PhysAddr::new(0x8000_0000),
+            bytes: 16 * 4096,
+        };
+        // Middle page: two remainders, phys offsets preserved.
+        let (l, r) = range.split_around(VirtAddr::new(0x1000_4000), 4096);
+        let l = l.unwrap();
+        let r = r.unwrap();
+        assert_eq!(l.virt_start.raw(), 0x1000_0000);
+        assert_eq!(l.bytes, 4 * 4096);
+        assert_eq!(r.virt_start.raw(), 0x1000_5000);
+        assert_eq!(r.phys_start.raw(), 0x8000_5000);
+        assert_eq!(r.bytes, 11 * 4096);
+        // First page: only a right remainder; last page: only a left one.
+        let (l, r) = range.split_around(VirtAddr::new(0x1000_0000), 4096);
+        assert!(l.is_none());
+        assert_eq!(r.unwrap().bytes, 15 * 4096);
+        let (l, r) = range.split_around(VirtAddr::new(0x1000_F000), 4096);
+        assert_eq!(l.unwrap().bytes, 15 * 4096);
+        assert!(r.is_none());
+    }
+
+    #[test]
     fn invalid_configs_are_rejected() {
         let bad_mem = OsConfig {
             memory_bytes: 1000,
@@ -1502,6 +1989,15 @@ mod tests {
             ..OsConfig::small_test()
         };
         assert!(MimicOs::try_new(bad_utopia).is_err());
+        let unaligned_restseg = OsConfig {
+            policy: AllocationPolicy::Utopia(crate::utopia::UtopiaConfig::new(
+                93_952_409, // 70 % of 128 MiB — not a whole frame count
+                16,
+                PageSize::Size4K,
+            )),
+            ..OsConfig::small_test()
+        };
+        assert!(MimicOs::try_new(unaligned_restseg).is_err());
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub mod vma;
 
 pub use alloc_policy::AllocationPolicy;
 pub use buddy::{BuddyAllocator, BuddyStats};
-pub use fault::{FaultKind, Mapping, PageFaultOutcome};
+pub use fault::{FaultKind, InvalidationBatch, InvalidationVictim, Mapping, PageFaultOutcome};
 pub use kernel::{MimicOs, OsConfig, OsStats, ProcessId};
 pub use kernel_stream::{KernelInstructionStream, KernelOp, KernelRoutine};
 pub use page_cache::PageCache;
@@ -63,6 +63,6 @@ pub use process::Process;
 pub use sched::{ContextSwitch, SchedStats, Scheduler};
 pub use slab::SlabAllocator;
 pub use swap::{SwapManager, SwapStats};
-pub use thp::{KhugepagedDaemon, ThpConfig, ThpMode};
+pub use thp::{CollapseEvent, KhugepagedDaemon, ThpConfig, ThpMode};
 pub use utopia::{RestSeg, UtopiaAllocator, UtopiaConfig};
 pub use vma::{Vma, VmaKind, VmaTree};

@@ -27,6 +27,10 @@ pub struct Process {
     pub minor_faults: u64,
     /// Number of major page faults taken by this process.
     pub major_faults: u64,
+    /// Faults taken on read accesses.
+    pub read_faults: u64,
+    /// Faults taken on write accesses.
+    pub write_faults: u64,
 }
 
 impl Process {
@@ -162,6 +166,20 @@ impl Process {
             .contains_key(&addr.page_base(PageSize::Size4K).raw())
     }
 
+    /// Number of pages currently swapped out (the process's share of the
+    /// machine's swap traffic under memory pressure).
+    pub fn swapped_page_count(&self) -> usize {
+        self.swapped.len()
+    }
+
+    /// `true` if the process has any resident 4 KiB mapping (a reclaim
+    /// candidate without demotion).
+    pub fn has_base_mappings(&self) -> bool {
+        self.mappings
+            .values()
+            .any(|m| m.page_size == PageSize::Size4K)
+    }
+
     /// Chooses up to `n` victim pages for reclaim, oldest-mapped first
     /// (approximating an LRU over insertion order of 4 KiB mappings).
     pub fn reclaim_candidates(&self, n: usize) -> Vec<Mapping> {
@@ -171,6 +189,31 @@ impl Process {
             .take(n)
             .copied()
             .collect()
+    }
+
+    /// Splits the 2 MiB mapping covering `addr` into 512 4 KiB mappings
+    /// over the same physical frames (`split_huge_page`, the first half of
+    /// THP demotion — reclaim then swaps individual pieces out). Returns
+    /// the removed huge mapping and the inserted pieces, or `None` when no
+    /// 2 MiB mapping covers `addr`.
+    pub fn demote_mapping(&mut self, addr: VirtAddr) -> Option<(Mapping, Vec<Mapping>)> {
+        let huge = self.lookup_mapping(addr)?;
+        if huge.page_size != PageSize::Size2M {
+            return None;
+        }
+        self.mappings.remove(&huge.vaddr.raw());
+        let pages = PageSize::Size2M.base_pages();
+        let mut pieces = Vec::with_capacity(pages as usize);
+        for i in 0..pages {
+            let piece = Mapping {
+                vaddr: huge.vaddr.add(i * 4096),
+                paddr: huge.paddr.add(i * 4096),
+                page_size: PageSize::Size4K,
+            };
+            self.mappings.insert(piece.vaddr.raw(), piece);
+            pieces.push(piece);
+        }
+        Some((huge, pieces))
     }
 }
 
@@ -270,6 +313,25 @@ mod tests {
         let victims = p.reclaim_candidates(4);
         assert_eq!(victims.len(), 4);
         assert!(victims.iter().all(|m| m.page_size == PageSize::Size4K));
+    }
+
+    #[test]
+    fn demote_splits_a_huge_mapping_into_pieces_on_the_same_frames() {
+        let mut p = Process::new();
+        p.insert_mapping(map2m(0x20_0000, 0x40_0000));
+        let (huge, pieces) = p.demote_mapping(VirtAddr::new(0x20_1234)).unwrap();
+        assert_eq!(huge.page_size, PageSize::Size2M);
+        assert_eq!(pieces.len(), 512);
+        // Every piece translates exactly as the huge mapping did.
+        for (i, piece) in pieces.iter().enumerate() {
+            assert_eq!(piece.page_size, PageSize::Size4K);
+            assert_eq!(piece.vaddr.raw(), 0x20_0000 + i as u64 * 4096);
+            assert_eq!(piece.paddr.raw(), 0x40_0000 + i as u64 * 4096);
+        }
+        assert_eq!(p.mapping_count(), 512);
+        assert!(p.has_base_mappings());
+        // Demoting a base page is a no-op.
+        assert!(p.demote_mapping(VirtAddr::new(0x20_0000)).is_none());
     }
 
     #[test]

@@ -121,6 +121,18 @@ impl ZeroedPagePool {
     }
 }
 
+/// One region collapse performed by khugepaged: the 4 KiB mappings that
+/// were removed (whose frames were freed — any cached translation of them
+/// is stale and must be shot down) and the 2 MiB mapping that replaced
+/// them on a *new* physical frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CollapseEvent {
+    /// The huge mapping now covering the region.
+    pub huge: crate::fault::Mapping,
+    /// The base mappings the collapse removed and copied out of.
+    pub removed: Vec<crate::fault::Mapping>,
+}
+
 /// The khugepaged background daemon: scans process address spaces and
 /// collapses runs of 4 KiB pages into 2 MiB pages (Fig. 6's "KHugePage
 /// Scanning" box).
@@ -157,14 +169,18 @@ impl KhugepagedDaemon {
     /// Scans up to `config.khugepaged_scan_batch` queued regions of
     /// `process`, collapsing those whose 4 KiB population exceeds the
     /// threshold and for which a free 2 MiB page can be allocated. Returns
-    /// the kernel instruction stream describing the work (for injection).
+    /// the kernel instruction stream describing the work (for injection)
+    /// and one [`CollapseEvent`] per collapsed region — the caller must
+    /// shoot down the removed base translations (their frames were freed)
+    /// and install the replacement huge mapping.
     pub fn scan(
         &mut self,
         config: &ThpConfig,
         process: &mut Process,
         buddy: &mut BuddyAllocator,
-    ) -> KernelInstructionStream {
+    ) -> (KernelInstructionStream, Vec<CollapseEvent>) {
         let mut stream = KernelInstructionStream::new(KernelRoutine::Khugepaged);
+        let mut collapses = Vec::new();
         for _ in 0..config.khugepaged_scan_batch {
             let Some(region) = self.queue.pop_front() else {
                 break;
@@ -187,14 +203,12 @@ impl KhugepagedDaemon {
             };
             // Copy all present 4 KiB pages into the huge page and release
             // their frames.
-            let removed = process.collapse_to_huge(
-                region,
-                crate::fault::Mapping {
-                    vaddr: region,
-                    paddr: huge_frame,
-                    page_size: PageSize::Size2M,
-                },
-            );
+            let huge = crate::fault::Mapping {
+                vaddr: region,
+                paddr: huge_frame,
+                page_size: PageSize::Size2M,
+            };
+            let removed = process.collapse_to_huge(region, huge);
             for (i, old) in removed.iter().enumerate() {
                 // Copying one 4 KiB page: 64 cache lines read + written.
                 stream.compute(32);
@@ -203,8 +217,9 @@ impl KhugepagedDaemon {
                 let _ = buddy.free(old.paddr, 0);
             }
             self.collapses.inc();
+            collapses.push(CollapseEvent { huge, removed });
         }
-        stream
+        (stream, collapses)
     }
 }
 
@@ -404,9 +419,15 @@ mod tests {
             daemon.notify(region.add(i * 4096));
         }
         assert_eq!(daemon.pending(), 1);
-        let stream = daemon.scan(&config, &mut process, &mut buddy);
+        let (stream, collapses) = daemon.scan(&config, &mut process, &mut buddy);
         assert_eq!(daemon.collapses.get(), 1);
         assert!(stream.instruction_count() > 1000);
+        // The collapse is reported so the caller can shoot down the 400
+        // removed base translations and install the huge replacement.
+        assert_eq!(collapses.len(), 1);
+        assert_eq!(collapses[0].removed.len(), 400);
+        assert_eq!(collapses[0].huge.page_size, PageSize::Size2M);
+        assert_eq!(collapses[0].huge.vaddr, region);
         assert_eq!(
             process
                 .lookup_mapping(region.add(0x5000))
@@ -432,7 +453,8 @@ mod tests {
             });
         }
         daemon.notify(region);
-        daemon.scan(&config, &mut process, &mut buddy);
+        let (_, collapses) = daemon.scan(&config, &mut process, &mut buddy);
+        assert!(collapses.is_empty());
         assert_eq!(daemon.collapses.get(), 0);
         assert_eq!(daemon.rejected_scans.get(), 1);
     }

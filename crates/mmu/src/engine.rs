@@ -39,7 +39,7 @@
 //! `System::run` / `System::run_multiprogram`.
 
 use crate::midgard::{MidgardConfig, MidgardMmu};
-use crate::mmu::{Mmu, TranslationResult};
+use crate::mmu::{Mmu, RemovedTranslation, TranslationResult};
 use crate::pt::{WalkAccessList, WalkOutcome};
 use crate::rmm::{RmmConfig, RmmMmu};
 use crate::utopia_mmu::{UtopiaMmu, UtopiaMmuConfig};
@@ -100,6 +100,35 @@ pub struct InstallInfo {
     /// The kernel placed the page in a Utopia RestSeg (so the RestSeg
     /// walkers — not the page table — resolve it from now on).
     pub restseg_placed: bool,
+}
+
+/// Result of shooting one page translation down across the framework's
+/// [`Mmu`] *and* the engine's design-specific state. Produced by
+/// [`TranslationEngine::invalidate`], consumed by the framework, which
+/// charges the metadata-update accesses as kernel memory traffic and rolls
+/// the drop counts into its shootdown statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InvalidationOutcome {
+    /// Translation-metadata update accesses (page-table leaf removal).
+    pub accesses: Vec<PhysAddr>,
+    /// TLB entries dropped across the hierarchy.
+    pub tlb_entries_dropped: usize,
+    /// Page-walk-cache entries dropped (radix only).
+    pub pwc_entries_dropped: usize,
+    /// Engine-resident translations dropped or rewritten (RMM ranges,
+    /// Utopia RestSeg residency + TAR/SF lines).
+    pub engine_entries_dropped: usize,
+}
+
+impl InvalidationOutcome {
+    fn from_removed(removed: RemovedTranslation, engine_entries_dropped: usize) -> Self {
+        InvalidationOutcome {
+            accesses: removed.accesses,
+            tlb_entries_dropped: removed.tlb_entries_dropped,
+            pwc_entries_dropped: removed.pwc_entries_dropped,
+            engine_entries_dropped,
+        }
+    }
 }
 
 /// The per-engine statistics section of a simulation report. `None` on the
@@ -293,6 +322,83 @@ impl TranslationEngine {
         }
     }
 
+    /// Shoots down the translation of one page: removes it from the
+    /// `Mmu`'s page table, TLBs and page-walk caches *and* from the
+    /// engine's design-specific state, so no stale copy of a reclaimed
+    /// mapping can ever be served again. This is the per-page counterpart
+    /// of [`TranslationEngine::flush_asid`] — the hook the framework calls
+    /// for every victim in a kernel [`mimic_os::InvalidationBatch`].
+    ///
+    /// Per engine, on top of the `Mmu` removal:
+    /// * `PageTable` — nothing further (the `Mmu` *is* its state);
+    /// * `Midgard` — the removal is keyed by the page's *Midgard* address
+    ///   (the backend knows nothing of raw virtual addresses);
+    /// * `Rmm` — the covering range is split around the page in the range
+    ///   table and dropped from the range TLB;
+    /// * `Utopia` — the page leaves the resident set and the TAR/SF
+    ///   caches drop the set's tag lines (the tag array changed).
+    pub fn invalidate(
+        &mut self,
+        mmu: &mut Mmu,
+        asid: Asid,
+        va: VirtAddr,
+        size: PageSize,
+    ) -> InvalidationOutcome {
+        match self {
+            TranslationEngine::PageTable => {
+                InvalidationOutcome::from_removed(mmu.remove_mapping(asid, va), 0)
+            }
+            TranslationEngine::Midgard(e) => e.invalidate(mmu, asid, va),
+            TranslationEngine::Rmm(e) => {
+                let engine_entries = e
+                    .rmms
+                    .iter_mut()
+                    .find(|(a, _)| *a == asid)
+                    .map_or(0, |(_, rmm)| rmm.invalidate_page(va, size.bytes()));
+                InvalidationOutcome::from_removed(mmu.remove_mapping(asid, va), engine_entries)
+            }
+            TranslationEngine::Utopia(e) => {
+                let mut engine_entries = 0;
+                for probe in [PageSize::Size4K, PageSize::Size2M, PageSize::Size1G] {
+                    let key = (asid.raw(), va.page_base(probe).raw());
+                    if matches!(e.resident.get(&key), Some(m) if m.page_size == probe) {
+                        e.resident.remove(&key);
+                        engine_entries += 1 + e.utopia.invalidate(va);
+                    }
+                }
+                InvalidationOutcome::from_removed(mmu.remove_mapping(asid, va), engine_entries)
+            }
+        }
+    }
+
+    /// The engine-resident page translations (Utopia's RestSeg residency),
+    /// as `(asid, mapping)` pairs. Empty for every other engine. For
+    /// invariant checking and debugging.
+    pub fn resident_mappings(&self) -> Vec<(Asid, Mapping)> {
+        match self {
+            TranslationEngine::Utopia(e) => e
+                .resident
+                .iter()
+                .map(|((asid, _), m)| (Asid::new(*asid), *m))
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// The engine-resident translation ranges (RMM's range tables), as
+    /// `(asid, range)` pairs. Empty for every other engine. For invariant
+    /// checking and debugging.
+    pub fn resident_ranges(&self) -> Vec<(Asid, RangeMapping)> {
+        match self {
+            TranslationEngine::Rmm(e) => e
+                .rmms
+                .iter()
+                .flat_map(|(asid, rmm)| rmm.ranges().map(move |r| (*asid, *r)))
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
     /// Notifies the engine of a context switch into `to`, applying the
     /// configured TLB policy. Returns the number of entries dropped.
     pub fn context_switch(&mut self, mmu: &mut Mmu, to: Asid) -> usize {
@@ -389,6 +495,24 @@ impl MidgardEngine {
     /// Registers a VMA with the address space's frontend.
     pub fn note_vma(&mut self, asid: Asid, start: VirtAddr, bytes: u64) {
         self.frontend_for(asid).register_vma(start, bytes);
+    }
+
+    /// Shoots a page out of the backend. The backend's page table and TLB
+    /// are keyed by *Midgard* addresses, so the victim's virtual address is
+    /// first remapped through the address space's frontend; a page outside
+    /// any registered VMA was never installed and needs no work. The
+    /// frontend VMA itself stays registered — reclaim unmaps pages, not
+    /// regions.
+    fn invalidate(&mut self, backend: &mut Mmu, asid: Asid, va: VirtAddr) -> InvalidationOutcome {
+        let Some(mva) = self
+            .frontends
+            .iter()
+            .find(|(a, _)| *a == asid)
+            .and_then(|(_, frontend)| frontend.midgard_of(va))
+        else {
+            return InvalidationOutcome::default();
+        };
+        InvalidationOutcome::from_removed(backend.remove_mapping(asid, VirtAddr::new(mva)), 0)
     }
 
     fn translate(&mut self, backend: &mut Mmu, asid: Asid, va: VirtAddr) -> TranslationResult {
@@ -876,6 +1000,100 @@ mod tests {
         assert_eq!(restseg_hits, 0, "resident set must be cleared");
         // The translation now resolves through the page-table walk path.
         assert!(r.walk.is_some());
+    }
+
+    #[test]
+    fn utopia_restseg_eviction_invalidates_the_resident_set() {
+        // The PR 4 open end: a page reclaimed out of a RestSeg must fault
+        // again instead of RSW-hitting on stale residency.
+        let (mut e, mut mmu) = engine(EngineConfig::Utopia(UtopiaMmuConfig::paper_baseline()));
+        let resident = mapping(0x2000_0000, 0x30_0000_0000, PageSize::Size4K);
+        e.handle_fault_install(
+            &mut mmu,
+            A0,
+            &resident,
+            InstallInfo {
+                restseg_placed: true,
+            },
+        );
+        mmu.flush_tlb();
+        // Sanity: the page resolves through the RestSeg without a walk.
+        let walks_before = mmu.stats().walks.get();
+        assert_eq!(
+            e.translate(&mut mmu, A0, VirtAddr::new(0x2000_0123)).paddr,
+            Some(PhysAddr::new(0x30_0000_0123))
+        );
+        assert_eq!(mmu.stats().walks.get(), walks_before);
+        assert_eq!(e.resident_mappings(), vec![(A0, resident)]);
+        // The kernel evicts the page from the RestSeg: shootdown.
+        let out = e.invalidate(&mut mmu, A0, VirtAddr::new(0x2000_0000), PageSize::Size4K);
+        assert!(out.engine_entries_dropped >= 1, "residency must be dropped");
+        assert!(out.tlb_entries_dropped > 0, "TLB fill must be dropped");
+        assert!(e.resident_mappings().is_empty());
+        // The next access faults (page table emptied too) instead of
+        // serving the stale RestSeg translation.
+        let after = e.translate(&mut mmu, A0, VirtAddr::new(0x2000_0123));
+        assert!(after.is_fault(), "reclaimed RestSeg page must fault again");
+        let Some(EngineReport::Utopia { restseg_hits, .. }) = e.report(&mmu) else {
+            panic!("utopia engine must report utopia stats");
+        };
+        assert_eq!(restseg_hits, 1, "only the pre-eviction hit");
+    }
+
+    #[test]
+    fn rmm_invalidate_splits_ranges_and_page_table_drops_the_leaf() {
+        let (mut e, mut mmu) = engine(EngineConfig::Rmm(RmmConfig::paper_baseline()));
+        e.note_ranges(
+            A0,
+            &[RangeMapping {
+                virt_start: VirtAddr::new(0x1000_0000),
+                phys_start: PhysAddr::new(0x8000_0000),
+                bytes: 64 << 10,
+            }],
+        );
+        assert_eq!(
+            e.translate(&mut mmu, A0, VirtAddr::new(0x1000_5000)).paddr,
+            Some(PhysAddr::new(0x8000_5000))
+        );
+        let out = e.invalidate(&mut mmu, A0, VirtAddr::new(0x1000_5000), PageSize::Size4K);
+        assert!(out.engine_entries_dropped >= 1, "range must be split");
+        // The victim page no longer translates through a range (it falls
+        // through to the — empty — page table and faults)...
+        mmu.flush_tlb();
+        assert!(e
+            .translate(&mut mmu, A0, VirtAddr::new(0x1000_5000))
+            .is_fault());
+        // ...while both flanks still translate through their ranges.
+        assert_eq!(
+            e.translate(&mut mmu, A0, VirtAddr::new(0x1000_4000)).paddr,
+            Some(PhysAddr::new(0x8000_4000))
+        );
+        assert_eq!(
+            e.translate(&mut mmu, A0, VirtAddr::new(0x1000_6000)).paddr,
+            Some(PhysAddr::new(0x8000_6000))
+        );
+        assert_eq!(e.resident_ranges().len(), 2);
+    }
+
+    #[test]
+    fn midgard_invalidate_removes_the_backend_mapping() {
+        let (mut e, mut mmu) = engine(EngineConfig::Midgard(MidgardConfig::paper_baseline()));
+        e.note_vma(A0, VirtAddr::new(0x4000_0000), 1 << 24);
+        let m = mapping(0x4000_1000, 0x10_0000_1000, PageSize::Size4K);
+        e.handle_fault_install(&mut mmu, A0, &m, InstallInfo::default());
+        assert!(!e
+            .translate(&mut mmu, A0, VirtAddr::new(0x4000_1234))
+            .is_fault());
+        let out = e.invalidate(&mut mmu, A0, VirtAddr::new(0x4000_1000), PageSize::Size4K);
+        assert!(out.tlb_entries_dropped > 0, "backend TLB entry dropped");
+        assert!(
+            e.translate(&mut mmu, A0, VirtAddr::new(0x4000_1234))
+                .is_fault(),
+            "the reclaimed page must fault in the backend again"
+        );
+        // Invalidating an address outside any VMA is a no-op.
+        let noop = e.invalidate(&mut mmu, A0, VirtAddr::new(0x9000_0000), PageSize::Size4K);
+        assert_eq!(noop, InvalidationOutcome::default());
     }
 
     #[test]

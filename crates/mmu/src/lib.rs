@@ -44,10 +44,12 @@ pub mod rmm;
 pub mod tlb;
 pub mod utopia_mmu;
 
-pub use crate::mmu::{AsidMmuStats, Mmu, MmuConfig, MmuStats, TranslationResult};
+pub use crate::mmu::{
+    AsidMmuStats, Mmu, MmuConfig, MmuStats, RemovedTranslation, TranslationResult,
+};
 pub use engine::{
-    EngineConfig, EngineReport, InstallInfo, MidgardEngine, RmmEngine, TranslationEngine,
-    UtopiaEngine,
+    EngineConfig, EngineReport, InstallInfo, InvalidationOutcome, MidgardEngine, RmmEngine,
+    TranslationEngine, UtopiaEngine,
 };
 pub use midgard::{MidgardConfig, MidgardMmu, MidgardStats};
 pub use pt::{PageTable, PageTableKind, WalkAccessList, WalkOutcome};

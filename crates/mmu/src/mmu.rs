@@ -176,6 +176,19 @@ impl MmuStats {
     }
 }
 
+/// The outcome of removing one translation (a TLB shootdown): the
+/// page-table update accesses to charge as kernel memory traffic, plus how
+/// much cached state the shootdown actually dropped.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RemovedTranslation {
+    /// Page-table update accesses performed by the removal.
+    pub accesses: Vec<PhysAddr>,
+    /// TLB entries dropped across the hierarchy.
+    pub tlb_entries_dropped: usize,
+    /// Page-walk-cache entries dropped (radix only).
+    pub pwc_entries_dropped: usize,
+}
+
 /// The outcome of one translation request.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TranslationResult {
@@ -434,12 +447,20 @@ impl Mmu {
     }
 
     /// Removes the translation covering `va` from the address space's page
-    /// table and invalidates the TLBs (a TLB shootdown). Returns the update
-    /// accesses.
-    pub fn remove_mapping(&mut self, asid: Asid, va: VirtAddr) -> Vec<PhysAddr> {
+    /// table and invalidates the TLBs and (for the radix design) the
+    /// page-walk caches covering the address — the MMU half of a TLB
+    /// shootdown. Returns the update accesses and the dropped-entry counts.
+    pub fn remove_mapping(&mut self, asid: Asid, va: VirtAddr) -> RemovedTranslation {
         let accesses = self.table_for(asid).remove(va);
-        self.tlb.invalidate(asid, va);
-        accesses
+        let tlb_entries_dropped = self.tlb.invalidate(asid, va);
+        // The PWCs tag by virtual address alone, so entries covering the
+        // address are dropped regardless of which address space asked.
+        let pwc_entries_dropped = self.pwc.invalidate(va);
+        RemovedTranslation {
+            accesses,
+            tlb_entries_dropped,
+            pwc_entries_dropped,
+        }
     }
 
     /// Notifies the MMU of a context switch into `to`. In ASID-tagged mode
@@ -525,8 +546,27 @@ mod tests {
         let mut mmu = Mmu::new(MmuConfig::small_test(PageTableKind::Radix));
         let m = mapping(0x1000, PageSize::Size4K);
         mmu.install_mapping(A0, &m);
-        mmu.remove_mapping(A0, VirtAddr::new(0x1000));
+        let removed = mmu.remove_mapping(A0, VirtAddr::new(0x1000));
+        assert!(
+            removed.tlb_entries_dropped > 0,
+            "install filled the TLBs; the shootdown must drop those entries"
+        );
         assert!(mmu.translate(A0, VirtAddr::new(0x1000)).is_fault());
+    }
+
+    #[test]
+    fn remove_mapping_invalidates_warm_pwcs_for_the_address() {
+        let mut mmu = Mmu::new(MmuConfig::small_test(PageTableKind::Radix));
+        let m = mapping(0x7f00_1000, PageSize::Size4K);
+        mmu.install_mapping(A0, &m);
+        mmu.flush_tlb();
+        // Warm the PWCs with a completed walk.
+        assert!(!mmu.translate(A0, VirtAddr::new(0x7f00_1234)).is_fault());
+        let removed = mmu.remove_mapping(A0, VirtAddr::new(0x7f00_1000));
+        assert!(removed.pwc_entries_dropped > 0, "invlpg drops PWC entries");
+        // The next walk of the address starts from the root again and
+        // faults (leaf gone).
+        assert!(mmu.translate(A0, VirtAddr::new(0x7f00_1234)).is_fault());
     }
 
     #[test]

@@ -160,6 +160,28 @@ impl PageWalkCaches {
         }
     }
 
+    /// Invalidates the cached intermediate entries covering `va` at every
+    /// level — the paging-structure-cache side of an `invlpg`-style
+    /// shootdown. Conservative like the hardware: the upper-level entries
+    /// for the address are dropped even if only the leaf changed, so the
+    /// next walk of the region re-descends from the root. Returns the
+    /// number of entries dropped.
+    pub fn invalidate(&mut self, va: VirtAddr) -> usize {
+        let mut dropped = 0;
+        for i in 0..self.levels.len() {
+            let tag = Self::tag(va, i);
+            let level = &mut self.levels[i];
+            let set = level.set_div.rem(tag) as usize;
+            for slot in &mut level.tags[set] {
+                if matches!(slot, Some((t, _)) if *t == tag) {
+                    *slot = None;
+                    dropped += 1;
+                }
+            }
+        }
+        dropped
+    }
+
     /// Total hits across all levels.
     pub fn hits(&self) -> u64 {
         self.levels.iter().map(|l| l.hits.get()).sum()
@@ -206,6 +228,22 @@ mod tests {
         assert!(pwc.levels_skipped(VirtAddr::new(0x7f00_0020_0000)) >= 2);
         // Completely different top-level index: skip 0.
         assert_eq!(pwc.levels_skipped(VirtAddr::new(0x0000_0000_1000)), 0);
+    }
+
+    #[test]
+    fn invalidate_drops_the_address_without_flushing_neighbours() {
+        let mut pwc = PageWalkCaches::paper_baseline();
+        let victim = VirtAddr::new(0x7f00_1234_5000);
+        let neighbour = VirtAddr::new(0x7e00_0000_0000);
+        pwc.fill(victim);
+        pwc.fill(neighbour);
+        assert_eq!(pwc.invalidate(victim), 3, "all three levels covered it");
+        assert_eq!(pwc.levels_skipped(victim), 0, "walk restarts at the root");
+        assert!(
+            pwc.levels_skipped(neighbour) > 0,
+            "unrelated regions keep their cached levels"
+        );
+        assert_eq!(pwc.invalidate(VirtAddr::new(0x1000)), 0);
     }
 
     #[test]

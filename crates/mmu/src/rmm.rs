@@ -110,6 +110,15 @@ impl RangeTlb {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// Drops any cached range covering `va` (shootdown: the range was
+    /// split or removed in the range table, so the cached copy is stale).
+    /// Returns the number of entries dropped.
+    pub fn invalidate_covering(&mut self, va: VirtAddr) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|(r, _)| !r.covers(va));
+        before - self.entries.len()
+    }
 }
 
 /// The in-memory range table: a sorted structure of ranges walked by the
@@ -148,6 +157,17 @@ impl RangeTable {
     /// `true` when the table is empty.
     pub fn is_empty(&self) -> bool {
         self.ranges.is_empty()
+    }
+
+    /// Removes the range covering `va`, if any, returning it.
+    pub fn remove_covering(&mut self, va: VirtAddr) -> Option<RangeMapping> {
+        let idx = self.ranges.iter().position(|r| r.covers(va))?;
+        Some(self.ranges.remove(idx))
+    }
+
+    /// Iterates over the stored ranges in virtual-address order.
+    pub fn iter(&self) -> impl Iterator<Item = &RangeMapping> {
+        self.ranges.iter()
     }
 
     /// Walks the table for `va`, returning the covering range (if any) and
@@ -203,6 +223,32 @@ impl RmmMmu {
     /// Number of ranges registered.
     pub fn range_count(&self) -> usize {
         self.table.len()
+    }
+
+    /// Iterates over the registered ranges.
+    pub fn ranges(&self) -> impl Iterator<Item = &RangeMapping> {
+        self.table.iter()
+    }
+
+    /// Shoots the page `[vaddr, vaddr + page_bytes)` out of the range
+    /// structures: the covering range (if any) is split into its remainders
+    /// in the range table and dropped from the range TLB, so the stale
+    /// translation can never be served again while the flanks keep
+    /// translating. Returns the number of range entries (table + RLB) that
+    /// were dropped or rewritten.
+    pub fn invalidate_page(&mut self, vaddr: VirtAddr, page_bytes: u64) -> usize {
+        let rlb_dropped = self.rlb.invalidate_covering(vaddr);
+        let Some(range) = self.table.remove_covering(vaddr) else {
+            return rlb_dropped;
+        };
+        let (left, right) = range.split_around(vaddr, page_bytes);
+        if let Some(left) = left {
+            self.table.insert(left);
+        }
+        if let Some(right) = right {
+            self.table.insert(right);
+        }
+        rlb_dropped + 1
     }
 
     /// Attempts to translate `va` through a range. Returns the physical
@@ -282,6 +328,31 @@ mod tests {
             assert_eq!(pa.raw() - 0x10_0000_0000, va as u64 - 0x4000_0000);
         }
         assert_eq!(rmm.range_translations.get(), 128);
+    }
+
+    #[test]
+    fn invalidated_pages_fall_out_of_ranges_but_flanks_survive() {
+        let mut rmm = RmmMmu::new(RmmConfig::paper_baseline(), PhysAddr::new(0xC0_0000_0000));
+        rmm.register_range(range(0x1000_0000, 0x8000_0000, 64 * 4096));
+        // Warm the RLB with the range.
+        assert!(rmm.translate(VirtAddr::new(0x1000_0000)).is_some());
+        assert_eq!(rmm.rlb().len(), 1);
+        // Shoot page 17 out of the range.
+        let victim = VirtAddr::new(0x1001_1000);
+        assert!(rmm.invalidate_page(victim, 4096) >= 1);
+        assert_eq!(rmm.rlb().len(), 0, "stale RLB entry dropped");
+        assert!(
+            rmm.translate(victim).is_none(),
+            "the victim page must fall back to the page-table path"
+        );
+        // The flanks still translate with the original phys offsets.
+        let (pa_left, _, _) = rmm.translate(VirtAddr::new(0x1001_0abc)).unwrap();
+        assert_eq!(pa_left.raw(), 0x8001_0abc);
+        let (pa_right, _, _) = rmm.translate(VirtAddr::new(0x1001_2def)).unwrap();
+        assert_eq!(pa_right.raw(), 0x8001_2def);
+        assert_eq!(rmm.range_count(), 2);
+        // Invalidating an uncovered page is a no-op.
+        assert_eq!(rmm.invalidate_page(VirtAddr::new(0x9000_0000), 4096), 0);
     }
 
     #[test]

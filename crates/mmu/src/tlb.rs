@@ -202,9 +202,9 @@ impl Tlb {
     }
 
     /// Invalidates any entry of address space `asid` covering `va` (TLB
-    /// shootdown). Returns `true` if an entry was removed.
-    pub fn invalidate(&mut self, asid: Asid, va: VirtAddr) -> bool {
-        let mut removed = false;
+    /// shootdown). Returns the number of entries removed.
+    pub fn invalidate(&mut self, asid: Asid, va: VirtAddr) -> usize {
+        let mut removed = 0;
         for size_idx in 0..self.config.page_sizes.len() {
             let size = self.config.page_sizes[size_idx];
             let vpn = va.page_number(size).number();
@@ -213,13 +213,21 @@ impl Tlb {
                 if let Some(e) = slot {
                     if e.asid == asid && e.size == size && e.vpn == vpn {
                         *slot = None;
-                        removed = true;
+                        removed += 1;
                         self.stats.invalidations.inc();
                     }
                 }
             }
         }
         removed
+    }
+
+    /// Every resident entry as `(asid, mapping)` pairs, for invariant
+    /// checking and debugging (not a modeled hardware operation).
+    pub fn entries(&self) -> impl Iterator<Item = (Asid, Mapping)> + '_ {
+        self.sets
+            .iter()
+            .flat_map(|set| set.iter().flatten().map(|e| (e.asid, e.mapping)))
     }
 
     /// Flushes the entire TLB (a context switch without ASID support).
@@ -402,10 +410,21 @@ impl TlbHierarchy {
     }
 
     /// Invalidates any entries of `asid` covering `va` in every level.
-    pub fn invalidate(&mut self, asid: Asid, va: VirtAddr) {
-        self.l1_4k.invalidate(asid, va);
-        self.l1_2m.invalidate(asid, va);
-        self.l2.invalidate(asid, va);
+    /// Returns the number of entries dropped across the hierarchy.
+    pub fn invalidate(&mut self, asid: Asid, va: VirtAddr) -> usize {
+        self.l1_4k.invalidate(asid, va)
+            + self.l1_2m.invalidate(asid, va)
+            + self.l2.invalidate(asid, va)
+    }
+
+    /// Every resident entry across all levels as `(asid, mapping)` pairs
+    /// (L1s first, then L2; a mapping cached in both levels appears twice).
+    /// For invariant checking and debugging.
+    pub fn entries(&self) -> impl Iterator<Item = (Asid, Mapping)> + '_ {
+        self.l1_4k
+            .entries()
+            .chain(self.l1_2m.entries())
+            .chain(self.l2.entries())
     }
 
     /// Flushes every level. Returns the number of entries dropped.
@@ -492,8 +511,8 @@ mod tests {
     fn invalidate_removes_entry() {
         let mut tlb = Tlb::new(TlbConfig::new("T", 16, 4, 1, &[PageSize::Size4K]));
         tlb.fill(A0, mapping(0x7000, PageSize::Size4K));
-        assert!(tlb.invalidate(A0, VirtAddr::new(0x7000)));
-        assert!(!tlb.invalidate(A0, VirtAddr::new(0x7000)));
+        assert_eq!(tlb.invalidate(A0, VirtAddr::new(0x7000)), 1);
+        assert_eq!(tlb.invalidate(A0, VirtAddr::new(0x7000)), 0);
         assert!(tlb.lookup(A0, VirtAddr::new(0x7000)).is_none());
     }
 
@@ -551,8 +570,22 @@ mod tests {
         let b = Asid::new(2);
         tlb.fill(a, mapping(0x7000, PageSize::Size4K));
         tlb.fill(b, mapping(0x7000, PageSize::Size4K));
-        assert!(tlb.invalidate(a, VirtAddr::new(0x7000)));
+        assert_eq!(tlb.invalidate(a, VirtAddr::new(0x7000)), 1);
         assert!(tlb.lookup(b, VirtAddr::new(0x7000)).is_some());
+    }
+
+    #[test]
+    fn hierarchy_invalidate_counts_across_levels_and_entries_enumerate() {
+        let mut h = TlbHierarchy::new(TlbHierarchyConfig::small_test());
+        let m = mapping(0x9000, PageSize::Size4K);
+        h.fill(A0, m); // fills the 4K L1 and the L2
+        assert_eq!(h.entries().count(), 2);
+        assert!(h.entries().all(|(asid, e)| asid == A0 && e == m));
+        let dropped = h.invalidate(A0, VirtAddr::new(0x9abc));
+        assert_eq!(dropped, 2, "shootdown must hit both levels");
+        assert_eq!(h.entries().count(), 0);
+        let (hit, _) = h.lookup(A0, VirtAddr::new(0x9000));
+        assert!(hit.is_none());
     }
 
     #[test]

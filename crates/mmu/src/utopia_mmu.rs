@@ -93,6 +93,18 @@ impl SetCache {
             false
         }
     }
+
+    /// Drops the cached entry for `set`, if present. Returns `true` when
+    /// an entry was dropped.
+    fn invalidate(&mut self, set: u64) -> bool {
+        let idx = (set % self.entries.len() as u64) as usize;
+        if self.entries[idx] == Some(set) {
+            self.entries[idx] = None;
+            true
+        } else {
+            false
+        }
+    }
 }
 
 /// Result of a Utopia translation attempt.
@@ -114,6 +126,9 @@ pub struct UtopiaMmu {
     sf_cache: SetCache,
     /// Translations attempted through the RestSeg path.
     pub lookups: Counter,
+    /// RestSeg-side shootdowns applied (kernel evictions of resident
+    /// pages).
+    pub invalidations: Counter,
 }
 
 impl UtopiaMmu {
@@ -126,6 +141,7 @@ impl UtopiaMmu {
             config,
             metadata_base,
             lookups: Counter::new(),
+            invalidations: Counter::new(),
         }
     }
 
@@ -165,6 +181,18 @@ impl UtopiaMmu {
             latency,
             metadata_accesses: accesses,
         }
+    }
+
+    /// Invalidates the RestSeg-side cached metadata for the set holding
+    /// `va` — the kernel evicted the page from its RestSeg, so the tag
+    /// array changed and the TAR/SF caches must refetch the set's tag
+    /// group on the next lookup. Returns the number of cache entries
+    /// dropped (0–2).
+    pub fn invalidate(&mut self, va: VirtAddr) -> usize {
+        self.invalidations.inc();
+        let set = self.set_index(va);
+        usize::from(self.tar_cache.invalidate(set))
+            + usize::from(self.sf_cache.invalidate(set >> 3))
     }
 
     /// TAR-cache hit ratio.
@@ -218,6 +246,24 @@ mod tests {
             large_span > small_span,
             "large RestSeg metadata should span more memory ({large_span} vs {small_span})"
         );
+    }
+
+    #[test]
+    fn invalidation_forces_the_next_lookup_to_refetch_tags() {
+        let mut mmu = UtopiaMmu::new(
+            UtopiaMmuConfig::paper_baseline(),
+            PhysAddr::new(0xD0_0000_0000),
+        );
+        let va = VirtAddr::new(0x1234_5000);
+        mmu.translate(va); // cold: fetches + fills TAR/SF
+        assert!(mmu.translate(va).metadata_accesses.is_empty(), "warm");
+        let dropped = mmu.invalidate(va);
+        assert!(dropped >= 1, "the cached set entry must be dropped");
+        assert!(
+            !mmu.translate(va).metadata_accesses.is_empty(),
+            "after the shootdown the tag group is refetched from memory"
+        );
+        assert_eq!(mmu.invalidations.get(), 1);
     }
 
     #[test]

@@ -59,6 +59,31 @@ fn golden_cells() -> Vec<(&'static str, SystemConfig, WorkloadSpec)> {
             ),
         ),
         (
+            "reclaim_shootdown",
+            {
+                // Memory pressure run: more footprint than memory, a low
+                // swap threshold, and a descending stream so reclaim
+                // victims are TLB-hot — pins the whole shootdown path
+                // (victim batches, IPI-charged kernel streams, the
+                // serialized `shootdowns` report section).
+                let mut config = SystemConfig::small_test();
+                config.os.memory_bytes = 16 * 1024 * 1024;
+                config.os.swap_bytes = 64 * 1024 * 1024;
+                config.os.swap_threshold = 0.5;
+                config.os.policy = AllocationPolicy::BuddyFourK;
+                config.os.thp = virtuoso_suite::mimic_os::ThpConfig::disabled();
+                config.os.populate_page_cache = false;
+                config
+            },
+            WorkloadSpec::simple(
+                "SWP",
+                WorkloadClass::LongRunning,
+                32 * 1024 * 1024,
+                AccessPattern::UniformRandom,
+                6_000,
+            ),
+        ),
+        (
             "midgard_engine",
             SystemConfig::small_test()
                 .with_engine(EngineConfig::Midgard(MidgardConfig::paper_baseline())),

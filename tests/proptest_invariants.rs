@@ -168,6 +168,118 @@ proptest! {
     }
 
     #[test]
+    fn no_stale_translation_survives_reclaim(seed in 0u64..300, engine_sel in 0u8..3) {
+        // The shootdown regression fence: after ANY interleaving of
+        // faults, reclaims (memory pressure forces them mid-run) and
+        // context switches (two processes under a small quantum), every
+        // TLB entry and every engine-resident translation must agree with
+        // the owning process's mapping table. Before the invalidation
+        // subsystem, reclaimed pages kept translating through stale TLB
+        // entries — and after buddy reuse, into another process's frames.
+        //
+        // Engines: the conventional page table, RMM (+ eager paging, so
+        // reclaim must split live ranges) and Utopia (+ RestSeg policy, so
+        // reclaim must evict engine residency). Midgard is exercised by
+        // its own unit tests instead: its TLB entries are keyed by Midgard
+        // addresses, which an external observer cannot map back.
+        use virtuoso_suite::mimic_os::{ThpConfig, UtopiaConfig};
+        let mut config = SystemConfig::small_test();
+        config.os.memory_bytes = 16 << 20;
+        config.os.swap_bytes = 64 << 20;
+        config.os.swap_threshold = 0.5;
+        config.os.thp = ThpConfig::disabled();
+        config.os.populate_page_cache = false;
+        config.os.sched_quantum = 1_000;
+        match engine_sel {
+            0 => config.os.policy = AllocationPolicy::BuddyFourK,
+            1 => {
+                config = config.with_engine(EngineConfig::Rmm(RmmConfig::paper_baseline()));
+                config.os.policy = AllocationPolicy::EagerPaging;
+            }
+            _ => {
+                let restseg = 8u64 << 20;
+                config = config.with_engine(EngineConfig::Utopia(
+                    UtopiaMmuConfig::paper_baseline().with_restseg_bytes(restseg),
+                ));
+                config.os.policy =
+                    AllocationPolicy::Utopia(UtopiaConfig::new(restseg, 16, PageSize::Size4K));
+            }
+        }
+        let mut system = System::new(config);
+        let a = system.pid();
+        let b = system.spawn_process();
+        // Disjoint layouts: the kernel's RestSeg occupancy is va-keyed
+        // (one machine-wide RestSeg — a known modeling limit).
+        let base_a = VirtAddr::new(0x1000_0000);
+        let base_b = VirtAddr::new(0x3000_0000);
+        system.mmap_anonymous_for(a, base_a, 24 << 20).unwrap();
+        system.mmap_anonymous_for(b, base_b, 24 << 20).unwrap();
+        let spec = |name: &str, base: u64| {
+            let mut s = WorkloadSpec::simple(
+                "w", WorkloadClass::LongRunning, 24 << 20,
+                AccessPattern::UniformRandom, 5_000,
+            );
+            s.name = name.to_string();
+            s.regions[0].start = VirtAddr::new(base);
+            s
+        };
+        let mut src_a = spec("A", base_a.raw()).build(seed);
+        let mut src_b = spec("B", base_b.raw()).build(seed ^ 0x5EED);
+        let report = {
+            let mut programs: Vec<(ProcessId, &mut dyn TraceSource)> =
+                vec![(a, &mut src_a), (b, &mut src_b)];
+            system.run_multiprogram(&mut programs, None)
+        };
+        // The run must actually have exercised the interesting machinery.
+        prop_assert!(report.rollup.swapped_pages > 0, "no memory pressure reached");
+        prop_assert!(report.context_switches > 0);
+        prop_assert!(report.rollup.shootdowns.is_some());
+
+        let process_of = |asid: Asid| system.os().process(ProcessId(asid.raw() as usize));
+        // 1. Every TLB entry translates exactly as the mapping table does.
+        for (asid, cached) in system.mmu().tlb().entries() {
+            let expected = process_of(asid)
+                .lookup_mapping(cached.vaddr)
+                .map(|m| m.translate(cached.vaddr));
+            prop_assert_eq!(
+                expected, Some(cached.translate(cached.vaddr)),
+                "stale TLB entry {} (asid {})", cached, asid.raw()
+            );
+        }
+        // 2. Every engine-resident page translation agrees.
+        for (asid, resident) in system.engine().resident_mappings() {
+            prop_assert_eq!(
+                process_of(asid).lookup_mapping(resident.vaddr).map(|m| m.paddr),
+                Some(resident.paddr),
+                "stale RestSeg residency {}", resident
+            );
+        }
+        // 3. Every page of every engine-registered range still maps to the
+        //    range's frames (reclaim must have split ranges around
+        //    victims), and the kernel's own range list agrees the same way.
+        let kernel_ranges: Vec<(Asid, virtuoso_suite::mimic_os::kernel::RangeMapping)> =
+            [a, b].iter()
+                .flat_map(|&pid| {
+                    system.os().ranges(pid).iter()
+                        .map(move |r| (System::asid_of(pid), *r))
+                })
+                .collect();
+        for (asid, range) in system.engine().resident_ranges().into_iter().chain(kernel_ranges) {
+            let process = process_of(asid);
+            for page in 0..(range.bytes / 4096) {
+                let va = range.virt_start.add(page * 4096);
+                let expected = range.phys_start.add(page * 4096);
+                let actual = process.lookup_mapping(va).map(|m| m.translate(va));
+                prop_assert_eq!(
+                    actual, Some(expected),
+                    "range covers {} but the mapping table disagrees (asid {})",
+                    va, asid.raw()
+                );
+            }
+        }
+    }
+
+    #[test]
     fn scheduler_accounting_sums_to_total_instructions(
         instrs_a in 1_000u64..6_000,
         instrs_b in 1_000u64..6_000,

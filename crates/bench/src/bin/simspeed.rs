@@ -15,6 +15,9 @@
 //! * `--engine LIST` — comma-separated alternative engines to measure on
 //!   the headline workload (`midgard,rmm,utopia`, the default; `none`
 //!   skips the per-engine rows).
+//! * `--cores LIST` — comma-separated multi-core cell sizes measured on
+//!   the headline workload (`2,4`, the default; `none` skips the
+//!   multi-core rows).
 
 use virtuoso_bench::simspeed::{measure, render, SpeedOptions};
 
@@ -47,6 +50,17 @@ fn main() {
                     Vec::new()
                 } else {
                     list.split(',').map(str::to_string).collect()
+                };
+                i += 2;
+            }
+            "--cores" => {
+                let list = args.get(i + 1).expect("--cores needs a list");
+                opts.core_counts = if list == "none" {
+                    Vec::new()
+                } else {
+                    list.split(',')
+                        .map(|s| s.parse().expect("--cores needs numbers"))
+                        .collect()
                 };
                 i += 2;
             }

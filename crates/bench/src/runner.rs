@@ -196,23 +196,77 @@ pub fn cell_seed(base_seed: u64, index: usize) -> u64 {
 /// short ones. Each cell's RNG seed comes from [`cell_seed`], making the
 /// result vector bit-identical for any `jobs` value (including 1).
 pub fn run_cells(cells: &[ExperimentCell], base_seed: u64, jobs: usize) -> Vec<SimulationReport> {
-    let jobs = jobs.max(1).min(cells.len().max(1));
+    run_sharded(cells.len(), jobs, |idx| {
+        let cell = &cells[idx];
+        run_spec_with_config(
+            cell.config.clone(),
+            &cell.workload,
+            cell_seed(base_seed, idx),
+        )
+    })
+}
+
+/// One multi-programmed experiment cell: a (workload mix × configuration)
+/// point. The configuration's `num_cores` decides whether the mix runs on
+/// the legacy single-core loop or the sharded multi-core loop.
+#[derive(Debug, Clone)]
+pub struct MultiProgramCell {
+    /// Label used in tables (e.g. `"RND+STR/2core"`).
+    pub label: String,
+    /// The system configuration of this cell.
+    pub config: SystemConfig,
+    /// One workload per process; process `i` is pinned to core
+    /// `i % num_cores` by the MimicOS scheduler.
+    pub workloads: Vec<WorkloadSpec>,
+}
+
+impl MultiProgramCell {
+    /// Builds a cell.
+    pub fn new(label: &str, config: SystemConfig, workloads: Vec<WorkloadSpec>) -> Self {
+        MultiProgramCell {
+            label: label.to_string(),
+            config,
+            workloads,
+        }
+    }
+}
+
+/// [`run_cells`] for multi-programmed (including multi-core) cells: the
+/// same work-stealing shard over host threads, the same positional
+/// [`cell_seed`] derivation. Program `i` inside cell `idx` runs with seed
+/// `cell_seed(base_seed, idx) + i` — derived from positions alone, never
+/// from which worker thread claims the cell or which simulated core the
+/// process lands on, so the result vector is bit-identical at any
+/// `--jobs` level.
+pub fn run_multiprogram_cells(
+    cells: &[MultiProgramCell],
+    base_seed: u64,
+    jobs: usize,
+) -> Vec<MultiProgramReport> {
+    run_sharded(cells.len(), jobs, |idx| {
+        let cell = &cells[idx];
+        run_multiprogram_specs(
+            cell.config.clone(),
+            &cell.workloads,
+            cell_seed(base_seed, idx),
+        )
+    })
+}
+
+/// The shared work-stealing shard: runs `count` independent cells across
+/// `jobs` threads, collecting results in cell order.
+fn run_sharded<R: Send>(count: usize, jobs: usize, run: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    let jobs = jobs.max(1).min(count.max(1));
     let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<SimulationReport>>> =
-        (0..cells.len()).map(|_| Mutex::new(None)).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..count).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..jobs {
             scope.spawn(|| loop {
                 let idx = next.fetch_add(1, Ordering::Relaxed);
-                if idx >= cells.len() {
+                if idx >= count {
                     break;
                 }
-                let cell = &cells[idx];
-                let report = run_spec_with_config(
-                    cell.config.clone(),
-                    &cell.workload,
-                    cell_seed(base_seed, idx),
-                );
+                let report = run(idx);
                 *results[idx].lock().expect("result slot poisoned") = Some(report);
             });
         }
@@ -323,6 +377,54 @@ mod tests {
             let sj = serde_json::to_string(s).expect("serialize");
             let pj = serde_json::to_string(p).expect("serialize");
             assert_eq!(sj, pj, "jobs=1 and jobs=8 must agree bit-for-bit");
+        }
+    }
+
+    fn multicore_pressure_cells(n: usize) -> Vec<MultiProgramCell> {
+        (0..n)
+            .map(|i| {
+                let cores = 2 + i % 3;
+                let mut config = SystemConfig::small_test().with_cores(cores);
+                config.os.memory_bytes = 16 * 1024 * 1024;
+                config.os.swap_bytes = 128 * 1024 * 1024;
+                config.os.swap_threshold = 0.5;
+                config.os.policy = mimic_os::AllocationPolicy::BuddyFourK;
+                config.os.thp = mimic_os::ThpConfig::disabled();
+                config.os.populate_page_cache = false;
+                config.os.sched_quantum = 1_000;
+                let workloads = (0..cores + 1)
+                    .map(|p| {
+                        WorkloadSpec::simple(
+                            &format!("mc-{i}-{p}"),
+                            WorkloadClass::LongRunning,
+                            12 * 1024 * 1024,
+                            AccessPattern::UniformRandom,
+                            2_000,
+                        )
+                    })
+                    .collect();
+                MultiProgramCell::new(&format!("mc-{i}/{cores}core"), config, workloads)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn multicore_cells_are_bit_identical_at_any_jobs_level() {
+        let cells = multicore_pressure_cells(4);
+        let serial = run_multiprogram_cells(&cells, 0xD0_0D, 1);
+        let two = run_multiprogram_cells(&cells, 0xD0_0D, 2);
+        let eight = run_multiprogram_cells(&cells, 0xD0_0D, 8);
+        assert_eq!(serial.len(), 4);
+        assert!(
+            serial.iter().any(|r| r.rollup.shootdowns.is_some()),
+            "pressure cells must exercise the shootdown path"
+        );
+        for (i, ((s, t), e)) in serial.iter().zip(&two).zip(&eight).enumerate() {
+            let sj = serde_json::to_string(s).expect("serialize");
+            let tj = serde_json::to_string(t).expect("serialize");
+            let ej = serde_json::to_string(e).expect("serialize");
+            assert_eq!(sj, tj, "cell {i}: jobs=1 and jobs=2 must agree bit-for-bit");
+            assert_eq!(sj, ej, "cell {i}: jobs=1 and jobs=8 must agree bit-for-bit");
         }
     }
 

@@ -32,7 +32,11 @@ pub struct SpeedCell {
     /// Translation engine of the cell (`"page-table"`, `"midgard"`,
     /// `"rmm"`, `"utopia"`).
     pub engine: String,
-    /// Simulated instructions per repetition.
+    /// Simulated cores of the cell (1 for the classic single-core rows;
+    /// the multi-core rows run one pinned process per core through the
+    /// sharded round-robin loop).
+    pub cores: usize,
+    /// Simulated instructions per repetition (summed across all cores).
     pub instructions: u64,
     /// Timed repetitions (best one is reported).
     pub repetitions: u32,
@@ -66,19 +70,29 @@ pub struct SpeedReport {
 }
 
 impl SpeedReport {
-    /// The first cell for (workload, mode), if measured — the page-table
-    /// engine, which is always measured ahead of the alternatives.
+    /// The first single-core cell for (workload, mode), if measured — the
+    /// page-table engine, which is always measured ahead of the
+    /// alternatives.
     pub fn cell(&self, workload: &str, mode: &str) -> Option<&SpeedCell> {
         self.cells
             .iter()
-            .find(|c| c.workload == workload && c.mode == mode)
+            .find(|c| c.workload == workload && c.mode == mode && c.cores == 1)
     }
 
-    /// The detailed-mode cell of (workload, engine), if measured.
+    /// The detailed-mode single-core cell of (workload, engine), if
+    /// measured.
     pub fn engine_cell(&self, workload: &str, engine: &str) -> Option<&SpeedCell> {
+        self.cells.iter().find(|c| {
+            c.workload == workload && c.mode == "detailed" && c.engine == engine && c.cores == 1
+        })
+    }
+
+    /// The detailed-mode page-table cell of (workload, cores), if
+    /// measured.
+    pub fn multicore_cell(&self, workload: &str, cores: usize) -> Option<&SpeedCell> {
         self.cells
             .iter()
-            .find(|c| c.workload == workload && c.mode == "detailed" && c.engine == engine)
+            .find(|c| c.workload == workload && c.mode == "detailed" && c.cores == cores)
     }
 }
 
@@ -96,6 +110,9 @@ pub struct SpeedOptions {
     /// Alternative translation engines measured on the headline workload
     /// (detailed mode), in addition to the page-table engine.
     pub engines: Vec<String>,
+    /// Multi-core cell sizes measured on the headline workload (one
+    /// pinned copy per core, detailed mode, page-table engine).
+    pub core_counts: Vec<usize>,
 }
 
 impl SpeedOptions {
@@ -107,6 +124,7 @@ impl SpeedOptions {
             quick: false,
             reference_mips: 0.0,
             engines: SpeedOptions::all_engines(),
+            core_counts: SpeedOptions::default_core_counts(),
         }
     }
 
@@ -118,12 +136,18 @@ impl SpeedOptions {
             quick: true,
             reference_mips: 0.0,
             engines: SpeedOptions::all_engines(),
+            core_counts: SpeedOptions::default_core_counts(),
         }
     }
 
     /// Every alternative engine the harness knows how to configure.
     pub fn all_engines() -> Vec<String> {
         vec!["midgard".into(), "rmm".into(), "utopia".into()]
+    }
+
+    /// The default multi-core cell sizes.
+    pub fn default_core_counts() -> Vec<usize> {
+        vec![2, 4]
     }
 }
 
@@ -209,6 +233,7 @@ pub fn measure_cell(
         workload: spec.name.clone(),
         mode: mode.to_string(),
         engine: engine.to_string(),
+        cores: 1,
         instructions: opts.instructions,
         repetitions: opts.repetitions,
         best_elapsed_s: best_elapsed,
@@ -217,11 +242,80 @@ pub fn measure_cell(
     }
 }
 
+fn run_multicore_once(
+    config: SystemConfig,
+    spec: &WorkloadSpec,
+    cores: usize,
+) -> (f64, virtuoso::MultiProgramReport) {
+    let mut system = System::new(config);
+    let mut pids = vec![system.pid()];
+    while pids.len() < cores {
+        pids.push(system.spawn_process());
+    }
+    for &pid in &pids {
+        crate::runner::map_spec_regions(&mut system, pid, spec, (pid.0 as u64) * 1000);
+    }
+    let mut sources: Vec<_> = (0..cores).map(|i| spec.build(0xBEEF + i as u64)).collect();
+    let mut programs: Vec<(mimic_os::ProcessId, &mut dyn sim_core::TraceSource)> = pids
+        .iter()
+        .copied()
+        .zip(
+            sources
+                .iter_mut()
+                .map(|s| s as &mut dyn sim_core::TraceSource),
+        )
+        .collect();
+    let start = Instant::now();
+    let report = system.run_multiprogram(&mut programs, None);
+    (start.elapsed().as_secs_f64(), report)
+}
+
+/// Measures one multi-core cell: `cores` pinned copies of `spec` on an
+/// N-core detailed system, stepping through the sharded round-robin loop.
+/// The per-process instruction budget is `opts.instructions / cores`, so
+/// the simulated-instruction total (and hence the MIPS denominator) stays
+/// comparable to the single-core rows.
+pub fn measure_multicore_cell(spec: &WorkloadSpec, cores: usize, opts: &SpeedOptions) -> SpeedCell {
+    let config = SystemConfig::small_test().with_cores(cores);
+    let per_core = (opts.instructions / cores as u64).max(1);
+    let total = per_core * cores as u64;
+    let spec = spec.clone().with_instructions(per_core);
+    let _ = run_multicore_once(
+        config.clone(),
+        &spec.clone().with_instructions((per_core / 4).max(1)),
+        cores,
+    );
+    let mut best_elapsed = f64::INFINITY;
+    let mut last_report = None;
+    for _ in 0..opts.repetitions.max(1) {
+        let (elapsed, report) = run_multicore_once(config.clone(), &spec, cores);
+        if elapsed < best_elapsed {
+            best_elapsed = elapsed;
+        }
+        last_report = Some(report);
+    }
+    let report = last_report.expect("at least one repetition");
+    SpeedCell {
+        workload: spec.name.clone(),
+        mode: "detailed".to_string(),
+        engine: "page-table".to_string(),
+        cores,
+        instructions: total,
+        repetitions: opts.repetitions,
+        best_elapsed_s: best_elapsed,
+        mips: total as f64 / best_elapsed / 1e6,
+        sim_ipc: report.rollup.ipc,
+    }
+}
+
 /// Runs the whole measurement matrix: workloads × {detailed, emulation}
 /// on the page-table engine, plus the headline workload (GUPS) in
 /// detailed mode under every alternative engine in `opts.engines` — the
 /// per-engine speed rows that guard against dispatch-overhead
-/// regressions and record what the alternative designs cost to simulate.
+/// regressions and record what the alternative designs cost to simulate —
+/// plus one multi-core row per entry of `opts.core_counts` (N pinned GUPS
+/// copies on an N-core system), recording what the sharded round-robin
+/// loop and per-core frontends cost in host time.
 pub fn measure(opts: &SpeedOptions) -> SpeedReport {
     let detailed = SystemConfig::small_test();
     let emulation = SystemConfig::small_test().with_emulation_baseline();
@@ -253,13 +347,18 @@ pub fn measure(opts: &SpeedOptions) -> SpeedReport {
             opts,
         ));
     }
+    for &cores in &opts.core_counts {
+        cells.push(measure_multicore_cell(&headline_spec, cores, opts));
+    }
     let headline_mips = cells
         .iter()
-        .find(|c| c.workload == "RND" && c.mode == "detailed" && c.engine == "page-table")
+        .find(|c| {
+            c.workload == "RND" && c.mode == "detailed" && c.engine == "page-table" && c.cores == 1
+        })
         .map(|c| c.mips)
         .unwrap_or(0.0);
     SpeedReport {
-        schema: "virtuoso-simspeed-v2".to_string(),
+        schema: "virtuoso-simspeed-v3".to_string(),
         quick: opts.quick,
         headline_mips,
         reference_mips: opts.reference_mips,
@@ -277,7 +376,7 @@ pub fn render(report: &SpeedReport) -> String {
     let mut table = crate::runner::ExperimentTable::new(
         "Sustained simulation speed (simulated MIPS per host second)",
         &[
-            "workload", "mode", "engine", "instrs", "best_s", "MIPS", "sim_ipc",
+            "workload", "mode", "engine", "cores", "instrs", "best_s", "MIPS", "sim_ipc",
         ],
     );
     for c in &report.cells {
@@ -285,6 +384,7 @@ pub fn render(report: &SpeedReport) -> String {
             c.workload.clone(),
             c.mode.clone(),
             c.engine.clone(),
+            c.cores.to_string(),
             c.instructions.to_string(),
             format!("{:.4}", c.best_elapsed_s),
             format!("{:.3}", c.mips),
@@ -316,6 +416,7 @@ mod tests {
             quick: true,
             reference_mips: 0.0,
             engines: SpeedOptions::all_engines(),
+            core_counts: SpeedOptions::default_core_counts(),
         }
     }
 
@@ -324,7 +425,9 @@ mod tests {
         let report = measure(&tiny_opts());
         assert_eq!(
             report.cells.len(),
-            speed_workloads().len() * 2 + SpeedOptions::all_engines().len()
+            speed_workloads().len() * 2
+                + SpeedOptions::all_engines().len()
+                + SpeedOptions::default_core_counts().len()
         );
         for cell in &report.cells {
             assert!(
@@ -347,6 +450,22 @@ mod tests {
             "page-table",
             "the headline cell stays on the page-table engine"
         );
+        for cores in SpeedOptions::default_core_counts() {
+            let cell = report
+                .multicore_cell("RND", cores)
+                .unwrap_or_else(|| panic!("{cores}-core row must be measured"));
+            assert!(cell.mips > 0.0, "{cores}-core row must have speed");
+            assert_eq!(
+                cell.instructions % cores as u64,
+                0,
+                "multi-core budget splits evenly across cores"
+            );
+        }
+        assert_eq!(
+            report.cell("RND", "detailed").unwrap().cores,
+            1,
+            "the headline cell stays single-core"
+        );
     }
 
     #[test]
@@ -361,9 +480,10 @@ mod tests {
     fn report_serializes_to_json() {
         let report = measure(&tiny_opts());
         let json = serde_json::to_string(&report).expect("serialize");
-        assert!(json.contains("\"schema\":\"virtuoso-simspeed-v2\""));
+        assert!(json.contains("\"schema\":\"virtuoso-simspeed-v3\""));
         assert!(json.contains("\"headline_mips\""));
         assert!(json.contains("\"engine\":\"midgard\""));
+        assert!(json.contains("\"cores\":4"));
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! unconsumed stream) are detected and reported, which keeps the integration
 //! honest even without real IPC.
 
-use mimic_os::{KernelInstructionStream, Mapping, ProcessId};
+use mimic_os::{InvalidationVictim, KernelInstructionStream, Mapping, ProcessId};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use vm_types::{Counter, VirtAddr, VmError, VmResult};
@@ -160,6 +160,107 @@ impl InstructionStreamChannel {
     }
 }
 
+/// A TLB-shootdown inter-processor interrupt: the initiating core asks a
+/// remote core to invalidate its local translations for the victim pages.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ShootdownIpi {
+    /// The core that initiated the shootdown (runs the reclaim pass).
+    pub from_core: usize,
+    /// The pages every remote core must stop translating.
+    pub victims: Vec<InvalidationVictim>,
+}
+
+/// The inter-core message channel carrying shootdown IPIs and their acks.
+///
+/// Mirrors the functional channel's honesty checks: an initiator that
+/// collects acks before every remote core has posted one is a protocol
+/// violation (a real kernel spinning in `smp_call_function_many` would
+/// deadlock or, worse, let a stale translation survive).
+#[derive(Debug, Clone, Serialize)]
+pub struct InterCoreChannel {
+    /// One IPI inbox per core.
+    inboxes: Vec<VecDeque<ShootdownIpi>>,
+    /// Acks posted by remote cores, in completion order.
+    acks: VecDeque<usize>,
+    /// IPIs delivered to remote inboxes.
+    pub ipis_sent: Counter,
+    /// Acks posted by remote cores.
+    pub acks_sent: Counter,
+}
+
+impl InterCoreChannel {
+    /// Creates a channel connecting `num_cores` cores.
+    pub fn new(num_cores: usize) -> Self {
+        InterCoreChannel {
+            inboxes: (0..num_cores.max(1)).map(|_| VecDeque::new()).collect(),
+            acks: VecDeque::new(),
+            ipis_sent: Counter::new(),
+            acks_sent: Counter::new(),
+        }
+    }
+
+    /// Number of cores the channel connects.
+    pub fn num_cores(&self) -> usize {
+        self.inboxes.len()
+    }
+
+    /// Initiator side: broadcasts a shootdown IPI to every core except
+    /// `from`. Returns the number of remote cores that must ack.
+    pub fn broadcast(&mut self, from: usize, victims: &[InvalidationVictim]) -> usize {
+        let mut remotes = 0;
+        for core in 0..self.inboxes.len() {
+            if core == from {
+                continue;
+            }
+            self.inboxes[core].push_back(ShootdownIpi {
+                from_core: from,
+                victims: victims.to_vec(),
+            });
+            self.ipis_sent.inc();
+            remotes += 1;
+        }
+        remotes
+    }
+
+    /// Remote side: takes the next IPI pending for `core`, if any.
+    pub fn take_for(&mut self, core: usize) -> Option<ShootdownIpi> {
+        self.inboxes[core].pop_front()
+    }
+
+    /// Remote side: acknowledges a processed IPI.
+    pub fn post_ack(&mut self, core: usize) {
+        self.acks.push_back(core);
+        self.acks_sent.inc();
+    }
+
+    /// Initiator side: collects exactly `expected` acks, completing the
+    /// shootdown round.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::ChannelProtocol`] when fewer acks are pending —
+    /// a remote core dropped the IPI without tearing its state down.
+    pub fn take_acks(&mut self, expected: usize) -> VmResult<()> {
+        if self.acks.len() < expected {
+            return Err(VmError::ChannelProtocol {
+                reason: format!(
+                    "shootdown initiator expected {expected} acks, found {}",
+                    self.acks.len()
+                ),
+            });
+        }
+        for _ in 0..expected {
+            self.acks.pop_front();
+        }
+        Ok(())
+    }
+
+    /// IPIs not yet consumed by `core`.
+    pub fn pending_for(&self, core: usize) -> usize {
+        self.inboxes[core].len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,5 +306,52 @@ mod tests {
         assert_eq!(ch.receive().unwrap(), a);
         assert_eq!(ch.receive().unwrap(), b);
         assert!(ch.receive().is_none());
+    }
+
+    fn victim(vaddr: u64) -> InvalidationVictim {
+        InvalidationVictim {
+            pid: ProcessId(0),
+            vaddr: VirtAddr::new(vaddr),
+            page_size: vm_types::PageSize::Size4K,
+        }
+    }
+
+    #[test]
+    fn shootdown_broadcast_reaches_every_remote_core() {
+        let mut ch = InterCoreChannel::new(4);
+        let remotes = ch.broadcast(1, &[victim(0x1000)]);
+        assert_eq!(remotes, 3);
+        assert_eq!(ch.pending_for(1), 0, "the initiator never IPIs itself");
+        for core in [0, 2, 3] {
+            let ipi = ch.take_for(core).expect("remote core has an IPI");
+            assert_eq!(ipi.from_core, 1);
+            assert_eq!(ipi.victims.len(), 1);
+            ch.post_ack(core);
+        }
+        ch.take_acks(remotes).expect("all remotes acked");
+        assert_eq!(ch.ipis_sent.get(), 3);
+        assert_eq!(ch.acks_sent.get(), 3);
+    }
+
+    #[test]
+    fn missing_ack_is_a_protocol_violation() {
+        let mut ch = InterCoreChannel::new(2);
+        let remotes = ch.broadcast(0, &[victim(0x2000)]);
+        assert_eq!(remotes, 1);
+        // Remote takes the IPI but never acks: collecting must fail rather
+        // than silently complete the shootdown.
+        let _ = ch.take_for(1);
+        assert!(matches!(
+            ch.take_acks(remotes),
+            Err(VmError::ChannelProtocol { .. })
+        ));
+    }
+
+    #[test]
+    fn single_core_broadcast_has_no_remotes() {
+        let mut ch = InterCoreChannel::new(1);
+        assert_eq!(ch.broadcast(0, &[victim(0x3000)]), 0);
+        assert!(ch.take_acks(0).is_ok());
+        assert_eq!(ch.ipis_sent.get(), 0);
     }
 }

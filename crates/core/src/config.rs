@@ -139,6 +139,15 @@ impl SystemConfig {
         self.os.policy = policy;
         self
     }
+
+    /// Sets the number of simulated cores, keeping everything else
+    /// identical. `1` (the default everywhere) is the single-core model;
+    /// larger values shard the translation frontend per core and turn
+    /// reclaim invalidations into cross-core shootdown IPIs.
+    pub fn with_cores(mut self, num_cores: usize) -> Self {
+        self.os.num_cores = num_cores;
+        self
+    }
 }
 
 impl Default for SystemConfig {
@@ -187,5 +196,9 @@ mod tests {
             .with_allocation_policy(mimic_os::AllocationPolicy::BuddyFourK);
         assert_eq!(bd.os.policy, mimic_os::AllocationPolicy::BuddyFourK);
         assert_eq!(bd.mmu, base.mmu);
+        let mc = base.clone().with_cores(4);
+        assert_eq!(mc.os.num_cores, 4);
+        assert_eq!(base.os.num_cores, 1);
+        assert_eq!(mc.mmu, base.mmu);
     }
 }

@@ -49,8 +49,13 @@ pub mod report;
 pub mod system;
 pub mod validation;
 
-pub use channel::{FunctionalChannel, InstructionStreamChannel, KernelRequest, KernelResponse};
+pub use channel::{
+    FunctionalChannel, InstructionStreamChannel, InterCoreChannel, KernelRequest, KernelResponse,
+    ShootdownIpi,
+};
 pub use config::{SimulationMode, SystemConfig};
-pub use report::{MultiProgramReport, ProcessReport, ShootdownStats, SimulationReport};
+pub use report::{
+    CoreIpiStats, MultiProgramReport, ProcessReport, ShootdownStats, SimulationReport,
+};
 pub use system::System;
 pub use validation::{accuracy_percent, cosine_similarity_series, ReferenceMachine};

@@ -6,12 +6,24 @@ use mmu_sim::EngineReport;
 use serde::{Deserialize, Serialize};
 use vm_types::{LatencyStats, Percentiles};
 
+/// Per-core shootdown-IPI activity of a multi-core run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreIpiStats {
+    /// Shootdown IPIs this core broadcast as an initiator (one per remote
+    /// core per invalidation batch).
+    pub ipis_sent: u64,
+    /// Shootdown IPIs this core received and processed as a remote.
+    pub ipis_received: u64,
+    /// Cycles this core stalled servicing remote shootdown IPIs.
+    pub ipi_stall_cycles: u64,
+}
+
 /// TLB-shootdown activity applied by the framework on behalf of the
 /// kernel's invalidation batches (reclaim swap-outs, THP demotions,
 /// khugepaged collapses). All counters are zero on a run without memory
 /// pressure or collapses, and the whole section is omitted from the
 /// serialized report in that case.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ShootdownStats {
     /// Invalidation batches applied (one per kernel operation that tore
     /// translations down — the IPI rounds of a real kernel).
@@ -28,6 +40,11 @@ pub struct ShootdownStats {
     /// Replacement mappings installed after shootdowns (THP-demotion
     /// survivors, khugepaged collapse results).
     pub replacements_installed: u64,
+    /// Per-core IPI traffic, indexed by core id. `None` — and absent from
+    /// the serialized JSON, keeping single-core reports byte-identical —
+    /// until a multi-core run broadcasts its first shootdown.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub per_core: Option<Vec<CoreIpiStats>>,
 }
 
 impl ShootdownStats {
@@ -204,6 +221,19 @@ impl SimulationReport {
                 "shootdown_replacements",
                 shootdowns.replacements_installed.to_string(),
             );
+            if let Some(per_core) = &shootdowns.per_core {
+                for (core, ipi) in per_core.iter().enumerate() {
+                    push(&format!("core{core}_ipis_sent"), ipi.ipis_sent.to_string());
+                    push(
+                        &format!("core{core}_ipis_received"),
+                        ipi.ipis_received.to_string(),
+                    );
+                    push(
+                        &format!("core{core}_ipi_stall_cycles"),
+                        ipi.ipi_stall_cycles.to_string(),
+                    );
+                }
+            }
         }
         match &self.engine {
             None => {}
@@ -415,15 +445,49 @@ mod tests {
             pwc_entries_dropped: 6,
             engine_entries_dropped: 3,
             replacements_installed: 448,
+            per_core: None,
         });
         let json = serde_json::to_string(&noisy).unwrap();
         assert!(json.contains("\"shootdowns\":"));
         assert!(json.contains("\"pages\":64"));
+        assert!(
+            !json.contains("per_core"),
+            "single-core shootdown sections must not grow a per_core field"
+        );
         let table = noisy.to_table();
         assert!(table.contains("shootdown_batches"));
         assert!(table.contains("shootdown_replacements"));
         assert!(ShootdownStats::default().is_zero());
         assert!(!noisy.shootdowns.unwrap().is_zero());
+    }
+
+    #[test]
+    fn per_core_ipi_stats_serialize_when_present() {
+        let mut r = sample();
+        r.shootdowns = Some(ShootdownStats {
+            batches: 1,
+            pages: 8,
+            per_core: Some(vec![
+                CoreIpiStats {
+                    ipis_sent: 1,
+                    ipis_received: 0,
+                    ipi_stall_cycles: 0,
+                },
+                CoreIpiStats {
+                    ipis_sent: 0,
+                    ipis_received: 1,
+                    ipi_stall_cycles: 1800,
+                },
+            ]),
+            ..ShootdownStats::default()
+        });
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"per_core\":"));
+        assert!(json.contains("\"ipi_stall_cycles\":1800"));
+        let table = r.to_table();
+        assert!(table.contains("core0_ipis_sent"));
+        assert!(table.contains("core1_ipi_stall_cycles"));
+        assert!(!r.shootdowns.unwrap().is_zero());
     }
 
     #[test]

@@ -7,9 +7,13 @@
 //! is tagged with the process's ASID, and context switches apply the
 //! configured TLB policy (ASID-tagged survival vs full flush).
 
-use crate::channel::{FunctionalChannel, InstructionStreamChannel, KernelRequest, KernelResponse};
+use crate::channel::{
+    FunctionalChannel, InstructionStreamChannel, InterCoreChannel, KernelRequest, KernelResponse,
+};
 use crate::config::{SimulationMode, SystemConfig};
-use crate::report::{MultiProgramReport, ProcessReport, ShootdownStats, SimulationReport};
+use crate::report::{
+    CoreIpiStats, MultiProgramReport, ProcessReport, ShootdownStats, SimulationReport,
+};
 use cache_sim::CacheHierarchy;
 use dram_sim::DramModel;
 use mimic_os::sched::ContextSwitch;
@@ -33,35 +37,112 @@ struct ProcPerf {
     segfaults: u64,
 }
 
+/// The architectural state owned by one simulated core: its timing model
+/// and its private translation frontend (TLBs, PWCs, engine state). The
+/// caches, DRAM and MimicOS stay machine-wide.
+#[derive(Debug)]
+struct CoreState {
+    core: CoreModel,
+    /// The TLB hierarchy, page-walk caches and per-address-space page
+    /// tables — the translation infrastructure every engine composes with.
+    mmu: Mmu,
+    /// The design-specific translation state (conventional page table,
+    /// Midgard, RMM or Utopia), selected by [`SystemConfig::engine`]. The
+    /// engine borrows this core's `mmu` on every call.
+    engine: TranslationEngine,
+    /// The process currently holding this core.
+    current: ProcessId,
+    /// Cached index of `current` into `per_proc`, refreshed on context
+    /// switch so the steady-state loop does a single bounds-checked index.
+    current_slot: usize,
+    /// Cycles spent on address translation beyond the first-level TLB.
+    translation_cycles: u64,
+    /// Accumulated page-walk latency (cycles) and walk count.
+    ptw_latency_cycles: u64,
+    ptw_count: u64,
+    instructions_since_housekeeping: u64,
+}
+
+/// Projects core `$idx`'s state out of `$sys` as a shared borrow. A macro
+/// rather than a method so the borrow stays field-granular: `per_proc`,
+/// `shootdowns`, `os` and the rest of `System` remain independently
+/// borrowable alongside the returned reference.
+macro_rules! core_ref {
+    ($sys:expr, $idx:expr) => {{
+        let idx: usize = $idx;
+        if idx == 0 {
+            &$sys.core0
+        } else {
+            &$sys.extra_cores[idx - 1]
+        }
+    }};
+}
+
+/// [`core_ref!`], mutably.
+macro_rules! core_mut {
+    ($sys:expr, $idx:expr) => {{
+        let idx: usize = $idx;
+        if idx == 0 {
+            &mut $sys.core0
+        } else {
+            &mut $sys.extra_cores[idx - 1]
+        }
+    }};
+}
+
+/// The active core, shared. `$pin` is the `PIN0` const of the enclosing
+/// stepping function: when `true` (the single-core run loops) the
+/// projection constant-folds to the inline `core0` field, so the
+/// instruction loop pays no `active` load or branch — the exact code the
+/// machine ran before it grew multiple cores.
+macro_rules! active_ref {
+    ($sys:expr, $pin:expr) => {{
+        if $pin {
+            &$sys.core0
+        } else {
+            core_ref!($sys, $sys.active)
+        }
+    }};
+}
+
+/// [`active_ref!`], mutably.
+macro_rules! active_mut {
+    ($sys:expr, $pin:expr) => {{
+        if $pin {
+            &mut $sys.core0
+        } else {
+            core_mut!($sys, $sys.active)
+        }
+    }};
+}
+
 /// The full simulated machine.
 ///
 /// See the [crate-level documentation](crate) for an example.
 #[derive(Debug)]
 pub struct System {
     config: SystemConfig,
-    core: CoreModel,
     caches: CacheHierarchy,
     dram: DramModel,
-    /// The TLB hierarchy, page-walk caches and per-address-space page
-    /// tables — the translation infrastructure every engine composes with.
-    mmu: Mmu,
-    /// The design-specific translation state (conventional page table,
-    /// Midgard, RMM or Utopia), selected by [`SystemConfig::engine`]. The
-    /// engine borrows [`System::mmu`] on every call.
-    engine: TranslationEngine,
+    /// Core 0's translation frontend + timing model, stored inline: the
+    /// single-core instruction loop reaches all its state at fixed
+    /// offsets from `self`, exactly as it did before the machine grew
+    /// multiple cores (measured: routing core 0 through a `Vec` cost
+    /// 5–9% sustained MIPS across every single-core workload).
+    core0: CoreState,
+    /// Cores 1..N of a multi-core machine (empty at `num_cores = 1`).
+    extra_cores: Vec<CoreState>,
+    /// The core the convenience stepping API drives; the sharded
+    /// multi-core loop rotates it round-robin.
+    active: usize,
     os: MimicOs,
     /// The first process, used by the single-process convenience API.
     primary: ProcessId,
-    /// The process currently holding the simulated core.
-    current: ProcessId,
     /// Per-process performance accounting, indexed densely by raw pid
     /// (pids are allocated sequentially from 0). Replaces the seed's
     /// `BTreeMap`, whose two tree walks per retired instruction were one
     /// of the instruction loop's dominant constant factors.
     per_proc: Vec<ProcPerf>,
-    /// Cached index of `current` into `per_proc`, refreshed on context
-    /// switch so the steady-state loop does a single bounds-checked index.
-    current_slot: usize,
     /// Context switches performed by the framework.
     context_switches: u64,
     /// TLB entries dropped by context-switch flushes.
@@ -70,15 +151,11 @@ pub struct System {
     shootdowns: ShootdownStats,
     functional: FunctionalChannel,
     streams: InstructionStreamChannel,
+    /// Shootdown IPIs and acks between the simulated cores.
+    ipi: InterCoreChannel,
     workload_name: String,
-    /// Cycles spent on address translation beyond the first-level TLB.
-    translation_cycles: u64,
-    /// Accumulated page-walk latency (cycles) and walk count.
-    ptw_latency_cycles: u64,
-    ptw_count: u64,
     /// Segmentation faults observed (accesses outside any VMA are skipped).
     segfaults: u64,
-    instructions_since_housekeeping: u64,
 }
 
 impl System {
@@ -89,30 +166,42 @@ impl System {
     /// Panics if the MimicOS configuration is invalid (see
     /// [`mimic_os::OsConfig::validate`]).
     pub fn new(config: SystemConfig) -> Self {
+        let num_cores = config.os.num_cores.max(1);
         let mut os = MimicOs::new(config.os.clone());
         let pid = os.spawn_process();
-        System {
+        let make_core = |c: usize| CoreState {
             core: CoreModel::new(config.core),
-            caches: CacheHierarchy::new(config.caches.clone()),
-            dram: DramModel::new(config.dram.clone()),
             mmu: Mmu::new(config.mmu.clone()),
             engine: TranslationEngine::new(config.engine),
+            // With `pid % num_cores` pinning, the first process
+            // dispatched on core `c` is pid `c`, so seeding `current`
+            // this way avoids a spurious boot-time context switch —
+            // exactly the legacy `current = primary` semantics at
+            // one core.
+            current: ProcessId(c),
+            current_slot: c,
+            translation_cycles: 0,
+            ptw_latency_cycles: 0,
+            ptw_count: 0,
+            instructions_since_housekeeping: 0,
+        };
+        System {
+            caches: CacheHierarchy::new(config.caches.clone()),
+            dram: DramModel::new(config.dram.clone()),
+            core0: make_core(0),
+            extra_cores: (1..num_cores).map(make_core).collect(),
+            active: 0,
             os,
             primary: pid,
-            current: pid,
             per_proc: vec![ProcPerf::default(); pid.0 + 1],
-            current_slot: pid.0,
             context_switches: 0,
             switch_flushed_entries: 0,
             shootdowns: ShootdownStats::default(),
             functional: FunctionalChannel::new(),
             streams: InstructionStreamChannel::new(),
+            ipi: InterCoreChannel::new(num_cores),
             workload_name: String::new(),
-            translation_cycles: 0,
-            ptw_latency_cycles: 0,
-            ptw_count: 0,
             segfaults: 0,
-            instructions_since_housekeeping: 0,
             config,
         }
     }
@@ -127,16 +216,26 @@ impl System {
         &self.os
     }
 
-    /// The TLB-and-page-table side of the machine (for TLB / page-walk
+    /// The TLB-and-page-table side of core 0 (for TLB / page-walk
     /// statistics). Under the Midgard engine this is the Midgard-space
     /// backend the engine repurposes; see [`mmu_sim::MidgardEngine`].
     pub fn mmu(&self) -> &Mmu {
-        &self.mmu
+        &self.core0.mmu
     }
 
-    /// The translation engine in use (for engine-specific statistics).
+    /// The translation engine of core 0 (for engine-specific statistics).
     pub fn engine(&self) -> &TranslationEngine {
-        &self.engine
+        &self.core0.engine
+    }
+
+    /// Core `core`'s private TLB-and-page-table state.
+    pub fn mmu_of(&self, core: usize) -> &Mmu {
+        &core_ref!(self, core).mmu
+    }
+
+    /// Core `core`'s translation engine.
+    pub fn engine_of(&self, core: usize) -> &TranslationEngine {
+        &core_ref!(self, core).engine
     }
 
     /// The DRAM model (for row-buffer statistics).
@@ -144,9 +243,29 @@ impl System {
         &self.dram
     }
 
-    /// The core model.
+    /// The core model of core 0.
     pub fn core(&self) -> &CoreModel {
-        &self.core
+        &self.core0.core
+    }
+
+    /// The core model of core `core`.
+    pub fn core_model_of(&self, core: usize) -> &CoreModel {
+        &core_ref!(self, core).core
+    }
+
+    /// Number of simulated cores.
+    pub fn num_cores(&self) -> usize {
+        1 + self.extra_cores.len()
+    }
+
+    /// Iterates the per-core state, core 0 first.
+    fn each_core(&self) -> impl Iterator<Item = &CoreState> {
+        std::iter::once(&self.core0).chain(self.extra_cores.iter())
+    }
+
+    /// The core a process is pinned to (`pid % num_cores`).
+    pub fn core_of(&self, pid: ProcessId) -> usize {
+        pid.0 % self.num_cores()
     }
 
     /// The first process — the one the single-process API runs.
@@ -154,9 +273,9 @@ impl System {
         self.primary
     }
 
-    /// The process currently holding the core.
+    /// The process currently holding core 0.
     pub fn current_pid(&self) -> ProcessId {
-        self.current
+        self.core0.current
     }
 
     /// The ASID of a process.
@@ -277,8 +396,10 @@ impl System {
     /// A no-op on the conventional page-table engine.
     fn engine_note_mapped_region(&mut self, pid: ProcessId, start: VirtAddr, len: u64) {
         let asid = Self::asid_of(pid);
-        self.engine.note_vma(asid, start, len);
-        self.engine.note_ranges(asid, self.os.ranges(pid));
+        let core = self.core_of(pid);
+        let c = core_mut!(self, core);
+        c.engine.note_vma(asid, start, len);
+        c.engine.note_ranges(asid, self.os.ranges(pid));
     }
 
     /// Pre-faults every page of every VMA of `pid` (the equivalent of
@@ -288,6 +409,7 @@ impl System {
     /// workloads without their cold first-touch phase.
     pub fn populate(&mut self, pid: ProcessId) {
         let asid = Self::asid_of(pid);
+        let home = self.core_of(pid);
         let vmas: Vec<(VirtAddr, u64)> = self
             .os
             .process(pid)
@@ -300,8 +422,9 @@ impl System {
             while offset < len {
                 let va = start.add(offset);
                 if let Some(existing) = self.os.process(pid).lookup_mapping(va) {
-                    self.engine.handle_fault_install(
-                        &mut self.mmu,
+                    let c = core_mut!(self, home);
+                    c.engine.handle_fault_install(
+                        &mut c.mmu,
                         asid,
                         &existing,
                         InstallInfo::default(),
@@ -317,16 +440,13 @@ impl System {
                         // Populating a footprint larger than memory can
                         // reclaim; the shootdowns still apply (state, not
                         // time — populate charges nothing by design).
-                        self.apply_invalidations(&outcome.invalidations, false);
-                        self.engine.handle_fault_install(
-                            &mut self.mmu,
-                            asid,
-                            &outcome.mapping,
-                            info,
-                        );
+                        self.apply_invalidations_from(home, &outcome.invalidations, false);
+                        let c = core_mut!(self, home);
+                        c.engine
+                            .handle_fault_install(&mut c.mmu, asid, &outcome.mapping, info);
                         for extra in &outcome.additional_mappings {
-                            self.engine.handle_fault_install(
-                                &mut self.mmu,
+                            c.engine.handle_fault_install(
+                                &mut c.mmu,
                                 asid,
                                 extra,
                                 InstallInfo::default(),
@@ -343,7 +463,7 @@ impl System {
                         // Out of memory (or swap): leave the rest untouched,
                         // but apply whatever reclaim tore down on the way.
                         let pending = self.os.take_pending_invalidations();
-                        self.apply_invalidations(&pending, false);
+                        self.apply_invalidations_from(home, &pending, false);
                         offset += PageSize::Size4K.bytes();
                     }
                 }
@@ -361,12 +481,22 @@ impl System {
         self.workload_name = frontend.name().to_string();
         let limit = max_instructions.unwrap_or(u64::MAX);
         let mut retired = 0u64;
-        while retired < limit {
-            let Some(instr) = frontend.next_instruction() else {
-                break;
-            };
-            self.step(&instr);
-            retired += 1;
+        if self.extra_cores.is_empty() {
+            while retired < limit {
+                let Some(instr) = frontend.next_instruction() else {
+                    break;
+                };
+                self.step_impl::<true>(&instr);
+                retired += 1;
+            }
+        } else {
+            while retired < limit {
+                let Some(instr) = frontend.next_instruction() else {
+                    break;
+                };
+                self.step(&instr);
+                retired += 1;
+            }
         }
         self.report()
     }
@@ -391,18 +521,10 @@ impl System {
         programs: &mut [(ProcessId, &mut dyn TraceSource)],
         max_instructions: Option<u64>,
     ) -> MultiProgramReport {
-        let mut names: BTreeMap<usize, String> = BTreeMap::new();
-        for (pid, src) in programs.iter() {
-            assert!(
-                names.insert(pid.0, src.name().to_string()).is_none(),
-                "{pid} appears twice"
-            );
+        if !self.extra_cores.is_empty() {
+            return self.run_multiprogram_sharded(programs, max_instructions);
         }
-        self.workload_name = {
-            let mut all: Vec<&str> = names.values().map(String::as_str).collect();
-            all.sort_unstable();
-            all.join("+")
-        };
+        let names = self.name_programs(programs);
 
         let limit = max_instructions.unwrap_or(u64::MAX);
         let mut retired_total = 0u64;
@@ -410,11 +532,11 @@ impl System {
             let Some(pid) = self.os.scheduler_mut().schedule() else {
                 break; // every process exited
             };
-            if pid != self.current {
+            if pid != self.core0.current {
                 // Dispatch after an exit (or an externally spawned process):
                 // architecturally still a context switch.
                 self.apply_context_switch(ContextSwitch {
-                    from: self.current,
+                    from: self.core0.current,
                     to: pid,
                 });
             }
@@ -432,7 +554,9 @@ impl System {
                     exhausted = true;
                     break;
                 };
-                self.step(&instr);
+                // This legacy loop only runs single-core (the sharded loop
+                // handles `extra_cores`), so the pinned step applies.
+                self.step_impl::<true>(&instr);
                 ran += 1;
                 retired_total += 1;
                 if retired_total >= limit {
@@ -452,6 +576,34 @@ impl System {
             }
         }
 
+        self.multiprogram_report(&names)
+    }
+
+    /// Registers the program names and builds the combined workload name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same `pid` appears twice in `programs`.
+    fn name_programs(
+        &mut self,
+        programs: &[(ProcessId, &mut dyn TraceSource)],
+    ) -> BTreeMap<usize, String> {
+        let mut names: BTreeMap<usize, String> = BTreeMap::new();
+        for (pid, src) in programs.iter() {
+            assert!(
+                names.insert(pid.0, src.name().to_string()).is_none(),
+                "{pid} appears twice"
+            );
+        }
+        self.workload_name = {
+            let mut all: Vec<&str> = names.values().map(String::as_str).collect();
+            all.sort_unstable();
+            all.join("+")
+        };
+        names
+    }
+
+    fn multiprogram_report(&self, names: &BTreeMap<usize, String>) -> MultiProgramReport {
         let processes = names
             .iter()
             .map(|(&pid, name)| self.process_report(ProcessId(pid), name.clone()))
@@ -462,6 +614,102 @@ impl System {
             switch_flushed_tlb_entries: self.switch_flushed_entries,
             rollup: self.report(),
         }
+    }
+
+    /// Instructions one core runs before the round-robin loop moves on to
+    /// the next: the interleaving granularity of the multi-core model.
+    /// Small enough that cross-core shootdowns land promptly, large enough
+    /// that the per-turn dispatch overhead stays negligible.
+    const CORE_TICK: u64 = 256;
+
+    /// Runs several processes on the system's simulated cores: every core
+    /// round-robins over its own run queue (processes are pinned by
+    /// `pid % num_cores`), the cores interleave deterministically in
+    /// `CORE_TICK` (256)-instruction turns, and reclaim invalidations
+    /// broadcast shootdown IPIs from the faulting core to every other core.
+    ///
+    /// With `num_cores = 1` this is semantically identical to the legacy
+    /// [`System::run_multiprogram`] loop — dispatches, preemption points
+    /// and every charged cycle land on the same instructions — which the
+    /// `multicore_differential` test fence pins byte-for-byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same `pid` appears twice in `programs`.
+    pub fn run_multiprogram_sharded(
+        &mut self,
+        programs: &mut [(ProcessId, &mut dyn TraceSource)],
+        max_instructions: Option<u64>,
+    ) -> MultiProgramReport {
+        let names = self.name_programs(programs);
+
+        let limit = max_instructions.unwrap_or(u64::MAX);
+        let num_cores = self.num_cores();
+        let mut retired_total = 0u64;
+        'outer: loop {
+            let mut any_progress = false;
+            for core in 0..num_cores {
+                if retired_total >= limit {
+                    break 'outer;
+                }
+                let Some(pid) = self.os.scheduler_mut().schedule_on(core) else {
+                    continue; // this core's queue is empty
+                };
+                self.active = core;
+                if pid != core_ref!(self, core).current {
+                    self.apply_context_switch(ContextSwitch {
+                        from: core_ref!(self, core).current,
+                        to: pid,
+                    });
+                }
+                let Some((_, source)) = programs.iter_mut().find(|(p, _)| *p == pid) else {
+                    // No trace for this process: it exits immediately.
+                    self.os.scheduler_mut().exit(pid);
+                    any_progress = true;
+                    continue;
+                };
+
+                // Run one turn: at most CORE_TICK instructions, never past
+                // the end of the quantum (so preemption points match the
+                // single-core loop instruction-for-instruction).
+                let turn = Self::CORE_TICK.min(self.os.scheduler().remaining_quantum_on(core));
+                let mut ran = 0u64;
+                let mut exhausted = false;
+                while ran < turn {
+                    let Some(instr) = source.next_instruction() else {
+                        exhausted = true;
+                        break;
+                    };
+                    self.step(&instr);
+                    ran += 1;
+                    retired_total += 1;
+                    if retired_total >= limit {
+                        if ran > 0 {
+                            self.os.scheduler_mut().account_on(core, ran);
+                        }
+                        break 'outer;
+                    }
+                }
+                if ran > 0 {
+                    any_progress = true;
+                }
+                let expired = ran > 0 && self.os.scheduler_mut().account_on(core, ran);
+                if exhausted {
+                    self.os.scheduler_mut().exit(pid);
+                } else if expired {
+                    if let Some(switch) = self.os.scheduler_mut().preempt_on(core) {
+                        self.active = core;
+                        self.apply_context_switch(switch);
+                    }
+                }
+            }
+            if !any_progress {
+                break; // every process exited
+            }
+        }
+
+        self.active = 0;
+        self.multiprogram_report(&names)
     }
 
     /// Applies the architectural consequences of a context switch: the
@@ -476,25 +724,31 @@ impl System {
             SimulationMode::Emulation { .. } => {
                 // Emulation mode charges the switch as a fixed stall instead
                 // of simulating the switch code.
-                self.core
+                core_mut!(self, self.active)
+                    .core
                     .stall(Cycles::new(u64::from(self.config.os.context_switch_cost)));
             }
         }
-        let dropped = self
+        self.ensure_perf_slot(switch.to);
+        let c = core_mut!(self, self.active);
+        let dropped = c
             .engine
-            .context_switch(&mut self.mmu, Self::asid_of(switch.to));
+            .context_switch(&mut c.mmu, Self::asid_of(switch.to));
         self.switch_flushed_entries += dropped as u64;
         self.context_switches += 1;
-        self.current = switch.to;
+        c.current = switch.to;
         // Swap the cached accounting slot to the incoming process.
-        self.ensure_perf_slot(switch.to);
-        self.current_slot = switch.to.0;
+        c.current_slot = switch.to.0;
     }
 
     /// Builds the per-process slice of the report for `pid`.
     fn process_report(&self, pid: ProcessId, workload: String) -> ProcessReport {
         let perf = self.per_proc.get(pid.0).copied().unwrap_or_default();
-        let asid_stats = self.mmu.stats().for_asid(Self::asid_of(pid));
+        let home = self.core_of(pid);
+        let asid_stats = core_ref!(self, home)
+            .mmu
+            .stats()
+            .for_asid(Self::asid_of(pid));
         let process = self.os.process(pid);
         ProcessReport {
             pid: pid.0,
@@ -524,24 +778,64 @@ impl System {
         }
     }
 
-    /// Executes one application instruction, attributing its cost to the
-    /// current process.
+    /// Executes one application instruction on the active core, attributing
+    /// its cost to the process currently holding that core.
     pub fn step(&mut self, instr: &Instruction) {
-        let cycles_before = self.core.cycles().raw();
+        self.step_impl::<false>(instr);
+    }
+
+    /// [`System::step`], monomorphized over `PIN0`: the single-core run
+    /// loops instantiate `PIN0 = true`, pinning the active core to the
+    /// inline `core0` field at compile time (callers must guarantee
+    /// `active == 0`, which `extra_cores.is_empty()` implies).
+    fn step_impl<const PIN0: bool>(&mut self, instr: &Instruction) {
+        debug_assert!(!PIN0 || self.active == 0);
+        let cycles_before = active_ref!(self, PIN0).core.cycles().raw();
         match instr.memory {
-            None => self.core.retire_compute(1),
-            Some((vaddr, kind)) => self.memory_access(instr.pc, vaddr, kind),
+            None => active_mut!(self, PIN0).core.retire_compute(1),
+            Some((vaddr, kind)) => self.memory_access::<PIN0>(instr.pc, vaddr, kind),
         }
-        let perf = &mut self.per_proc[self.current_slot];
+        let housekeeping_interval = self.config.housekeeping_interval;
+        let c = active_mut!(self, PIN0);
+        let perf = &mut self.per_proc[c.current_slot];
         perf.instructions += 1;
-        perf.cycles += self.core.cycles().raw() - cycles_before;
-        self.instructions_since_housekeeping += 1;
-        if self.config.housekeeping_interval > 0
-            && self.instructions_since_housekeeping >= self.config.housekeeping_interval
-        {
-            self.instructions_since_housekeeping = 0;
+        perf.cycles += c.core.cycles().raw() - cycles_before;
+        c.instructions_since_housekeeping += 1;
+        if housekeeping_interval > 0 && c.instructions_since_housekeeping >= housekeeping_interval {
+            c.instructions_since_housekeeping = 0;
             self.housekeeping();
         }
+    }
+
+    /// Flushes locally accumulated translation costs into the active core's
+    /// and the current process's accounting (one dense-array index per
+    /// memory access; compute instructions never touch these fields).
+    fn credit_translation<const PIN0: bool>(
+        &mut self,
+        cycles: u64,
+        ptw_latency: u64,
+        ptw_count: u64,
+    ) {
+        let c = active_mut!(self, PIN0);
+        c.translation_cycles += cycles;
+        c.ptw_latency_cycles += ptw_latency;
+        c.ptw_count += ptw_count;
+        let perf = &mut self.per_proc[c.current_slot];
+        perf.translation_cycles += cycles;
+        perf.ptw_latency_cycles += ptw_latency;
+        perf.ptw_count += ptw_count;
+    }
+
+    /// Executes one application instruction on core `core` — the multi-core
+    /// stepping API (tests and benchmarks drive interleavings with it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn step_on(&mut self, core: usize, instr: &Instruction) {
+        assert!(core < self.num_cores(), "core {core} out of range");
+        self.active = core;
+        self.step(instr);
     }
 
     /// Periodic background OS work: zeroed-pool refill and khugepaged, with
@@ -550,11 +844,12 @@ impl System {
     /// its invalidation batch is applied just like a reclaim shootdown —
     /// before the fix, the TLBs kept translating into the freed frames.
     fn housekeeping(&mut self) {
+        let current = core_ref!(self, self.active).current;
         self.functional
-            .post_request(KernelRequest::BackgroundTick { pid: self.current });
+            .post_request(KernelRequest::BackgroundTick { pid: current });
         let _ = self.functional.take_request();
         self.os.background_tick();
-        let (stream, invalidations) = self.os.khugepaged_tick(self.current);
+        let (stream, invalidations) = self.os.khugepaged_tick(current);
         self.functional.post_response(KernelResponse::TickDone);
         let _ = self.functional.take_response();
         let detailed = self.config.mode.is_detailed();
@@ -562,25 +857,14 @@ impl System {
             self.streams.send(stream);
             self.drain_kernel_streams();
         }
-        self.apply_invalidations(&invalidations, detailed);
-    }
-
-    /// Flushes locally accumulated translation costs into the global and
-    /// per-process accounting (one dense-array index per memory access).
-    fn credit_translation(&mut self, cycles: u64, ptw_latency: u64, ptw_count: u64) {
-        self.translation_cycles += cycles;
-        self.ptw_latency_cycles += ptw_latency;
-        self.ptw_count += ptw_count;
-        let perf = &mut self.per_proc[self.current_slot];
-        perf.translation_cycles += cycles;
-        perf.ptw_latency_cycles += ptw_latency;
-        perf.ptw_count += ptw_count;
+        self.apply_invalidations_from(self.active, &invalidations, detailed);
     }
 
     /// Performs one data memory access: translation, possible fault
-    /// handling, then the data access itself.
-    fn memory_access(&mut self, pc: VirtAddr, vaddr: VirtAddr, kind: AccessType) {
-        let asid = Self::asid_of(self.current);
+    /// handling, then the data access itself. [`System::step`] retires the
+    /// surrounding instruction's per-process accounting.
+    fn memory_access<const PIN0: bool>(&mut self, pc: VirtAddr, vaddr: VirtAddr, kind: AccessType) {
+        let asid = Self::asid_of(active_ref!(self, PIN0).current);
         let mut total_latency = Cycles::ZERO;
         let mut paddr: Option<PhysAddr> = None;
         let mut translation_cycles = 0u64;
@@ -589,7 +873,10 @@ impl System {
 
         // Translation (with at most one fault retry).
         for attempt in 0..2 {
-            let result = self.engine.translate(&mut self.mmu, asid, vaddr);
+            let result = {
+                let c = active_mut!(self, PIN0);
+                c.engine.translate(&mut c.mmu, asid, vaddr)
+            };
             total_latency += result.fixed_latency;
             // Anything beyond the 1-cycle L1 TLB probe counts as address
             // translation overhead.
@@ -611,17 +898,18 @@ impl System {
                 None => {
                     if attempt == 1 || !self.handle_fault(vaddr, kind.is_write()) {
                         // Unresolvable fault: skip the access.
-                        self.credit_translation(translation_cycles, ptw_latency, ptw_count);
-                        self.core.retire_compute(1);
+                        self.credit_translation::<PIN0>(translation_cycles, ptw_latency, ptw_count);
+                        active_mut!(self, PIN0).core.retire_compute(1);
                         return;
                     }
                 }
             }
         }
-        self.credit_translation(translation_cycles, ptw_latency, ptw_count);
+
+        self.credit_translation::<PIN0>(translation_cycles, ptw_latency, ptw_count);
 
         let Some(paddr) = paddr else {
-            self.core.retire_compute(1);
+            active_mut!(self, PIN0).core.retire_compute(1);
             return;
         };
 
@@ -652,7 +940,7 @@ impl System {
                 Requestor::Application,
             ));
         }
-        self.core.retire_memory(total_latency);
+        active_mut!(self, PIN0).core.retire_memory(total_latency);
     }
 
     /// Replays a page-table walk through the memory hierarchy and returns
@@ -708,7 +996,7 @@ impl System {
     /// be resolved (segmentation fault).
     fn handle_fault(&mut self, vaddr: VirtAddr, is_write: bool) -> bool {
         self.functional.post_request(KernelRequest::PageFault {
-            pid: self.current,
+            pid: core_ref!(self, self.active).current,
             vaddr,
             is_write,
         });
@@ -760,35 +1048,39 @@ impl System {
                         // Mirror the kernel's order: reclaim (and its
                         // shootdowns) happened before the new mapping was
                         // established.
-                        self.apply_invalidations(&invalidations, true);
-                        self.install_mapping_detailed(asid, &mapping, install_info);
+                        self.apply_invalidations_from(self.active, &invalidations, true);
+                        self.install_mapping_detailed(self.active, asid, &mapping, install_info);
                         for extra in &additional {
-                            self.install_mapping_detailed(asid, extra, InstallInfo::default());
-                        }
-                        let device_cycles =
-                            (device_latency_ns * self.config.core.frequency.ghz()).round() as u64;
-                        self.core.stall(Cycles::new(device_cycles));
-                    }
-                    SimulationMode::Emulation {
-                        fixed_fault_latency,
-                        ..
-                    } => {
-                        self.apply_invalidations(&invalidations, false);
-                        self.engine.handle_fault_install(
-                            &mut self.mmu,
-                            asid,
-                            &mapping,
-                            install_info,
-                        );
-                        for extra in &additional {
-                            self.engine.handle_fault_install(
-                                &mut self.mmu,
+                            self.install_mapping_detailed(
+                                self.active,
                                 asid,
                                 extra,
                                 InstallInfo::default(),
                             );
                         }
-                        self.core.stall(fixed_fault_latency);
+                        let device_cycles =
+                            (device_latency_ns * self.config.core.frequency.ghz()).round() as u64;
+                        core_mut!(self, self.active)
+                            .core
+                            .stall(Cycles::new(device_cycles));
+                    }
+                    SimulationMode::Emulation {
+                        fixed_fault_latency,
+                        ..
+                    } => {
+                        self.apply_invalidations_from(self.active, &invalidations, false);
+                        let c = core_mut!(self, self.active);
+                        c.engine
+                            .handle_fault_install(&mut c.mmu, asid, &mapping, install_info);
+                        for extra in &additional {
+                            c.engine.handle_fault_install(
+                                &mut c.mmu,
+                                asid,
+                                extra,
+                                InstallInfo::default(),
+                            );
+                        }
+                        c.core.stall(fixed_fault_latency);
                     }
                 }
                 true
@@ -836,66 +1128,147 @@ impl System {
             self.streams.send(stream);
             self.drain_kernel_streams();
         }
-        self.apply_invalidations(&pending, detailed);
+        self.apply_invalidations_from(self.active, &pending, detailed);
     }
 
-    /// Installs a mapping in detailed mode, charging the translation-
-    /// metadata update accesses as kernel memory traffic.
-    fn install_mapping_detailed(&mut self, asid: Asid, mapping: &Mapping, info: InstallInfo) {
-        let accesses = self
-            .engine
-            .handle_fault_install(&mut self.mmu, asid, mapping, info);
-        self.core.set_kernel_mode(true);
+    /// Installs a mapping on `core` in detailed mode, charging the
+    /// translation-metadata update accesses as that core's kernel traffic.
+    fn install_mapping_detailed(
+        &mut self,
+        core: usize,
+        asid: Asid,
+        mapping: &Mapping,
+        info: InstallInfo,
+    ) {
+        let accesses = {
+            let c = core_mut!(self, core);
+            c.engine
+                .handle_fault_install(&mut c.mmu, asid, mapping, info)
+        };
+        core_mut!(self, core).core.set_kernel_mode(true);
         for pa in accesses {
             let lat = self.charge_kernel_access(pa, AccessType::Write);
-            self.core.retire_memory(lat);
+            core_mut!(self, core).core.retire_memory(lat);
         }
-        self.core.set_kernel_mode(false);
+        core_mut!(self, core).core.set_kernel_mode(false);
     }
 
-    /// Applies a kernel invalidation batch: every victim is shot out of
-    /// the MMU (page table, TLBs, PWCs) and the engine's design-specific
-    /// state through [`TranslationEngine::invalidate`], then the
-    /// replacement mappings (THP-demotion survivors, khugepaged collapse
-    /// results) are installed. The IPI/`invlpg` *instruction* cost is
+    /// Tears down the translations of a single victim page on core `core`,
+    /// folding the dropped-entry counts into the shootdown statistics and —
+    /// when `charge_memory` — sending the metadata-update accesses through
+    /// the hierarchy as that core's kernel traffic.
+    fn invalidate_victim_on(
+        &mut self,
+        core: usize,
+        victim: &mimic_os::InvalidationVictim,
+        charge_memory: bool,
+    ) {
+        let asid = Self::asid_of(victim.pid);
+        let outcome = {
+            let c = core_mut!(self, core);
+            c.engine
+                .invalidate(&mut c.mmu, asid, victim.vaddr, victim.page_size)
+        };
+        self.shootdowns.tlb_entries_dropped += outcome.tlb_entries_dropped as u64;
+        self.shootdowns.pwc_entries_dropped += outcome.pwc_entries_dropped as u64;
+        self.shootdowns.engine_entries_dropped += outcome.engine_entries_dropped as u64;
+        if charge_memory {
+            core_mut!(self, core).core.set_kernel_mode(true);
+            for pa in outcome.accesses {
+                let lat = self.charge_kernel_access(pa, AccessType::Write);
+                core_mut!(self, core).core.retire_memory(lat);
+            }
+            core_mut!(self, core).core.set_kernel_mode(false);
+        }
+    }
+
+    /// Applies a kernel invalidation batch initiated on core `initiator`:
+    /// every victim is shot out of the MMU (page table, TLBs, PWCs) and the
+    /// engine's design-specific state through
+    /// [`TranslationEngine::invalidate`], then the replacement mappings
+    /// (THP-demotion survivors, khugepaged collapse results) are installed
+    /// on their owners' home cores.
+    ///
+    /// With more than one core this is a real TLB shootdown: the initiator
+    /// broadcasts an IPI to every remote core over the inter-core channel,
+    /// each remote core stalls for the IPI delivery cost, tears down only
+    /// its *own* TLB/PWC/engine state, and acks; the initiator collects
+    /// every ack before its fault completes (a missing ack is a channel
+    /// protocol violation). The initiator-side IPI *instruction* cost is
     /// already part of the kernel stream MimicOS produced; `charge_memory`
     /// additionally sends the metadata-update accesses through the cache
-    /// hierarchy (detailed mode on the simulated-time path; `populate`
-    /// passes `false` because it charges nothing by design).
-    fn apply_invalidations(&mut self, batch: &InvalidationBatch, charge_memory: bool) {
+    /// hierarchy and charges the remote stalls (detailed mode on the
+    /// simulated-time path; `populate` passes `false` because it charges
+    /// nothing by design).
+    fn apply_invalidations_from(
+        &mut self,
+        initiator: usize,
+        batch: &InvalidationBatch,
+        charge_memory: bool,
+    ) {
         if batch.is_empty() {
             return;
         }
         self.shootdowns.batches += 1;
+        let num_cores = self.num_cores();
+        let remotes = if num_cores > 1 {
+            let remotes = self.ipi.broadcast(initiator, &batch.victims);
+            let per_core = self
+                .shootdowns
+                .per_core
+                .get_or_insert_with(|| vec![CoreIpiStats::default(); num_cores]);
+            per_core[initiator].ipis_sent += remotes as u64;
+            remotes
+        } else {
+            0
+        };
+
+        // Initiator-local teardown (the legacy single-core path verbatim).
         for victim in &batch.victims {
-            let asid = Self::asid_of(victim.pid);
-            let outcome =
-                self.engine
-                    .invalidate(&mut self.mmu, asid, victim.vaddr, victim.page_size);
             self.shootdowns.pages += 1;
-            self.shootdowns.tlb_entries_dropped += outcome.tlb_entries_dropped as u64;
-            self.shootdowns.pwc_entries_dropped += outcome.pwc_entries_dropped as u64;
-            self.shootdowns.engine_entries_dropped += outcome.engine_entries_dropped as u64;
-            if charge_memory {
-                self.core.set_kernel_mode(true);
-                for pa in outcome.accesses {
-                    let lat = self.charge_kernel_access(pa, AccessType::Write);
-                    self.core.retire_memory(lat);
-                }
-                self.core.set_kernel_mode(false);
-            }
+            self.invalidate_victim_on(initiator, victim, charge_memory);
         }
+
+        // Remote cores process the IPI: stall for the delivery cost, tear
+        // down their local state, ack.
+        if remotes > 0 {
+            let ipi_cost = u64::from(self.config.os.shootdown_ipi_cost);
+            for core in 0..num_cores {
+                if core == initiator {
+                    continue;
+                }
+                let ipi = self
+                    .ipi
+                    .take_for(core)
+                    .expect("broadcast delivered an IPI to every remote core");
+                if let Some(per_core) = self.shootdowns.per_core.as_mut() {
+                    per_core[core].ipis_received += 1;
+                }
+                if charge_memory {
+                    core_mut!(self, core).core.stall(Cycles::new(ipi_cost));
+                    if let Some(per_core) = self.shootdowns.per_core.as_mut() {
+                        per_core[core].ipi_stall_cycles += ipi_cost;
+                    }
+                }
+                for victim in &ipi.victims {
+                    self.invalidate_victim_on(core, victim, charge_memory);
+                }
+                self.ipi.post_ack(core);
+            }
+            self.ipi
+                .take_acks(remotes)
+                .expect("every remote core acked its IPI");
+        }
+
         for (pid, mapping) in &batch.replacements {
             let asid = Self::asid_of(*pid);
+            let home = self.core_of(*pid);
             if charge_memory {
-                self.install_mapping_detailed(asid, mapping, InstallInfo::default());
+                self.install_mapping_detailed(home, asid, mapping, InstallInfo::default());
             } else {
-                self.engine.handle_fault_install(
-                    &mut self.mmu,
-                    asid,
-                    mapping,
-                    InstallInfo::default(),
-                );
+                let c = core_mut!(self, home);
+                c.engine
+                    .handle_fault_install(&mut c.mmu, asid, mapping, InstallInfo::default());
             }
             self.shootdowns.replacements_installed += 1;
         }
@@ -910,17 +1283,21 @@ impl System {
     }
 
     fn inject_stream(&mut self, stream: &KernelInstructionStream) {
-        self.core.set_kernel_mode(true);
+        core_mut!(self, self.active).core.set_kernel_mode(true);
         for op in stream.ops() {
             match *op {
-                KernelOp::Compute { count } => self.core.retire_compute(count as u64),
+                KernelOp::Compute { count } => {
+                    core_mut!(self, self.active)
+                        .core
+                        .retire_compute(count as u64);
+                }
                 KernelOp::Memory { paddr, kind } => {
                     let latency = self.charge_kernel_access(paddr, kind);
-                    self.core.retire_memory(latency);
+                    core_mut!(self, self.active).core.retire_memory(latency);
                 }
             }
         }
-        self.core.set_kernel_mode(false);
+        core_mut!(self, self.active).core.set_kernel_mode(false);
     }
 
     fn charge_kernel_access(&mut self, paddr: PhysAddr, kind: AccessType) -> Cycles {
@@ -944,32 +1321,70 @@ impl System {
     }
 
     /// Assembles the simulation report for everything executed so far.
+    ///
+    /// On a single-core system this is exactly the legacy report. With
+    /// several cores the instruction counts, walks and translation costs
+    /// are summed across cores, the machine's elapsed time is the slowest
+    /// core's cycle count (the cores tick in lockstep rounds), and the
+    /// engine section reports core 0's frontend.
     pub fn report(&self) -> SimulationReport {
-        let core_stats = self.core.stats();
         let os_stats = self.os.stats();
         let dram_stats = self.dram.stats();
-        let app_instructions = core_stats.app_instructions.get();
         let freq = self.config.core.frequency;
-        let total_time_ns = self.core.cycles().to_nanos(freq).as_nanos();
-        let translation_ns = Cycles::new(self.translation_cycles)
-            .to_nanos(freq)
-            .as_nanos();
+
+        let app_instructions: u64 = self
+            .each_core()
+            .map(|c| c.core.stats().app_instructions.get())
+            .sum();
+        let kernel_instructions: u64 = self
+            .each_core()
+            .map(|c| c.core.stats().kernel_instructions.get())
+            .sum();
+        let cycles = self
+            .each_core()
+            .map(|c| c.core.cycles().raw())
+            .max()
+            .unwrap_or(0);
+        let (ipc, app_ipc) = if self.extra_cores.is_empty() {
+            (self.core0.core.ipc(), self.core0.core.app_ipc())
+        } else if cycles == 0 {
+            (0.0, 0.0)
+        } else {
+            (
+                (app_instructions + kernel_instructions) as f64 / cycles as f64,
+                app_instructions as f64 / cycles as f64,
+            )
+        };
+        let walks: u64 = self.each_core().map(|c| c.mmu.stats().walks.get()).sum();
+        let l2_tlb_mpki = if self.extra_cores.is_empty() {
+            self.core0.mmu.stats().l2_mpki(app_instructions)
+        } else if app_instructions == 0 {
+            0.0
+        } else {
+            walks as f64 * 1000.0 / app_instructions as f64
+        };
+        let translation_cycles: u64 = self.each_core().map(|c| c.translation_cycles).sum();
+        let ptw_count: u64 = self.each_core().map(|c| c.ptw_count).sum();
+        let ptw_latency_cycles: u64 = self.each_core().map(|c| c.ptw_latency_cycles).sum();
+
+        let total_time_ns = Cycles::new(cycles).to_nanos(freq).as_nanos();
+        let translation_ns = Cycles::new(translation_cycles).to_nanos(freq).as_nanos();
 
         SimulationReport {
             workload: self.workload_name.clone(),
             instructions: app_instructions,
-            kernel_instructions: core_stats.kernel_instructions.get(),
-            cycles: self.core.cycles().raw(),
-            ipc: self.core.ipc(),
-            app_ipc: self.core.app_ipc(),
-            l2_tlb_mpki: self.mmu.stats().l2_mpki(app_instructions),
-            page_walks: self.ptw_count,
-            avg_ptw_latency_cycles: if self.ptw_count == 0 {
+            kernel_instructions,
+            cycles,
+            ipc,
+            app_ipc,
+            l2_tlb_mpki,
+            page_walks: ptw_count,
+            avg_ptw_latency_cycles: if ptw_count == 0 {
                 0.0
             } else {
-                self.ptw_latency_cycles as f64 / self.ptw_count as f64
+                ptw_latency_cycles as f64 / ptw_count as f64
             },
-            total_ptw_latency_cycles: self.ptw_latency_cycles as f64,
+            total_ptw_latency_cycles: ptw_latency_cycles as f64,
             minor_faults: os_stats.minor_faults.get() + os_stats.hugetlb_faults.get(),
             major_faults: os_stats.major_faults.get(),
             swap_in_faults: os_stats.swap_in_faults.get(),
@@ -983,8 +1398,8 @@ impl System {
             swap_io_ns: self.os.swap().stats().total_io_ns,
             huge_mappings: os_stats.huge_mappings.get(),
             base_mappings: os_stats.base_mappings.get(),
-            engine: self.engine.report(&self.mmu),
-            shootdowns: (!self.shootdowns.is_zero()).then_some(self.shootdowns),
+            engine: self.core0.engine.report(&self.core0.mmu),
+            shootdowns: (!self.shootdowns.is_zero()).then(|| self.shootdowns.clone()),
         }
     }
 }
@@ -1244,7 +1659,10 @@ mod tests {
             .copied()
             .expect("collapse created a huge mapping");
         let asid = System::asid_of(system.pid());
-        let result = system.engine.translate(&mut system.mmu, asid, huge.vaddr);
+        let result = {
+            let c = &mut system.core0;
+            c.engine.translate(&mut c.mmu, asid, huge.vaddr)
+        };
         assert_eq!(result.paddr, Some(huge.paddr));
     }
 

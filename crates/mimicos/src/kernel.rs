@@ -121,6 +121,11 @@ pub struct OsConfig {
     /// round (the per-`invlpg` work on the receiving cores plus flush-list
     /// bookkeeping on the sender).
     pub shootdown_per_page_cost: u32,
+    /// Number of simulated cores. Processes are pinned to cores by
+    /// `pid % num_cores`; each core owns its own TLB/PWC/engine frontend
+    /// and reclaim broadcasts shootdown IPIs to the other cores. The
+    /// default of 1 reproduces the single-core model exactly.
+    pub num_cores: usize,
     /// Seed for the kernel's deterministic RNG.
     pub seed: u64,
 }
@@ -145,6 +150,7 @@ impl OsConfig {
             context_switch_cost: 4_000,
             shootdown_ipi_cost: 1_800,
             shootdown_per_page_cost: 160,
+            num_cores: 1,
             seed: 0x5a_fa_51,
         }
     }
@@ -171,6 +177,11 @@ impl OsConfig {
         if self.memory_bytes == 0 || !self.memory_bytes.is_multiple_of(4096) {
             return Err(VmError::InvalidConfig {
                 reason: "memory size must be a non-zero multiple of 4 KiB".to_string(),
+            });
+        }
+        if self.num_cores == 0 {
+            return Err(VmError::InvalidConfig {
+                reason: "num_cores must be at least 1".to_string(),
             });
         }
         if !(0.0..=1.0).contains(&self.swap_threshold) {
@@ -350,7 +361,7 @@ impl MimicOs {
             utopia,
             hugetlb: HugetlbPool::new(),
             processes: Vec::new(),
-            scheduler: Scheduler::new(config.sched_quantum),
+            scheduler: Scheduler::new_with_cores(config.sched_quantum, config.num_cores),
             ranges: BTreeMap::new(),
             reclaim_cursor: 0,
             pending_invalidations: InvalidationBatch::default(),
@@ -907,6 +918,7 @@ impl MimicOs {
                 invalidations,
             )?,
             AllocationPolicy::Utopia(_) => self.utopia_fault(
+                pid,
                 vaddr,
                 &mut stream,
                 &mut zeroed_bytes,
@@ -1050,8 +1062,10 @@ impl MimicOs {
     /// Utopia fault: hash-based placement into the RestSeg; collisions spill
     /// to the FlexSeg (buddy) and, under memory pressure, force swapping —
     /// the behaviour behind Fig. 20.
+    #[allow(clippy::too_many_arguments)]
     fn utopia_fault(
         &mut self,
+        pid: ProcessId,
         vaddr: VirtAddr,
         stream: &mut KernelInstructionStream,
         zeroed_bytes: &mut u64,
@@ -1059,11 +1073,12 @@ impl MimicOs {
         restseg_placed: &mut bool,
         batch: &mut InvalidationBatch,
     ) -> VmResult<Mapping> {
+        let asid = pid.0 as u16;
         let utopia = self
             .utopia
             .as_mut()
             .expect("utopia policy implies segments");
-        if let Some((frame, size)) = utopia.try_place(vaddr, PageSize::Size4K, stream) {
+        if let Some((frame, size)) = utopia.try_place(asid, vaddr, PageSize::Size4K, stream) {
             *restseg_placed = true;
             *zeroed_bytes += self.zero_page(frame, size.bytes().min(4096), stream);
             return Ok(Mapping {
@@ -1296,7 +1311,7 @@ impl MimicOs {
                 self.trim_ranges(pid, victim.vaddr, victim.page_size.bytes());
             }
             if let Some(utopia) = self.utopia.as_mut() {
-                if utopia.remove(victim.vaddr) {
+                if utopia.remove(pid.0 as u16, victim.vaddr) {
                     // Page lived in a RestSeg: no buddy frame to release.
                     device_ns += io.as_nanos();
                     self.stats.reclaimed_pages.inc();

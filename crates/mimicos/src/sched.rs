@@ -47,25 +47,50 @@ impl SchedStats {
     }
 }
 
-/// The round-robin quantum scheduler.
+/// Per-core scheduler state: one run queue and one running process.
 #[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct Scheduler {
-    quantum: u64,
+struct CoreSched {
     runqueue: VecDeque<ProcessId>,
     current: Option<ProcessId>,
     ran_in_quantum: u64,
+}
+
+impl CoreSched {
+    fn new() -> Self {
+        CoreSched {
+            runqueue: VecDeque::new(),
+            current: None,
+            ran_in_quantum: 0,
+        }
+    }
+}
+
+/// The round-robin quantum scheduler.
+///
+/// With more than one core, each core owns its own run queue and
+/// processes are pinned to cores by `pid % num_cores` (no migration, so
+/// a process's translation state lives on exactly one core). The
+/// single-core entry points (`schedule`, `account`, `preempt`,
+/// `current`) delegate to core 0 and behave exactly as before.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scheduler {
+    quantum: u64,
+    cores: Vec<CoreSched>,
     stats: SchedStats,
 }
 
 impl Scheduler {
-    /// Builds a scheduler with the given quantum (in instructions). A
-    /// quantum of zero disables preemption.
+    /// Builds a single-core scheduler with the given quantum (in
+    /// instructions). A quantum of zero disables preemption.
     pub fn new(quantum: u64) -> Self {
+        Scheduler::new_with_cores(quantum, 1)
+    }
+
+    /// Builds a scheduler managing `num_cores` run queues.
+    pub fn new_with_cores(quantum: u64, num_cores: usize) -> Self {
         Scheduler {
             quantum: if quantum == 0 { u64::MAX } else { quantum },
-            runqueue: VecDeque::new(),
-            current: None,
-            ran_in_quantum: 0,
+            cores: (0..num_cores.max(1)).map(|_| CoreSched::new()).collect(),
             stats: SchedStats::default(),
         }
     }
@@ -75,74 +100,125 @@ impl Scheduler {
         self.quantum
     }
 
+    /// Instructions left in the quantum of the process running on `core`
+    /// (the full quantum when the core is idle or freshly dispatched).
+    pub fn remaining_quantum_on(&self, core: usize) -> u64 {
+        self.quantum.saturating_sub(self.cores[core].ran_in_quantum)
+    }
+
+    /// Number of cores this scheduler places processes onto.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The core a process is pinned to.
+    pub fn core_of(&self, pid: ProcessId) -> usize {
+        pid.0 % self.cores.len()
+    }
+
     /// Statistics.
     pub fn stats(&self) -> &SchedStats {
         &self.stats
     }
 
-    /// Admits a process to the tail of the run queue.
+    /// Admits a process to the tail of its core's run queue.
     pub fn admit(&mut self, pid: ProcessId) {
-        self.runqueue.push_back(pid);
+        let core = self.core_of(pid);
+        self.cores[core].runqueue.push_back(pid);
     }
 
-    /// The process currently holding the core, if any.
+    /// The process currently holding core 0, if any.
     pub fn current(&self) -> Option<ProcessId> {
-        self.current
+        self.current_on(0)
     }
 
-    /// Number of runnable processes (running + queued).
+    /// The process currently holding `core`, if any.
+    pub fn current_on(&self, core: usize) -> Option<ProcessId> {
+        self.cores[core].current
+    }
+
+    /// Number of runnable processes (running + queued) across all cores.
     pub fn runnable(&self) -> usize {
-        self.runqueue.len() + usize::from(self.current.is_some())
+        self.cores
+            .iter()
+            .map(|c| c.runqueue.len() + usize::from(c.current.is_some()))
+            .sum()
     }
 
-    /// Ensures some process holds the core, dispatching the head of the run
+    /// Ensures some process holds core 0 (see [`Scheduler::schedule_on`]).
+    pub fn schedule(&mut self) -> Option<ProcessId> {
+        self.schedule_on(0)
+    }
+
+    /// Ensures some process holds `core`, dispatching the head of its run
     /// queue if none does. Returns the running process, or `None` when the
     /// run queue is empty.
-    pub fn schedule(&mut self) -> Option<ProcessId> {
-        if self.current.is_none() {
-            self.current = self.runqueue.pop_front();
-            self.ran_in_quantum = 0;
+    pub fn schedule_on(&mut self, core: usize) -> Option<ProcessId> {
+        let c = &mut self.cores[core];
+        if c.current.is_none() {
+            c.current = c.runqueue.pop_front();
+            c.ran_in_quantum = 0;
         }
-        self.current
+        c.current
     }
 
-    /// Accounts `instructions` retired by the current process. Returns
-    /// `true` when the quantum has expired and [`Scheduler::preempt`]
-    /// should be consulted.
+    /// Accounts `instructions` retired on core 0 (see
+    /// [`Scheduler::account_on`]).
     ///
     /// # Panics
     ///
-    /// Panics if no process is current.
+    /// Panics if no process is current on core 0.
     pub fn account(&mut self, instructions: u64) -> bool {
-        let pid = self.current.expect("account() without a running process");
-        *self.stats.instructions_by_pid.entry(pid.0).or_insert(0) += instructions;
-        self.ran_in_quantum += instructions;
-        self.ran_in_quantum >= self.quantum
+        self.account_on(0, instructions)
     }
 
-    /// Ends the current quantum. If another process is queued, rotates to
-    /// it and returns the [`ContextSwitch`]; with a single runnable process
-    /// the quantum simply restarts.
+    /// Accounts `instructions` retired by the process current on `core`.
+    /// Returns `true` when the quantum has expired and
+    /// [`Scheduler::preempt_on`] should be consulted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no process is current on `core`.
+    pub fn account_on(&mut self, core: usize, instructions: u64) -> bool {
+        let c = &mut self.cores[core];
+        let pid = c.current.expect("account() without a running process");
+        *self.stats.instructions_by_pid.entry(pid.0).or_insert(0) += instructions;
+        c.ran_in_quantum += instructions;
+        c.ran_in_quantum >= self.quantum
+    }
+
+    /// Ends the current quantum on core 0 (see
+    /// [`Scheduler::preempt_on`]).
     pub fn preempt(&mut self) -> Option<ContextSwitch> {
-        let from = self.current?;
+        self.preempt_on(0)
+    }
+
+    /// Ends the current quantum on `core`. If another process is queued
+    /// there, rotates to it and returns the [`ContextSwitch`]; with a
+    /// single runnable process the quantum simply restarts.
+    pub fn preempt_on(&mut self, core: usize) -> Option<ContextSwitch> {
+        let c = &mut self.cores[core];
+        let from = c.current?;
         self.stats.quanta_expired.inc();
-        self.ran_in_quantum = 0;
-        let to = self.runqueue.pop_front()?;
-        self.runqueue.push_back(from);
-        self.current = Some(to);
+        c.ran_in_quantum = 0;
+        let to = c.runqueue.pop_front()?;
+        c.runqueue.push_back(from);
+        c.current = Some(to);
         self.stats.context_switches.inc();
         Some(ContextSwitch { from, to })
     }
 
     /// Removes a process (its trace ended or it was killed). If it was
-    /// running, the core becomes idle until the next
-    /// [`Scheduler::schedule`] call dispatches a successor.
+    /// running, its core becomes idle until the next
+    /// [`Scheduler::schedule_on`] call dispatches a successor.
     pub fn exit(&mut self, pid: ProcessId) {
-        if self.current == Some(pid) {
-            self.current = None;
-            self.ran_in_quantum = 0;
+        let core = self.core_of(pid);
+        let c = &mut self.cores[core];
+        if c.current == Some(pid) {
+            c.current = None;
+            c.ran_in_quantum = 0;
         } else {
-            self.runqueue.retain(|&p| p != pid);
+            c.runqueue.retain(|&p| p != pid);
         }
     }
 }
@@ -235,5 +311,45 @@ mod tests {
         s.admit(pid(1));
         s.schedule();
         assert!(!s.account(u64::MAX / 2));
+    }
+
+    #[test]
+    fn processes_are_pinned_by_pid_modulo_cores() {
+        let mut s = Scheduler::new_with_cores(100, 2);
+        for n in 0..4 {
+            s.admit(pid(n));
+        }
+        assert_eq!(s.schedule_on(0), Some(pid(0)));
+        assert_eq!(s.schedule_on(1), Some(pid(1)));
+        assert_eq!(s.runnable(), 4);
+        // Quantum expiry rotates within the core's own queue only.
+        assert!(s.account_on(0, 100));
+        assert_eq!(
+            s.preempt_on(0),
+            Some(ContextSwitch {
+                from: pid(0),
+                to: pid(2)
+            })
+        );
+        assert_eq!(s.current_on(1), Some(pid(1)));
+        // Exit targets the owning core even when queued elsewhere.
+        s.exit(pid(3));
+        s.exit(pid(1));
+        assert_eq!(s.schedule_on(1), None);
+        assert_eq!(s.current_on(0), Some(pid(2)));
+    }
+
+    #[test]
+    fn single_core_constructor_matches_legacy_behaviour() {
+        let mut legacy = Scheduler::new(50);
+        let mut multi = Scheduler::new_with_cores(50, 1);
+        for s in [&mut legacy, &mut multi] {
+            s.admit(pid(0));
+            s.admit(pid(1));
+            s.schedule();
+            assert!(s.account(50));
+            assert_eq!(s.preempt().unwrap().to, pid(1));
+        }
+        assert_eq!(legacy.stats(), multi.stats());
     }
 }

@@ -65,13 +65,20 @@ pub struct RestSegStats {
 
 /// One restrictive segment: a set-associative, hash-indexed region of
 /// physical memory.
+///
+/// Slots are tagged by `(asid, vpn)`: two processes mapping the same
+/// virtual page occupy — and release — distinct ways. Tagging by the
+/// virtual page number alone let process A's reclaim free the slot that
+/// backed process B's page whenever their virtual layouts overlapped
+/// (the occupancy is machine-wide, not per-address-space).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RestSeg {
     config: UtopiaConfig,
     /// Physical base address of the segment.
     base: PhysAddr,
-    /// Occupancy: for each slot, the owning virtual page number (tag), if any.
-    slots: Vec<Option<u64>>,
+    /// Occupancy: for each slot, the owning `(asid, virtual page number)`
+    /// tag, if any.
+    slots: Vec<Option<(u16, u64)>>,
     stats: RestSegStats,
 }
 
@@ -123,6 +130,7 @@ impl RestSeg {
     /// walk, which is what makes Utopia's page faults fast in Fig. 16.
     pub fn try_place(
         &mut self,
+        asid: u16,
         vaddr: VirtAddr,
         stream: &mut KernelInstructionStream,
     ) -> Option<PhysAddr> {
@@ -138,7 +146,7 @@ impl RestSeg {
         for way in 0..self.config.ways {
             let idx = (set * self.config.ways as u64 + way as u64) as usize;
             if self.slots[idx].is_none() {
-                self.slots[idx] = Some(vpn);
+                self.slots[idx] = Some((asid, vpn));
                 self.stats.placements.inc();
                 stream.compute(8);
                 stream.store(self.tag_array_addr(set, way as u64 / 8));
@@ -149,27 +157,29 @@ impl RestSeg {
         None
     }
 
-    /// Looks up the frame backing `vaddr`, if it was placed in this RestSeg.
-    pub fn lookup(&self, vaddr: VirtAddr) -> Option<PhysAddr> {
+    /// Looks up the frame backing `vaddr` in address space `asid`, if it was
+    /// placed in this RestSeg.
+    pub fn lookup(&self, asid: u16, vaddr: VirtAddr) -> Option<PhysAddr> {
         let vpn = vaddr.page_number(self.config.page_size).number();
         let set = self.set_index(vpn);
         for way in 0..self.config.ways {
             let idx = (set * self.config.ways as u64 + way as u64) as usize;
-            if self.slots[idx] == Some(vpn) {
+            if self.slots[idx] == Some((asid, vpn)) {
                 return Some(self.slot_paddr(set, way));
             }
         }
         None
     }
 
-    /// Removes the page containing `vaddr` from the RestSeg (e.g. when it is
-    /// swapped out). Returns `true` if it was present.
-    pub fn remove(&mut self, vaddr: VirtAddr) -> bool {
+    /// Removes the page containing `vaddr` in address space `asid` from the
+    /// RestSeg (e.g. when it is swapped out). Returns `true` if it was
+    /// present.
+    pub fn remove(&mut self, asid: u16, vaddr: VirtAddr) -> bool {
         let vpn = vaddr.page_number(self.config.page_size).number();
         let set = self.set_index(vpn);
         for way in 0..self.config.ways {
             let idx = (set * self.config.ways as u64 + way as u64) as usize;
-            if self.slots[idx] == Some(vpn) {
+            if self.slots[idx] == Some((asid, vpn)) {
                 self.slots[idx] = None;
                 self.stats.removals.inc();
                 return true;
@@ -240,6 +250,7 @@ impl UtopiaAllocator {
     /// or `None` if every candidate set is full (FlexSeg fallback).
     pub fn try_place(
         &mut self,
+        asid: u16,
         vaddr: VirtAddr,
         preferred: PageSize,
         stream: &mut KernelInstructionStream,
@@ -252,7 +263,7 @@ impl UtopiaAllocator {
         };
         for i in order {
             let size = self.segs[i].config().page_size;
-            if let Some(frame) = self.segs[i].try_place(vaddr, stream) {
+            if let Some(frame) = self.segs[i].try_place(asid, vaddr, stream) {
                 return Some((frame, size));
             }
         }
@@ -260,16 +271,16 @@ impl UtopiaAllocator {
         None
     }
 
-    /// Looks up `vaddr` across every RestSeg.
-    pub fn lookup(&self, vaddr: VirtAddr) -> Option<(PhysAddr, PageSize)> {
+    /// Looks up `(asid, vaddr)` across every RestSeg.
+    pub fn lookup(&self, asid: u16, vaddr: VirtAddr) -> Option<(PhysAddr, PageSize)> {
         self.segs
             .iter()
-            .find_map(|s| s.lookup(vaddr).map(|pa| (pa, s.config().page_size)))
+            .find_map(|s| s.lookup(asid, vaddr).map(|pa| (pa, s.config().page_size)))
     }
 
-    /// Removes `vaddr` from whichever RestSeg holds it.
-    pub fn remove(&mut self, vaddr: VirtAddr) -> bool {
-        self.segs.iter_mut().any(|s| s.remove(vaddr))
+    /// Removes `(asid, vaddr)` from whichever RestSeg holds it.
+    pub fn remove(&mut self, asid: u16, vaddr: VirtAddr) -> bool {
+        self.segs.iter_mut().any(|s| s.remove(asid, vaddr))
     }
 
     /// Builds a kernel stream tagged as Utopia allocation work.
@@ -303,8 +314,8 @@ mod tests {
         let mut seg = small_seg(8);
         let mut s = UtopiaAllocator::new_stream();
         let va = VirtAddr::new(0x7000_1000);
-        let pa = seg.try_place(va, &mut s).unwrap();
-        assert_eq!(seg.lookup(va), Some(pa));
+        let pa = seg.try_place(1, va, &mut s).unwrap();
+        assert_eq!(seg.lookup(1, va), Some(pa));
         assert!(pa.raw() >= 0x1_0000_0000);
         assert_eq!(seg.stats().placements.get(), 1);
     }
@@ -315,7 +326,7 @@ mod tests {
         let mut s = UtopiaAllocator::new_stream();
         let mut frames = std::collections::HashSet::new();
         for i in 0..500u64 {
-            if let Some(pa) = seg.try_place(VirtAddr::new(i * 4096), &mut s) {
+            if let Some(pa) = seg.try_place(1, VirtAddr::new(i * 4096), &mut s) {
                 assert!(frames.insert(pa.raw()), "duplicate frame {pa}");
             }
         }
@@ -331,7 +342,7 @@ mod tests {
         let mut s = UtopiaAllocator::new_stream();
         let mut failures = 0;
         for i in 0..256u64 {
-            if seg.try_place(VirtAddr::new(i * 4096), &mut s).is_none() {
+            if seg.try_place(1, VirtAddr::new(i * 4096), &mut s).is_none() {
                 failures += 1;
             }
         }
@@ -354,8 +365,8 @@ mod tests {
         let mut s = UtopiaAllocator::new_stream();
         for i in 0..200u64 {
             let va = VirtAddr::new(i * 0x13_000);
-            low.try_place(va, &mut s);
-            high.try_place(va, &mut s);
+            low.try_place(1, va, &mut s);
+            high.try_place(1, va, &mut s);
         }
         assert!(high.stats().collisions.get() <= low.stats().collisions.get());
     }
@@ -368,11 +379,36 @@ mod tests {
         );
         let mut s = UtopiaAllocator::new_stream();
         let va = VirtAddr::new(0x5000);
-        seg.try_place(va, &mut s).unwrap();
-        assert!(seg.remove(va));
-        assert!(!seg.remove(va));
+        seg.try_place(1, va, &mut s).unwrap();
+        assert!(seg.remove(1, va));
+        assert!(!seg.remove(1, va));
         // The slot can be reused.
-        assert!(seg.try_place(va, &mut s).is_some());
+        assert!(seg.try_place(1, va, &mut s).is_some());
+    }
+
+    #[test]
+    fn occupancy_is_keyed_by_asid_and_va() {
+        // Two address spaces at the same VA: both fit in one 2-way set,
+        // occupy distinct frames, and removing one leaves the other's
+        // residency — removal of a VA never crosses address spaces.
+        let mut seg = small_seg(2);
+        let mut s = UtopiaAllocator::new_stream();
+        let va = VirtAddr::new(0x7000_1000);
+        let pa1 = seg.try_place(1, va, &mut s).unwrap();
+        let pa2 = seg.try_place(2, va, &mut s).unwrap();
+        assert_ne!(pa1, pa2, "same VA in two ASIDs must get distinct frames");
+        assert_eq!(seg.lookup(1, va), Some(pa1));
+        assert_eq!(seg.lookup(2, va), Some(pa2));
+
+        assert!(seg.remove(1, va));
+        assert_eq!(seg.lookup(1, va), None);
+        assert_eq!(
+            seg.lookup(2, va),
+            Some(pa2),
+            "ASID 2's residency must survive ASID 1's reclaim of the same VA"
+        );
+        assert!(!seg.remove(1, va), "double-remove must not hit ASID 2");
+        assert!(seg.remove(2, va));
     }
 
     #[test]
@@ -386,7 +422,7 @@ mod tests {
         let mut spilled = 0;
         for i in 0..64u64 {
             if alloc
-                .try_place(VirtAddr::new(i * 4096), PageSize::Size4K, &mut s)
+                .try_place(1, VirtAddr::new(i * 4096), PageSize::Size4K, &mut s)
                 .is_none()
             {
                 spilled += 1;
@@ -421,7 +457,7 @@ mod tests {
         use crate::buddy::BuddyAllocator;
         let mut seg = small_seg(16);
         let mut utopia_stream = UtopiaAllocator::new_stream();
-        seg.try_place(VirtAddr::new(0x9000), &mut utopia_stream)
+        seg.try_place(1, VirtAddr::new(0x9000), &mut utopia_stream)
             .unwrap();
 
         let mut buddy = BuddyAllocator::new(64 * MB);

@@ -97,6 +97,57 @@ fn steady_state_allocations(mode_label: &str, config: SystemConfig) -> u64 {
     allocations
 }
 
+/// The multi-core variant: four cores, one populated process pinned to
+/// each, stepped round-robin through the per-core stepping API. The
+/// sharded frontend (per-core TLBs/PWCs/engines, the active-core
+/// indirection) must not reintroduce allocations into the steady state.
+fn multicore_steady_state_allocations() -> u64 {
+    const CORES: usize = 4;
+    const FOOTPRINT: u64 = 16 * 1024 * 1024;
+    const WARMUP: u64 = 20_000;
+    const MEASURED: u64 = 50_000;
+
+    let mut config = SystemConfig::small_test().with_cores(CORES);
+    config.housekeeping_interval = 0;
+    let mut system = System::new(config);
+    let mut pids = vec![system.pid()];
+    while pids.len() < CORES {
+        pids.push(system.spawn_process());
+    }
+    for &pid in &pids {
+        system
+            .mmap_anonymous_for(pid, VirtAddr::new(0x10_0000_0000), FOOTPRINT)
+            .expect("map workload region");
+        system.populate(pid);
+    }
+
+    let spec = WorkloadSpec::simple(
+        "alloc-free-mc",
+        WorkloadClass::LongRunning,
+        FOOTPRINT,
+        AccessPattern::UniformRandom,
+        WARMUP + MEASURED,
+    );
+    let mut sources: Vec<_> = (0..CORES)
+        .map(|i| spec.build(0xA110C ^ (i as u64) << 8))
+        .collect();
+
+    let mut step = |n: u64, system: &mut System| {
+        for i in 0..n {
+            let core = (i % CORES as u64) as usize;
+            let instr = sources[core].next_instruction().expect("trace long enough");
+            system.step_on(core, &instr);
+        }
+    };
+
+    step(WARMUP, &mut system);
+    let (allocations, ()) = allocations_during(|| step(MEASURED, &mut system));
+    eprintln!(
+        "multicore: {allocations} allocations over {MEASURED} steady-state instructions on {CORES} cores"
+    );
+    allocations
+}
+
 #[test]
 fn steady_state_instructions_allocate_nothing() {
     // Housekeeping (khugepaged, pool refill) is periodic background OS
@@ -117,6 +168,7 @@ fn steady_state_instructions_allocate_nothing() {
 
     let detailed_allocs = steady_state_allocations("detailed", detailed);
     let emulation_allocs = steady_state_allocations("emulation", emulation);
+    let multicore_allocs = multicore_steady_state_allocations();
 
     assert_eq!(
         detailed_allocs, 0,
@@ -125,5 +177,9 @@ fn steady_state_instructions_allocate_nothing() {
     assert_eq!(
         emulation_allocs, 0,
         "emulation-mode steady state must not allocate"
+    );
+    assert_eq!(
+        multicore_allocs, 0,
+        "four-core steady state must not allocate"
     );
 }

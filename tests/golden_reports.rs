@@ -188,3 +188,132 @@ fn golden_runs_are_reproducible_within_a_process() {
         assert_eq!(a, b, "cell {name} must be deterministic");
     }
 }
+
+/// A memory-pressure base configuration for the multi-core goldens: small
+/// memory, big swap, descending reclaim pressure — so every cell's
+/// shootdowns cross cores and the per-core IPI counters are nonzero.
+fn multicore_pressure_config(num_cores: usize) -> SystemConfig {
+    let mut config = SystemConfig::small_test().with_cores(num_cores);
+    config.os.memory_bytes = 16 * 1024 * 1024;
+    config.os.swap_bytes = 128 * 1024 * 1024;
+    config.os.swap_threshold = 0.5;
+    config.os.policy = AllocationPolicy::BuddyFourK;
+    config.os.thp = virtuoso_suite::mimic_os::ThpConfig::disabled();
+    config.os.populate_page_cache = false;
+    config.os.sched_quantum = 1_000;
+    config
+}
+
+/// The multi-core golden cells: name, configuration, one workload per
+/// process (processes are pinned to cores by `pid % num_cores`).
+fn multicore_golden_cells() -> Vec<(&'static str, SystemConfig, Vec<WorkloadSpec>)> {
+    let spec = |name: &str, pattern: AccessPattern, instructions: u64| {
+        let mut s = WorkloadSpec::simple(
+            "mc",
+            WorkloadClass::LongRunning,
+            20 * 1024 * 1024,
+            pattern,
+            instructions,
+        );
+        s.name = name.to_string();
+        s
+    };
+    vec![
+        (
+            "multicore_2core_shootdown",
+            multicore_pressure_config(2),
+            vec![
+                spec("RND-A", AccessPattern::UniformRandom, 6_000),
+                spec("RND-B", AccessPattern::UniformRandom, 6_000),
+            ],
+        ),
+        (
+            "multicore_4core_mix",
+            multicore_pressure_config(4),
+            vec![
+                spec("RND", AccessPattern::UniformRandom, 4_000),
+                spec(
+                    "STR",
+                    AccessPattern::Streaming {
+                        jump_probability: 0.3,
+                    },
+                    4_000,
+                ),
+                spec("PTR", AccessPattern::PointerChasing, 4_000),
+                spec(
+                    "ALC",
+                    AccessPattern::AllocateAndTouch {
+                        new_page_fraction: 0.5,
+                    },
+                    4_000,
+                ),
+            ],
+        ),
+    ]
+}
+
+fn run_multicore_cell(config: SystemConfig, specs: &[WorkloadSpec]) -> MultiProgramReport {
+    let mut system = System::new(config);
+    let mut pids = vec![system.pid()];
+    while pids.len() < specs.len() {
+        pids.push(system.spawn_process());
+    }
+    for (pid, spec) in pids.iter().zip(specs) {
+        for region in &spec.regions {
+            system
+                .mmap_anonymous_for(*pid, region.start, region.bytes)
+                .expect("mapping golden region");
+        }
+    }
+    let mut sources: Vec<_> = specs.iter().map(|s| s.build(0xF00D)).collect();
+    let mut programs: Vec<(ProcessId, &mut dyn TraceSource)> = pids
+        .iter()
+        .copied()
+        .zip(sources.iter_mut().map(|s| s as &mut dyn TraceSource))
+        .collect();
+    system.run_multiprogram(&mut programs, None)
+}
+
+/// The multi-core regression fingerprint: serialized
+/// [`MultiProgramReport`]s of fixed N-core pressure cells must stay
+/// byte-identical, and every cell must show real cross-core IPI work
+/// (nonzero per-core stall counters) — so the goldens pin not just *that*
+/// the runs are stable but that the shootdown IPI path stays exercised.
+#[test]
+fn multicore_reports_are_byte_stable() {
+    let bless = std::env::var_os("VIRTUOSO_BLESS_GOLDEN").is_some();
+    let mut mismatches = Vec::new();
+    for (name, config, specs) in multicore_golden_cells() {
+        let report = run_multicore_cell(config, &specs);
+        let shootdowns = report
+            .rollup
+            .shootdowns
+            .as_ref()
+            .unwrap_or_else(|| panic!("{name}: pressure cell must shoot down"));
+        let per_core = shootdowns
+            .per_core
+            .as_ref()
+            .unwrap_or_else(|| panic!("{name}: multi-core cell must report per-core IPIs"));
+        let stalled: u64 = per_core.iter().map(|c| c.ipi_stall_cycles).sum();
+        assert!(stalled > 0, "{name}: remote IPI stalls must be nonzero");
+        let actual = serde_json::to_string(&report).expect("serialize report");
+        let path = golden_path(name);
+        if bless {
+            std::fs::write(&path, &actual).expect("write golden");
+            continue;
+        }
+        let expected = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+        if actual != expected {
+            mismatches.push(name);
+            eprintln!("golden mismatch for {name}:");
+            eprintln!("  expected: {expected}");
+            eprintln!("  actual:   {actual}");
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "multicore golden reports drifted: {mismatches:?} — if the behaviour \
+         change is intentional, regenerate with VIRTUOSO_BLESS_GOLDEN=1"
+    );
+}

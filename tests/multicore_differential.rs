@@ -1,0 +1,266 @@
+//! The multi-core differential fence (PR-6 tentpole).
+//!
+//! The sharded multi-core loop ([`System::run_multiprogram_sharded`]) is a
+//! superset of the legacy single-core model: at `num_cores = 1` it must
+//! reproduce the legacy [`System::run_multiprogram`] path **byte for
+//! byte** — same dispatches, same preemption points, same charged cycle on
+//! every instruction — for every translation engine. That differential is
+//! the fence that lets the multi-core machinery evolve without silently
+//! perturbing the single-core results all the paper's experiments (and
+//! golden reports) are built on.
+//!
+//! On top of the fence, this file pins the genuinely multi-core behaviour:
+//! cross-core shootdown IPIs under memory pressure (nonzero per-core
+//! send/receive/stall counters, post-run translation coherence on every
+//! core) and bit-identical determinism of N-core runs. The core count of
+//! the determinism test honours `VIRTUOSO_CORES` so CI can sweep it.
+
+use virtuoso_suite::prelude::*;
+
+/// One two-process fence cell per translation engine, mirroring the
+/// engine coverage of the golden reports.
+fn engine_cells() -> Vec<(&'static str, SystemConfig)> {
+    use virtuoso_suite::mimic_os::UtopiaConfig;
+    let restseg_bytes: u64 = 32 * 1024 * 1024;
+    vec![
+        ("page_table", SystemConfig::small_test()),
+        (
+            "midgard",
+            SystemConfig::small_test()
+                .with_engine(EngineConfig::Midgard(MidgardConfig::paper_baseline())),
+        ),
+        ("rmm_eager", {
+            let mut config = SystemConfig::small_test()
+                .with_engine(EngineConfig::Rmm(RmmConfig::paper_baseline()));
+            config.os.policy = AllocationPolicy::EagerPaging;
+            config
+        }),
+        ("utopia_restseg", {
+            let mut config = SystemConfig::small_test().with_engine(EngineConfig::Utopia(
+                UtopiaMmuConfig::paper_baseline().with_restseg_bytes(restseg_bytes),
+            ));
+            config.os.policy =
+                AllocationPolicy::Utopia(UtopiaConfig::new(restseg_bytes, 16, PageSize::Size4K));
+            config
+        }),
+    ]
+}
+
+/// Spawns one process per spec and maps each spec's regions into it.
+fn build_multiprocess(config: SystemConfig, specs: &[WorkloadSpec]) -> (System, Vec<ProcessId>) {
+    let mut system = System::new(config);
+    let mut pids = vec![system.pid()];
+    while pids.len() < specs.len() {
+        pids.push(system.spawn_process());
+    }
+    for (pid, spec) in pids.iter().zip(specs) {
+        for (i, region) in spec.regions.iter().enumerate() {
+            if region.file_backed {
+                system
+                    .mmap_file_for(*pid, region.start, region.bytes, i as u64 + 1)
+                    .unwrap();
+            } else {
+                system
+                    .mmap_anonymous_for(*pid, region.start, region.bytes)
+                    .unwrap();
+            }
+        }
+    }
+    (system, pids)
+}
+
+fn run_mix(
+    system: &mut System,
+    pids: &[ProcessId],
+    specs: &[WorkloadSpec],
+    seed: u64,
+    sharded: bool,
+) -> MultiProgramReport {
+    let mut sources: Vec<_> = specs.iter().map(|s| s.build(seed)).collect();
+    let mut programs: Vec<(ProcessId, &mut dyn TraceSource)> = pids
+        .iter()
+        .copied()
+        .zip(sources.iter_mut().map(|s| s as &mut dyn TraceSource))
+        .collect();
+    if sharded {
+        system.run_multiprogram_sharded(&mut programs, None)
+    } else {
+        system.run_multiprogram(&mut programs, None)
+    }
+}
+
+/// The fence itself: a `num_cores = 1` run through the sharded multi-core
+/// loop serializes byte-identically to the legacy single-core loop, for
+/// every translation engine, on the catalogue's engine mix.
+#[test]
+fn single_core_sharded_run_is_byte_identical_to_legacy() {
+    let specs: Vec<WorkloadSpec> = catalog::multiprogram_mix_engines()
+        .into_iter()
+        .map(|s| s.with_instructions(6_000))
+        .collect();
+    for (name, config) in engine_cells() {
+        assert_eq!(config.os.num_cores, 1, "{name}: fence runs at one core");
+        let (mut legacy_sys, pids) = build_multiprocess(config.clone(), &specs);
+        let legacy = run_mix(&mut legacy_sys, &pids, &specs, 0xD1FF, false);
+
+        let (mut sharded_sys, pids) = build_multiprocess(config, &specs);
+        let sharded = run_mix(&mut sharded_sys, &pids, &specs, 0xD1FF, true);
+
+        let legacy_json = serde_json::to_string(&legacy).unwrap();
+        let sharded_json = serde_json::to_string(&sharded).unwrap();
+        assert_eq!(
+            legacy_json, sharded_json,
+            "engine {name}: the sharded loop diverged from the legacy \
+             single-core model at num_cores = 1"
+        );
+    }
+}
+
+/// A memory-pressure configuration small enough that two random-access
+/// processes force reclaim — and with it cross-core shootdowns.
+fn pressure_config(num_cores: usize) -> SystemConfig {
+    let mut config = SystemConfig::small_test().with_cores(num_cores);
+    config.os.memory_bytes = 16 * 1024 * 1024;
+    config.os.swap_bytes = 128 * 1024 * 1024;
+    config.os.swap_threshold = 0.5;
+    config.os.policy = AllocationPolicy::BuddyFourK;
+    config.os.thp = virtuoso_suite::mimic_os::ThpConfig::disabled();
+    config.os.populate_page_cache = false;
+    config.os.sched_quantum = 1_000;
+    config
+}
+
+fn pressure_specs(count: usize, instructions: u64) -> Vec<WorkloadSpec> {
+    (0..count)
+        .map(|i| {
+            let mut spec = WorkloadSpec::simple(
+                "prs",
+                WorkloadClass::LongRunning,
+                24 * 1024 * 1024,
+                AccessPattern::UniformRandom,
+                instructions,
+            );
+            spec.name = format!("PRS{i}");
+            spec
+        })
+        .collect()
+}
+
+/// Every core-local TLB entry and engine residency agrees with the owning
+/// process's mapping table — the multi-core coherence invariant.
+fn assert_per_core_coherence(system: &System) {
+    for core in 0..system.num_cores() {
+        for (asid, cached) in system.mmu_of(core).tlb().entries() {
+            let process = system.os().process(ProcessId(asid.raw() as usize));
+            let expected = process
+                .lookup_mapping(cached.vaddr)
+                .map(|m| m.translate(cached.vaddr));
+            assert_eq!(
+                expected,
+                Some(cached.translate(cached.vaddr)),
+                "core {core}: stale TLB entry {cached} (asid {})",
+                asid.raw()
+            );
+        }
+        for (asid, resident) in system.engine_of(core).resident_mappings() {
+            let process = system.os().process(ProcessId(asid.raw() as usize));
+            assert_eq!(
+                process.lookup_mapping(resident.vaddr).map(|m| m.paddr),
+                Some(resident.paddr),
+                "core {core}: stale engine residency {resident}"
+            );
+        }
+    }
+}
+
+/// The multi-core acceptance scenario: two cores under memory pressure
+/// take real cross-core shootdowns — the initiator broadcasts IPIs, the
+/// remote core stalls and tears down its own state — and the per-core
+/// counters in the report show it.
+#[test]
+fn two_core_pressure_run_reports_cross_core_ipi_work() {
+    let specs = pressure_specs(2, 8_000);
+    let (mut system, pids) = build_multiprocess(pressure_config(2), &specs);
+    assert_eq!(system.num_cores(), 2);
+    assert_eq!(system.core_of(pids[0]), 0);
+    assert_eq!(system.core_of(pids[1]), 1);
+
+    let report = run_mix(&mut system, &pids, &specs, 0xC0DE, true);
+
+    assert_eq!(report.rollup.instructions, 16_000);
+    assert!(report.rollup.swapped_pages > 0, "pressure must swap");
+    let shootdowns = report
+        .rollup
+        .shootdowns
+        .as_ref()
+        .expect("swapping implies shootdowns");
+    let per_core = shootdowns
+        .per_core
+        .as_ref()
+        .expect("a multi-core shootdown run reports per-core IPI stats");
+    assert_eq!(per_core.len(), 2);
+    let sent: u64 = per_core.iter().map(|c| c.ipis_sent).sum();
+    let received: u64 = per_core.iter().map(|c| c.ipis_received).sum();
+    let stalled: u64 = per_core.iter().map(|c| c.ipi_stall_cycles).sum();
+    assert!(sent > 0, "reclaim must broadcast cross-core IPIs");
+    assert_eq!(sent, received, "every IPI sent is received exactly once");
+    assert!(stalled > 0, "remote cores must stall on IPI delivery");
+    // The serialized report carries the per-core section.
+    let json = serde_json::to_string(&report.rollup).unwrap();
+    assert!(json.contains("\"per_core\""));
+
+    assert_per_core_coherence(&system);
+}
+
+/// Core count for the N-core determinism sweep: `VIRTUOSO_CORES` (the CI
+/// matrix leg sets 4), defaulting to 2.
+fn sweep_cores() -> usize {
+    std::env::var("VIRTUOSO_CORES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(2)
+}
+
+/// Same N-core configuration, same seeds, repeated runs: bit-identical
+/// serialized reports. Multi-core interleaving is deterministic by
+/// construction (round-robin ticks, not threads).
+#[test]
+fn multicore_runs_are_bit_identical_across_repeats() {
+    let cores = sweep_cores();
+    let specs = pressure_specs(4, 4_000);
+    let mut reports = Vec::new();
+    for _ in 0..3 {
+        let (mut system, pids) = build_multiprocess(pressure_config(cores), &specs);
+        let report = run_mix(&mut system, &pids, &specs, 0xDE7, true);
+        reports.push(serde_json::to_string(&report).unwrap());
+    }
+    assert_eq!(
+        reports[0], reports[1],
+        "{cores}-core run must be deterministic"
+    );
+    assert_eq!(
+        reports[1], reports[2],
+        "{cores}-core run must be deterministic"
+    );
+}
+
+/// `run_multiprogram` itself dispatches to the sharded loop when the
+/// config asks for more than one core — the public API needs no separate
+/// entry point.
+#[test]
+fn run_multiprogram_dispatches_to_the_sharded_loop_on_multicore_configs() {
+    let cores = sweep_cores().max(2);
+    let specs = pressure_specs(2, 4_000);
+
+    let (mut via_dispatch, pids) = build_multiprocess(pressure_config(cores), &specs);
+    let a = run_mix(&mut via_dispatch, &pids, &specs, 0xABCD, false);
+
+    let (mut direct, pids) = build_multiprocess(pressure_config(cores), &specs);
+    let b = run_mix(&mut direct, &pids, &specs, 0xABCD, true);
+
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap()
+    );
+}

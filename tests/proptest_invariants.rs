@@ -168,14 +168,23 @@ proptest! {
     }
 
     #[test]
-    fn no_stale_translation_survives_reclaim(seed in 0u64..300, engine_sel in 0u8..3) {
+    fn no_stale_translation_survives_reclaim(
+        seed in 0u64..300,
+        engine_sel in 0u8..3,
+        cores in 1usize..5,
+    ) {
         // The shootdown regression fence: after ANY interleaving of
         // faults, reclaims (memory pressure forces them mid-run) and
-        // context switches (two processes under a small quantum), every
-        // TLB entry and every engine-resident translation must agree with
-        // the owning process's mapping table. Before the invalidation
-        // subsystem, reclaimed pages kept translating through stale TLB
-        // entries — and after buddy reuse, into another process's frames.
+        // context switches (more processes than cores, small quantum),
+        // every core-local TLB entry and every engine-resident translation
+        // must agree with the owning process's mapping table. Before the
+        // invalidation subsystem, reclaimed pages kept translating through
+        // stale TLB entries — and after buddy reuse, into another
+        // process's frames. With several cores the same must hold on every
+        // core's private frontend: a victim page faulted on one core may
+        // be TLB-resident on another, and only the shootdown IPI broadcast
+        // (which a remote core cannot drop without a channel-protocol
+        // violation) keeps them coherent.
         //
         // Engines: the conventional page table, RMM (+ eager paging, so
         // reclaim must split live ranges) and Utopia (+ RestSeg policy, so
@@ -183,9 +192,9 @@ proptest! {
         // its own unit tests instead: its TLB entries are keyed by Midgard
         // addresses, which an external observer cannot map back.
         use virtuoso_suite::mimic_os::{ThpConfig, UtopiaConfig};
-        let mut config = SystemConfig::small_test();
+        let mut config = SystemConfig::small_test().with_cores(cores);
         config.os.memory_bytes = 16 << 20;
-        config.os.swap_bytes = 64 << 20;
+        config.os.swap_bytes = 128 << 20;
         config.os.swap_threshold = 0.5;
         config.os.thp = ThpConfig::disabled();
         config.os.populate_page_cache = false;
@@ -206,75 +215,109 @@ proptest! {
             }
         }
         let mut system = System::new(config);
-        let a = system.pid();
-        let b = system.spawn_process();
-        // Disjoint layouts: the kernel's RestSeg occupancy is va-keyed
-        // (one machine-wide RestSeg — a known modeling limit).
-        let base_a = VirtAddr::new(0x1000_0000);
-        let base_b = VirtAddr::new(0x3000_0000);
-        system.mmap_anonymous_for(a, base_a, 24 << 20).unwrap();
-        system.mmap_anonymous_for(b, base_b, 24 << 20).unwrap();
-        let spec = |name: &str, base: u64| {
+        // One more process than cores, so at least one core context
+        // switches while the others run pinned processes.
+        let mut pids = vec![system.pid()];
+        while pids.len() < cores + 1 {
+            pids.push(system.spawn_process());
+        }
+        // Every process maps the SAME virtual layout: RestSeg occupancy is
+        // keyed by (ASID, VA), so identical layouts must never alias
+        // translations across processes.
+        let base = VirtAddr::new(0x1000_0000);
+        let footprint: u64 = 12 << 20;
+        for &pid in &pids {
+            system.mmap_anonymous_for(pid, base, footprint).unwrap();
+        }
+        let spec = |i: usize| {
             let mut s = WorkloadSpec::simple(
-                "w", WorkloadClass::LongRunning, 24 << 20,
+                "w", WorkloadClass::LongRunning, footprint,
                 AccessPattern::UniformRandom, 5_000,
             );
-            s.name = name.to_string();
-            s.regions[0].start = VirtAddr::new(base);
+            s.name = format!("P{i}");
+            s.regions[0].start = base;
             s
         };
-        let mut src_a = spec("A", base_a.raw()).build(seed);
-        let mut src_b = spec("B", base_b.raw()).build(seed ^ 0x5EED);
+        let mut sources: Vec<_> = (0..pids.len())
+            .map(|i| spec(i).build(seed ^ (i as u64 * 0x5EED)))
+            .collect();
         let report = {
-            let mut programs: Vec<(ProcessId, &mut dyn TraceSource)> =
-                vec![(a, &mut src_a), (b, &mut src_b)];
+            let mut programs: Vec<(ProcessId, &mut dyn TraceSource)> = pids
+                .iter()
+                .copied()
+                .zip(sources.iter_mut().map(|s| s as &mut dyn TraceSource))
+                .collect();
             system.run_multiprogram(&mut programs, None)
         };
         // The run must actually have exercised the interesting machinery.
         prop_assert!(report.rollup.swapped_pages > 0, "no memory pressure reached");
         prop_assert!(report.context_switches > 0);
-        prop_assert!(report.rollup.shootdowns.is_some());
+        let shootdowns = report.rollup.shootdowns.as_ref();
+        prop_assert!(shootdowns.is_some());
+        if cores > 1 {
+            // Cross-core IPIs flowed and balanced: every broadcast was
+            // received; none was droppable without tripping the channel.
+            let per_core = shootdowns.unwrap().per_core.as_ref()
+                .expect("multi-core shootdowns report per-core stats");
+            prop_assert_eq!(per_core.len(), cores);
+            let sent: u64 = per_core.iter().map(|c| c.ipis_sent).sum();
+            let received: u64 = per_core.iter().map(|c| c.ipis_received).sum();
+            prop_assert!(sent > 0, "multi-core reclaim must broadcast IPIs");
+            prop_assert_eq!(sent, received);
+        }
 
         let process_of = |asid: Asid| system.os().process(ProcessId(asid.raw() as usize));
-        // 1. Every TLB entry translates exactly as the mapping table does.
-        for (asid, cached) in system.mmu().tlb().entries() {
-            let expected = process_of(asid)
-                .lookup_mapping(cached.vaddr)
-                .map(|m| m.translate(cached.vaddr));
-            prop_assert_eq!(
-                expected, Some(cached.translate(cached.vaddr)),
-                "stale TLB entry {} (asid {})", cached, asid.raw()
-            );
-        }
-        // 2. Every engine-resident page translation agrees.
-        for (asid, resident) in system.engine().resident_mappings() {
-            prop_assert_eq!(
-                process_of(asid).lookup_mapping(resident.vaddr).map(|m| m.paddr),
-                Some(resident.paddr),
-                "stale RestSeg residency {}", resident
-            );
-        }
-        // 3. Every page of every engine-registered range still maps to the
-        //    range's frames (reclaim must have split ranges around
-        //    victims), and the kernel's own range list agrees the same way.
-        let kernel_ranges: Vec<(Asid, virtuoso_suite::mimic_os::kernel::RangeMapping)> =
-            [a, b].iter()
-                .flat_map(|&pid| {
-                    system.os().ranges(pid).iter()
-                        .map(move |r| (System::asid_of(pid), *r))
-                })
-                .collect();
-        for (asid, range) in system.engine().resident_ranges().into_iter().chain(kernel_ranges) {
-            let process = process_of(asid);
-            for page in 0..(range.bytes / 4096) {
-                let va = range.virt_start.add(page * 4096);
-                let expected = range.phys_start.add(page * 4096);
-                let actual = process.lookup_mapping(va).map(|m| m.translate(va));
+        for core in 0..system.num_cores() {
+            // 1. Every core-local TLB entry translates exactly as the
+            //    owning process's mapping table does.
+            for (asid, cached) in system.mmu_of(core).tlb().entries() {
+                let expected = process_of(asid)
+                    .lookup_mapping(cached.vaddr)
+                    .map(|m| m.translate(cached.vaddr));
                 prop_assert_eq!(
-                    actual, Some(expected),
-                    "range covers {} but the mapping table disagrees (asid {})",
-                    va, asid.raw()
+                    expected, Some(cached.translate(cached.vaddr)),
+                    "core {}: stale TLB entry {} (asid {})", core, cached, asid.raw()
                 );
+            }
+            // 2. Every engine-resident page translation agrees.
+            for (asid, resident) in system.engine_of(core).resident_mappings() {
+                prop_assert_eq!(
+                    process_of(asid).lookup_mapping(resident.vaddr).map(|m| m.paddr),
+                    Some(resident.paddr),
+                    "core {}: stale RestSeg residency {}", core, resident
+                );
+            }
+            // 3. Every page of every engine-registered range still maps to
+            //    the range's frames (reclaim must have split ranges around
+            //    victims).
+            for (asid, range) in system.engine_of(core).resident_ranges() {
+                let process = process_of(asid);
+                for page in 0..(range.bytes / 4096) {
+                    let va = range.virt_start.add(page * 4096);
+                    let expected = range.phys_start.add(page * 4096);
+                    let actual = process.lookup_mapping(va).map(|m| m.translate(va));
+                    prop_assert_eq!(
+                        actual, Some(expected),
+                        "core {}: range covers {} but the mapping table disagrees (asid {})",
+                        core, va, asid.raw()
+                    );
+                }
+            }
+        }
+        // 4. The kernel's own range list agrees the same way.
+        for &pid in &pids {
+            let process = system.os().process(pid);
+            for range in system.os().ranges(pid) {
+                for page in 0..(range.bytes / 4096) {
+                    let va = range.virt_start.add(page * 4096);
+                    let expected = range.phys_start.add(page * 4096);
+                    let actual = process.lookup_mapping(va).map(|m| m.translate(va));
+                    prop_assert_eq!(
+                        actual, Some(expected),
+                        "kernel range covers {} but the mapping table disagrees (pid {})",
+                        va, pid.0
+                    );
+                }
             }
         }
     }

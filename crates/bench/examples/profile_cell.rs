@@ -1,0 +1,44 @@
+//! Profiling helper: runs one simspeed cell (GUPS detailed, 64 MiB
+//! footprint) for a configurable budget so a sampling profiler can
+//! attribute host time without the noise of the full cell matrix.
+//!
+//! ```console
+//! $ cargo build --release -p virtuoso_bench --example profile_cell
+//! $ gprofng collect app -o /tmp/cell.er \
+//!       ./target/release/examples/profile_cell utopia 2000000 3
+//! $ gprofng display text -functions /tmp/cell.er | head -40
+//! ```
+//!
+//! Args: engine (`page-table` | `midgard` | `rmm` | `utopia`,
+//! default `utopia`), instruction budget (default 2 M), repetitions
+//! (default 1).
+
+use virtuoso_bench::simspeed::{engine_system_config, measure_cell, SpeedOptions};
+use vm_workloads::catalog;
+
+fn main() {
+    let engine = std::env::args().nth(1).unwrap_or_else(|| "utopia".into());
+    let instructions: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000_000);
+    let repetitions: u32 = std::env::args()
+        .nth(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let opts = SpeedOptions {
+        instructions,
+        repetitions,
+        quick: true,
+        reference_mips: 0.0,
+        engines: Vec::new(),
+        core_counts: Vec::new(),
+    };
+    let config = engine_system_config(&engine);
+    let spec = catalog::gups_randacc().scaled_footprint(0.125);
+    let cell = measure_cell(&config, &spec, "detailed", &engine, &opts);
+    println!(
+        "{engine}: {:.3} MIPS ({:.4}s)",
+        cell.mips, cell.best_elapsed_s
+    );
+}

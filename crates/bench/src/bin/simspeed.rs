@@ -18,6 +18,10 @@
 //! * `--cores LIST` — comma-separated multi-core cell sizes measured on
 //!   the headline workload (`2,4`, the default; `none` skips the
 //!   multi-core rows).
+//! * `--min-mips X` — exit non-zero if any measured cell sustains fewer
+//!   than `X` simulated MIPS (the CI smoke-perf regression gate).
+//! * `--instructions N` — override the per-cell instruction budget (A/B
+//!   runs against older binaries should pass the same budget to both).
 
 use virtuoso_bench::simspeed::{measure, render, SpeedOptions};
 
@@ -30,6 +34,7 @@ fn main() {
         SpeedOptions::full()
     };
     let mut out_path: Option<String> = None;
+    let mut min_mips: Option<f64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -38,6 +43,21 @@ fn main() {
                     .get(i + 1)
                     .and_then(|s| s.parse().ok())
                     .expect("--ref-mips needs a number");
+                i += 2;
+            }
+            "--instructions" => {
+                opts.instructions = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--instructions needs a number");
+                i += 2;
+            }
+            "--min-mips" => {
+                min_mips = Some(
+                    args.get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .expect("--min-mips needs a number"),
+                );
                 i += 2;
             }
             "--out" => {
@@ -85,4 +105,21 @@ fn main() {
     let json = serde_json::to_string_pretty(&report).expect("serialize speed report");
     std::fs::write(&path, json + "\n").expect("write BENCH_simspeed.json");
     println!("wrote {path}");
+
+    if let Some(floor) = min_mips {
+        let slow = report.cells_below(floor);
+        if !slow.is_empty() {
+            for c in &slow {
+                eprintln!(
+                    "FAIL: {} / {} / {} ({} cores) sustained {:.3} MIPS, below the {floor} floor",
+                    c.workload, c.mode, c.engine, c.cores, c.mips
+                );
+            }
+            std::process::exit(1);
+        }
+        println!(
+            "all {} cells at or above the {floor} MIPS floor",
+            report.cells.len()
+        );
+    }
 }

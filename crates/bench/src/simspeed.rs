@@ -94,6 +94,13 @@ impl SpeedReport {
             .iter()
             .find(|c| c.workload == workload && c.mode == "detailed" && c.cores == cores)
     }
+
+    /// Cells that fell below a sustained-MIPS floor (`--min-mips`): the CI
+    /// smoke-perf gate fails when any cell regresses past it. An empty
+    /// result means every measured cell cleared the floor.
+    pub fn cells_below(&self, floor_mips: f64) -> Vec<&SpeedCell> {
+        self.cells.iter().filter(|c| c.mips < floor_mips).collect()
+    }
 }
 
 /// Options of a measurement run.
@@ -116,10 +123,14 @@ pub struct SpeedOptions {
 }
 
 impl SpeedOptions {
-    /// The full measurement (committed trajectory numbers).
+    /// The full measurement (committed trajectory numbers). The budget is
+    /// sized so the cold-start fault storm (every page of the footprint
+    /// faults once, ~16k faults for the scaled GUPS cell) amortizes and
+    /// the cell measures *sustained* steady-state speed, not fault-path
+    /// speed — at 400k instructions the RND cells were ~4% page faults.
     pub fn full() -> Self {
         SpeedOptions {
-            instructions: 400_000,
+            instructions: 2_000_000,
             repetitions: 3,
             quick: false,
             reference_mips: 0.0,
@@ -128,10 +139,13 @@ impl SpeedOptions {
         }
     }
 
-    /// The CI smoke budget (`--quick`).
+    /// The CI smoke budget (`--quick`). Large enough that the cells are
+    /// not pure fault-storm (which would sit an order of magnitude below
+    /// sustained speed and defeat the `--min-mips` floor), small enough
+    /// to finish in seconds.
     pub fn quick() -> Self {
         SpeedOptions {
-            instructions: 40_000,
+            instructions: 200_000,
             repetitions: 2,
             quick: true,
             reference_mips: 0.0,
@@ -465,6 +479,21 @@ mod tests {
             report.cell("RND", "detailed").unwrap().cores,
             1,
             "the headline cell stays single-core"
+        );
+    }
+
+    #[test]
+    fn min_mips_floor_flags_only_slow_cells() {
+        let report = measure(&tiny_opts());
+        assert!(
+            report.cells_below(0.0).is_empty(),
+            "a zero floor passes everything"
+        );
+        let slow = report.cells_below(f64::INFINITY);
+        assert_eq!(
+            slow.len(),
+            report.cells.len(),
+            "an unreachable floor flags every cell"
         );
     }
 

@@ -138,19 +138,71 @@ impl CacheStats {
     }
 }
 
+/// One cache line, packed into a single word: the tag in the high bits,
+/// prefetched / dirty / valid flags in the low three. Packing keeps a
+/// whole 16-way set inside two host cache lines, so the way scan every
+/// lookup and fill performs stays cheap.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-    prefetched: bool,
+struct Line(u64);
+
+impl Line {
+    const VALID: u64 = 0b001;
+    const DIRTY: u64 = 0b010;
+    const PREFETCHED: u64 = 0b100;
+
+    fn new(tag: u64, dirty: bool, prefetched: bool) -> Self {
+        let mut bits = (tag << 3) | Self::VALID;
+        if dirty {
+            bits |= Self::DIRTY;
+        }
+        if prefetched {
+            bits |= Self::PREFETCHED;
+        }
+        Line(bits)
+    }
+
+    fn valid(self) -> bool {
+        self.0 & Self::VALID != 0
+    }
+
+    fn dirty(self) -> bool {
+        self.0 & Self::DIRTY != 0
+    }
+
+    fn prefetched(self) -> bool {
+        self.0 & Self::PREFETCHED != 0
+    }
+
+    fn tag(self) -> u64 {
+        self.0 >> 3
+    }
+
+    fn matches(self, tag: u64) -> bool {
+        self.valid() && self.tag() == tag
+    }
+
+    fn set_dirty(&mut self) {
+        self.0 |= Self::DIRTY;
+    }
+
+    fn clear_prefetched(&mut self) {
+        self.0 &= !Self::PREFETCHED;
+    }
+
+    fn invalidate(&mut self) {
+        self.0 = 0;
+    }
 }
 
 /// A single set-associative cache with physical tags.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Cache {
     config: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    /// Flat set-major line storage: the `ways` lines of set `s` live at
+    /// `lines[s * ways .. (s + 1) * ways]` — one contiguous allocation
+    /// instead of a pointer chase into a per-set `Vec` on every access.
+    lines: Vec<Line>,
+    ways: usize,
     replacement: Vec<SetReplacement>,
     stats: CacheStats,
     /// Precomputed set-count divisor (a mask/shift for the power-of-two
@@ -164,7 +216,8 @@ impl Cache {
         let num_sets = config.num_sets();
         let ways = config.ways as usize;
         Cache {
-            sets: vec![vec![Line::default(); ways]; num_sets],
+            lines: vec![Line::default(); num_sets * ways],
+            ways,
             replacement: (0..num_sets)
                 .map(|_| SetReplacement::new(config.replacement, ways))
                 .collect(),
@@ -172,6 +225,14 @@ impl Cache {
             stats: CacheStats::default(),
             set_div: FastDiv::new(num_sets as u64),
         }
+    }
+
+    fn set(&self, set_idx: usize) -> &[Line] {
+        &self.lines[set_idx * self.ways..(set_idx + 1) * self.ways]
+    }
+
+    fn set_mut(&mut self, set_idx: usize) -> &mut [Line] {
+        &mut self.lines[set_idx * self.ways..(set_idx + 1) * self.ways]
     }
 
     /// The cache's configuration.
@@ -210,13 +271,13 @@ impl Cache {
         requestor: Requestor,
     ) -> LookupResult {
         let (set_idx, tag) = self.index_and_tag(paddr);
-        let set = &mut self.sets[set_idx];
-        if let Some(way) = set.iter().position(|l| l.valid && l.tag == tag) {
+        let set = self.set_mut(set_idx);
+        if let Some(way) = set.iter().position(|l| l.matches(tag)) {
             if is_write {
-                set[way].dirty = true;
+                set[way].set_dirty();
             }
-            if set[way].prefetched {
-                set[way].prefetched = false;
+            if set[way].prefetched() {
+                set[way].clear_prefetched();
                 self.stats.prefetch_hits.inc();
             }
             self.replacement[set_idx].on_hit(way);
@@ -236,13 +297,13 @@ impl Cache {
     /// line, if a writeback is required.
     pub fn fill(&mut self, paddr: PhysAddr, is_write: bool, prefetched: bool) -> Option<PhysAddr> {
         let (set_idx, tag) = self.index_and_tag(paddr);
-        let num_sets = self.sets.len() as u64;
-        let set = &mut self.sets[set_idx];
+        let num_sets = self.replacement.len() as u64;
+        let set = &mut self.lines[set_idx * self.ways..(set_idx + 1) * self.ways];
 
         // If the line is already present (e.g. racing fills), just update it.
-        if let Some(way) = set.iter().position(|l| l.valid && l.tag == tag) {
+        if let Some(way) = set.iter().position(|l| l.matches(tag)) {
             if is_write {
-                set[way].dirty = true;
+                set[way].set_dirty();
             }
             return None;
         }
@@ -250,26 +311,21 @@ impl Cache {
         // Way validity as a stack bitmask: no per-fill heap allocation.
         let mut valid_mask = 0u64;
         for (way, line) in set.iter().enumerate() {
-            if line.valid {
+            if line.valid() {
                 valid_mask |= 1 << way;
             }
         }
         let victim_way = self.replacement[set_idx].choose_victim_mask(valid_mask);
         let victim = set[victim_way];
         let mut writeback = None;
-        if victim.valid {
+        if victim.valid() {
             self.stats.evictions.inc();
-            if victim.dirty {
-                let victim_line = victim.tag * num_sets + set_idx as u64;
+            if victim.dirty() {
+                let victim_line = victim.tag() * num_sets + set_idx as u64;
                 writeback = Some(PhysAddr::new(victim_line * CACHE_LINE_BYTES));
             }
         }
-        set[victim_way] = Line {
-            tag,
-            valid: true,
-            dirty: is_write,
-            prefetched,
-        };
+        set[victim_way] = Line::new(tag, is_write, prefetched);
         self.replacement[set_idx].on_insert(victim_way);
         if prefetched {
             self.stats.prefetch_fills.inc();
@@ -280,16 +336,16 @@ impl Cache {
     /// Returns `true` if the line containing `paddr` is currently cached.
     pub fn contains(&self, paddr: PhysAddr) -> bool {
         let (set_idx, tag) = self.index_and_tag(paddr);
-        self.sets[set_idx].iter().any(|l| l.valid && l.tag == tag)
+        self.set(set_idx).iter().any(|l| l.matches(tag))
     }
 
     /// Invalidates the line containing `paddr` if present (used for TLB
     /// shootdown-style page-table invalidations).
     pub fn invalidate(&mut self, paddr: PhysAddr) -> bool {
         let (set_idx, tag) = self.index_and_tag(paddr);
-        for line in &mut self.sets[set_idx] {
-            if line.valid && line.tag == tag {
-                line.valid = false;
+        for line in self.set_mut(set_idx) {
+            if line.matches(tag) {
+                line.invalidate();
                 return true;
             }
         }
@@ -298,10 +354,7 @@ impl Cache {
 
     /// Number of valid lines currently resident.
     pub fn resident_lines(&self) -> usize {
-        self.sets
-            .iter()
-            .map(|s| s.iter().filter(|l| l.valid).count())
-            .sum()
+        self.lines.iter().filter(|l| l.valid()).count()
     }
 }
 
@@ -334,7 +387,7 @@ mod tests {
     #[test]
     fn capacity_eviction_occurs() {
         let cfg = CacheConfig::tiny("T");
-        let lines = (cfg.capacity_bytes / CACHE_LINE_BYTES) as u64;
+        let lines = cfg.capacity_bytes / CACHE_LINE_BYTES;
         let mut c = Cache::new(cfg);
         for i in 0..lines * 2 {
             c.fill(pa(i * CACHE_LINE_BYTES), false, false);

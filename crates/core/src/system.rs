@@ -480,23 +480,10 @@ impl System {
     ) -> SimulationReport {
         self.workload_name = frontend.name().to_string();
         let limit = max_instructions.unwrap_or(u64::MAX);
-        let mut retired = 0u64;
         if self.extra_cores.is_empty() {
-            while retired < limit {
-                let Some(instr) = frontend.next_instruction() else {
-                    break;
-                };
-                self.step_impl::<true>(&instr);
-                retired += 1;
-            }
+            self.step_block::<true, T>(frontend, limit);
         } else {
-            while retired < limit {
-                let Some(instr) = frontend.next_instruction() else {
-                    break;
-                };
-                self.step(&instr);
-                retired += 1;
-            }
+            self.step_block::<false, T>(frontend, limit);
         }
         self.report()
     }
@@ -547,24 +534,19 @@ impl System {
             };
 
             let quantum = self.os.scheduler().quantum();
-            let mut ran = 0u64;
-            let mut exhausted = false;
-            while ran < quantum {
-                let Some(instr) = source.next_instruction() else {
-                    exhausted = true;
-                    break;
-                };
-                // This legacy loop only runs single-core (the sharded loop
-                // handles `extra_cores`), so the pinned step applies.
-                self.step_impl::<true>(&instr);
-                ran += 1;
-                retired_total += 1;
-                if retired_total >= limit {
-                    if ran > 0 {
-                        self.os.scheduler_mut().account(ran);
-                    }
-                    break 'outer;
+            // This legacy loop only runs single-core (the sharded loop
+            // handles `extra_cores`), so the pinned block applies. The
+            // block never runs past the quantum or the global limit, so
+            // preemption points match the per-step loop exactly.
+            let n = quantum.min(limit - retired_total);
+            let ran = self.step_block::<true, dyn TraceSource>(&mut **source, n);
+            let exhausted = ran < n;
+            retired_total += ran;
+            if retired_total >= limit {
+                if ran > 0 {
+                    self.os.scheduler_mut().account(ran);
                 }
+                break 'outer;
             }
             let expired = ran > 0 && self.os.scheduler_mut().account(ran);
             if exhausted {
@@ -673,22 +655,15 @@ impl System {
                 // the end of the quantum (so preemption points match the
                 // single-core loop instruction-for-instruction).
                 let turn = Self::CORE_TICK.min(self.os.scheduler().remaining_quantum_on(core));
-                let mut ran = 0u64;
-                let mut exhausted = false;
-                while ran < turn {
-                    let Some(instr) = source.next_instruction() else {
-                        exhausted = true;
-                        break;
-                    };
-                    self.step(&instr);
-                    ran += 1;
-                    retired_total += 1;
-                    if retired_total >= limit {
-                        if ran > 0 {
-                            self.os.scheduler_mut().account_on(core, ran);
-                        }
-                        break 'outer;
+                let n = turn.min(limit - retired_total);
+                let ran = self.step_block::<false, dyn TraceSource>(&mut **source, n);
+                let exhausted = ran < n;
+                retired_total += ran;
+                if retired_total >= limit {
+                    if ran > 0 {
+                        self.os.scheduler_mut().account_on(core, ran);
                     }
+                    break 'outer;
                 }
                 if ran > 0 {
                     any_progress = true;
@@ -784,6 +759,62 @@ impl System {
         self.step_impl::<false>(instr);
     }
 
+    /// Runs up to `n` instructions from `frontend` through the pinned
+    /// step path, amortizing the per-instruction bookkeeping (perf
+    /// attribution, housekeeping counter) over chunks. Returns how many
+    /// instructions actually retired — fewer than `n` only when the
+    /// trace ends.
+    ///
+    /// Semantically identical to `n` calls of [`System::step_impl`]: the
+    /// per-process cycle attribution telescopes (the active slot cannot
+    /// change mid-block — only `apply_context_switch` moves it, and the
+    /// step path never switches), and chunks are clamped to the
+    /// housekeeping slack so background ticks fire at exactly the same
+    /// instruction numbers as the per-step loop.
+    fn step_block<const PIN0: bool, T: TraceSource + ?Sized>(
+        &mut self,
+        frontend: &mut T,
+        n: u64,
+    ) -> u64 {
+        debug_assert!(!PIN0 || self.active == 0);
+        let interval = self.config.housekeeping_interval;
+        let mut stepped = 0u64;
+        while stepped < n {
+            let slack = if interval > 0 {
+                interval - active_ref!(self, PIN0).instructions_since_housekeeping
+            } else {
+                u64::MAX
+            };
+            let chunk = (n - stepped).min(slack);
+            let cycles_before = active_ref!(self, PIN0).core.cycles().raw();
+            let mut ran = 0u64;
+            while ran < chunk {
+                let Some(instr) = frontend.next_instruction() else {
+                    break;
+                };
+                match instr.memory {
+                    None => active_mut!(self, PIN0).core.retire_compute(1),
+                    Some((vaddr, kind)) => self.memory_access::<PIN0>(instr.pc, vaddr, kind),
+                }
+                ran += 1;
+            }
+            let c = active_mut!(self, PIN0);
+            let perf = &mut self.per_proc[c.current_slot];
+            perf.instructions += ran;
+            perf.cycles += c.core.cycles().raw() - cycles_before;
+            c.instructions_since_housekeeping += ran;
+            stepped += ran;
+            if interval > 0 && c.instructions_since_housekeeping >= interval {
+                c.instructions_since_housekeeping = 0;
+                self.housekeeping();
+            }
+            if ran < chunk {
+                break; // trace exhausted
+            }
+        }
+        stepped
+    }
+
     /// [`System::step`], monomorphized over `PIN0`: the single-core run
     /// loops instantiate `PIN0 = true`, pinning the active core to the
     /// inline `core0` field at compile time (callers must guarantee
@@ -871,8 +902,30 @@ impl System {
         let mut ptw_latency = 0u64;
         let mut ptw_count = 0u64;
 
+        // The software L0 fast path: a verified pointer into the L1 TLBs
+        // replays the L1-hit outcome (state, statistics and latency all
+        // byte-identical) without the engine dispatch below. It stands
+        // down (`None`) for Midgard, whose TLB is keyed by Midgard
+        // addresses, and whenever the pointer fails verification.
+        let l0_hit = {
+            let c = active_mut!(self, PIN0);
+            if c.engine.uses_l0() {
+                c.mmu.l0_translate(asid, vaddr)
+            } else {
+                None
+            }
+        };
+        if let Some((pa, latency)) = l0_hit {
+            total_latency += latency;
+            translation_cycles += latency.raw().saturating_sub(1);
+            paddr = Some(pa);
+        }
+
         // Translation (with at most one fault retry).
         for attempt in 0..2 {
+            if paddr.is_some() {
+                break;
+            }
             let result = {
                 let c = active_mut!(self, PIN0);
                 c.engine.translate(&mut c.mmu, asid, vaddr)

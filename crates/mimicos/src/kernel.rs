@@ -1233,38 +1233,64 @@ impl MimicOs {
 
     /// Demotes one resident 2 MiB mapping into 512 4 KiB pieces on the
     /// same frames (`split_huge_page` + buddy split), searching processes
-    /// round-robin from the cursor. The huge translation goes into `batch`
-    /// as a shootdown victim; the pieces are returned so the caller can
-    /// reclaim some and report the survivors as replacements.
+    /// round-robin from the cursor. When no 2 MiB mapping exists anywhere,
+    /// a 1 GiB mapping is demoted instead — first into 512 2 MiB pieces,
+    /// then the first of those on into 4 KiB pieces — so gigantic pages
+    /// are never exempt from reclaim. The huge translation goes into
+    /// `batch` as a shootdown victim (intermediate pieces never reached a
+    /// TLB, so only the original mapping needs one); the 4 KiB pieces are
+    /// returned so the caller can reclaim some and report the survivors
+    /// as replacements.
     fn demote_one_huge(
         &mut self,
         stream: &mut KernelInstructionStream,
         batch: &mut InvalidationBatch,
     ) -> Option<(ProcessId, Vec<Mapping>)> {
-        let n = self.processes.len();
-        for i in 0..n {
-            let idx = (self.reclaim_cursor + i) % n;
-            let Some(vaddr) = self.processes[idx]
-                .mappings()
-                .find(|m| m.page_size == PageSize::Size2M)
-                .map(|m| m.vaddr)
-            else {
-                continue;
-            };
-            let (huge, pieces) = self.processes[idx]
-                .demote_mapping(vaddr)
-                .expect("a 2 MiB mapping was found above");
-            // The containing buddy block (the 2 MiB allocation itself, or
-            // the larger eager block it was carved from) becomes a set of
-            // individually freeable base frames; RestSeg frames live
-            // outside the buddy and simply stay where they are.
-            let _ = self.buddy.split_allocated(huge.paddr);
-            let pid = ProcessId(idx);
-            batch.push_victim(pid, huge.vaddr, huge.page_size);
-            self.stats.thp_demotions.inc();
-            // Splitting the PMD: per-PTE setup for the 512 new entries.
-            stream.compute(512 * 3);
-            return Some((pid, pieces));
+        for size in [PageSize::Size2M, PageSize::Size1G] {
+            let n = self.processes.len();
+            for i in 0..n {
+                let idx = (self.reclaim_cursor + i) % n;
+                let Some(vaddr) = self.processes[idx]
+                    .mappings()
+                    .find(|m| m.page_size == size)
+                    .map(|m| m.vaddr)
+                else {
+                    continue;
+                };
+                let (huge, mut pieces) = self.processes[idx]
+                    .demote_mapping(vaddr)
+                    .expect("a huge mapping was found above");
+                // The containing buddy block (the huge allocation itself,
+                // or the larger eager block it was carved from) becomes a
+                // set of individually freeable frames; RestSeg and
+                // gigantic-reservation frames live outside the buddy and
+                // simply stay where they are.
+                let _ = self.buddy.split_allocated(huge.paddr);
+                let pid = ProcessId(idx);
+                batch.push_victim(pid, huge.vaddr, huge.page_size);
+                self.stats.thp_demotions.inc();
+                // Splitting the PMD (or PUD): per-entry setup for the 512
+                // new entries.
+                stream.compute(512 * 3);
+                if size == PageSize::Size1G {
+                    // 1 GiB demotion yields 2 MiB pieces; split the first
+                    // on down to reclaimable 4 KiB pages. The surviving
+                    // 2 MiB pieces stay resident and ride the replacement
+                    // path (they were never in any TLB — no shootdown).
+                    let first = pieces[0];
+                    for piece in &pieces[1..] {
+                        batch.replacements.push((pid, *piece));
+                    }
+                    let (mid, base_pieces) = self.processes[idx]
+                        .demote_mapping(first.vaddr)
+                        .expect("the 2 MiB piece was just inserted");
+                    let _ = self.buddy.split_allocated(mid.paddr);
+                    self.stats.thp_demotions.inc();
+                    stream.compute(512 * 3);
+                    pieces = base_pieces;
+                }
+                return Some((pid, pieces));
+            }
         }
         None
     }
@@ -1919,6 +1945,67 @@ mod tests {
         assert!(saw_demotion_batch, "pressure on huge pages must demote");
         assert!(os.stats().thp_demotions.get() > 0);
         assert!(os.swap().stats().swap_outs.get() > 0);
+    }
+
+    #[test]
+    fn gigantic_mappings_demote_under_pressure() {
+        // A 1 GiB mapping must not be exempt from reclaim: when gigantic
+        // pages are the only resident memory left, pressure demotes them
+        // (1 GiB -> 512 x 2 MiB, then one piece on to 4 KiB) instead of
+        // failing the fault with the gigabyte still pinned.
+        let config = OsConfig {
+            memory_bytes: 1040 * MB,
+            swap_bytes: 64 * MB,
+            swap_threshold: 0.5,
+            policy: AllocationPolicy::BuddyFourK,
+            thp: ThpConfig::disabled(),
+            fragmentation_target: None,
+            populate_page_cache: false,
+            ..OsConfig::small_test()
+        };
+        let mut os = MimicOs::new(config);
+        let pid = os.spawn_process();
+        let gig = Vma {
+            kind: VmaKind::Dax,
+            gigantic_ok: true,
+            ..Vma::anonymous(VirtAddr::new(0x40_0000_0000), 1024 * MB)
+        };
+        os.process_mut(pid).vmas.insert(gig).unwrap();
+        let first = touch(&mut os, pid, 0x40_0000_0000);
+        assert_eq!(first.mapping.page_size, PageSize::Size1G);
+
+        // With the gigabyte resident, almost nothing is free; the next
+        // fault anywhere else must reclaim, and the only reclaimable
+        // memory is the gigantic page.
+        os.mmap_anonymous(pid, VirtAddr::new(0x9000_0000), 4 * MB, false)
+            .unwrap();
+        let outcome = touch(&mut os, pid, 0x9000_0000);
+        assert!(
+            outcome
+                .invalidations
+                .victims
+                .iter()
+                .any(|v| v.page_size == PageSize::Size1G),
+            "the gigantic translation must be shot down on demotion"
+        );
+        assert!(
+            outcome
+                .invalidations
+                .replacements
+                .iter()
+                .any(|(rpid, m)| *rpid == pid && m.page_size == PageSize::Size2M),
+            "surviving 2 MiB pieces stay resident as replacements"
+        );
+        // Two split levels: PUD -> PMDs, then one PMD -> PTEs.
+        assert!(os.stats().thp_demotions.get() >= 2);
+        assert!(os.swap().stats().swap_outs.get() > 0);
+        // The demoted region still translates piece-by-piece where not
+        // swapped: a 2 MiB piece covers addresses past the split head.
+        let tail = os
+            .process(pid)
+            .lookup_mapping(VirtAddr::new(0x40_0000_0000 + 512 * MB))
+            .expect("demoted pieces stay resident");
+        assert_eq!(tail.page_size, PageSize::Size2M);
     }
 
     #[test]

@@ -96,7 +96,10 @@ impl KernelInstructionStream {
     pub fn new(routine: KernelRoutine) -> Self {
         KernelInstructionStream {
             routine,
-            ops: Vec::new(),
+            // A page fault emits a few dozen ops (VMA walk, buddy, slab,
+            // page-table update, zeroing samples); pre-sizing skips the
+            // doubling reallocations that otherwise run on every fault.
+            ops: Vec::with_capacity(64),
         }
     }
 

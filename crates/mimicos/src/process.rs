@@ -191,24 +191,28 @@ impl Process {
             .collect()
     }
 
-    /// Splits the 2 MiB mapping covering `addr` into 512 4 KiB mappings
-    /// over the same physical frames (`split_huge_page`, the first half of
-    /// THP demotion — reclaim then swaps individual pieces out). Returns
-    /// the removed huge mapping and the inserted pieces, or `None` when no
-    /// 2 MiB mapping covers `addr`.
+    /// Splits the huge mapping covering `addr` one level down over the
+    /// same physical frames (`split_huge_page`, the first half of huge-page
+    /// demotion — reclaim then swaps individual pieces out): a 2 MiB
+    /// mapping becomes 512 4 KiB mappings, a 1 GiB mapping becomes 512
+    /// 2 MiB mappings. Returns the removed huge mapping and the inserted
+    /// pieces, or `None` when only a 4 KiB mapping (or nothing) covers
+    /// `addr`.
     pub fn demote_mapping(&mut self, addr: VirtAddr) -> Option<(Mapping, Vec<Mapping>)> {
         let huge = self.lookup_mapping(addr)?;
-        if huge.page_size != PageSize::Size2M {
-            return None;
-        }
+        let piece_size = match huge.page_size {
+            PageSize::Size4K => return None,
+            PageSize::Size2M => PageSize::Size4K,
+            PageSize::Size1G => PageSize::Size2M,
+        };
         self.mappings.remove(&huge.vaddr.raw());
-        let pages = PageSize::Size2M.base_pages();
-        let mut pieces = Vec::with_capacity(pages as usize);
-        for i in 0..pages {
+        let pieces_len = huge.page_size.bytes() / piece_size.bytes();
+        let mut pieces = Vec::with_capacity(pieces_len as usize);
+        for i in 0..pieces_len {
             let piece = Mapping {
-                vaddr: huge.vaddr.add(i * 4096),
-                paddr: huge.paddr.add(i * 4096),
-                page_size: PageSize::Size4K,
+                vaddr: huge.vaddr.add(i * piece_size.bytes()),
+                paddr: huge.paddr.add(i * piece_size.bytes()),
+                page_size: piece_size,
             };
             self.mappings.insert(piece.vaddr.raw(), piece);
             pieces.push(piece);

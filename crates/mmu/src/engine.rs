@@ -358,14 +358,7 @@ impl TranslationEngine {
                 InvalidationOutcome::from_removed(mmu.remove_mapping(asid, va), engine_entries)
             }
             TranslationEngine::Utopia(e) => {
-                let mut engine_entries = 0;
-                for probe in [PageSize::Size4K, PageSize::Size2M, PageSize::Size1G] {
-                    let key = (asid.raw(), va.page_base(probe).raw());
-                    if matches!(e.resident.get(&key), Some(m) if m.page_size == probe) {
-                        e.resident.remove(&key);
-                        engine_entries += 1 + e.utopia.invalidate(va);
-                    }
-                }
+                let engine_entries = e.remove_resident(asid, va);
                 InvalidationOutcome::from_removed(mmu.remove_mapping(asid, va), engine_entries)
             }
         }
@@ -415,9 +408,19 @@ impl TranslationEngine {
             TranslationEngine::PageTable => {}
             TranslationEngine::Midgard(e) => e.frontends.retain(|(a, _)| *a != asid),
             TranslationEngine::Rmm(e) => e.rmms.retain(|(a, _)| *a != asid),
-            TranslationEngine::Utopia(e) => e.resident.retain(|(a, _), _| *a != asid.raw()),
+            TranslationEngine::Utopia(e) => e.flush_asid_resident(asid),
         }
         mmu.flush_asid(asid)
+    }
+
+    /// Whether the software L0 translation cache in front of the `Mmu`'s
+    /// TLB hierarchy may serve this engine. True for every engine whose
+    /// steady-state path begins with an unmodified `probe_tlb`/`translate`
+    /// on the raw virtual address; false for Midgard, whose backend TLB is
+    /// keyed by *Midgard* addresses (an L0 hit would bypass the VLB
+    /// frontend and mis-attribute its statistics).
+    pub fn uses_l0(&self) -> bool {
+        !matches!(self, TranslationEngine::Midgard(_))
     }
 
     /// The engine's design-specific statistics, or `None` for the
@@ -757,19 +760,43 @@ impl RmmEngine {
 pub struct UtopiaEngine {
     /// The RestSeg-side hardware (set-index + TAR/SF caches).
     utopia: UtopiaMmu,
-    /// Pages resident in a RestSeg, keyed by `(asid, page base)` — fed by
-    /// the kernel's placement decisions through [`InstallInfo`].
+    /// Pages resident in a RestSeg, keyed by `(asid, page base >> 12)` —
+    /// fed by the kernel's placement decisions through [`InstallInfo`].
+    /// The shift matters: page bases have twelve zero low bits, and the
+    /// Fx hash keeps its entropy in the *high* bits while the hash map
+    /// picks buckets from the *low* bits — unshifted keys collapse the
+    /// whole resident set into a few probe chains (a measured ~40% of
+    /// the Utopia cell's host time before the rekey).
     resident: vm_types::FxHashMap<(u16, u64), Mapping>,
+    /// Resident-page counts per page size (4K/2M/1G), so the per-miss
+    /// residency probe can skip hash lookups for sizes with no entries.
+    resident_by_size: [u64; 3],
     restseg_hits: Counter,
     rsw_fetches: Counter,
+}
+
+/// The `resident_by_size` index of a page size.
+fn size_rank(size: PageSize) -> usize {
+    match size {
+        PageSize::Size4K => 0,
+        PageSize::Size2M => 1,
+        PageSize::Size1G => 2,
+    }
 }
 
 impl UtopiaEngine {
     /// Builds the engine.
     pub fn new(config: UtopiaMmuConfig) -> Self {
+        // Pre-size the resident map for a full RestSeg of base pages so
+        // steady-state installs never pause to rehash mid-run.
+        let resident_capacity = (config.restseg_bytes / 4096).min(1 << 20) as usize;
         UtopiaEngine {
             utopia: UtopiaMmu::new(config, PhysAddr::new(UTOPIA_TAG_BASE)),
-            resident: vm_types::FxHashMap::default(),
+            resident: vm_types::FxHashMap::with_capacity_and_hasher(
+                resident_capacity,
+                Default::default(),
+            ),
+            resident_by_size: [0; 3],
             restseg_hits: Counter::new(),
             rsw_fetches: Counter::new(),
         }
@@ -777,7 +804,10 @@ impl UtopiaEngine {
 
     fn resident_mapping(&self, asid: Asid, va: VirtAddr) -> Option<Mapping> {
         for size in [PageSize::Size4K, PageSize::Size2M, PageSize::Size1G] {
-            let key = (asid.raw(), va.page_base(size).raw());
+            if self.resident_by_size[size_rank(size)] == 0 {
+                continue;
+            }
+            let key = (asid.raw(), va.page_base(size).raw() >> 12);
             if let Some(mapping) = self.resident.get(&key) {
                 if mapping.page_size == size {
                     return Some(*mapping);
@@ -785,6 +815,36 @@ impl UtopiaEngine {
             }
         }
         None
+    }
+
+    /// Drops `va`'s page from the RestSeg resident set (all sizes) and
+    /// the TAR/SF caches. Returns the number of engine entries dropped.
+    fn remove_resident(&mut self, asid: Asid, va: VirtAddr) -> usize {
+        let mut engine_entries = 0;
+        for probe in [PageSize::Size4K, PageSize::Size2M, PageSize::Size1G] {
+            if self.resident_by_size[size_rank(probe)] == 0 {
+                continue;
+            }
+            let key = (asid.raw(), va.page_base(probe).raw() >> 12);
+            if matches!(self.resident.get(&key), Some(m) if m.page_size == probe) {
+                self.resident.remove(&key);
+                self.resident_by_size[size_rank(probe)] -= 1;
+                engine_entries += 1 + self.utopia.invalidate(va);
+            }
+        }
+        engine_entries
+    }
+
+    /// Drops every RestSeg-resident page of one address space (teardown).
+    fn flush_asid_resident(&mut self, asid: Asid) {
+        let counts = &mut self.resident_by_size;
+        self.resident.retain(|(a, _), m| {
+            let keep = *a != asid.raw();
+            if !keep {
+                counts[size_rank(m.page_size)] -= 1;
+            }
+            keep
+        });
     }
 
     fn translate(&mut self, mmu: &mut Mmu, asid: Asid, va: VirtAddr) -> TranslationResult {
@@ -803,7 +863,7 @@ impl UtopiaEngine {
                     } else {
                         Some(WalkOutcome {
                             mapping: Some(mapping),
-                            accesses: access_list(&rsw.metadata_accesses),
+                            accesses: rsw.metadata_accesses,
                             parallel: true, // tag groups fetch in parallel
                         })
                     };
@@ -820,7 +880,9 @@ impl UtopiaEngine {
                 let mut result = mmu.walk_after_miss(asid, va, fixed);
                 if !rsw.metadata_accesses.is_empty() {
                     if let Some(walk) = result.walk.take() {
-                        let mut combined = access_list(&rsw.metadata_accesses);
+                        // RSW tag fetches precede the page-table accesses;
+                        // reuse the RSW list's buffer instead of copying.
+                        let mut combined = rsw.metadata_accesses;
                         for pa in &walk.accesses {
                             combined.push(*pa);
                         }
@@ -846,8 +908,13 @@ impl UtopiaEngine {
         info: InstallInfo,
     ) -> Vec<PhysAddr> {
         if info.restseg_placed {
-            self.resident
-                .insert((asid.raw(), mapping.vaddr.raw()), *mapping);
+            if let Some(old) = self
+                .resident
+                .insert((asid.raw(), mapping.vaddr.raw() >> 12), *mapping)
+            {
+                self.resident_by_size[size_rank(old.page_size)] -= 1;
+            }
+            self.resident_by_size[size_rank(mapping.page_size)] += 1;
         }
         // The kernel keeps the page table authoritative for every page
         // (RestSeg-resident pages simply never walk it), so the install

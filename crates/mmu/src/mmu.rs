@@ -341,6 +341,36 @@ impl Mmu {
         self.walk_after_miss(asid, va, fixed_latency)
     }
 
+    /// Fast-path translation through the TLB hierarchy's L0 pointer cache
+    /// (see [`TlbHierarchy::l0_lookup`]): on a hit, returns the physical
+    /// address and the fixed probe latency with state and statistics
+    /// effects **identical** to the L1-hit path of [`Mmu::translate`] /
+    /// [`Mmu::probe_tlb`]. Returns `None` — mutating nothing — when the L0
+    /// has no verified pointer for the page; the caller then dispatches
+    /// the ordinary engine translation.
+    ///
+    /// Only sound for engines whose translate begins with an unmodified
+    /// TLB probe of the raw virtual address (the conventional page table,
+    /// RMM, Utopia). Midgard probes its backend with *Midgard* addresses,
+    /// so the framework must not consult the L0 for it (see
+    /// `TranslationEngine::uses_l0`).
+    #[inline]
+    pub fn l0_translate(&mut self, asid: Asid, va: VirtAddr) -> Option<(PhysAddr, Cycles)> {
+        let (mapping, latency) = self.tlb.l0_lookup(asid, va)?;
+        self.stats.translations.inc();
+        self.stats.l1_hits.inc();
+        let per_asid = self.asid_stats(asid);
+        per_asid.translations.inc();
+        per_asid.l1_hits.inc();
+        Some((mapping.translate(va), latency))
+    }
+
+    /// Read-only view of what [`Mmu::l0_translate`] would serve, for
+    /// invariant checking (no statistics or replacement state perturbed).
+    pub fn l0_peek(&self, asid: Asid, va: VirtAddr) -> Option<PhysAddr> {
+        self.tlb.l0_peek(asid, va).map(|m| m.translate(va))
+    }
+
     /// First half of a translation: the TLB hierarchy probe. On a hit the
     /// completed [`TranslationResult`] is returned; on a miss the
     /// accumulated probe latency is returned so the caller can either walk
@@ -527,9 +557,43 @@ mod tests {
     #[test]
     fn unmapped_translation_faults() {
         let mut mmu = Mmu::new(MmuConfig::small_test(PageTableKind::Radix));
-        let result = mmu.translate(A0, VirtAddr::new(0xdead_beef_000));
+        let result = mmu.translate(A0, VirtAddr::new(0x0dea_dbee_f000));
         assert!(result.is_fault());
         assert_eq!(mmu.stats().faults.get(), 1);
+    }
+
+    #[test]
+    fn l0_translate_serves_l1_hits_and_dies_with_the_shootdown() {
+        let mut mmu = Mmu::new(MmuConfig::small_test(PageTableKind::Radix));
+        let m = mapping(0x7f00_1000, PageSize::Size4K);
+        mmu.install_mapping(A0, &m);
+        let va = VirtAddr::new(0x7f00_1234);
+        let full = mmu.translate(A0, va);
+        assert!(full.tlb_hit_level.is_some());
+        let translations = mmu.stats().translations.get();
+        let l1_hits = mmu.stats().l1_hits.get();
+        let (pa, latency) = mmu.l0_translate(A0, va).expect("hot page serves from L0");
+        assert_eq!(Some(pa), full.paddr);
+        assert_eq!(latency, full.fixed_latency);
+        assert_eq!(mmu.stats().translations.get(), translations + 1);
+        assert_eq!(mmu.stats().l1_hits.get(), l1_hits + 1);
+
+        // A shootdown of the page must kill the fast path at once: an L0
+        // hit after the invalidation would be a stale translation.
+        mmu.remove_mapping(A0, va);
+        assert_eq!(mmu.l0_peek(A0, va), None);
+        assert_eq!(mmu.l0_translate(A0, va), None);
+
+        // Remapping the page to a different frame: the fast path must
+        // serve the new frame (or stand down), never the old one.
+        let mut remapped = m;
+        remapped.paddr = PhysAddr::new(0x20_0000_0000);
+        mmu.install_mapping(A0, &remapped);
+        let refreshed = mmu.translate(A0, va);
+        assert_eq!(refreshed.paddr, Some(remapped.translate(va)));
+        if let Some((pa, _)) = mmu.l0_translate(A0, va) {
+            assert_eq!(pa, remapped.translate(va));
+        }
     }
 
     #[test]

@@ -20,7 +20,12 @@ pub struct RadixPageTable {
     /// (The maps use the deterministic Fx hasher: walks probe them on
     /// every TLB miss, the hottest lookups in the whole simulator.)
     nodes: FxHashMap<(u8, u64), PhysAddr>,
-    /// Leaf translations keyed by page base address.
+    /// Leaf translations keyed by the page base's 4K page number
+    /// (`base >> 12`). NOT the raw base address: page-aligned keys have
+    /// twelve-plus zero low bits, and hashbrown picks buckets from the low
+    /// bits of the Fx hash, whose entropy sits in the high bits — raw
+    /// bases collapse the table into a few long probe chains on the
+    /// hottest lookup of every TLB-missing walk.
     leaves: FxHashMap<u64, Mapping>,
     /// Resident-leaf count per page size (1G, 2M, 4K), letting lookups
     /// skip probing sizes with no mappings at all — for a 4K-only address
@@ -96,7 +101,7 @@ impl RadixPageTable {
                 continue;
             }
             let base = va.page_base(size);
-            if let Some(m) = self.leaves.get(&base.raw()) {
+            if let Some(m) = self.leaves.get(&(base.raw() >> 12)) {
                 if m.page_size == size {
                     return Some(*m);
                 }
@@ -154,7 +159,7 @@ impl PageTable for RadixPageTable {
             let node = self.allocate_node(l, Self::prefix(va, l));
             accesses.push(self.entry_addr(node, va, l));
         }
-        if let Some(prev) = self.leaves.insert(va.raw(), mapping) {
+        if let Some(prev) = self.leaves.insert(va.raw() >> 12, mapping) {
             self.size_counts[Self::size_index(prev.page_size)] -= 1;
         }
         self.size_counts[Self::size_index(mapping.page_size)] += 1;
@@ -165,7 +170,7 @@ impl PageTable for RadixPageTable {
         let Some(mapping) = self.find_leaf(va) else {
             return Vec::new();
         };
-        if let Some(removed) = self.leaves.remove(&mapping.vaddr.raw()) {
+        if let Some(removed) = self.leaves.remove(&(mapping.vaddr.raw() >> 12)) {
             self.size_counts[Self::size_index(removed.page_size)] -= 1;
         }
         let leaf_level = 4 - Self::walk_depth(mapping.page_size);

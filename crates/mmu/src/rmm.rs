@@ -325,7 +325,7 @@ mod tests {
         for i in 0..128u64 {
             let va = 0x4000_0000 + i * 0x20_0000;
             let (pa, _, _) = rmm.translate(VirtAddr::new(va)).unwrap();
-            assert_eq!(pa.raw() - 0x10_0000_0000, va as u64 - 0x4000_0000);
+            assert_eq!(pa.raw() - 0x10_0000_0000, va - 0x4000_0000);
         }
         assert_eq!(rmm.range_translations.get(), 128);
     }

@@ -82,15 +82,34 @@ struct TlbEntry {
     lru: u64,
 }
 
+/// Dense index of a page size into the per-size resident counts.
+fn size_rank(size: PageSize) -> usize {
+    match size {
+        PageSize::Size4K => 0,
+        PageSize::Size2M => 1,
+        PageSize::Size1G => 2,
+    }
+}
+
 /// A set-associative, ASID-tagged TLB.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Tlb {
     config: TlbConfig,
-    sets: Vec<Vec<Option<TlbEntry>>>,
+    /// Way-major flat storage: set `s` occupies
+    /// `slots[s * ways .. (s + 1) * ways]`. One contiguous allocation keeps
+    /// each set on adjacent cache lines; per-set `Vec`s scattered every
+    /// probe across the heap.
+    slots: Vec<Option<TlbEntry>>,
+    ways: usize,
     clock: u64,
     stats: TlbStats,
     /// Precomputed set-count divisor for the per-lookup index.
     set_div: FastDiv,
+    /// Resident-entry count per page size (indexed by [`size_rank`]): a
+    /// lookup skips the set probe of any size with no entries at all, so
+    /// an all-4K workload pays one probe in the three-size L2 instead of
+    /// three.
+    present: [u64; 3],
 }
 
 impl Tlb {
@@ -98,11 +117,13 @@ impl Tlb {
     pub fn new(config: TlbConfig) -> Self {
         let sets = (config.entries / config.ways).max(1);
         Tlb {
-            sets: vec![vec![None; config.ways]; sets],
+            slots: vec![None; sets * config.ways],
+            ways: config.ways,
             clock: 0,
             stats: TlbStats::default(),
             set_div: FastDiv::new(sets as u64),
             config,
+            present: [0; 3],
         }
     }
 
@@ -134,16 +155,27 @@ impl Tlb {
     /// page size. Returns the mapping on a hit. Entries installed under a
     /// different ASID never match.
     pub fn lookup(&mut self, asid: Asid, va: VirtAddr) -> Option<Mapping> {
+        self.lookup_where(asid, va).map(|(m, _)| m)
+    }
+
+    /// [`Tlb::lookup`] that additionally reports *which* slot hit (a flat
+    /// index into the way-major storage), for the L0 pointer cache.
+    pub(crate) fn lookup_where(&mut self, asid: Asid, va: VirtAddr) -> Option<(Mapping, u32)> {
         self.clock += 1;
         for size_idx in 0..self.config.page_sizes.len() {
             let size = self.config.page_sizes[size_idx];
+            if self.present[size_rank(size)] == 0 {
+                continue; // no entry of this size anywhere: skip the probe
+            }
             let vpn = va.page_number(size).number();
-            let set_idx = self.set_index(vpn);
-            for entry in self.sets[set_idx].iter_mut().flatten() {
-                if entry.asid == asid && entry.size == size && entry.vpn == vpn {
-                    entry.lru = self.clock;
-                    self.stats.hits.inc();
-                    return Some(entry.mapping);
+            let base = self.set_index(vpn) * self.ways;
+            for (way, entry) in self.slots[base..base + self.ways].iter_mut().enumerate() {
+                if let Some(entry) = entry {
+                    if entry.asid == asid && entry.size == size && entry.vpn == vpn {
+                        entry.lru = self.clock;
+                        self.stats.hits.inc();
+                        return Some((entry.mapping, (base + way) as u32));
+                    }
                 }
             }
         }
@@ -151,54 +183,142 @@ impl Tlb {
         None
     }
 
+    /// Replays a [`Tlb::lookup`] hit against the entry at flat index
+    /// `slot` (previously reported by [`Tlb::lookup_where`]), verifying
+    /// first that a real lookup would return exactly that entry: the slot
+    /// must hold a live entry of `asid` covering `va`, and no page size
+    /// probed earlier in `page_sizes` order may also match. On success the
+    /// state effects are identical to the full lookup (probe clock, LRU
+    /// touch, hit count). Returns `None` — with **no** state mutated —
+    /// when the verification fails (the entry was evicted, invalidated,
+    /// flushed or replaced since the pointer was recorded).
+    pub(crate) fn hit_at(&mut self, slot: u32, asid: Asid, va: VirtAddr) -> Option<Mapping> {
+        let entry = (*self.slots.get(slot as usize)?)?;
+        if entry.asid != asid || entry.vpn != va.page_number(entry.size).number() {
+            return None;
+        }
+        // An entry of an earlier-probed size would win the real lookup:
+        // stand down to the slow path, which re-records the pointer.
+        for size_idx in 0..self.config.page_sizes.len() {
+            let size = self.config.page_sizes[size_idx];
+            if size == entry.size {
+                break;
+            }
+            if self.present[size_rank(size)] == 0 {
+                continue;
+            }
+            let vpn = va.page_number(size).number();
+            let base = self.set_index(vpn) * self.ways;
+            if self.slots[base..base + self.ways]
+                .iter()
+                .flatten()
+                .any(|e| e.asid == asid && e.size == size && e.vpn == vpn)
+            {
+                return None;
+            }
+        }
+        self.clock += 1;
+        let clock = self.clock;
+        let entry = self.slots[slot as usize].as_mut().expect("checked above");
+        entry.lru = clock;
+        self.stats.hits.inc();
+        Some(entry.mapping)
+    }
+
+    /// Replays the state effects of a [`Tlb::lookup`] miss (the probe
+    /// clock tick and the miss count) without scanning any set.
+    pub(crate) fn replay_miss(&mut self) {
+        self.clock += 1;
+        self.stats.misses.inc();
+    }
+
+    /// Whether a [`Tlb::lookup`] would hit, without perturbing any state
+    /// (no clock tick, no LRU touch, no statistics).
+    pub(crate) fn would_hit(&self, asid: Asid, va: VirtAddr) -> bool {
+        for size_idx in 0..self.config.page_sizes.len() {
+            let size = self.config.page_sizes[size_idx];
+            if self.present[size_rank(size)] == 0 {
+                continue;
+            }
+            let vpn = va.page_number(size).number();
+            let base = self.set_index(vpn) * self.ways;
+            if self.slots[base..base + self.ways]
+                .iter()
+                .flatten()
+                .any(|e| e.asid == asid && e.size == size && e.vpn == vpn)
+            {
+                return true;
+            }
+        }
+        false
+    }
+
     /// Fills a mapping for address space `asid` into the TLB (after a
     /// walk), evicting the LRU entry of the target set if necessary.
     /// Returns the evicted mapping, if any.
     pub fn fill(&mut self, asid: Asid, mapping: Mapping) -> Option<Mapping> {
+        self.fill_where(asid, mapping).1
+    }
+
+    /// [`Tlb::fill`] that additionally reports the flat slot index the
+    /// mapping landed in (`None` when the page size is unsupported), for
+    /// the L0 pointer cache.
+    pub(crate) fn fill_where(
+        &mut self,
+        asid: Asid,
+        mapping: Mapping,
+    ) -> (Option<u32>, Option<Mapping>) {
         if !self.supports(mapping.page_size) {
-            return None;
+            return (None, None);
         }
         self.clock += 1;
         let vpn = mapping.vaddr.page_number(mapping.page_size).number();
-        let set_idx = self.set_index(vpn);
+        let base = self.set_index(vpn) * self.ways;
         let clock = self.clock;
-        let set = &mut self.sets[set_idx];
+        let set = &mut self.slots[base..base + self.ways];
         // Already present: refresh.
-        for entry in set.iter_mut().flatten() {
-            if entry.asid == asid && entry.size == mapping.page_size && entry.vpn == vpn {
-                entry.mapping = mapping;
-                entry.lru = clock;
-                return None;
+        for (way, entry) in set.iter_mut().enumerate() {
+            if let Some(entry) = entry {
+                if entry.asid == asid && entry.size == mapping.page_size && entry.vpn == vpn {
+                    entry.mapping = mapping;
+                    entry.lru = clock;
+                    return (Some((base + way) as u32), None);
+                }
             }
         }
         // Free way?
-        if let Some(slot) = set.iter_mut().find(|e| e.is_none()) {
-            *slot = Some(TlbEntry {
+        if let Some(way) = set.iter().position(|e| e.is_none()) {
+            set[way] = Some(TlbEntry {
                 asid,
                 vpn,
                 size: mapping.page_size,
                 mapping,
                 lru: clock,
             });
-            return None;
+            self.present[size_rank(mapping.page_size)] += 1;
+            return (Some((base + way) as u32), None);
         }
         // Evict LRU.
-        let victim_idx = set
+        let victim_way = set
             .iter()
             .enumerate()
             .min_by_key(|(_, e)| e.map(|e| e.lru).unwrap_or(0))
             .map(|(i, _)| i)
             .unwrap_or(0);
-        let victim = set[victim_idx].map(|e| e.mapping);
-        set[victim_idx] = Some(TlbEntry {
+        let victim = set[victim_way];
+        set[victim_way] = Some(TlbEntry {
             asid,
             vpn,
             size: mapping.page_size,
             mapping,
             lru: clock,
         });
+        if let Some(victim) = victim {
+            self.present[size_rank(victim.size)] -= 1;
+        }
+        self.present[size_rank(mapping.page_size)] += 1;
         self.stats.evictions.inc();
-        victim
+        (Some((base + victim_way) as u32), victim.map(|e| e.mapping))
     }
 
     /// Invalidates any entry of address space `asid` covering `va` (TLB
@@ -207,12 +327,16 @@ impl Tlb {
         let mut removed = 0;
         for size_idx in 0..self.config.page_sizes.len() {
             let size = self.config.page_sizes[size_idx];
+            if self.present[size_rank(size)] == 0 {
+                continue;
+            }
             let vpn = va.page_number(size).number();
-            let set_idx = self.set_index(vpn);
-            for slot in &mut self.sets[set_idx] {
+            let base = self.set_index(vpn) * self.ways;
+            for slot in &mut self.slots[base..base + self.ways] {
                 if let Some(e) = slot {
                     if e.asid == asid && e.size == size && e.vpn == vpn {
                         *slot = None;
+                        self.present[size_rank(size)] -= 1;
                         removed += 1;
                         self.stats.invalidations.inc();
                     }
@@ -225,22 +349,19 @@ impl Tlb {
     /// Every resident entry as `(asid, mapping)` pairs, for invariant
     /// checking and debugging (not a modeled hardware operation).
     pub fn entries(&self) -> impl Iterator<Item = (Asid, Mapping)> + '_ {
-        self.sets
-            .iter()
-            .flat_map(|set| set.iter().flatten().map(|e| (e.asid, e.mapping)))
+        self.slots.iter().flatten().map(|e| (e.asid, e.mapping))
     }
 
     /// Flushes the entire TLB (a context switch without ASID support).
     /// Returns the number of entries dropped.
     pub fn flush(&mut self) -> usize {
         let mut dropped = 0;
-        for set in &mut self.sets {
-            for slot in set {
-                if slot.take().is_some() {
-                    dropped += 1;
-                }
+        for slot in &mut self.slots {
+            if slot.take().is_some() {
+                dropped += 1;
             }
         }
+        self.present = [0; 3];
         self.stats.flushed_entries.add(dropped as u64);
         dropped
     }
@@ -250,12 +371,11 @@ impl Tlb {
     /// dropped.
     pub fn flush_asid(&mut self, asid: Asid) -> usize {
         let mut dropped = 0;
-        for set in &mut self.sets {
-            for slot in set {
-                if matches!(slot, Some(e) if e.asid == asid) {
-                    *slot = None;
-                    dropped += 1;
-                }
+        for slot in &mut self.slots {
+            if matches!(slot, Some(e) if e.asid == asid) {
+                let e = slot.take().expect("matched above");
+                self.present[size_rank(e.size)] -= 1;
+                dropped += 1;
             }
         }
         self.stats.asid_flushed_entries.add(dropped as u64);
@@ -264,22 +384,15 @@ impl Tlb {
 
     /// Number of valid entries currently resident.
     pub fn occupancy(&self) -> usize {
-        self.sets
-            .iter()
-            .map(|s| s.iter().filter(|e| e.is_some()).count())
-            .sum()
+        self.slots.iter().filter(|e| e.is_some()).count()
     }
 
     /// Number of valid entries belonging to address space `asid`.
     pub fn occupancy_of(&self, asid: Asid) -> usize {
-        self.sets
+        self.slots
             .iter()
-            .map(|s| {
-                s.iter()
-                    .filter(|e| matches!(e, Some(e) if e.asid == asid))
-                    .count()
-            })
-            .sum()
+            .filter(|e| matches!(e, Some(e) if e.asid == asid))
+            .count()
     }
 }
 
@@ -349,6 +462,23 @@ impl Default for TlbHierarchyConfig {
     }
 }
 
+/// Number of slots in the L0 pointer cache (a power of two).
+const L0_SLOTS: usize = 1024;
+
+/// One slot of the L0 pointer cache: which L1 TLB slot satisfied the last
+/// lookup of `(asid, vpn4k)`. The slot holds **no mapping of its own** —
+/// only a pointer into an L1, re-verified against the live entry on every
+/// consult — so it can never serve translation state the TLBs no longer
+/// hold, and shootdowns, flushes and evictions need no L0 hook at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct L0Slot {
+    asid: Asid,
+    vpn4k: u64,
+    /// `true`: `slot` indexes the 2M/1G L1; `false`: the 4K L1.
+    huge_bank: bool,
+    slot: u32,
+}
+
 /// The two-level, multi-page-size data TLB hierarchy.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TlbHierarchy {
@@ -357,6 +487,13 @@ pub struct TlbHierarchy {
     l2: Tlb,
     /// Lookups that missed in both levels (require a page walk).
     pub full_misses: Counter,
+    /// The software "L0": a direct-mapped cache of pointers into the L1
+    /// TLBs, keyed by `(asid, 4 KiB page)`, that lets the steady-state
+    /// loop replay an L1 hit without the full per-size probe cascade. A
+    /// pure host-side accelerator — [`TlbHierarchy::l0_lookup`] produces
+    /// state and statistics byte-identical to [`TlbHierarchy::lookup`],
+    /// or stands down entirely.
+    l0: Vec<Option<L0Slot>>,
 }
 
 impl TlbHierarchy {
@@ -367,7 +504,73 @@ impl TlbHierarchy {
             l1_2m: Tlb::new(config.l1_2m),
             l2: Tlb::new(config.l2),
             full_misses: Counter::new(),
+            l0: vec![None; L0_SLOTS],
         }
+    }
+
+    fn l0_index(asid: Asid, vpn4k: u64) -> usize {
+        (vpn4k ^ (u64::from(asid.raw()).wrapping_mul(0x9E37))) as usize & (L0_SLOTS - 1)
+    }
+
+    fn l0_record(&mut self, asid: Asid, vpn4k: u64, huge_bank: bool, slot: u32) {
+        self.l0[Self::l0_index(asid, vpn4k)] = Some(L0Slot {
+            asid,
+            vpn4k,
+            huge_bank,
+            slot,
+        });
+    }
+
+    /// Fast-path lookup through the L0 pointer cache. On a hit, the
+    /// returned `(mapping, latency)` and **every** state effect (probe
+    /// clocks, LRU touches, hit/miss counts) are exactly what a full
+    /// [`TlbHierarchy::lookup`] resolving in an L1 would produce. Returns
+    /// `None` — mutating nothing — whenever the pointer is absent or can
+    /// no longer be verified against the live L1 entry; the caller then
+    /// takes the ordinary path, which re-records the pointer.
+    #[inline]
+    pub fn l0_lookup(&mut self, asid: Asid, va: VirtAddr) -> Option<(Mapping, Cycles)> {
+        let vpn4k = va.page_number(PageSize::Size4K).number();
+        let s = self.l0[Self::l0_index(asid, vpn4k)]?;
+        if s.asid != asid || s.vpn4k != vpn4k {
+            return None;
+        }
+        if !s.huge_bank {
+            let m = self.l1_4k.hit_at(s.slot, asid, va)?;
+            return Some((m, self.l1_4k.latency()));
+        }
+        // The real path probes the 4K L1 first; a resident 4K entry for
+        // this page would win, so the huge-bank pointer must stand down.
+        if self.l1_4k.would_hit(asid, va) {
+            return None;
+        }
+        let m = self.l1_2m.hit_at(s.slot, asid, va)?;
+        self.l1_4k.replay_miss();
+        Some((m, self.l1_4k.latency()))
+    }
+
+    /// Read-only variant of [`TlbHierarchy::l0_lookup`] for invariant
+    /// checking: the mapping an L0 hit *would* serve for `(asid, va)`,
+    /// without perturbing clocks, LRU order or statistics.
+    pub fn l0_peek(&self, asid: Asid, va: VirtAddr) -> Option<Mapping> {
+        let vpn4k = va.page_number(PageSize::Size4K).number();
+        let s = self.l0[Self::l0_index(asid, vpn4k)]?;
+        if s.asid != asid || s.vpn4k != vpn4k {
+            return None;
+        }
+        let bank = if s.huge_bank {
+            &self.l1_2m
+        } else {
+            &self.l1_4k
+        };
+        let entry = (*bank.slots.get(s.slot as usize)?)?;
+        if entry.asid != asid || entry.vpn != va.page_number(entry.size).number() {
+            return None;
+        }
+        if s.huge_bank && self.l1_4k.would_hit(asid, va) {
+            return None;
+        }
+        Some(entry.mapping)
     }
 
     /// Looks up `va` in address space `asid`. On a hit, returns the
@@ -375,37 +578,47 @@ impl TlbHierarchy {
     /// full miss returns the latency of probing both levels.
     pub fn lookup(&mut self, asid: Asid, va: VirtAddr) -> (Option<(Mapping, TlbLevel)>, Cycles) {
         let mut latency = self.l1_4k.latency();
-        if let Some(m) = self.l1_4k.lookup(asid, va) {
+        let vpn4k = va.page_number(PageSize::Size4K).number();
+        if let Some((m, slot)) = self.l1_4k.lookup_where(asid, va) {
+            self.l0_record(asid, vpn4k, false, slot);
             return (Some((m, TlbLevel::L1)), latency);
         }
-        if let Some(m) = self.l1_2m.lookup(asid, va) {
+        if let Some((m, slot)) = self.l1_2m.lookup_where(asid, va) {
+            self.l0_record(asid, vpn4k, true, slot);
             return (Some((m, TlbLevel::L1)), latency);
         }
         latency += self.l2.latency();
         if let Some(m) = self.l2.lookup(asid, va) {
-            // Promote to the appropriate L1.
-            self.fill_l1(asid, m);
+            // Promote to the appropriate L1 (and point the L0 at it).
+            if let Some(slot) = self.fill_l1(asid, m) {
+                self.l0_record(asid, vpn4k, m.page_size != PageSize::Size4K, slot);
+            }
             return (Some((m, TlbLevel::L2)), latency);
         }
         self.full_misses.inc();
         (None, latency)
     }
 
-    fn fill_l1(&mut self, asid: Asid, mapping: Mapping) {
+    fn fill_l1(&mut self, asid: Asid, mapping: Mapping) -> Option<u32> {
         match mapping.page_size {
-            PageSize::Size4K => {
-                self.l1_4k.fill(asid, mapping);
-            }
-            _ => {
-                self.l1_2m.fill(asid, mapping);
-            }
+            PageSize::Size4K => self.l1_4k.fill_where(asid, mapping).0,
+            _ => self.l1_2m.fill_where(asid, mapping).0,
         }
     }
 
     /// Fills a mapping for address space `asid` into both levels after a
     /// page walk.
     pub fn fill(&mut self, asid: Asid, mapping: Mapping) {
-        self.fill_l1(asid, mapping);
+        let slot = self.fill_l1(asid, mapping);
+        if mapping.page_size == PageSize::Size4K {
+            // Point the L0 at the fresh 4K entry so the next access to the
+            // page takes the fast path. A huge fill covers many 4 KiB
+            // pages; its L0 pointers are recorded lazily, on lookup.
+            if let Some(slot) = slot {
+                let vpn4k = mapping.vaddr.page_number(PageSize::Size4K).number();
+                self.l0_record(asid, vpn4k, false, slot);
+            }
+        }
         self.l2.fill(asid, mapping);
     }
 
@@ -657,5 +870,151 @@ mod tests {
         assert!(dropped >= 2, "entries dropped from L1s and L2");
         assert_eq!(h.occupancy_of(a), 0);
         assert!(h.occupancy_of(b) > 0);
+    }
+
+    #[test]
+    fn l0_replays_l1_hits_with_identical_stats() {
+        let mut h = TlbHierarchy::new(TlbHierarchyConfig::small_test());
+        let m = mapping(0x5000, PageSize::Size4K);
+        h.fill(A0, m); // records an L0 pointer for the 4K page
+        let before_hits = h.l1_4k_stats().hits.get();
+        let got = h.l0_lookup(A0, VirtAddr::new(0x5abc));
+        assert_eq!(got, Some((m, Cycles::new(1))));
+        // Exactly the stats an ordinary L1 hit would have produced.
+        assert_eq!(h.l1_4k_stats().hits.get(), before_hits + 1);
+        assert_eq!(h.l1_2m_stats().hits.get() + h.l1_2m_stats().misses.get(), 0);
+        assert_eq!(h.l2_stats().hits.get() + h.l2_stats().misses.get(), 0);
+    }
+
+    #[test]
+    fn l0_replays_huge_bank_hits_including_the_4k_probe_miss() {
+        let mut h = TlbHierarchy::new(TlbHierarchyConfig::small_test());
+        let m = mapping(0x20_0000, PageSize::Size2M);
+        h.fill(A0, m);
+        // The fill records huge L0 pointers lazily: prime via a lookup.
+        let (hit, _) = h.lookup(A0, VirtAddr::new(0x20_1234));
+        assert!(hit.is_some());
+        let misses_4k = h.l1_4k_stats().misses.get();
+        let hits_2m = h.l1_2m_stats().hits.get();
+        // Same 4 KiB page as the priming lookup: the L0 is keyed by the
+        // 4 KiB page number even when the mapping is huge.
+        let got = h.l0_lookup(A0, VirtAddr::new(0x20_1abc));
+        assert_eq!(got, Some((m, Cycles::new(1))));
+        // The real path probes (and misses) the 4K L1 before the 2M hit.
+        assert_eq!(h.l1_4k_stats().misses.get(), misses_4k + 1);
+        assert_eq!(h.l1_2m_stats().hits.get(), hits_2m + 1);
+    }
+
+    #[test]
+    fn l0_stands_down_after_invalidation_and_flush() {
+        let mut h = TlbHierarchy::new(TlbHierarchyConfig::small_test());
+        let m = mapping(0x5000, PageSize::Size4K);
+        h.fill(A0, m);
+        assert!(h.l0_lookup(A0, VirtAddr::new(0x5000)).is_some());
+        h.invalidate(A0, VirtAddr::new(0x5000));
+        assert_eq!(h.l0_peek(A0, VirtAddr::new(0x5000)), None);
+        assert_eq!(h.l0_lookup(A0, VirtAddr::new(0x5000)), None);
+
+        h.fill(A0, m);
+        assert!(h.l0_lookup(A0, VirtAddr::new(0x5000)).is_some());
+        h.flush_asid(A0);
+        assert_eq!(h.l0_lookup(A0, VirtAddr::new(0x5000)), None);
+
+        h.fill(A0, m);
+        h.flush();
+        assert_eq!(h.l0_lookup(A0, VirtAddr::new(0x5000)), None);
+    }
+
+    #[test]
+    fn l0_stands_down_when_the_slot_was_reused_by_another_page() {
+        let mut h = TlbHierarchy::new(TlbHierarchyConfig::small_test());
+        h.fill(A0, mapping(0x5000, PageSize::Size4K));
+        assert!(h.l0_lookup(A0, VirtAddr::new(0x5000)).is_some());
+        // Evict the 4K L1 set with conflicting fills (tiny 4+4 L1).
+        for i in 1..64u64 {
+            h.fill(A0, mapping(0x5000 + i * 0x1000, PageSize::Size4K));
+        }
+        // The stale pointer either fails verification (None) or the page
+        // was re-filled into the same slot and serves the right mapping;
+        // it must never produce a different page's translation.
+        if let Some((m, _)) = h.l0_lookup(A0, VirtAddr::new(0x5000)) {
+            assert_eq!(m, mapping(0x5000, PageSize::Size4K));
+        }
+    }
+
+    #[test]
+    fn l0_huge_pointer_defers_to_a_resident_4k_entry() {
+        let mut h = TlbHierarchy::new(TlbHierarchyConfig::small_test());
+        let huge = mapping(0x20_0000, PageSize::Size2M);
+        h.fill(A0, huge);
+        let (hit, _) = h.lookup(A0, VirtAddr::new(0x20_0000));
+        assert!(hit.is_some()); // huge L0 pointer is now recorded
+                                // A 4K mapping for the same base page appears (e.g. after a
+                                // demotion): the real probe order prefers the 4K L1, so the huge
+                                // pointer must not short-circuit past it.
+        let mut base = mapping(0x20_0000, PageSize::Size4K);
+        base.paddr = PhysAddr::new(0x9_0000_0000);
+        h.fill(A0, base);
+        let got = h.l0_lookup(A0, VirtAddr::new(0x20_0123));
+        assert_eq!(got, Some((base, Cycles::new(1))));
+    }
+
+    #[test]
+    fn l0_differential_against_plain_lookup() {
+        // An L0-accelerated hierarchy must stay byte-equivalent to a
+        // plain one across a mixed stream of lookups, fills, shootdowns
+        // and ASID flushes.
+        let mut fast = TlbHierarchy::new(TlbHierarchyConfig::small_test());
+        let mut slow = TlbHierarchy::new(TlbHierarchyConfig::small_test());
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..20_000 {
+            let r = rng();
+            let asid = Asid::new((r >> 32) as u16 & 1);
+            let page = (r >> 8) & 0x1f;
+            let va = VirtAddr::new(0x4000_0000 + page * 0x1000);
+            match r % 10 {
+                0 => {
+                    let m = mapping(va.raw(), PageSize::Size4K);
+                    fast.fill(asid, m);
+                    slow.fill(asid, m);
+                }
+                1 => {
+                    assert_eq!(fast.invalidate(asid, va), slow.invalidate(asid, va));
+                }
+                2 => {
+                    assert_eq!(fast.flush_asid(asid), slow.flush_asid(asid));
+                }
+                _ => {
+                    // The accelerated path: L0 first, ordinary lookup on
+                    // stand-down — exactly how `Mmu::l0_translate` +
+                    // `Mmu::probe_tlb` compose.
+                    let got = match fast.l0_lookup(asid, va) {
+                        Some((m, latency)) => (Some((m, TlbLevel::L1)), latency),
+                        None => fast.lookup(asid, va),
+                    };
+                    let want = slow.lookup(asid, va);
+                    assert_eq!(got, want);
+                }
+            }
+        }
+        assert_eq!(fast.l1_4k_stats().hits.get(), slow.l1_4k_stats().hits.get());
+        assert_eq!(
+            fast.l1_4k_stats().misses.get(),
+            slow.l1_4k_stats().misses.get()
+        );
+        assert_eq!(fast.l2_stats().hits.get(), slow.l2_stats().hits.get());
+        assert_eq!(fast.l2_stats().misses.get(), slow.l2_stats().misses.get());
+        assert_eq!(fast.full_misses.get(), slow.full_misses.get());
+        let mut fast_entries: Vec<_> = fast.entries().collect();
+        let mut slow_entries: Vec<_> = slow.entries().collect();
+        fast_entries.sort_by_key(|(a, m)| (a.raw(), m.vaddr.raw()));
+        slow_entries.sort_by_key(|(a, m)| (a.raw(), m.vaddr.raw()));
+        assert_eq!(fast_entries, slow_entries);
     }
 }

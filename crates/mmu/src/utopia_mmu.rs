@@ -11,6 +11,7 @@
 //! proportional to the RestSeg size, so larger segments thrash the TAR/SF
 //! caches and the data caches behind them.
 
+use crate::pt::WalkAccessList;
 use serde::{Deserialize, Serialize};
 use vm_types::{Counter, Cycles, PageSize, PhysAddr, VirtAddr};
 
@@ -69,21 +70,35 @@ impl Default for UtopiaMmuConfig {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct SetCache {
     entries: Vec<Option<u64>>,
+    /// `len - 1` when the capacity is a power of two, letting the hot-path
+    /// slot computation use a mask instead of a (non-pipelined) `u64`
+    /// division; `None` falls back to the modulo. Same slot either way.
+    mask: Option<u64>,
     hits: Counter,
     misses: Counter,
 }
 
 impl SetCache {
     fn new(entries: usize) -> Self {
+        let len = entries.max(1);
         SetCache {
-            entries: vec![None; entries.max(1)],
+            entries: vec![None; len],
+            mask: len.is_power_of_two().then(|| len as u64 - 1),
             hits: Counter::new(),
             misses: Counter::new(),
         }
     }
 
+    #[inline]
+    fn slot(&self, set: u64) -> usize {
+        match self.mask {
+            Some(mask) => (set & mask) as usize,
+            None => (set % self.entries.len() as u64) as usize,
+        }
+    }
+
     fn probe_and_fill(&mut self, set: u64) -> bool {
-        let idx = (set % self.entries.len() as u64) as usize;
+        let idx = self.slot(set);
         if self.entries[idx] == Some(set) {
             self.hits.inc();
             true
@@ -97,7 +112,7 @@ impl SetCache {
     /// Drops the cached entry for `set`, if present. Returns `true` when
     /// an entry was dropped.
     fn invalidate(&mut self, set: u64) -> bool {
-        let idx = (set % self.entries.len() as u64) as usize;
+        let idx = self.slot(set);
         if self.entries[idx] == Some(set) {
             self.entries[idx] = None;
             true
@@ -113,8 +128,11 @@ pub struct UtopiaTranslation {
     /// Fixed-latency component (set-index computation + TAR/SF lookups).
     pub latency: Cycles,
     /// RestSeg metadata (RSW) accesses that must go through the memory
-    /// hierarchy; empty when the TAR cache absorbed the lookup.
-    pub metadata_accesses: Vec<PhysAddr>,
+    /// hierarchy; empty when the TAR cache absorbed the lookup. Inline
+    /// storage: the group count is `ways.div_ceil(8)` — 2 for the paper's
+    /// 16-way RestSeg — so this sits on the translation hot path with no
+    /// heap allocation.
+    pub metadata_accesses: WalkAccessList,
 }
 
 /// The Utopia MMU path.
@@ -122,6 +140,12 @@ pub struct UtopiaTranslation {
 pub struct UtopiaMmu {
     config: UtopiaMmuConfig,
     metadata_base: PhysAddr,
+    /// `config.sets()`, precomputed off the per-translation path.
+    sets: u64,
+    /// `sets - 1` when the set count is a power of two (every paper
+    /// configuration) — the hot-path set index then reduces with a mask
+    /// instead of a `u64` modulo. Same index either way.
+    set_mask: Option<u64>,
     tar_cache: SetCache,
     sf_cache: SetCache,
     /// Translations attempted through the RestSeg path.
@@ -135,11 +159,14 @@ impl UtopiaMmu {
     /// Creates the Utopia MMU; `metadata_base` is where the RestSeg tag
     /// arrays live in physical memory.
     pub fn new(config: UtopiaMmuConfig, metadata_base: PhysAddr) -> Self {
+        let sets = config.sets();
         UtopiaMmu {
             tar_cache: SetCache::new(config.tar_cache_entries),
             sf_cache: SetCache::new(config.sf_cache_entries),
             config,
             metadata_base,
+            sets,
+            set_mask: sets.is_power_of_two().then(|| sets - 1),
             lookups: Counter::new(),
             invalidations: Counter::new(),
         }
@@ -152,7 +179,11 @@ impl UtopiaMmu {
 
     fn set_index(&self, va: VirtAddr) -> u64 {
         let vpn = va.page_number(self.config.page_size).number();
-        (vpn.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 17) % self.config.sets()
+        let hash = vpn.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 17;
+        match self.set_mask {
+            Some(mask) => hash & mask,
+            None => hash % self.sets,
+        }
     }
 
     /// Performs the RestSeg-side translation work for `va`: returns the
@@ -164,7 +195,7 @@ impl UtopiaMmu {
         self.lookups.inc();
         let set = self.set_index(va);
         let mut latency = self.config.cache_latency;
-        let mut accesses = Vec::new();
+        let mut accesses = WalkAccessList::new();
         let tar_hit = self.tar_cache.probe_and_fill(set);
         let sf_hit = self.sf_cache.probe_and_fill(set >> 3);
         latency += self.config.cache_latency;
@@ -235,10 +266,10 @@ mod tests {
         let mut large_span = 0u64;
         for i in 0..4096u64 {
             let va = VirtAddr::new(i * 0x40_0000 + 0x123_0000);
-            for a in small.translate(va).metadata_accesses {
+            for a in &small.translate(va).metadata_accesses {
                 small_span = small_span.max(a.raw() - base.raw());
             }
-            for a in large.translate(va).metadata_accesses {
+            for a in &large.translate(va).metadata_accesses {
                 large_span = large_span.max(a.raw() - base.raw());
             }
         }

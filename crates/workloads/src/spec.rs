@@ -145,7 +145,7 @@ mod tests {
             1000,
         )
         .scaled_footprint(0.013);
-        assert!(spec.footprint_bytes() % 4096 == 0);
+        assert!(spec.footprint_bytes().is_multiple_of(4096));
         assert!(spec.footprint_bytes() >= 4096);
     }
 

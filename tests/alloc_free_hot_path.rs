@@ -1,5 +1,7 @@
 //! Pins the PR-3 tentpole: the steady-state instruction loop performs
-//! **zero heap allocations**, in both detailed and emulation modes.
+//! **zero heap allocations** — for all four translation engines
+//! (page-table, Midgard, RMM, Utopia), in emulation mode, and on the
+//! multi-core stepping path.
 //!
 //! A counting `#[global_allocator]` wraps the system allocator; after a
 //! populated address space and a warmup segment (which fills the dense
@@ -16,6 +18,39 @@
 use std::alloc::{GlobalAlloc, Layout, System as SystemAlloc};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use virtuoso_suite::prelude::*;
+
+/// The per-engine configs mirror `virtuoso_bench`'s simspeed cells: each
+/// alternative engine paired with the allocation policy its design
+/// expects (eager paging feeds RMM's ranges, the Utopia policy places
+/// pages in the RestSeg). Housekeeping is disabled because periodic
+/// background OS work legitimately builds kernel instruction streams.
+fn engine_config(engine: &str) -> SystemConfig {
+    let mut config = SystemConfig::small_test();
+    match engine {
+        "page-table" => {}
+        "midgard" => {
+            config = config.with_engine(EngineConfig::Midgard(MidgardConfig::paper_baseline()));
+        }
+        "rmm" => {
+            config = config.with_engine(EngineConfig::Rmm(RmmConfig::paper_baseline()));
+            config.os.policy = AllocationPolicy::EagerPaging;
+        }
+        "utopia" => {
+            let restseg_bytes: u64 = 64 * 1024 * 1024;
+            config = config.with_engine(EngineConfig::Utopia(
+                UtopiaMmuConfig::paper_baseline().with_restseg_bytes(restseg_bytes),
+            ));
+            config.os.policy = AllocationPolicy::Utopia(mimic_os::UtopiaConfig::new(
+                restseg_bytes,
+                16,
+                PageSize::Size4K,
+            ));
+        }
+        other => unreachable!("unknown engine {other}"),
+    }
+    config.housekeeping_interval = 0;
+    config
+}
 
 /// Counts allocations (and growth reallocations) while armed.
 struct CountingAllocator;
@@ -154,8 +189,6 @@ fn steady_state_instructions_allocate_nothing() {
     // work that legitimately builds kernel instruction streams; the
     // steady-state *instruction loop* itself is what must be
     // allocation-free.
-    let mut detailed = SystemConfig::small_test();
-    detailed.housekeeping_interval = 0;
     let mut emulation = SystemConfig::small_test().with_emulation_baseline();
     emulation.housekeeping_interval = 0;
 
@@ -166,14 +199,17 @@ fn steady_state_instructions_allocate_nothing() {
         "the counting allocator must observe allocations"
     );
 
-    let detailed_allocs = steady_state_allocations("detailed", detailed);
+    // All four translation engines: the Utopia cell is the one that would
+    // have caught the per-translation `Vec<PhysAddr>` allocation that sat
+    // in `UtopiaMmu::translate` until the simspeed cliff was profiled.
+    for engine in ["page-table", "midgard", "rmm", "utopia"] {
+        let allocs = steady_state_allocations(engine, engine_config(engine));
+        assert_eq!(allocs, 0, "{engine} steady state must not allocate");
+    }
+
     let emulation_allocs = steady_state_allocations("emulation", emulation);
     let multicore_allocs = multicore_steady_state_allocations();
 
-    assert_eq!(
-        detailed_allocs, 0,
-        "detailed-mode steady state must not allocate"
-    );
     assert_eq!(
         emulation_allocs, 0,
         "emulation-mode steady state must not allocate"

@@ -156,7 +156,7 @@ fn two_process_interleaved_run_with_asid_selective_flushes() {
             .into_iter()
             .map(|s| s.with_instructions(8_000))
             .collect();
-        let pids = vec![system.pid(), system.spawn_process()];
+        let pids = [system.pid(), system.spawn_process()];
         for (pid, spec) in pids.iter().zip(&specs) {
             for (i, region) in spec.regions.iter().enumerate() {
                 if region.file_backed {

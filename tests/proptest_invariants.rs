@@ -279,6 +279,26 @@ proptest! {
                     "core {}: stale TLB entry {} (asid {})", core, cached, asid.raw()
                 );
             }
+            // 1b. The L0 pointer cache stands down for every page a
+            //     shootdown invalidated: probe every footprint page of
+            //     every process — an L0 hit must translate exactly as the
+            //     owning process's mapping table, and a hit for a
+            //     reclaimed page (lookup_mapping → None) is a failure.
+            for &pid in &pids {
+                let asid = Asid::new(pid.0 as u16);
+                let process = system.os().process(pid);
+                for page in 0..(footprint / 4096) {
+                    let va = base.add(page * 4096);
+                    if let Some(pa) = system.mmu_of(core).l0_peek(asid, va) {
+                        prop_assert_eq!(
+                            process.lookup_mapping(va).map(|m| m.translate(va)),
+                            Some(pa),
+                            "core {}: stale L0 pointer for {} (asid {})",
+                            core, va, asid.raw()
+                        );
+                    }
+                }
+            }
             // 2. Every engine-resident page translation agrees.
             for (asid, resident) in system.engine_of(core).resident_mappings() {
                 prop_assert_eq!(

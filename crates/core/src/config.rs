@@ -68,6 +68,14 @@ pub struct SystemConfig {
     /// Run MimicOS housekeeping (khugepaged, pool refill) every this many
     /// retired application instructions (0 disables housekeeping).
     pub housekeeping_interval: u64,
+    /// Run the runtime coherence fence
+    /// ([`System::check_invariants`](crate::System::check_invariants))
+    /// every this many retired application instructions (0, the default,
+    /// disables the fence). The fence cross-checks kernel mapping tables
+    /// against all cached translation state and panics on the first
+    /// violation; it is a debugging and chaos-testing aid, not part of the
+    /// simulated machine.
+    pub invariant_check_interval: u64,
 }
 
 impl SystemConfig {
@@ -90,6 +98,7 @@ impl SystemConfig {
             os: OsConfig::paper_baseline(),
             mode: SimulationMode::Detailed,
             housekeeping_interval: 100_000,
+            invariant_check_interval: 0,
         }
     }
 
@@ -105,6 +114,7 @@ impl SystemConfig {
             os: OsConfig::small_test(),
             mode: SimulationMode::Detailed,
             housekeeping_interval: 10_000,
+            invariant_check_interval: 0,
         }
     }
 
@@ -146,6 +156,14 @@ impl SystemConfig {
     /// reclaim invalidations into cross-core shootdown IPIs.
     pub fn with_cores(mut self, num_cores: usize) -> Self {
         self.os.num_cores = num_cores;
+        self
+    }
+
+    /// Arms the runtime coherence fence to run every `interval` retired
+    /// application instructions (0 disables it), keeping everything else
+    /// identical.
+    pub fn with_invariant_checks(mut self, interval: u64) -> Self {
+        self.invariant_check_interval = interval;
         self
     }
 }

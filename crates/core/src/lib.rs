@@ -55,7 +55,8 @@ pub use channel::{
 };
 pub use config::{SimulationMode, SystemConfig};
 pub use report::{
-    CoreIpiStats, MultiProgramReport, ProcessReport, ShootdownStats, SimulationReport,
+    CoreIpiStats, MultiProgramReport, OomStats, ProcessExitStatus, ProcessReport, ShootdownStats,
+    SimulationReport,
 };
 pub use system::System;
 pub use validation::{accuracy_percent, cosine_similarity_series, ReferenceMachine};

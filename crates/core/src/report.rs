@@ -56,6 +56,60 @@ impl ShootdownStats {
     }
 }
 
+/// Out-of-memory activity of a run: kills performed by the MimicOS OOM
+/// killer and faults that failed outright because no victim was left.
+/// The whole section is omitted from serialized reports when the run saw
+/// neither a kill nor an OOM failure.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OomStats {
+    /// Processes killed by the OOM killer.
+    pub kills: u64,
+    /// Bytes of badness scanned across all victim-selection passes.
+    pub scanned_bytes: u64,
+    /// Resident bytes freed by kills.
+    pub freed_bytes: u64,
+    /// Allocation attempts that entered the direct-reclaim retry path.
+    pub reclaim_retries: u64,
+    /// Faults that failed with out-of-memory even after reclaim and the
+    /// OOM killer (or with the killer disabled).
+    pub oom_failures: u64,
+}
+
+/// How a process left a multi-programmed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProcessExitStatus {
+    /// The process ran its full trace.
+    Completed,
+    /// The process was killed by the MimicOS OOM killer.
+    OomKilled,
+    /// The process made at least one access outside any VMA.
+    Segfaulted,
+}
+
+// Not `#[derive(Default)]`: the vendored serde_derive shim does not parse
+// variant-level attributes, so `#[default]` would break the Serialize
+// derive on this enum.
+#[allow(clippy::derivable_impls)]
+impl Default for ProcessExitStatus {
+    fn default() -> Self {
+        ProcessExitStatus::Completed
+    }
+}
+
+impl ProcessExitStatus {
+    /// `true` for [`ProcessExitStatus::Completed`] (the field is then
+    /// omitted from serialized reports).
+    pub fn is_completed(&self) -> bool {
+        matches!(self, ProcessExitStatus::Completed)
+    }
+}
+
+/// Skip-serialization predicate for counters that stay zero on healthy
+/// runs, keeping their reports byte-identical to earlier formats.
+fn u64_is_zero(v: &u64) -> bool {
+    *v == 0
+}
+
 /// The result of one simulation run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SimulationReport {
@@ -118,6 +172,10 @@ pub struct SimulationReport {
     /// tore no translations down.
     #[serde(skip_serializing_if = "Option::is_none")]
     pub shootdowns: Option<ShootdownStats>,
+    /// Out-of-memory activity. `None` — and absent from the serialized
+    /// JSON — when the run saw neither an OOM kill nor an OOM failure.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub oom: Option<OomStats>,
 }
 
 impl SimulationReport {
@@ -235,6 +293,12 @@ impl SimulationReport {
                 }
             }
         }
+        if let Some(oom) = &self.oom {
+            push("oom_kills", oom.kills.to_string());
+            push("oom_freed_bytes", oom.freed_bytes.to_string());
+            push("oom_reclaim_retries", oom.reclaim_retries.to_string());
+            push("oom_failures", oom.oom_failures.to_string());
+        }
         match &self.engine {
             None => {}
             Some(EngineReport::Midgard {
@@ -313,9 +377,19 @@ pub struct ProcessReport {
     pub write_faults: u64,
     /// Accesses the process made outside any VMA.
     pub segfaults: u64,
+    /// Accesses whose faults failed with out-of-memory (reclaim and the
+    /// OOM killer together could not free enough memory). Omitted from
+    /// serialized reports while zero.
+    #[serde(skip_serializing_if = "u64_is_zero")]
+    pub oom_failures: u64,
     /// Instructions accounted by the scheduler (cross-check: equals
     /// `instructions`).
     pub scheduled_instructions: u64,
+    /// How the process left the run. Omitted from serialized reports when
+    /// [`ProcessExitStatus::Completed`], keeping healthy reports
+    /// byte-identical to the earlier format.
+    #[serde(skip_serializing_if = "ProcessExitStatus::is_completed")]
+    pub exit_status: ProcessExitStatus,
 }
 
 impl ProcessReport {
@@ -459,6 +533,45 @@ mod tests {
         assert!(table.contains("shootdown_replacements"));
         assert!(ShootdownStats::default().is_zero());
         assert!(!noisy.shootdowns.unwrap().is_zero());
+    }
+
+    #[test]
+    fn oom_section_and_exit_status_are_omitted_until_nonzero() {
+        let quiet = sample();
+        let json = serde_json::to_string(&quiet).unwrap();
+        assert!(
+            !json.contains("\"oom\""),
+            "healthy reports must serialize without an oom section"
+        );
+        assert!(!quiet.to_table().contains("oom_kills"));
+        let mut noisy = sample();
+        noisy.oom = Some(OomStats {
+            kills: 1,
+            scanned_bytes: 3 << 20,
+            freed_bytes: 2 << 20,
+            reclaim_retries: 9,
+            oom_failures: 0,
+        });
+        let json = serde_json::to_string(&noisy).unwrap();
+        assert!(json.contains("\"oom\":"));
+        assert!(json.contains("\"kills\":1"));
+        let table = noisy.to_table();
+        assert!(table.contains("oom_kills"));
+        assert!(table.contains("oom_freed_bytes"));
+
+        let completed = ProcessReport::default();
+        let json = serde_json::to_string(&completed).unwrap();
+        assert!(!json.contains("exit_status"));
+        assert!(!json.contains("oom_failures"));
+        assert!(ProcessExitStatus::default().is_completed());
+        let killed = ProcessReport {
+            exit_status: ProcessExitStatus::OomKilled,
+            oom_failures: 2,
+            ..ProcessReport::default()
+        };
+        let json = serde_json::to_string(&killed).unwrap();
+        assert!(json.contains("\"exit_status\":\"OomKilled\""));
+        assert!(json.contains("\"oom_failures\":2"));
     }
 
     #[test]

@@ -12,7 +12,8 @@ use crate::channel::{
 };
 use crate::config::{SimulationMode, SystemConfig};
 use crate::report::{
-    CoreIpiStats, MultiProgramReport, ProcessReport, ShootdownStats, SimulationReport,
+    CoreIpiStats, MultiProgramReport, OomStats, ProcessExitStatus, ProcessReport, ShootdownStats,
+    SimulationReport,
 };
 use cache_sim::CacheHierarchy;
 use dram_sim::DramModel;
@@ -35,6 +36,7 @@ struct ProcPerf {
     ptw_latency_cycles: u64,
     ptw_count: u64,
     segfaults: u64,
+    oom_failures: u64,
 }
 
 /// The architectural state owned by one simulated core: its timing model
@@ -156,6 +158,13 @@ pub struct System {
     workload_name: String,
     /// Segmentation faults observed (accesses outside any VMA are skipped).
     segfaults: u64,
+    /// Faults that stayed [`VmError::OutOfMemory`] even after reclaim and
+    /// the OOM killer ran out of victims (the access is skipped, like a
+    /// segfault, but the cause is machine pressure, not a bad pointer).
+    oom_failures: u64,
+    /// Instructions retired since the coherence fence last ran (only
+    /// advanced when [`SystemConfig::invariant_check_interval`] arms it).
+    instructions_since_invariant_check: u64,
 }
 
 impl System {
@@ -202,6 +211,8 @@ impl System {
             ipi: InterCoreChannel::new(num_cores),
             workload_name: String::new(),
             segfaults: 0,
+            oom_failures: 0,
+            instructions_since_invariant_check: 0,
             config,
         }
     }
@@ -297,6 +308,16 @@ impl System {
     /// Number of accesses that faulted outside any VMA and were skipped.
     pub fn segfaults(&self) -> u64 {
         self.segfaults
+    }
+
+    /// Number of accesses whose fault failed with
+    /// [`VmError::OutOfMemory`] after reclaim and the OOM killer were
+    /// exhausted (the access is skipped; see [`SimulationReport::oom`]
+    /// for the machine-wide picture).
+    ///
+    /// [`SimulationReport::oom`]: crate::report::SimulationReport::oom
+    pub fn oom_failures(&self) -> u64 {
+        self.oom_failures
     }
 
     /// Shootdown work applied so far (zero counters on a run without
@@ -441,6 +462,7 @@ impl System {
                         // reclaim; the shootdowns still apply (state, not
                         // time — populate charges nothing by design).
                         self.apply_invalidations_from(home, &outcome.invalidations, false);
+                        self.process_oom_kills(false);
                         let c = core_mut!(self, home);
                         c.engine
                             .handle_fault_install(&mut c.mmu, asid, &outcome.mapping, info);
@@ -464,6 +486,7 @@ impl System {
                         // but apply whatever reclaim tore down on the way.
                         let pending = self.os.take_pending_invalidations();
                         self.apply_invalidations_from(home, &pending, false);
+                        self.process_oom_kills(false);
                         offset += PageSize::Size4K.bytes();
                     }
                 }
@@ -749,7 +772,15 @@ impl System {
             read_faults: process.read_faults,
             write_faults: process.write_faults,
             segfaults: perf.segfaults,
+            oom_failures: perf.oom_failures,
             scheduled_instructions: self.os.scheduler().stats().instructions_of(pid),
+            exit_status: if process.exit_reason().is_some() {
+                ProcessExitStatus::OomKilled
+            } else if perf.segfaults > 0 {
+                ProcessExitStatus::Segfaulted
+            } else {
+                ProcessExitStatus::Completed
+            },
         }
     }
 
@@ -778,6 +809,7 @@ impl System {
     ) -> u64 {
         debug_assert!(!PIN0 || self.active == 0);
         let interval = self.config.housekeeping_interval;
+        let fence_interval = self.config.invariant_check_interval;
         let mut stepped = 0u64;
         while stepped < n {
             let slack = if interval > 0 {
@@ -785,7 +817,12 @@ impl System {
             } else {
                 u64::MAX
             };
-            let chunk = (n - stepped).min(slack);
+            let fence_slack = if fence_interval > 0 {
+                fence_interval - self.instructions_since_invariant_check
+            } else {
+                u64::MAX
+            };
+            let chunk = (n - stepped).min(slack).min(fence_slack);
             let cycles_before = active_ref!(self, PIN0).core.cycles().raw();
             let mut ran = 0u64;
             while ran < chunk {
@@ -807,6 +844,13 @@ impl System {
             if interval > 0 && c.instructions_since_housekeeping >= interval {
                 c.instructions_since_housekeeping = 0;
                 self.housekeeping();
+            }
+            if fence_interval > 0 {
+                self.instructions_since_invariant_check += ran;
+                if self.instructions_since_invariant_check >= fence_interval {
+                    self.instructions_since_invariant_check = 0;
+                    self.assert_invariants();
+                }
             }
             if ran < chunk {
                 break; // trace exhausted
@@ -835,6 +879,14 @@ impl System {
         if housekeeping_interval > 0 && c.instructions_since_housekeeping >= housekeeping_interval {
             c.instructions_since_housekeeping = 0;
             self.housekeeping();
+        }
+        let fence_interval = self.config.invariant_check_interval;
+        if fence_interval > 0 {
+            self.instructions_since_invariant_check += 1;
+            if self.instructions_since_invariant_check >= fence_interval {
+                self.instructions_since_invariant_check = 0;
+                self.assert_invariants();
+            }
         }
     }
 
@@ -1136,6 +1188,7 @@ impl System {
                         c.core.stall(fixed_fault_latency);
                     }
                 }
+                self.process_oom_kills(true);
                 true
             }
             Err(VmError::SegmentationFault { .. }) => {
@@ -1148,6 +1201,22 @@ impl System {
                 self.perf_mut(pid).segfaults += 1;
                 false
             }
+            Err(error @ VmError::OutOfMemory { .. }) => {
+                // Genuine memory exhaustion, not an addressing error: the
+                // kernel may have killed processes on the way (whose
+                // teardown is in the pending batch) before running out of
+                // victims. Attributing this to `segfaults` — as the
+                // catch-all arm below once did — made pressure-run reports
+                // blame innocent survivors for bad pointers.
+                self.functional
+                    .post_response(KernelResponse::FaultFailed { error });
+                let _ = self.functional.take_response();
+                self.apply_pending_invalidations();
+                self.process_oom_kills(true);
+                self.oom_failures += 1;
+                self.perf_mut(pid).oom_failures += 1;
+                false
+            }
             Err(error) => {
                 self.functional
                     .post_response(KernelResponse::FaultFailed { error });
@@ -1156,6 +1225,37 @@ impl System {
                 self.segfaults += 1;
                 self.perf_mut(pid).segfaults += 1;
                 false
+            }
+        }
+    }
+
+    /// Applies the architectural side of the OOM kills the kernel performed
+    /// while handling the last fault. The per-page teardown of each victim
+    /// already rode the fault's invalidation batch; what remains is the
+    /// per-ASID state: every core's TLB entries and the engine's
+    /// address-space structures (Midgard frontends, RMM range tables,
+    /// Utopia RestSeg residency) are flushed so a recycled ASID can never
+    /// inherit a dead process's translations. In detailed mode the kill's
+    /// kernel stream (badness scan + `exit_mmap` teardown) is injected when
+    /// `charge` is set; `populate` passes `false` because it charges
+    /// nothing by design.
+    fn process_oom_kills(&mut self, charge: bool) {
+        let kills = self.os.take_oom_kills();
+        if kills.is_empty() {
+            return;
+        }
+        let num_cores = self.num_cores();
+        let detailed = charge && self.config.mode.is_detailed();
+        for kill in kills {
+            let asid = Self::asid_of(kill.victim);
+            for core in 0..num_cores {
+                let c = core_mut!(self, core);
+                let dropped = c.engine.flush_asid(&mut c.mmu, asid);
+                self.shootdowns.tlb_entries_dropped += dropped as u64;
+            }
+            if detailed && !kill.stream.is_empty() {
+                self.streams.send(kill.stream);
+                self.drain_kernel_streams();
             }
         }
     }
@@ -1298,9 +1398,13 @@ impl System {
                     per_core[core].ipis_received += 1;
                 }
                 if charge_memory {
-                    core_mut!(self, core).core.stall(Cycles::new(ipi_cost));
+                    // Fault injection may hold the IPI in flight a while
+                    // longer (a busy interrupt controller); the remote
+                    // core's stall grows by the configured delay.
+                    let stall = ipi_cost + self.os.injected_ipi_delay_cycles();
+                    core_mut!(self, core).core.stall(Cycles::new(stall));
                     if let Some(per_core) = self.shootdowns.per_core.as_mut() {
-                        per_core[core].ipi_stall_cycles += ipi_cost;
+                        per_core[core].ipi_stall_cycles += stall;
                     }
                 }
                 for victim in &ipi.victims {
@@ -1371,6 +1475,237 @@ impl System {
             ));
         }
         latency
+    }
+
+    /// Runs the coherence fence and panics on the first violation — the
+    /// reporting contract when the fence is armed through
+    /// [`SystemConfig::invariant_check_interval`].
+    ///
+    /// # Panics
+    ///
+    /// Panics with the violation message when
+    /// [`System::check_invariants`] fails.
+    fn assert_invariants(&self) {
+        if let Err(violation) = self.check_invariants() {
+            panic!("coherence fence violated: {violation}");
+        }
+    }
+
+    /// The runtime coherence fence: cross-checks every piece of cached
+    /// translation state against MimicOS's authoritative tables, plus the
+    /// machine-wide accounting that ties them together. Cheap enough to
+    /// run periodically in chaos tests, too expensive for the hot loop —
+    /// arm it with [`SystemConfig::invariant_check_interval`] or call it
+    /// directly after a run.
+    ///
+    /// Checked per core:
+    /// * every TLB entry belongs to a live process and translates exactly
+    ///   as the kernel's mapping table says;
+    /// * every engine-resident translation (Utopia RestSeg residency) does
+    ///   the same;
+    /// * every engine-resident range (RMM range tables) belongs to a live
+    ///   process and is contained — at the same virtual-to-physical
+    ///   offset — in a range the kernel allocated for that process;
+    /// * every L0 pointer the software L0 cache would serve agrees with
+    ///   the mapping table (engines that consult the L0).
+    ///
+    /// Checked machine-wide:
+    /// * mapped buddy-backed bytes (deduplicated by frame; RestSeg pages
+    ///   excluded) never exceed what the buddy allocator has handed out;
+    /// * no two non-file-backed mappings of live processes overlap
+    ///   physically (file-backed pages legitimately share page-cache
+    ///   frames);
+    /// * the scheduler holds no duplicate or dead process, each queued on
+    ///   its home core.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as a human-readable message.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let num_cores = self.num_cores();
+        let num_processes = self.os.num_processes();
+        // Midgard's backend TLB caches *Midgard-space* addresses, which
+        // have no entry in the kernel's per-process mapping table; for
+        // that engine only the ownership checks apply to TLB entries.
+        let tlb_holds_native_vas = !matches!(self.config.engine, mmu_sim::EngineConfig::Midgard(_));
+
+        for core in 0..num_cores {
+            let c = core_ref!(self, core);
+            for (asid, cached) in c.mmu.tlb().entries() {
+                let idx = asid.raw() as usize;
+                if idx >= num_processes {
+                    return Err(format!(
+                        "core {core}: TLB entry {cached} tagged with unknown asid {}",
+                        asid.raw()
+                    ));
+                }
+                let process = self.os.process(ProcessId(idx));
+                if process.is_exited() {
+                    return Err(format!(
+                        "core {core}: TLB entry {cached} survives its dead owner (pid {idx})"
+                    ));
+                }
+                if !tlb_holds_native_vas {
+                    continue;
+                }
+                let expected = process
+                    .lookup_mapping(cached.vaddr)
+                    .map(|m| m.translate(cached.vaddr));
+                if expected != Some(cached.translate(cached.vaddr)) {
+                    return Err(format!(
+                        "core {core}: stale TLB entry {cached} for pid {idx} \
+                         (kernel says {expected:?})"
+                    ));
+                }
+            }
+            for (asid, resident) in c.engine.resident_mappings() {
+                let idx = asid.raw() as usize;
+                if idx >= num_processes {
+                    return Err(format!(
+                        "core {core}: engine-resident {resident} tagged with unknown asid {}",
+                        asid.raw()
+                    ));
+                }
+                let process = self.os.process(ProcessId(idx));
+                if process.is_exited() {
+                    return Err(format!(
+                        "core {core}: engine-resident {resident} survives its dead owner \
+                         (pid {idx})"
+                    ));
+                }
+                if process.lookup_mapping(resident.vaddr).map(|m| m.paddr) != Some(resident.paddr) {
+                    return Err(format!(
+                        "core {core}: stale engine-resident translation {resident} for pid {idx}"
+                    ));
+                }
+            }
+            for (asid, range) in c.engine.resident_ranges() {
+                let idx = asid.raw() as usize;
+                if idx >= num_processes || self.os.process(ProcessId(idx)).is_exited() {
+                    return Err(format!(
+                        "core {core}: engine range {}+{:#x} survives its dead owner (asid {})",
+                        range.virt_start,
+                        range.bytes,
+                        asid.raw()
+                    ));
+                }
+                // The engine may hold *split* pieces of a kernel range
+                // (invalidation splits around reclaimed pages), so the
+                // check is containment at the same va->pa offset, not
+                // equality.
+                let covered = self.os.ranges(ProcessId(idx)).iter().any(|k| {
+                    k.virt_start.raw() <= range.virt_start.raw()
+                        && range.virt_start.raw() + range.bytes <= k.virt_start.raw() + k.bytes
+                        && range.phys_start.raw().wrapping_sub(k.phys_start.raw())
+                            == range.virt_start.raw().wrapping_sub(k.virt_start.raw())
+                });
+                if !covered {
+                    return Err(format!(
+                        "core {core}: engine range {}->{}+{:#x} for pid {idx} is not backed \
+                         by any kernel range",
+                        range.virt_start, range.phys_start, range.bytes
+                    ));
+                }
+            }
+            if c.engine.uses_l0() {
+                for idx in 0..num_processes {
+                    let process = self.os.process(ProcessId(idx));
+                    if process.is_exited() {
+                        continue;
+                    }
+                    let asid = Self::asid_of(ProcessId(idx));
+                    for m in process.mappings() {
+                        if let Some(pa) = c.mmu.l0_peek(asid, m.vaddr) {
+                            if pa != m.paddr {
+                                return Err(format!(
+                                    "core {core}: L0 pointer for pid {idx} at {} serves {pa}, \
+                                     kernel says {}",
+                                    m.vaddr, m.paddr
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Buddy accounting: every mapped frame that lives in buddy memory
+        // must be covered by the allocator's allocated bytes. Deduplicate
+        // by frame (file-backed pages are legitimately shared) and skip
+        // RestSeg placements (carved outside the buddy's frames).
+        let mut buddy_backed: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut spans: Vec<(u64, u64, usize, VirtAddr)> = Vec::new();
+        for idx in 0..num_processes {
+            let process = self.os.process(ProcessId(idx));
+            if process.is_exited() {
+                continue;
+            }
+            for m in process.mappings() {
+                let in_restseg = self
+                    .os
+                    .utopia()
+                    .is_some_and(|u| u.lookup(idx as u16, m.vaddr).is_some());
+                if !in_restseg {
+                    buddy_backed.insert(m.paddr.raw(), m.page_size.bytes());
+                }
+                let file_backed = process
+                    .vmas
+                    .find(m.vaddr)
+                    .is_some_and(|v| matches!(v.kind, mimic_os::VmaKind::FileBacked { .. }));
+                if !file_backed {
+                    spans.push((
+                        m.paddr.raw(),
+                        m.paddr.raw() + m.page_size.bytes(),
+                        idx,
+                        m.vaddr,
+                    ));
+                }
+            }
+        }
+        let mapped: u64 = buddy_backed.values().sum();
+        let buddy = self.os.buddy();
+        let allocated = buddy.capacity_bytes() - buddy.free_bytes();
+        if mapped > allocated {
+            return Err(format!(
+                "{mapped} mapped buddy-backed bytes exceed the {allocated} bytes the buddy \
+                 allocator has handed out"
+            ));
+        }
+
+        // Physical disjointness of private (non-file-backed) mappings.
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            let (a_start, a_end, a_pid, a_va) = w[0];
+            let (b_start, _, b_pid, b_va) = w[1];
+            if b_start < a_end {
+                return Err(format!(
+                    "private frames overlap: pid {a_pid} maps {a_va} and pid {b_pid} maps \
+                     {b_va} into overlapping physical spans at {a_start:#x}"
+                ));
+            }
+        }
+
+        // Scheduler sanity: no duplicates, no dead processes, home cores.
+        let mut queued = std::collections::BTreeSet::new();
+        for (core, pid) in self.os.scheduler().queued_snapshot() {
+            if !queued.insert(pid.0) {
+                return Err(format!("scheduler holds {pid} on more than one queue"));
+            }
+            if pid.0 >= num_processes {
+                return Err(format!("scheduler holds unknown {pid}"));
+            }
+            if self.os.process(pid).is_exited() {
+                return Err(format!("scheduler still holds dead {pid}"));
+            }
+            if core != self.core_of(pid) {
+                return Err(format!(
+                    "scheduler queues {pid} on core {core}, its home is core {}",
+                    self.core_of(pid)
+                ));
+            }
+        }
+
+        Ok(())
     }
 
     /// Assembles the simulation report for everything executed so far.
@@ -1453,6 +1788,16 @@ impl System {
             base_mappings: os_stats.base_mappings.get(),
             engine: self.core0.engine.report(&self.core0.mmu),
             shootdowns: (!self.shootdowns.is_zero()).then(|| self.shootdowns.clone()),
+            oom: {
+                let kills = os_stats.oom_kills.get();
+                (kills > 0 || self.oom_failures > 0).then(|| OomStats {
+                    kills,
+                    scanned_bytes: os_stats.oom_scanned_bytes,
+                    freed_bytes: os_stats.oom_freed_bytes,
+                    reclaim_retries: os_stats.oom_reclaim_retries.get(),
+                    oom_failures: self.oom_failures,
+                })
+            },
         }
     }
 }
@@ -1994,6 +2339,200 @@ mod tests {
         assert_eq!(report.rollup.instructions, 10_000);
         let per_proc: u64 = report.processes.iter().map(|p| p.instructions).sum();
         assert_eq!(per_proc, 10_000);
+    }
+
+    /// A machine so small that two modest processes cannot coexist: 4 MiB
+    /// of memory, no swap to reclaim into — the OOM killer's home turf.
+    fn oom_pressure_config() -> SystemConfig {
+        let mut config = SystemConfig::small_test();
+        config.os.memory_bytes = 4 * 1024 * 1024;
+        config.os.swap_bytes = 0;
+        config.os.policy = mimic_os::AllocationPolicy::BuddyFourK;
+        config.os.thp = mimic_os::ThpConfig::disabled();
+        config.os.populate_page_cache = false;
+        config
+    }
+
+    #[test]
+    fn oom_failures_are_counted_apart_from_segfaults() {
+        // A sole process that outgrows memory: there is no victim to kill
+        // (the faulter is never its own victim), so the faults fail — as
+        // OOM failures, not as the segfaults the old catch-all arm charged.
+        let mut system = System::new(oom_pressure_config());
+        system
+            .mmap_anonymous(VirtAddr::new(0x1000_0000), 8 * 1024 * 1024)
+            .unwrap();
+        let trace = linear_trace(0x1000_0000, 2000, 4096);
+        let report = system.run(&mut SliceFrontend::new("hog", trace), None);
+        assert_eq!(report.instructions, 2000, "failed accesses are skipped");
+        assert_eq!(system.segfaults(), 0, "pressure is not an addressing error");
+        assert!(system.oom_failures() > 0);
+        let oom = report.oom.expect("oom section appears once failures occur");
+        assert_eq!(oom.oom_failures, system.oom_failures());
+        assert_eq!(oom.kills, 0);
+        assert!(oom.reclaim_retries > 0, "reclaim ran before giving up");
+        assert!(!system.os().process(system.pid()).is_exited());
+        system.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn oom_kill_sacrifices_a_process_and_attributes_the_survivors() {
+        let mut config = oom_pressure_config();
+        config.os.sched_quantum = 500;
+        let mut system = System::new(config);
+        let a = system.pid();
+        let b = system.spawn_process();
+        for pid in [a, b] {
+            system
+                .mmap_anonymous_for(pid, VirtAddr::new(0x1000_0000), 16 * 1024 * 1024)
+                .unwrap();
+        }
+        // The light process loops on one page; the hog streams through
+        // 12 MiB of a 4 MiB machine, forcing the kernel to sacrifice the
+        // light process (the faulter is exempt) and then to fail outright
+        // once no victims remain.
+        let mut fa = SliceFrontend::new("light", linear_trace(0x1000_0000, 20_000, 0));
+        let mut fb = SliceFrontend::new("hog", linear_trace(0x1000_0000, 3000, 4096));
+        let report = {
+            let mut programs: Vec<(ProcessId, &mut dyn TraceSource)> =
+                vec![(a, &mut fa), (b, &mut fb)];
+            system.run_multiprogram(&mut programs, None)
+        };
+        let oom = report
+            .rollup
+            .oom
+            .expect("pressure must reach the OOM killer");
+        assert!(oom.kills >= 1);
+        assert!(oom.freed_bytes > 0);
+        let light = &report.processes[0];
+        let hog = &report.processes[1];
+        assert_eq!(light.exit_status, ProcessExitStatus::OomKilled);
+        assert_eq!(hog.exit_status, ProcessExitStatus::Completed);
+        assert_eq!(hog.instructions, 3000, "the survivor runs to completion");
+        assert!(light.instructions < 20_000, "the victim died mid-trace");
+        assert!(hog.oom_failures > 0, "with no victims left, faults fail");
+        assert_eq!(light.segfaults + hog.segfaults, 0);
+        assert_eq!(
+            report
+                .processes
+                .iter()
+                .filter(|p| p.exit_status == ProcessExitStatus::OomKilled)
+                .count() as u64,
+            oom.kills,
+            "each kill terminates exactly one reported process"
+        );
+        assert_eq!(system.os().process(a).resident_bytes(), 0);
+        assert_translation_coherence(&system);
+        system.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn segfaulted_processes_report_their_exit_status() {
+        let mut system = small_system();
+        let pid = system.pid();
+        let mut f = SliceFrontend::new(
+            "segv",
+            vec![Instruction::load(
+                VirtAddr::new(0x400),
+                VirtAddr::new(0xdead_0000_0000),
+            )],
+        );
+        let report = {
+            let mut programs: Vec<(ProcessId, &mut dyn TraceSource)> = vec![(pid, &mut f)];
+            system.run_multiprogram(&mut programs, None)
+        };
+        assert_eq!(
+            report.processes[0].exit_status,
+            ProcessExitStatus::Segfaulted
+        );
+        assert_eq!(report.processes[0].oom_failures, 0);
+        assert!(
+            report.rollup.oom.is_none(),
+            "no oom section without pressure"
+        );
+    }
+
+    #[test]
+    fn the_fence_catches_a_planted_stale_translation() {
+        let mut system = small_system();
+        let trace = linear_trace(0x1000_0000, 200, 4096);
+        system.run(&mut SliceFrontend::new("warm", trace), None);
+        system.check_invariants().unwrap();
+        // Install a translation the kernel never established: the fence
+        // must flag it (this is exactly the corruption a missed shootdown
+        // would leave behind).
+        let bogus = Mapping {
+            vaddr: VirtAddr::new(0xdead_0000),
+            paddr: PhysAddr::new(0x30_0000),
+            page_size: PageSize::Size4K,
+        };
+        let asid = System::asid_of(system.pid());
+        system.core0.mmu.install_mapping(asid, &bogus);
+        let violation = system.check_invariants().unwrap_err();
+        assert!(
+            violation.contains("stale"),
+            "unexpected message: {violation}"
+        );
+    }
+
+    #[test]
+    fn oom_kill_keeps_every_engine_coherent_at_one_and_four_cores() {
+        use mimic_os::AllocationPolicy;
+        use mmu_sim::{EngineConfig, MidgardConfig, RmmConfig, UtopiaMmuConfig};
+        let engines: Vec<(&str, EngineConfig, AllocationPolicy)> = vec![
+            ("pt", EngineConfig::PageTable, AllocationPolicy::BuddyFourK),
+            (
+                "midgard",
+                EngineConfig::Midgard(MidgardConfig::paper_baseline()),
+                AllocationPolicy::BuddyFourK,
+            ),
+            (
+                "rmm",
+                EngineConfig::Rmm(RmmConfig::paper_baseline()),
+                AllocationPolicy::EagerPaging,
+            ),
+            (
+                "utopia",
+                EngineConfig::Utopia(
+                    UtopiaMmuConfig::paper_baseline().with_restseg_bytes(2 * 1024 * 1024),
+                ),
+                AllocationPolicy::Utopia(mimic_os::UtopiaConfig::new(
+                    2 * 1024 * 1024,
+                    16,
+                    PageSize::Size4K,
+                )),
+            ),
+        ];
+        for cores in [1usize, 4] {
+            for (name, engine, policy) in &engines {
+                let mut config = oom_pressure_config()
+                    .with_engine(*engine)
+                    .with_cores(cores)
+                    .with_invariant_checks(512);
+                config.os.policy = *policy;
+                config.os.sched_quantum = 500;
+                let mut system = System::new(config);
+                let a = system.pid();
+                let b = system.spawn_process();
+                for pid in [a, b] {
+                    system
+                        .mmap_anonymous_for(pid, VirtAddr::new(0x1000_0000), 16 * 1024 * 1024)
+                        .unwrap();
+                }
+                let mut fa = SliceFrontend::new("light", linear_trace(0x1000_0000, 20_000, 0));
+                let mut fb = SliceFrontend::new("hog", linear_trace(0x1000_0000, 3000, 4096));
+                let report = {
+                    let mut programs: Vec<(ProcessId, &mut dyn TraceSource)> =
+                        vec![(a, &mut fa), (b, &mut fb)];
+                    system.run_multiprogram(&mut programs, None)
+                };
+                let oom = report.rollup.oom.unwrap_or_default();
+                assert!(oom.kills >= 1, "{name}/{cores} cores: pressure must kill");
+                system
+                    .check_invariants()
+                    .unwrap_or_else(|v| panic!("{name}/{cores} cores: {v}"));
+            }
+        }
     }
 
     #[test]

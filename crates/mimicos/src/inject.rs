@@ -1,0 +1,268 @@
+//! Deterministic fault injection: scripted and rate-based failures for the
+//! kernel's error paths.
+//!
+//! The paths a real kernel fights hardest on — allocation shortfalls under
+//! pressure, swap-device hiccups, slow shootdown IPIs — only fire in the
+//! simulator under extreme, hard-to-reproduce workloads. This module makes
+//! them exercisable on demand: a [`FaultInjectionConfig`] on
+//! [`OsConfig`](crate::OsConfig) arms a seeded [`FaultInjector`] whose
+//! decisions are drawn from a private [`DetRng`], so a given configuration
+//! produces bit-identical failure schedules at any test parallelism. With
+//! the default (all-zero) configuration the injector never draws from its
+//! RNG and the kernel behaves exactly as if the module did not exist.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use vm_types::{DetRng, VmError, VmResult};
+
+/// Configuration of the deterministic fault-injection framework. The
+/// default is fully disabled: every rate zero and no scripted failures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultInjectionConfig {
+    /// Seed of the injector's private RNG (independent of the kernel's own
+    /// RNG, so arming injection does not perturb unrelated jitter draws).
+    pub seed: u64,
+    /// Probability in `[0, 1]` that a base-frame allocation artificially
+    /// fails before the buddy allocator is consulted, forcing the fault
+    /// into the direct-reclaim retry path.
+    pub alloc_shortfall_rate: f64,
+    /// Zero-based indexes of base-frame allocation calls that fail
+    /// unconditionally (a scripted shortfall schedule; applied on top of
+    /// the rate).
+    pub scripted_alloc_shortfalls: Vec<u64>,
+    /// Probability in `[0, 1]` that a swap-device transfer hits a transient
+    /// I/O error: the kernel retries the transfer, paying the device
+    /// latency twice plus an error-handling cost.
+    pub swap_io_error_rate: f64,
+    /// Probability in `[0, 1]` that a swap-device transfer takes a latency
+    /// spike of [`FaultInjectionConfig::swap_latency_spike_ns`].
+    pub swap_latency_spike_rate: f64,
+    /// Extra device nanoseconds charged on a latency spike.
+    pub swap_latency_spike_ns: f64,
+    /// Probability in `[0, 1]` that a shootdown IPI is delivered late to a
+    /// remote core, stalling it for an extra
+    /// [`FaultInjectionConfig::ipi_delay_cycles`].
+    pub ipi_delay_rate: f64,
+    /// Extra stall cycles charged to a remote core on a delayed IPI.
+    pub ipi_delay_cycles: u64,
+}
+
+impl Default for FaultInjectionConfig {
+    fn default() -> Self {
+        FaultInjectionConfig {
+            seed: 0xC4405,
+            alloc_shortfall_rate: 0.0,
+            scripted_alloc_shortfalls: Vec::new(),
+            swap_io_error_rate: 0.0,
+            swap_latency_spike_rate: 0.0,
+            swap_latency_spike_ns: 0.0,
+            ipi_delay_rate: 0.0,
+            ipi_delay_cycles: 0,
+        }
+    }
+}
+
+impl FaultInjectionConfig {
+    /// `true` when any failure source is armed.
+    pub fn is_active(&self) -> bool {
+        self.alloc_shortfall_rate > 0.0
+            || !self.scripted_alloc_shortfalls.is_empty()
+            || self.swap_io_error_rate > 0.0
+            || self.swap_latency_spike_rate > 0.0
+            || self.ipi_delay_rate > 0.0
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::InvalidConfig`] for rates outside `[0, 1]` (or
+    /// NaN), negative or non-finite magnitudes, and armed sources with a
+    /// zero magnitude (a "spike" of zero nanoseconds or a "delay" of zero
+    /// cycles injects nothing and indicates a misconfiguration).
+    pub fn validate(&self) -> VmResult<()> {
+        for (name, rate) in [
+            ("alloc_shortfall_rate", self.alloc_shortfall_rate),
+            ("swap_io_error_rate", self.swap_io_error_rate),
+            ("swap_latency_spike_rate", self.swap_latency_spike_rate),
+            ("ipi_delay_rate", self.ipi_delay_rate),
+        ] {
+            if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+                return Err(VmError::InvalidConfig {
+                    reason: format!("fault injection {name} {rate} outside [0,1]"),
+                });
+            }
+        }
+        if !self.swap_latency_spike_ns.is_finite() || self.swap_latency_spike_ns < 0.0 {
+            return Err(VmError::InvalidConfig {
+                reason: format!(
+                    "fault injection swap_latency_spike_ns {} must be finite and non-negative",
+                    self.swap_latency_spike_ns
+                ),
+            });
+        }
+        if self.swap_latency_spike_rate > 0.0 && self.swap_latency_spike_ns == 0.0 {
+            return Err(VmError::InvalidConfig {
+                reason: "fault injection arms swap latency spikes with a zero-ns spike".to_string(),
+            });
+        }
+        if self.ipi_delay_rate > 0.0 && self.ipi_delay_cycles == 0 {
+            return Err(VmError::InvalidConfig {
+                reason: "fault injection arms IPI delays with a zero-cycle delay".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The runtime half: owns the injection RNG and the scripted-shortfall
+/// schedule. All decision methods return the neutral answer without
+/// touching the RNG when injection is disabled, keeping the disabled
+/// configuration bit-identical to a build without the framework.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    config: FaultInjectionConfig,
+    active: bool,
+    rng: DetRng,
+    scripted_shortfalls: BTreeSet<u64>,
+    allocs_seen: u64,
+}
+
+impl FaultInjector {
+    /// Arms an injector for the given (already validated) configuration.
+    pub fn new(config: FaultInjectionConfig) -> Self {
+        FaultInjector {
+            active: config.is_active(),
+            rng: DetRng::new(config.seed),
+            scripted_shortfalls: config.scripted_alloc_shortfalls.iter().copied().collect(),
+            allocs_seen: 0,
+            config,
+        }
+    }
+
+    /// `true` when any failure source is armed.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Decides whether the next base-frame allocation call suffers an
+    /// injected shortfall. Advances the allocation index either way (when
+    /// active), so scripted schedules refer to stable call indexes.
+    pub fn alloc_shortfall(&mut self) -> bool {
+        if !self.active {
+            return false;
+        }
+        let index = self.allocs_seen;
+        self.allocs_seen += 1;
+        if self.scripted_shortfalls.contains(&index) {
+            return true;
+        }
+        self.config.alloc_shortfall_rate > 0.0
+            && self.rng.gen_bool(self.config.alloc_shortfall_rate)
+    }
+
+    /// Decides whether a swap-device transfer hits a transient I/O error.
+    pub fn swap_io_error(&mut self) -> bool {
+        self.active
+            && self.config.swap_io_error_rate > 0.0
+            && self.rng.gen_bool(self.config.swap_io_error_rate)
+    }
+
+    /// Extra device nanoseconds for a swap transfer's latency spike, if one
+    /// fires.
+    pub fn swap_latency_spike_ns(&mut self) -> Option<f64> {
+        (self.active
+            && self.config.swap_latency_spike_rate > 0.0
+            && self.rng.gen_bool(self.config.swap_latency_spike_rate))
+        .then_some(self.config.swap_latency_spike_ns)
+    }
+
+    /// Extra stall cycles for one remote core's shootdown IPI delivery, if
+    /// a delay fires.
+    pub fn ipi_delay_cycles(&mut self) -> u64 {
+        if self.active
+            && self.config.ipi_delay_rate > 0.0
+            && self.rng.gen_bool(self.config.ipi_delay_rate)
+        {
+            self.config.ipi_delay_cycles
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_inactive_and_valid() {
+        let cfg = FaultInjectionConfig::default();
+        assert!(!cfg.is_active());
+        cfg.validate().unwrap();
+        let mut inj = FaultInjector::new(cfg);
+        for _ in 0..64 {
+            assert!(!inj.alloc_shortfall());
+            assert!(!inj.swap_io_error());
+            assert!(inj.swap_latency_spike_ns().is_none());
+            assert_eq!(inj.ipi_delay_cycles(), 0);
+        }
+    }
+
+    #[test]
+    fn scripted_shortfalls_fire_at_exact_indexes() {
+        let cfg = FaultInjectionConfig {
+            scripted_alloc_shortfalls: vec![0, 3],
+            ..FaultInjectionConfig::default()
+        };
+        let mut inj = FaultInjector::new(cfg);
+        let fired: Vec<bool> = (0..5).map(|_| inj.alloc_shortfall()).collect();
+        assert_eq!(fired, vec![true, false, false, true, false]);
+    }
+
+    #[test]
+    fn rate_based_decisions_are_reproducible() {
+        let cfg = FaultInjectionConfig {
+            alloc_shortfall_rate: 0.3,
+            swap_io_error_rate: 0.2,
+            ..FaultInjectionConfig::default()
+        };
+        let mut a = FaultInjector::new(cfg.clone());
+        let mut b = FaultInjector::new(cfg);
+        for _ in 0..256 {
+            assert_eq!(a.alloc_shortfall(), b.alloc_shortfall());
+            assert_eq!(a.swap_io_error(), b.swap_io_error());
+        }
+    }
+
+    #[test]
+    fn nonsensical_configs_are_rejected() {
+        let bad_rate = FaultInjectionConfig {
+            alloc_shortfall_rate: 1.5,
+            ..FaultInjectionConfig::default()
+        };
+        assert!(bad_rate.validate().is_err());
+        let nan_rate = FaultInjectionConfig {
+            swap_io_error_rate: f64::NAN,
+            ..FaultInjectionConfig::default()
+        };
+        assert!(nan_rate.validate().is_err());
+        let negative_spike = FaultInjectionConfig {
+            swap_latency_spike_ns: -1.0,
+            ..FaultInjectionConfig::default()
+        };
+        assert!(negative_spike.validate().is_err());
+        let zero_spike = FaultInjectionConfig {
+            swap_latency_spike_rate: 0.5,
+            swap_latency_spike_ns: 0.0,
+            ..FaultInjectionConfig::default()
+        };
+        assert!(zero_spike.validate().is_err());
+        let zero_delay = FaultInjectionConfig {
+            ipi_delay_rate: 0.5,
+            ipi_delay_cycles: 0,
+            ..FaultInjectionConfig::default()
+        };
+        assert!(zero_delay.validate().is_err());
+    }
+}

@@ -3,11 +3,12 @@
 //! statistics the paper's experiments read out.
 
 use crate::alloc_policy::AllocationPolicy;
-use crate::buddy::{BuddyAllocator, ORDER_1G, ORDER_2M};
+use crate::buddy::{order_for, BuddyAllocator, ORDER_1G, ORDER_2M};
 use crate::fault::{FaultKind, InvalidationBatch, Mapping, PageFaultOutcome};
+use crate::inject::{FaultInjectionConfig, FaultInjector};
 use crate::kernel_stream::{KernelInstructionStream, KernelRoutine};
 use crate::page_cache::PageCache;
-use crate::process::Process;
+use crate::process::{ExitReason, Process};
 use crate::sched::{ContextSwitch, Scheduler};
 use crate::slab::SlabAllocator;
 use crate::swap::SwapManager;
@@ -126,6 +127,15 @@ pub struct OsConfig {
     /// and reclaim broadcasts shootdown IPIs to the other cores. The
     /// default of 1 reproduces the single-core model exactly.
     pub num_cores: usize,
+    /// Enables the out-of-memory killer: when a fault's reclaim+retry loop
+    /// still cannot allocate, the kernel kills the process with the highest
+    /// badness score (excluding the faulting process) and retries the
+    /// fault. Disabled, the fault fails with [`VmError::OutOfMemory`] and
+    /// the framework drops the access.
+    pub oom_kill: bool,
+    /// Deterministic fault injection (disabled by default; see
+    /// [`FaultInjectionConfig`]).
+    pub fault_injection: FaultInjectionConfig,
     /// Seed for the kernel's deterministic RNG.
     pub seed: u64,
 }
@@ -151,6 +161,8 @@ impl OsConfig {
             shootdown_ipi_cost: 1_800,
             shootdown_per_page_cost: 160,
             num_cores: 1,
+            oom_kill: true,
+            fault_injection: FaultInjectionConfig::default(),
             seed: 0x5a_fa_51,
         }
     }
@@ -211,6 +223,7 @@ impl OsConfig {
                 });
             }
         }
+        self.fault_injection.validate()?;
         Ok(())
     }
 }
@@ -259,6 +272,27 @@ pub struct OsStats {
     pub shootdown_ipis: Counter,
     /// Huge mappings demoted (split into base pages) by reclaim.
     pub thp_demotions: Counter,
+    /// Processes killed by the out-of-memory killer.
+    pub oom_kills: Counter,
+    /// Resident bytes examined by the OOM killer's badness scans.
+    pub oom_scanned_bytes: u64,
+    /// Bytes of resident memory freed by OOM kills.
+    pub oom_freed_bytes: u64,
+    /// Times a failed base-frame allocation fell into the direct-reclaim
+    /// retry loop (the escalation path that precedes an OOM kill).
+    pub oom_reclaim_retries: Counter,
+    /// Resident bytes reclaim must leave alone: hugetlbfs-backed mappings,
+    /// which (as in Linux) are neither swapped nor demoted. Their frames
+    /// only come back when the owning process exits or is killed.
+    pub unreclaimable_bytes: u64,
+    /// Injected base-frame allocation shortfalls (fault injection).
+    pub injected_alloc_shortfalls: Counter,
+    /// Injected transient swap-device I/O errors (fault injection).
+    pub injected_swap_io_errors: Counter,
+    /// Injected swap-device latency spikes (fault injection).
+    pub injected_swap_latency_spikes: Counter,
+    /// Injected shootdown-IPI delivery delays (fault injection).
+    pub injected_ipi_delays: Counter,
 }
 
 impl OsStats {
@@ -301,8 +335,33 @@ pub struct MimicOs {
     /// [`MimicOs::take_pending_invalidations`] — losing it would leave
     /// stale translations alive.
     pending_invalidations: InvalidationBatch,
+    /// OOM kills performed but not yet drained by the framework (see
+    /// [`MimicOs::take_oom_kills`]): the framework must flush the victim's
+    /// per-core translation state and inject the kill's kernel stream.
+    oom_kill_log: Vec<OomKill>,
+    /// Pids of killed processes whose slots (and ASIDs) are free for reuse
+    /// by [`MimicOs::spawn_process`].
+    free_pids: Vec<usize>,
+    injector: FaultInjector,
     rng: DetRng,
     stats: OsStats,
+}
+
+/// One completed out-of-memory kill, surfaced to the framework so it can
+/// tear down the victim's architectural translation state and charge the
+/// kernel work. The torn-down translations themselves travel through the
+/// fault's [`InvalidationBatch`] like any other shootdown.
+#[derive(Debug, Clone)]
+pub struct OomKill {
+    /// The killed process.
+    pub victim: ProcessId,
+    /// The victim's badness score (resident + swapped bytes) at kill time.
+    pub badness: u64,
+    /// Resident bytes freed by the kill.
+    pub freed_bytes: u64,
+    /// The kernel instructions of the badness scan and address-space
+    /// teardown, for injection into the instruction-stream channel.
+    pub stream: KernelInstructionStream,
 }
 
 impl MimicOs {
@@ -365,6 +424,9 @@ impl MimicOs {
             ranges: BTreeMap::new(),
             reclaim_cursor: 0,
             pending_invalidations: InvalidationBatch::default(),
+            oom_kill_log: Vec::new(),
+            free_pids: Vec::new(),
+            injector: FaultInjector::new(config.fault_injection.clone()),
             rng,
             stats: OsStats::default(),
             buddy,
@@ -419,13 +481,29 @@ impl MimicOs {
     }
 
     /// Creates a new process, admits it to the scheduler's run queue and
-    /// returns its identifier.
+    /// returns its identifier. Pid slots (and with them the ASIDs derived
+    /// from them) of OOM-killed processes are recycled: the framework
+    /// flushed the dead ASID from every core when it drained the kill, so
+    /// reuse is safe — exactly what the chaos proptest pins down.
     pub fn spawn_process(&mut self) -> ProcessId {
-        self.processes.push(Process::new());
-        self.ranges.insert(self.processes.len() - 1, Vec::new());
-        let pid = ProcessId(self.processes.len() - 1);
+        let pid = match self.free_pids.pop() {
+            Some(idx) => {
+                self.processes[idx] = Process::new();
+                ProcessId(idx)
+            }
+            None => {
+                self.processes.push(Process::new());
+                ProcessId(self.processes.len() - 1)
+            }
+        };
+        self.ranges.insert(pid.0, Vec::new());
         self.scheduler.admit(pid);
         pid
+    }
+
+    /// Number of pid slots ever created (live and exited).
+    pub fn num_processes(&self) -> usize {
+        self.processes.len()
     }
 
     /// The process scheduler.
@@ -666,20 +744,169 @@ impl MimicOs {
         is_write: bool,
     ) -> VmResult<PageFaultOutcome> {
         let mut invalidations = InvalidationBatch::default();
-        match self.handle_page_fault_inner(pid, vaddr, is_write, &mut invalidations) {
-            Ok(mut outcome) => {
-                outcome.invalidations = invalidations;
-                Ok(outcome)
-            }
-            Err(error) => {
-                // The fault failed *after* reclaim may already have torn
-                // translations down (e.g. out of memory when evicting
-                // RestSeg pages frees no FlexSeg frames). Stash the work:
-                // the shootdowns are real even though the fault is not.
-                self.pending_invalidations.merge(invalidations);
-                Err(error)
+        loop {
+            match self.handle_page_fault_inner(pid, vaddr, is_write, &mut invalidations) {
+                Ok(mut outcome) => {
+                    outcome.invalidations = invalidations;
+                    return Ok(outcome);
+                }
+                Err(error @ VmError::OutOfMemory { .. }) if self.config.oom_kill => {
+                    // Reclaim and retry could not satisfy the allocation:
+                    // escalate to the OOM killer. When it finds a victim
+                    // the fault is retried against the freed memory; when
+                    // every other process is already dead (or empty) the
+                    // fault fails for real. Each iteration kills one
+                    // process, so the loop terminates.
+                    if !self.oom_kill_one(pid, &mut invalidations) {
+                        self.pending_invalidations.merge(invalidations);
+                        return Err(error);
+                    }
+                }
+                Err(error) => {
+                    // The fault failed *after* reclaim may already have torn
+                    // translations down (e.g. out of memory when evicting
+                    // RestSeg pages frees no FlexSeg frames). Stash the work:
+                    // the shootdowns are real even though the fault is not.
+                    self.pending_invalidations.merge(invalidations);
+                    return Err(error);
+                }
             }
         }
+    }
+
+    /// Selects the OOM victim with the highest badness score — resident
+    /// plus swapped bytes, the RSS-dominant heuristic of Linux's
+    /// `oom_badness` — excluding the faulting process (the kernel
+    /// sacrifices another task so the faulting one can make progress) and
+    /// everything already dead. Ties go to the younger (higher) pid. Kills
+    /// it and appends the torn-down translations to `batch`. Returns
+    /// `false` when no victim exists.
+    fn oom_kill_one(&mut self, faulter: ProcessId, batch: &mut InvalidationBatch) -> bool {
+        let mut scanned = 0u64;
+        let mut best: Option<(usize, u64)> = None;
+        for (idx, process) in self.processes.iter().enumerate() {
+            if idx == faulter.0 || process.is_exited() {
+                continue;
+            }
+            let badness = process.resident_bytes() + process.swapped_page_count() as u64 * 4096;
+            scanned += badness;
+            if badness > 0 && best.is_none_or(|(_, b)| badness >= b) {
+                best = Some((idx, badness));
+            }
+        }
+        let Some((victim_idx, badness)) = best else {
+            return false;
+        };
+        let victim = ProcessId(victim_idx);
+        let mut stream = KernelInstructionStream::new(KernelRoutine::OomKill);
+        // The badness scan walks every task struct (`select_bad_process`).
+        stream.compute(120 * self.processes.len().max(1) as u32);
+        for idx in 0..self.processes.len() {
+            stream.load(PhysAddr::new(0xFFFF_C000_0000_0000 + (idx as u64) * 0x4000));
+        }
+        let freed = self.kill_process(victim, &mut stream, batch);
+        self.stats.oom_kills.inc();
+        self.stats.oom_scanned_bytes += scanned;
+        self.stats.oom_freed_bytes += freed;
+        self.stats.kernel_instructions += stream.instruction_count();
+        self.oom_kill_log.push(OomKill {
+            victim,
+            badness,
+            freed_bytes: freed,
+            stream,
+        });
+        true
+    }
+
+    /// Tears a process down (`oom_kill_process` + `exit_mmap`): every
+    /// resident mapping becomes a shootdown victim in `batch` and its
+    /// frames return to their owner (buddy allocator, hugetlb pool or
+    /// RestSeg), swap slots are released, eager ranges dropped, and the
+    /// process leaves the scheduler. Its pid slot is queued for reuse.
+    /// Returns the resident bytes freed.
+    fn kill_process(
+        &mut self,
+        victim: ProcessId,
+        stream: &mut KernelInstructionStream,
+        batch: &mut InvalidationBatch,
+    ) -> u64 {
+        let asid = victim.0 as u16;
+        let space = self.processes[victim.0].kill(ExitReason::OomKilled);
+        let mut freed = 0u64;
+        for (mapping, hugetlb) in &space.mappings {
+            batch.push_victim(victim, mapping.vaddr, mapping.page_size);
+            freed += mapping.page_size.bytes();
+            // Unmap + free per entry (`unmap_page_range` / `free_pgtables`).
+            stream.compute(60);
+            if let Some(utopia) = self.utopia.as_mut() {
+                if utopia.remove(asid, mapping.vaddr) {
+                    // RestSeg page: no buddy frame behind it.
+                    continue;
+                }
+            }
+            if *hugetlb {
+                self.stats.unreclaimable_bytes = self
+                    .stats
+                    .unreclaimable_bytes
+                    .saturating_sub(mapping.page_size.bytes());
+                self.hugetlb.release(mapping.paddr);
+                continue;
+            }
+            self.free_mapping_frames(mapping);
+        }
+        for slot in space.swap_slots {
+            self.swap.release_slot(slot);
+        }
+        // Reservation-THP frames freed above may sit inside tracked 2 MiB
+        // reservations; forget them all so no later promotion resurrects a
+        // frame the buddy allocator already handed out again.
+        if let Some(reservation) = self.reservation.as_mut() {
+            reservation.clear();
+        }
+        self.ranges.insert(victim.0, Vec::new());
+        self.scheduler.exit(victim);
+        self.free_pids.push(victim.0);
+        self.charge_shootdown(space.mappings.len() as u64, stream);
+        freed
+    }
+
+    /// Frees the physical span behind one mapping. A huge mapping whose
+    /// frames were carved out of a larger buddy block (eager paging, a
+    /// demoted gigantic page) cannot be freed at its own order; the
+    /// containing block is shattered to base frames first.
+    fn free_mapping_frames(&mut self, mapping: &Mapping) {
+        if self
+            .buddy
+            .free(mapping.paddr, order_for(mapping.page_size))
+            .is_ok()
+        {
+            return;
+        }
+        if self.buddy.split_allocated(mapping.paddr).is_ok() {
+            let mut offset = 0u64;
+            while offset < mapping.page_size.bytes() {
+                let _ = self.buddy.free(mapping.paddr.add(offset), 0);
+                offset += 4096;
+            }
+        }
+    }
+
+    /// Drains the OOM kills performed since the last call. The framework
+    /// must flush each victim's ASID from every core's translation state
+    /// and inject the kill's kernel stream (in detailed mode).
+    pub fn take_oom_kills(&mut self) -> Vec<OomKill> {
+        std::mem::take(&mut self.oom_kill_log)
+    }
+
+    /// Extra stall cycles for one remote core's shootdown IPI delivery,
+    /// when fault injection decides the IPI arrives late. Returns 0 with
+    /// injection disabled (without consuming injector randomness).
+    pub fn injected_ipi_delay_cycles(&mut self) -> u64 {
+        let delay = self.injector.ipi_delay_cycles();
+        if delay > 0 {
+            self.stats.injected_ipi_delays.inc();
+        }
+        delay
     }
 
     /// Drains the shootdown work accumulated by failed faults (see
@@ -761,7 +988,7 @@ impl MimicOs {
                 // speculatively allocated.
                 let _ = self.buddy.free(dest, 0);
             }
-            device_ns += io.as_nanos();
+            device_ns += io.as_nanos() + self.injected_swap_penalty_ns(io.as_nanos(), &mut stream);
             let pt_frames = self.charge_page_table_frames(pid, vaddr, &mut stream)?;
             let mapping = Mapping {
                 vaddr: vaddr.page_base(PageSize::Size4K),
@@ -799,6 +1026,9 @@ impl MimicOs {
                 page_size: PageSize::Size2M,
             };
             self.install_mapping(pid, mapping, &mut stream);
+            // Hugetlbfs pages are pinned for the life of the mapping (Linux
+            // never swaps or demotes them); only an OOM kill returns them.
+            self.stats.unreclaimable_bytes += PageSize::Size2M.bytes();
             let outcome = self.finish_fault(
                 pid,
                 mapping,
@@ -1112,9 +1342,23 @@ impl MimicOs {
         stream: &mut KernelInstructionStream,
         batch: &mut InvalidationBatch,
     ) -> VmResult<PhysAddr> {
-        match self.buddy.alloc_traced(0, Some(stream)) {
+        // An injected shortfall models a transient allocation failure (a
+        // watermark breach, a CMA reservation, a race with another
+        // allocator): the fault takes the same direct-reclaim path a real
+        // failure would.
+        let first_try = if self.injector.alloc_shortfall() {
+            self.stats.injected_alloc_shortfalls.inc();
+            Err(VmError::OutOfMemory {
+                requested: 4096,
+                free: self.buddy.free_bytes(),
+            })
+        } else {
+            self.buddy.alloc_traced(0, Some(stream))
+        };
+        match first_try {
             Ok(f) => Ok(f),
             Err(VmError::OutOfMemory { .. }) => {
+                self.stats.oom_reclaim_retries.inc();
                 self.reclaim_pages(self.config.reclaim_batch.max(8), stream, batch)?;
                 self.buddy.alloc_traced(0, Some(stream))
             }
@@ -1250,9 +1494,15 @@ impl MimicOs {
             let n = self.processes.len();
             for i in 0..n {
                 let idx = (self.reclaim_cursor + i) % n;
-                let Some(vaddr) = self.processes[idx]
+                let process = &self.processes[idx];
+                // Hugetlbfs mappings are pinned (counted in
+                // `unreclaimable_bytes`): demotion must not touch them.
+                let Some(vaddr) = process
                     .mappings()
-                    .find(|m| m.page_size == size)
+                    .find(|m| {
+                        m.page_size == size
+                            && !process.vmas.find(m.vaddr).is_some_and(|v| v.hugetlb)
+                    })
                     .map(|m| m.vaddr)
                 else {
                     continue;
@@ -1328,6 +1578,7 @@ impl MimicOs {
             let Ok((slot, io)) = self.swap.swap_out(victim.paddr, &mut self.ssd) else {
                 break;
             };
+            let io_ns = io.as_nanos() + self.injected_swap_penalty_ns(io.as_nanos(), stream);
             self.swap.drop_swap_cache(slot);
             if self.processes[pid.0].swap_out(victim.vaddr, slot).is_some() {
                 batch.push_victim(pid, victim.vaddr, victim.page_size);
@@ -1339,7 +1590,7 @@ impl MimicOs {
             if let Some(utopia) = self.utopia.as_mut() {
                 if utopia.remove(pid.0 as u16, victim.vaddr) {
                     // Page lived in a RestSeg: no buddy frame to release.
-                    device_ns += io.as_nanos();
+                    device_ns += io_ns;
                     self.stats.reclaimed_pages.inc();
                     continue;
                 }
@@ -1351,13 +1602,39 @@ impl MimicOs {
                     let _ = self.buddy.free(victim.paddr, 0);
                 }
             }
-            device_ns += io.as_nanos();
+            device_ns += io_ns;
             self.stats.reclaimed_pages.inc();
             stream.compute(80);
             stream.store(victim.paddr);
         }
         self.charge_shootdown((batch.victims.len() - victims_before) as u64, stream);
         Ok(device_ns)
+    }
+
+    /// Extra device nanoseconds injected into one swap transfer: a latency
+    /// spike, a transient I/O error (the kernel retries, paying the
+    /// transfer twice plus error-handling work), or both. A transfer that
+    /// never touched the device (swap-cache hit) is not injectable.
+    fn injected_swap_penalty_ns(
+        &mut self,
+        base_io_ns: f64,
+        stream: &mut KernelInstructionStream,
+    ) -> f64 {
+        if !self.injector.is_active() || base_io_ns <= 0.0 {
+            return 0.0;
+        }
+        let mut extra = 0.0;
+        if self.injector.swap_io_error() {
+            self.stats.injected_swap_io_errors.inc();
+            // Completion with error status, bio re-submission.
+            stream.compute(600);
+            extra += base_io_ns;
+        }
+        if let Some(spike) = self.injector.swap_latency_spike_ns() {
+            self.stats.injected_swap_latency_spikes.inc();
+            extra += spike;
+        }
+        extra
     }
 
     /// Splits any eagerly allocated range of `pid` covering the reclaimed
@@ -2126,5 +2403,204 @@ mod tests {
         let out_b = touch(&mut os, b, 0x4000_0000);
         assert_ne!(out_a.mapping.paddr, out_b.mapping.paddr);
         assert!(os.process(b).is_mapped(VirtAddr::new(0x4000_0000)));
+    }
+
+    /// 4 MiB of memory, no swap: reclaim can free nothing, so sustained
+    /// allocation escalates straight to the OOM killer.
+    fn pressure_os() -> MimicOs {
+        let config = OsConfig {
+            memory_bytes: 4 * MB,
+            swap_bytes: 0,
+            policy: AllocationPolicy::BuddyFourK,
+            thp: ThpConfig::disabled(),
+            fragmentation_target: None,
+            populate_page_cache: false,
+            ..OsConfig::small_test()
+        };
+        MimicOs::new(config)
+    }
+
+    #[test]
+    fn oom_kill_sacrifices_the_biggest_process_and_the_fault_succeeds() {
+        let mut os = pressure_os();
+        let hog = os.spawn_process();
+        let light = os.spawn_process();
+        os.mmap_anonymous(hog, VirtAddr::new(0x4000_0000), 3 * MB, false)
+            .unwrap();
+        os.mmap_anonymous(light, VirtAddr::new(0x4000_0000), 2 * MB, false)
+            .unwrap();
+        for i in 0..640u64 {
+            touch(&mut os, hog, 0x4000_0000 + i * 4096);
+        }
+        // The light process now cannot fit without a kill; every one of its
+        // faults must nevertheless succeed.
+        let mut hog_victims = 0;
+        for i in 0..512u64 {
+            let outcome = touch(&mut os, light, 0x4000_0000 + i * 4096);
+            hog_victims += outcome
+                .invalidations
+                .victims
+                .iter()
+                .filter(|v| v.pid == hog)
+                .count();
+        }
+        assert_eq!(os.stats().oom_kills.get(), 1);
+        assert!(os.stats().oom_reclaim_retries.get() > 0);
+        assert_eq!(os.process(hog).exit_reason(), Some(ExitReason::OomKilled));
+        assert_eq!(os.process(hog).resident_bytes(), 0);
+        assert!(!os.process(light).is_exited());
+        // Every translation of the victim rode the shootdown batch.
+        assert_eq!(hog_victims, 640);
+        let kills = os.take_oom_kills();
+        assert_eq!(kills.len(), 1);
+        assert_eq!(kills[0].victim, hog);
+        assert_eq!(kills[0].freed_bytes, 640 * 4096);
+        assert_eq!(kills[0].badness, 640 * 4096);
+        assert!(kills[0].stream.instruction_count() > 0);
+        assert!(os.take_oom_kills().is_empty(), "the log drains");
+    }
+
+    #[test]
+    fn the_faulting_process_is_never_the_oom_victim() {
+        let mut os = pressure_os();
+        let pid = os.spawn_process();
+        os.mmap_anonymous(pid, VirtAddr::new(0x4000_0000), 8 * MB, false)
+            .unwrap();
+        let mut oom = false;
+        for i in 0..2048u64 {
+            match os.handle_page_fault(pid, VirtAddr::new(0x4000_0000 + i * 4096), true) {
+                Ok(_) => {}
+                Err(VmError::OutOfMemory { .. }) => {
+                    oom = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected error {other:?}"),
+            }
+        }
+        assert!(oom, "4 MiB cannot hold 8 MiB without swap");
+        assert!(!os.process(pid).is_exited());
+        assert_eq!(os.stats().oom_kills.get(), 0);
+    }
+
+    #[test]
+    fn oom_killed_pids_are_recycled_with_a_clean_address_space() {
+        let mut os = pressure_os();
+        let hog = os.spawn_process();
+        let light = os.spawn_process();
+        os.mmap_anonymous(hog, VirtAddr::new(0x4000_0000), 3 * MB, false)
+            .unwrap();
+        os.mmap_anonymous(light, VirtAddr::new(0x4000_0000), 2 * MB, false)
+            .unwrap();
+        for i in 0..640u64 {
+            touch(&mut os, hog, 0x4000_0000 + i * 4096);
+        }
+        for i in 0..512u64 {
+            touch(&mut os, light, 0x4000_0000 + i * 4096);
+        }
+        assert_eq!(os.stats().oom_kills.get(), 1);
+        // The victim's pid slot is reborn as a fresh process that can map
+        // and fault immediately.
+        let reborn = os.spawn_process();
+        assert_eq!(reborn, hog);
+        assert!(!os.process(reborn).is_exited());
+        assert_eq!(os.process(reborn).resident_bytes(), 0);
+        os.mmap_anonymous(reborn, VirtAddr::new(0x7000_0000), MB, false)
+            .unwrap();
+        let outcome = touch(&mut os, reborn, 0x7000_0000);
+        assert_eq!(outcome.mapping.page_size, PageSize::Size4K);
+    }
+
+    #[test]
+    fn hugetlb_pages_are_unreclaimable_until_their_owner_is_killed() {
+        let mut os = MimicOs::new(OsConfig::small_test());
+        let a = os.spawn_process();
+        os.mmap_anonymous(a, VirtAddr::new(0x8000_0000), 8 * MB, true)
+            .unwrap();
+        for i in 0..4u64 {
+            touch(&mut os, a, 0x8000_0000 + i * 2 * MB);
+        }
+        assert_eq!(os.stats().unreclaimable_bytes, 8 * MB);
+        // Demotion skips pinned hugetlbfs mappings even though they are the
+        // only huge mappings resident.
+        let mut stream = KernelInstructionStream::new(KernelRoutine::Reclaim);
+        let mut batch = InvalidationBatch::default();
+        assert!(os.demote_one_huge(&mut stream, &mut batch).is_none());
+        assert!(batch.victims.is_empty());
+        // An OOM kill is the one path that unpins them, returning the
+        // frames to the hugetlb pool.
+        let mut kill_stream = KernelInstructionStream::new(KernelRoutine::OomKill);
+        let freed = os.kill_process(a, &mut kill_stream, &mut batch);
+        assert_eq!(freed, 8 * MB);
+        assert_eq!(os.stats().unreclaimable_bytes, 0);
+        assert_eq!(batch.victims.len(), 4);
+        // The recycled pool serves the next hugetlbfs tenant.
+        let b = os.spawn_process();
+        os.mmap_anonymous(b, VirtAddr::new(0x8000_0000), 8 * MB, true)
+            .unwrap();
+        let outcome = touch(&mut os, b, 0x8000_0000);
+        assert_eq!(outcome.kind, FaultKind::Hugetlb);
+        assert_eq!(os.stats().unreclaimable_bytes, 2 * MB);
+    }
+
+    #[test]
+    fn injected_alloc_shortfalls_hit_the_reclaim_retry_path() {
+        let config = OsConfig {
+            policy: AllocationPolicy::BuddyFourK,
+            thp: ThpConfig::disabled(),
+            fault_injection: FaultInjectionConfig {
+                scripted_alloc_shortfalls: vec![0],
+                ..FaultInjectionConfig::default()
+            },
+            ..OsConfig::small_test()
+        };
+        let mut os = MimicOs::new(config);
+        let pid = os.spawn_process();
+        os.mmap_anonymous(pid, VirtAddr::new(0x4000_0000), MB, false)
+            .unwrap();
+        touch(&mut os, pid, 0x4000_0000);
+        assert_eq!(os.stats().injected_alloc_shortfalls.get(), 1);
+        assert_eq!(os.stats().oom_reclaim_retries.get(), 1);
+        // Memory is plentiful: the retry allocates and nobody dies.
+        assert_eq!(os.stats().oom_kills.get(), 0);
+    }
+
+    #[test]
+    fn injected_runs_are_bit_reproducible() {
+        let config = OsConfig {
+            memory_bytes: 8 * MB,
+            swap_bytes: 32 * MB,
+            policy: AllocationPolicy::BuddyFourK,
+            thp: ThpConfig::disabled(),
+            fragmentation_target: None,
+            populate_page_cache: false,
+            fault_injection: FaultInjectionConfig {
+                alloc_shortfall_rate: 0.05,
+                swap_io_error_rate: 0.3,
+                swap_latency_spike_rate: 0.3,
+                swap_latency_spike_ns: 50_000.0,
+                ..FaultInjectionConfig::default()
+            },
+            ..OsConfig::small_test()
+        };
+        let run = |cfg: OsConfig| {
+            let mut os = MimicOs::new(cfg);
+            let pid = os.spawn_process();
+            os.mmap_anonymous(pid, VirtAddr::new(0x4000_0000), 16 * MB, false)
+                .unwrap();
+            let mut total_ns = 0.0;
+            for i in 0..3000u64 {
+                let va = VirtAddr::new(0x4000_0000 + (i % 4096) * 4096);
+                let outcome = os.handle_page_fault(pid, va, true).unwrap();
+                total_ns += outcome.software_latency_ns + outcome.device_latency_ns;
+            }
+            (os.stats().clone(), total_ns)
+        };
+        let first = run(config.clone());
+        let second = run(config);
+        assert_eq!(first.0, second.0);
+        assert_eq!(first.1.to_bits(), second.1.to_bits());
+        assert!(first.0.injected_alloc_shortfalls.get() > 0);
+        assert!(first.0.injected_swap_io_errors.get() > 0);
+        assert!(first.0.injected_swap_latency_spikes.get() > 0);
     }
 }

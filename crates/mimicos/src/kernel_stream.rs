@@ -49,6 +49,9 @@ pub enum KernelRoutine {
     Mmap,
     /// Scheduler context switch (`__schedule`, `switch_mm`, `switch_to`).
     ContextSwitch,
+    /// The out-of-memory killer: badness scan, victim teardown
+    /// (`out_of_memory` / `oom_kill_process` / `exit_mmap`).
+    OomKill,
 }
 
 /// One operation in a kernel instruction stream: either a block of

@@ -42,6 +42,7 @@
 pub mod alloc_policy;
 pub mod buddy;
 pub mod fault;
+pub mod inject;
 pub mod kernel;
 pub mod kernel_stream;
 pub mod page_cache;
@@ -56,10 +57,11 @@ pub mod vma;
 pub use alloc_policy::AllocationPolicy;
 pub use buddy::{BuddyAllocator, BuddyStats};
 pub use fault::{FaultKind, InvalidationBatch, InvalidationVictim, Mapping, PageFaultOutcome};
-pub use kernel::{MimicOs, OsConfig, OsStats, ProcessId};
+pub use inject::{FaultInjectionConfig, FaultInjector};
+pub use kernel::{MimicOs, OomKill, OsConfig, OsStats, ProcessId};
 pub use kernel_stream::{KernelInstructionStream, KernelOp, KernelRoutine};
 pub use page_cache::PageCache;
-pub use process::Process;
+pub use process::{ExitReason, Process};
 pub use sched::{ContextSwitch, SchedStats, Scheduler};
 pub use slab::SlabAllocator;
 pub use swap::{SwapManager, SwapStats};

@@ -14,6 +14,25 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use vm_types::{PageSize, VirtAddr};
 
+/// Why the kernel terminated a process before its workload finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExitReason {
+    /// Chosen as the out-of-memory killer's victim.
+    OomKilled,
+}
+
+/// Everything the kernel must release when it kills a process: the resident
+/// mappings (each tagged with whether it lives in a hugetlbfs VMA, whose
+/// frames return to the hugetlb pool rather than the buddy allocator) and
+/// the swap slots holding its swapped-out pages.
+#[derive(Debug)]
+pub struct KilledAddressSpace {
+    /// Resident mappings, paired with the hugetlbfs flag of their VMA.
+    pub mappings: Vec<(Mapping, bool)>,
+    /// Swap slots owned by the dead address space.
+    pub swap_slots: Vec<u64>,
+}
+
 /// One simulated process (address space).
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Process {
@@ -23,6 +42,9 @@ pub struct Process {
     mappings: BTreeMap<u64, Mapping>,
     /// Pages currently swapped out: base virtual address → swap slot.
     swapped: BTreeMap<u64, u64>,
+    /// Set when the kernel terminated the process (fault counters survive
+    /// for reporting; the address space is gone).
+    exited: Option<ExitReason>,
     /// Number of minor page faults taken by this process.
     pub minor_faults: u64,
     /// Number of major page faults taken by this process.
@@ -189,6 +211,38 @@ impl Process {
             .take(n)
             .copied()
             .collect()
+    }
+
+    /// `true` if the kernel terminated this process.
+    pub fn is_exited(&self) -> bool {
+        self.exited.is_some()
+    }
+
+    /// Why the kernel terminated this process, when it did.
+    pub fn exit_reason(&self) -> Option<ExitReason> {
+        self.exited
+    }
+
+    /// Tears the address space down (the mm half of `do_exit`): marks the
+    /// process exited and drains its VMAs, resident mappings and swap
+    /// records. Fault counters are kept so the run report can still
+    /// attribute the work the process did before dying. The caller owns the
+    /// returned frames and swap slots and must release them.
+    pub fn kill(&mut self, reason: ExitReason) -> KilledAddressSpace {
+        self.exited = Some(reason);
+        let mappings = std::mem::take(&mut self.mappings)
+            .into_values()
+            .map(|m| {
+                let hugetlb = self.vmas.find(m.vaddr).is_some_and(|v| v.hugetlb);
+                (m, hugetlb)
+            })
+            .collect();
+        let swap_slots = std::mem::take(&mut self.swapped).into_values().collect();
+        self.vmas = VmaTree::new();
+        KilledAddressSpace {
+            mappings,
+            swap_slots,
+        }
     }
 
     /// Splits the huge mapping covering `addr` one level down over the

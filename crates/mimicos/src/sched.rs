@@ -208,6 +208,21 @@ impl Scheduler {
         Some(ContextSwitch { from, to })
     }
 
+    /// Every process the scheduler currently tracks, as `(core, pid)`
+    /// pairs: the running process of each core followed by its run queue in
+    /// dispatch order. Used by the coherence fence to audit queue sanity
+    /// (no duplicates, every pid alive, every pid on its home core).
+    pub fn queued_snapshot(&self) -> Vec<(usize, ProcessId)> {
+        let mut out = Vec::new();
+        for (core, c) in self.cores.iter().enumerate() {
+            if let Some(pid) = c.current {
+                out.push((core, pid));
+            }
+            out.extend(c.runqueue.iter().map(|&pid| (core, pid)));
+        }
+        out
+    }
+
     /// Removes a process (its trace ended or it was killed). If it was
     /// running, its core becomes idle until the next
     /// [`Scheduler::schedule_on`] call dispatches a successor.

@@ -150,6 +150,17 @@ impl SwapManager {
         self.swap_cache.remove(&slot);
     }
 
+    /// Releases a slot without reading it back (`swap_free` when an exiting
+    /// or killed process abandons its swapped-out pages). The slot's data is
+    /// simply discarded; any swap-cache entry goes with it.
+    pub fn release_slot(&mut self, slot: u64) {
+        if slot >= self.next_free || self.free_slots.contains(&slot) {
+            return;
+        }
+        self.swap_cache.remove(&slot);
+        self.free_slots.push(slot);
+    }
+
     /// Records the swap-cache lookup work into a kernel stream.
     pub fn trace_lookup(&self, stream: &mut KernelInstructionStream) {
         // Swap-cache xarray lookup plus swap_info bookkeeping.

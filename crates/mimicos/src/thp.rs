@@ -330,6 +330,17 @@ impl ReservationThp {
         };
         Some((frame, promote))
     }
+
+    /// Forgets every reservation. Used when the OOM killer tears a process
+    /// down: victim frames inside reserved regions go back to the buddy
+    /// allocator, so keeping the reservations would let a later promotion
+    /// hand out frames the allocator already reuses. Unfaulted portions of
+    /// surviving processes' reservations stay allocated (they leak until
+    /// those regions fault through fresh reservations) — safe, if wasteful,
+    /// which is the right trade under an OOM kill.
+    pub fn clear(&mut self) {
+        self.reservations.clear();
+    }
 }
 
 /// hugetlbfs: explicit huge-page reservations made at `mmap` time. The pool
@@ -370,6 +381,14 @@ impl HugetlbPool {
             self.served.inc();
         }
         p
+    }
+
+    /// Returns a huge page to the pool (a hugetlb mapping torn down when
+    /// its owner exited or was killed). The frame stays reserved for future
+    /// hugetlb faults instead of going back to the buddy allocator,
+    /// mirroring how Linux keeps hugetlbfs pages in the free hugepage pool.
+    pub fn release(&mut self, frame: PhysAddr) {
+        self.pages.push(frame);
     }
 
     /// Number of reserved pages remaining.

@@ -40,14 +40,17 @@ pub use vm_workloads;
 
 /// Convenient single-import prelude for examples and quick experiments.
 pub mod prelude {
-    pub use mimic_os::{AllocationPolicy, MimicOs, OsConfig, ProcessId, Scheduler};
+    pub use mimic_os::{
+        AllocationPolicy, ExitReason, FaultInjectionConfig, MimicOs, OsConfig, ProcessId, Scheduler,
+    };
     pub use mmu_sim::{
         EngineConfig, EngineReport, MidgardConfig, Mmu, MmuConfig, PageTableKind, RmmConfig,
         TranslationEngine, UtopiaMmuConfig,
     };
     pub use sim_core::{Instruction, SliceFrontend, TraceSource};
     pub use virtuoso::{
-        MultiProgramReport, ProcessReport, SimulationMode, SimulationReport, System, SystemConfig,
+        MultiProgramReport, OomStats, ProcessExitStatus, ProcessReport, SimulationMode,
+        SimulationReport, System, SystemConfig,
     };
     pub use vm_types::{Asid, PageSize, PhysAddr, VirtAddr};
     pub use vm_workloads::{catalog, AccessPattern, WorkloadClass, WorkloadSpec};

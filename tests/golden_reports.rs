@@ -274,6 +274,83 @@ fn run_multicore_cell(config: SystemConfig, specs: &[WorkloadSpec]) -> MultiProg
     system.run_multiprogram(&mut programs, None)
 }
 
+/// The OOM-killer golden: a swapless 4 MiB machine hosting a one-page
+/// "light" process and a 12 MiB "hog". The hog's pressure forces the
+/// kernel to sacrifice the light process, then to fail outright once no
+/// victims remain — so the serialized [`MultiProgramReport`] pins the
+/// whole robustness surface at once: the `oom` rollup section (kills,
+/// scanned/freed bytes, reclaim retries, failures), per-process
+/// `exit_status` and `oom_failures` attribution, and the shootdown
+/// accounting of the victim's teardown.
+#[test]
+fn oom_kill_report_is_byte_stable() {
+    let mut config = SystemConfig::small_test();
+    config.os.memory_bytes = 4 * 1024 * 1024;
+    config.os.swap_bytes = 0;
+    config.os.policy = AllocationPolicy::BuddyFourK;
+    config.os.thp = virtuoso_suite::mimic_os::ThpConfig::disabled();
+    config.os.populate_page_cache = false;
+    config.os.sched_quantum = 500;
+    let light = {
+        let mut s = WorkloadSpec::simple(
+            "mc",
+            WorkloadClass::ShortRunning,
+            64 * 1024,
+            AccessPattern::PointerChasing,
+            20_000,
+        );
+        s.name = "LGT".to_string();
+        s
+    };
+    let hog = {
+        let mut s = WorkloadSpec::simple(
+            "mc",
+            WorkloadClass::LongRunning,
+            12 * 1024 * 1024,
+            AccessPattern::UniformRandom,
+            4_000,
+        );
+        s.name = "HOG".to_string();
+        s
+    };
+    let report = run_multicore_cell(config, &[light, hog]);
+
+    // Survivor accounting must hold before the bytes are even compared.
+    let oom = report
+        .rollup
+        .oom
+        .as_ref()
+        .expect("the pressure cell must reach the OOM killer");
+    assert!(oom.kills >= 1, "the light process must be sacrificed");
+    assert!(oom.freed_bytes > 0);
+    let killed = report
+        .processes
+        .iter()
+        .filter(|p| p.exit_status == ProcessExitStatus::OomKilled)
+        .count() as u64;
+    assert_eq!(killed, oom.kills, "every kill maps to one reported process");
+    assert_eq!(
+        report.processes.iter().map(|p| p.segfaults).sum::<u64>(),
+        0,
+        "memory pressure must never be misattributed as segfaults"
+    );
+
+    let bless = std::env::var_os("VIRTUOSO_BLESS_GOLDEN").is_some();
+    let actual = serde_json::to_string(&report).expect("serialize report");
+    let path = golden_path("oom_kill");
+    if bless {
+        std::fs::write(&path, &actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+    assert_eq!(
+        actual, expected,
+        "oom_kill golden drifted — if the behaviour change is intentional, \
+         regenerate with VIRTUOSO_BLESS_GOLDEN=1"
+    );
+}
+
 /// The multi-core regression fingerprint: serialized
 /// [`MultiProgramReport`]s of fixed N-core pressure cells must stay
 /// byte-identical, and every cell must show real cross-core IPI work

@@ -343,6 +343,143 @@ proptest! {
     }
 
     #[test]
+    fn oom_kill_leaves_zero_residue_and_recycled_asids_are_safe(
+        seed in 0u64..200,
+        engine_sel in 0u8..3,
+        cores in 1usize..5,
+    ) {
+        // The OOM killer's architectural contract: a killed process leaves
+        // ZERO cached translation state anywhere in the machine — no TLB
+        // entry, no engine residency (RestSeg placements, RMM ranges), no
+        // L0 pointer, on any core — and its recycled pid slot (and with it
+        // the SAME ASID) can immediately host a fresh process without
+        // inheriting a single stale translation. A swapless machine far
+        // smaller than the combined footprints guarantees the killer runs.
+        use virtuoso_suite::mimic_os::{ThpConfig, UtopiaConfig};
+        let mut config = SystemConfig::small_test()
+            .with_cores(cores)
+            .with_invariant_checks(1024);
+        config.os.memory_bytes = 4 << 20;
+        config.os.swap_bytes = 0;
+        config.os.thp = ThpConfig::disabled();
+        config.os.populate_page_cache = false;
+        config.os.sched_quantum = 500;
+        match engine_sel {
+            0 => config.os.policy = AllocationPolicy::BuddyFourK,
+            1 => {
+                config = config.with_engine(EngineConfig::Rmm(RmmConfig::paper_baseline()));
+                config.os.policy = AllocationPolicy::EagerPaging;
+            }
+            _ => {
+                let restseg = 2u64 << 20;
+                config = config.with_engine(EngineConfig::Utopia(
+                    UtopiaMmuConfig::paper_baseline().with_restseg_bytes(restseg),
+                ));
+                config.os.policy =
+                    AllocationPolicy::Utopia(UtopiaConfig::new(restseg, 16, PageSize::Size4K));
+            }
+        }
+        let mut system = System::new(config);
+        let mut pids = vec![system.pid()];
+        while pids.len() < cores + 1 {
+            pids.push(system.spawn_process());
+        }
+        let base = VirtAddr::new(0x1000_0000);
+        let footprint: u64 = 8 << 20;
+        for &pid in &pids {
+            system.mmap_anonymous_for(pid, base, footprint).unwrap();
+        }
+        let spec = |i: usize| {
+            let mut s = WorkloadSpec::simple(
+                "w", WorkloadClass::LongRunning, footprint,
+                AccessPattern::UniformRandom, 4_000,
+            );
+            s.name = format!("P{i}");
+            s.regions[0].start = base;
+            s
+        };
+        let mut sources: Vec<_> = (0..pids.len())
+            .map(|i| spec(i).build(seed ^ (i as u64 * 0x0011)))
+            .collect();
+        let report = {
+            let mut programs: Vec<(ProcessId, &mut dyn TraceSource)> = pids
+                .iter()
+                .copied()
+                .zip(sources.iter_mut().map(|s| s as &mut dyn TraceSource))
+                .collect();
+            system.run_multiprogram(&mut programs, None)
+        };
+        let oom = report.rollup.oom.as_ref().expect("pressure must reach the killer");
+        prop_assert!(oom.kills >= 1, "this machine cannot host everyone");
+        prop_assert_eq!(system.segfaults(), 0, "pressure is not a segfault");
+        // Scheduler exits (trace exhaustion) do not mark the kernel
+        // Process exited; only the OOM killer does — so `is_exited`
+        // identifies exactly the victims.
+        let killed: Vec<ProcessId> = pids
+            .iter()
+            .copied()
+            .filter(|&p| system.os().process(p).is_exited())
+            .collect();
+        prop_assert_eq!(killed.len() as u64, oom.kills);
+        for &victim in &killed {
+            let asid = Asid::new(victim.0 as u16);
+            prop_assert_eq!(system.os().process(victim).resident_bytes(), 0);
+            prop_assert!(system.os().ranges(victim).is_empty());
+            for core in 0..system.num_cores() {
+                for (a, e) in system.mmu_of(core).tlb().entries() {
+                    prop_assert!(
+                        a != asid,
+                        "core {}: TLB entry {} survives victim pid {}", core, e, victim.0
+                    );
+                }
+                prop_assert!(system
+                    .engine_of(core)
+                    .resident_mappings()
+                    .iter()
+                    .all(|(a, _)| *a != asid));
+                prop_assert!(system
+                    .engine_of(core)
+                    .resident_ranges()
+                    .iter()
+                    .all(|(a, _)| *a != asid));
+                for page in 0..(footprint / 4096) {
+                    prop_assert!(
+                        system.mmu_of(core).l0_peek(asid, base.add(page * 4096)).is_none(),
+                        "core {}: L0 pointer survives victim pid {}", core, victim.0
+                    );
+                }
+            }
+        }
+        system.check_invariants().expect("post-kill machine is coherent");
+
+        // Rebirth: the freed pid slot is recycled, so the new process runs
+        // under a previously killed ASID. Memory is still scarce (the
+        // survivors' footprints were never freed), so the reborn process
+        // OOM-faults its way through them — and must never segfault or
+        // trip the (still armed) fence.
+        let segfaults_before = system.segfaults();
+        let reborn = system.spawn_process();
+        prop_assert!(killed.contains(&reborn), "pid slots must be recycled");
+        system.mmap_anonymous_for(reborn, base, 1 << 20).unwrap();
+        let mut s = WorkloadSpec::simple(
+            "reborn", WorkloadClass::ShortRunning, 1 << 20,
+            AccessPattern::UniformRandom, 2_000,
+        );
+        s.regions[0].start = base;
+        let mut src = s.build(seed ^ 0xAB1D);
+        let second = {
+            let mut programs: Vec<(ProcessId, &mut dyn TraceSource)> =
+                vec![(reborn, &mut src)];
+            system.run_multiprogram(&mut programs, None)
+        };
+        let _ = second;
+        prop_assert_eq!(system.segfaults(), segfaults_before,
+            "a recycled ASID must not inherit stale translations");
+        prop_assert!(!system.os().process(reborn).is_exited());
+        system.check_invariants().expect("the reborn machine is coherent");
+    }
+
+    #[test]
     fn scheduler_accounting_sums_to_total_instructions(
         instrs_a in 1_000u64..6_000,
         instrs_b in 1_000u64..6_000,

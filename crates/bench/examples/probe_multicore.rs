@@ -1,0 +1,78 @@
+//! Diagnostic probe for the multi-core simspeed cells: runs the RND
+//! (GUPS) multi-core cell at 1/2/4 cores and prints the pressure-related
+//! rollup fields, so cliffs like the 4-core `sim_ipc` anomaly can be
+//! attributed (swap storms vs accounting bugs) without guessing.
+
+use std::time::Instant;
+use virtuoso::{System, SystemConfig};
+use virtuoso_bench::runner::map_spec_regions;
+use vm_workloads::catalog;
+
+fn main() {
+    let instructions: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000_000);
+    for cores in [1usize, 2, 4] {
+        let spec = catalog::gups_randacc().scaled_footprint(0.125);
+        let per_core = instructions / cores as u64;
+        let spec = spec.with_instructions(per_core);
+        let config = SystemConfig::small_test().with_cores(cores);
+        let mut system = System::new(config);
+        let mut pids = vec![system.pid()];
+        while pids.len() < cores {
+            pids.push(system.spawn_process());
+        }
+        for &pid in &pids {
+            map_spec_regions(&mut system, pid, &spec, (pid.0 as u64) * 1000);
+        }
+        let mut sources: Vec<_> = (0..cores).map(|i| spec.build(0xBEEF + i as u64)).collect();
+        let mut programs: Vec<(mimic_os::ProcessId, &mut dyn sim_core::TraceSource)> = pids
+            .iter()
+            .copied()
+            .zip(
+                sources
+                    .iter_mut()
+                    .map(|s| s as &mut dyn sim_core::TraceSource),
+            )
+            .collect();
+        let start = Instant::now();
+        let report = system.run_multiprogram(&mut programs, None);
+        let elapsed = start.elapsed().as_secs_f64();
+        let r = &report.rollup;
+        println!(
+            "cores={cores} elapsed={elapsed:.3}s mips={:.3} ipc={:.6} cycles={} instr={} kinstr={} \
+             minor={} major={} swap_in={} swapped={} oom={:?} shoot_batches={:?}",
+            (per_core * cores as u64) as f64 / elapsed / 1e6,
+            r.ipc,
+            r.cycles,
+            r.instructions,
+            r.kernel_instructions,
+            r.minor_faults,
+            r.major_faults,
+            r.swap_in_faults,
+            r.swapped_pages,
+            r.oom.as_ref().map(|o| (o.kills, o.oom_failures)),
+            r.shootdowns.as_ref().map(|s| (s.batches, s.pages)),
+        );
+        for p in &report.processes {
+            println!(
+                "  pid={} instr={} cycles={} ipc={:.6} minor={} major={} segv={} oom={} exit={:?}",
+                p.pid,
+                p.instructions,
+                p.cycles,
+                p.ipc,
+                p.minor_faults,
+                p.major_faults,
+                p.segfaults,
+                p.oom_failures,
+                p.exit_status
+            );
+        }
+        let mut per_core_cycles = Vec::new();
+        for c in 0..cores {
+            per_core_cycles.push(system.core_model_of(c).cycles().raw());
+        }
+        println!("  per-core cycles: {per_core_cycles:?}");
+    }
+}

@@ -33,6 +33,7 @@ fn main() {
         reference_mips: 0.0,
         engines: Vec::new(),
         core_counts: Vec::new(),
+        host_threads: Vec::new(),
     };
     let config = engine_system_config(&engine);
     let spec = catalog::gups_randacc().scaled_footprint(0.125);

@@ -18,6 +18,10 @@
 //! * `--cores LIST` — comma-separated multi-core cell sizes measured on
 //!   the headline workload (`2,4`, the default; `none` skips the
 //!   multi-core rows).
+//! * `--threads LIST` — comma-separated host-thread counts each
+//!   multi-core cell is measured at (values above a cell's core count
+//!   are clamped). The default sweep is `1` and the cell's core count —
+//!   the serial/parallel A/B pair.
 //! * `--min-mips X` — exit non-zero if any measured cell sustains fewer
 //!   than `X` simulated MIPS (the CI smoke-perf regression gate).
 //! * `--instructions N` — override the per-cell instruction budget (A/B
@@ -82,6 +86,14 @@ fn main() {
                         .map(|s| s.parse().expect("--cores needs numbers"))
                         .collect()
                 };
+                i += 2;
+            }
+            "--threads" => {
+                let list = args.get(i + 1).expect("--threads needs a list");
+                opts.host_threads = list
+                    .split(',')
+                    .map(|s| s.parse().expect("--threads needs numbers"))
+                    .collect();
                 i += 2;
             }
             _ => i += 1,

@@ -36,6 +36,11 @@ pub struct SpeedCell {
     /// the multi-core rows run one pinned process per core through the
     /// sharded round-robin loop).
     pub cores: usize,
+    /// Host threads the sharded loop stepped the cores on (always 1 for
+    /// single-core rows). Reports are bit-identical across thread counts;
+    /// only `best_elapsed_s`/`mips` may differ between rows that share
+    /// (workload, mode, engine, cores).
+    pub threads: usize,
     /// Simulated instructions per repetition (summed across all cores).
     pub instructions: u64,
     /// Timed repetitions (best one is reported).
@@ -87,12 +92,20 @@ impl SpeedReport {
         })
     }
 
-    /// The detailed-mode page-table cell of (workload, cores), if
-    /// measured.
-    pub fn multicore_cell(&self, workload: &str, cores: usize) -> Option<&SpeedCell> {
-        self.cells
-            .iter()
-            .find(|c| c.workload == workload && c.mode == "detailed" && c.cores == cores)
+    /// The detailed-mode page-table cell of (workload, cores, threads),
+    /// if measured.
+    pub fn multicore_cell(
+        &self,
+        workload: &str,
+        cores: usize,
+        threads: usize,
+    ) -> Option<&SpeedCell> {
+        self.cells.iter().find(|c| {
+            c.workload == workload
+                && c.mode == "detailed"
+                && c.cores == cores
+                && c.threads == threads
+        })
     }
 
     /// Cells that fell below a sustained-MIPS floor (`--min-mips`): the CI
@@ -120,6 +133,11 @@ pub struct SpeedOptions {
     /// Multi-core cell sizes measured on the headline workload (one
     /// pinned copy per core, detailed mode, page-table engine).
     pub core_counts: Vec<usize>,
+    /// Host-thread counts each multi-core cell is measured at (values
+    /// are clamped to the cell's core count and deduplicated). Empty
+    /// means the default sweep `{1, cores}` — the serial baseline and
+    /// the fully parallel run, the A/B pair behind the scaling claim.
+    pub host_threads: Vec<usize>,
 }
 
 impl SpeedOptions {
@@ -136,6 +154,7 @@ impl SpeedOptions {
             reference_mips: 0.0,
             engines: SpeedOptions::all_engines(),
             core_counts: SpeedOptions::default_core_counts(),
+            host_threads: Vec::new(),
         }
     }
 
@@ -151,6 +170,7 @@ impl SpeedOptions {
             reference_mips: 0.0,
             engines: SpeedOptions::all_engines(),
             core_counts: SpeedOptions::default_core_counts(),
+            host_threads: Vec::new(),
         }
     }
 
@@ -248,6 +268,7 @@ pub fn measure_cell(
         mode: mode.to_string(),
         engine: engine.to_string(),
         cores: 1,
+        threads: 1,
         instructions: opts.instructions,
         repetitions: opts.repetitions,
         best_elapsed_s: best_elapsed,
@@ -285,15 +306,28 @@ fn run_multicore_once(
 }
 
 /// Measures one multi-core cell: `cores` pinned copies of `spec` on an
-/// N-core detailed system, stepping through the sharded round-robin loop.
-/// The per-process instruction budget is `opts.instructions / cores`, so
-/// the simulated-instruction total (and hence the MIPS denominator) stays
-/// comparable to the single-core rows.
-pub fn measure_multicore_cell(spec: &WorkloadSpec, cores: usize, opts: &SpeedOptions) -> SpeedCell {
-    let config = SystemConfig::small_test().with_cores(cores);
+/// N-core detailed system, stepping through the sharded round-robin loop
+/// on `threads` host threads. The per-process instruction budget is
+/// `opts.instructions / cores` and the per-process footprint is scaled by
+/// `1 / cores`, so the simulated-instruction total (the MIPS denominator)
+/// and the aggregate memory footprint both stay comparable to the
+/// single-core rows — the cell then measures the cost of the multi-core
+/// machinery, not of simulating a bigger machine.
+pub fn measure_multicore_cell(
+    spec: &WorkloadSpec,
+    cores: usize,
+    threads: usize,
+    opts: &SpeedOptions,
+) -> SpeedCell {
+    let config = SystemConfig::small_test()
+        .with_cores(cores)
+        .with_host_threads(threads);
     let per_core = (opts.instructions / cores as u64).max(1);
     let total = per_core * cores as u64;
-    let spec = spec.clone().with_instructions(per_core);
+    let spec = spec
+        .clone()
+        .scaled_footprint(1.0 / cores as f64)
+        .with_instructions(per_core);
     let _ = run_multicore_once(
         config.clone(),
         &spec.clone().with_instructions((per_core / 4).max(1)),
@@ -314,6 +348,7 @@ pub fn measure_multicore_cell(spec: &WorkloadSpec, cores: usize, opts: &SpeedOpt
         mode: "detailed".to_string(),
         engine: "page-table".to_string(),
         cores,
+        threads,
         instructions: total,
         repetitions: opts.repetitions,
         best_elapsed_s: best_elapsed,
@@ -327,9 +362,11 @@ pub fn measure_multicore_cell(spec: &WorkloadSpec, cores: usize, opts: &SpeedOpt
 /// detailed mode under every alternative engine in `opts.engines` — the
 /// per-engine speed rows that guard against dispatch-overhead
 /// regressions and record what the alternative designs cost to simulate —
-/// plus one multi-core row per entry of `opts.core_counts` (N pinned GUPS
-/// copies on an N-core system), recording what the sharded round-robin
-/// loop and per-core frontends cost in host time.
+/// plus the multi-core rows: for each entry of `opts.core_counts`, one
+/// row per host-thread count in the sweep (`{1, cores}` by default — the
+/// same simulated machine stepped serially and in parallel), recording
+/// what the sharded loop and per-core frontends cost in host time and
+/// what the epoch-parallel stepping buys back.
 pub fn measure(opts: &SpeedOptions) -> SpeedReport {
     let detailed = SystemConfig::small_test();
     let emulation = SystemConfig::small_test().with_emulation_baseline();
@@ -362,7 +399,20 @@ pub fn measure(opts: &SpeedOptions) -> SpeedReport {
         ));
     }
     for &cores in &opts.core_counts {
-        cells.push(measure_multicore_cell(&headline_spec, cores, opts));
+        let sweep = if opts.host_threads.is_empty() {
+            vec![1, cores]
+        } else {
+            opts.host_threads.clone()
+        };
+        let mut seen = Vec::new();
+        for &threads in &sweep {
+            let threads = threads.clamp(1, cores);
+            if seen.contains(&threads) {
+                continue;
+            }
+            seen.push(threads);
+            cells.push(measure_multicore_cell(&headline_spec, cores, threads, opts));
+        }
     }
     let headline_mips = cells
         .iter()
@@ -372,7 +422,7 @@ pub fn measure(opts: &SpeedOptions) -> SpeedReport {
         .map(|c| c.mips)
         .unwrap_or(0.0);
     SpeedReport {
-        schema: "virtuoso-simspeed-v3".to_string(),
+        schema: "virtuoso-simspeed-v4".to_string(),
         quick: opts.quick,
         headline_mips,
         reference_mips: opts.reference_mips,
@@ -390,7 +440,7 @@ pub fn render(report: &SpeedReport) -> String {
     let mut table = crate::runner::ExperimentTable::new(
         "Sustained simulation speed (simulated MIPS per host second)",
         &[
-            "workload", "mode", "engine", "cores", "instrs", "best_s", "MIPS", "sim_ipc",
+            "workload", "mode", "engine", "cores", "threads", "instrs", "best_s", "MIPS", "sim_ipc",
         ],
     );
     for c in &report.cells {
@@ -399,6 +449,7 @@ pub fn render(report: &SpeedReport) -> String {
             c.mode.clone(),
             c.engine.clone(),
             c.cores.to_string(),
+            c.threads.to_string(),
             c.instructions.to_string(),
             format!("{:.4}", c.best_elapsed_s),
             format!("{:.3}", c.mips),
@@ -431,6 +482,7 @@ mod tests {
             reference_mips: 0.0,
             engines: SpeedOptions::all_engines(),
             core_counts: SpeedOptions::default_core_counts(),
+            host_threads: Vec::new(),
         }
     }
 
@@ -441,7 +493,9 @@ mod tests {
             report.cells.len(),
             speed_workloads().len() * 2
                 + SpeedOptions::all_engines().len()
-                + SpeedOptions::default_core_counts().len()
+                // One serial (threads=1) and one parallel (threads=cores)
+                // row per multi-core cell size.
+                + SpeedOptions::default_core_counts().len() * 2
         );
         for cell in &report.cells {
             assert!(
@@ -465,14 +519,28 @@ mod tests {
             "the headline cell stays on the page-table engine"
         );
         for cores in SpeedOptions::default_core_counts() {
-            let cell = report
-                .multicore_cell("RND", cores)
-                .unwrap_or_else(|| panic!("{cores}-core row must be measured"));
-            assert!(cell.mips > 0.0, "{cores}-core row must have speed");
+            let serial = report
+                .multicore_cell("RND", cores, 1)
+                .unwrap_or_else(|| panic!("{cores}-core serial row must be measured"));
+            let parallel = report
+                .multicore_cell("RND", cores, cores)
+                .unwrap_or_else(|| panic!("{cores}-core parallel row must be measured"));
+            for cell in [serial, parallel] {
+                assert!(cell.mips > 0.0, "{cores}-core row must have speed");
+                assert_eq!(
+                    cell.instructions % cores as u64,
+                    0,
+                    "multi-core budget splits evenly across cores"
+                );
+            }
+            // The determinism contract, observed from the bench side: the
+            // serial and parallel rows simulate the exact same machine, so
+            // their simulated IPC agrees to the last bit.
             assert_eq!(
-                cell.instructions % cores as u64,
-                0,
-                "multi-core budget splits evenly across cores"
+                serial.sim_ipc.to_bits(),
+                parallel.sim_ipc.to_bits(),
+                "{cores}-core rows must report identical simulated IPC \
+                 across host-thread counts"
             );
         }
         assert_eq!(
@@ -509,10 +577,11 @@ mod tests {
     fn report_serializes_to_json() {
         let report = measure(&tiny_opts());
         let json = serde_json::to_string(&report).expect("serialize");
-        assert!(json.contains("\"schema\":\"virtuoso-simspeed-v3\""));
+        assert!(json.contains("\"schema\":\"virtuoso-simspeed-v4\""));
         assert!(json.contains("\"headline_mips\""));
         assert!(json.contains("\"engine\":\"midgard\""));
         assert!(json.contains("\"cores\":4"));
+        assert!(json.contains("\"threads\":4"));
     }
 
     #[test]

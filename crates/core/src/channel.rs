@@ -176,6 +176,12 @@ pub struct ShootdownIpi {
 /// collects acks before every remote core has posted one is a protocol
 /// violation (a real kernel spinning in `smp_call_function_many` would
 /// deadlock or, worse, let a stale translation survive).
+///
+/// Delivery is immediate: an IPI is visible to the remote core within
+/// the initiating fault, never deferred. Parallel host-thread stepping
+/// keeps this contract by construction — the epoch planner only runs
+/// epochs when no reclaim (and hence no shootdown) can fire, so every
+/// IPI is sent and serviced on the serial path in core-index order.
 #[derive(Debug, Clone, Serialize)]
 pub struct InterCoreChannel {
     /// One IPI inbox per core.

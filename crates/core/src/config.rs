@@ -76,6 +76,24 @@ pub struct SystemConfig {
     /// violation; it is a debugging and chaos-testing aid, not part of the
     /// simulated machine.
     pub invariant_check_interval: u64,
+    /// Host threads the sharded multi-core loop steps simulated cores on
+    /// (clamped to `[1, num_cores]` at run time). This is a *host*
+    /// performance knob, not part of the simulated machine: any value
+    /// produces bit-identical [`SimulationReport`](crate::report::SimulationReport)s — parallel epochs
+    /// defer all shared-state work to a serial barrier replay in
+    /// core-index order, so the simulated schedule never depends on host
+    /// scheduling. The test-config constructors honour the
+    /// `VIRTUOSO_THREADS` environment variable so CI can sweep it.
+    pub host_threads: usize,
+}
+
+/// Reads the `VIRTUOSO_THREADS` environment knob (defaults to 1).
+fn env_host_threads() -> usize {
+    std::env::var("VIRTUOSO_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
 }
 
 impl SystemConfig {
@@ -99,6 +117,7 @@ impl SystemConfig {
             mode: SimulationMode::Detailed,
             housekeeping_interval: 100_000,
             invariant_check_interval: 0,
+            host_threads: env_host_threads(),
         }
     }
 
@@ -115,6 +134,7 @@ impl SystemConfig {
             mode: SimulationMode::Detailed,
             housekeeping_interval: 10_000,
             invariant_check_interval: 0,
+            host_threads: env_host_threads(),
         }
     }
 
@@ -164,6 +184,15 @@ impl SystemConfig {
     /// identical.
     pub fn with_invariant_checks(mut self, interval: u64) -> Self {
         self.invariant_check_interval = interval;
+        self
+    }
+
+    /// Sets the number of host threads the sharded multi-core loop steps
+    /// simulated cores on, keeping everything else identical. Reports are
+    /// bit-identical for every value — this knob trades host CPU for wall
+    /// clock, never simulated behaviour.
+    pub fn with_host_threads(mut self, host_threads: usize) -> Self {
+        self.host_threads = host_threads.max(1);
         self
     }
 }

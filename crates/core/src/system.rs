@@ -19,9 +19,9 @@ use cache_sim::CacheHierarchy;
 use dram_sim::DramModel;
 use mimic_os::sched::ContextSwitch;
 use mimic_os::{InvalidationBatch, KernelInstructionStream, KernelOp, Mapping, MimicOs, ProcessId};
-use mmu_sim::{InstallInfo, Mmu, TranslationEngine};
+use mmu_sim::{InstallInfo, Mmu, TranslationEngine, WalkOutcome};
 use sim_core::{CoreModel, Instruction, TraceSource};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use vm_types::{
     AccessType, Asid, Cycles, PageSize, PhysAddr, Requestor, VirtAddr, VmError, VmResult,
 };
@@ -63,6 +63,152 @@ struct CoreState {
     ptw_latency_cycles: u64,
     ptw_count: u64,
     instructions_since_housekeeping: u64,
+}
+
+/// The core-local outcome of one memory access's translation: everything
+/// [`CoreState::local_translate`] computed without touching shared machine
+/// state. The walk accesses are *recorded*, not charged — replaying them
+/// through the shared caches/DRAM happens serially (inline on the step
+/// path, at the barrier for parallel epochs).
+#[derive(Debug)]
+struct LocalTranslation {
+    paddr: Option<PhysAddr>,
+    fixed_latency: Cycles,
+    /// Cycles beyond the 1-cycle L1 TLB probe (address translation
+    /// overhead), exactly as the inline path accumulates them.
+    penalty_cycles: u64,
+    walk: Option<WalkOutcome>,
+}
+
+/// One memory access executed core-locally during a parallel epoch slice,
+/// with its shared-state half (walk charging, cache/DRAM traffic, retire)
+/// deferred to the serial barrier replay.
+#[derive(Debug)]
+struct DeferredAccess {
+    pc: VirtAddr,
+    vaddr: VirtAddr,
+    kind: AccessType,
+    translation: LocalTranslation,
+}
+
+/// What one core's local phase of an epoch produced.
+#[derive(Debug, Default)]
+struct SliceLog {
+    /// Instructions fully executed locally (excludes the faulting one).
+    ran: u64,
+    /// Successfully translated memory accesses, in program order.
+    accesses: Vec<DeferredAccess>,
+    /// Set when the slice stopped at a translation fault: the faulting
+    /// access's core-local half. The barrier resumes it mid-instruction
+    /// (the attempt-0 TLB/engine mutations already happened locally).
+    fault: Option<DeferredAccess>,
+}
+
+/// Per-core plan and result of one parallel epoch, reused across epochs so
+/// the steady-state loop allocates nothing.
+#[derive(Debug)]
+struct EpochSlice {
+    /// Whether this core runs a slice this epoch.
+    active: bool,
+    pid: ProcessId,
+    /// Index into `programs` / the leftover queues.
+    prog: usize,
+    asid: Asid,
+    /// The core's cycle count when the slice was planned (after its
+    /// dispatch context switch), for per-process cycle attribution.
+    cycles_before: u64,
+    /// The trace source ran dry while filling the slice.
+    exhausted: bool,
+    instrs: Vec<Instruction>,
+    log: SliceLog,
+}
+
+impl Default for EpochSlice {
+    fn default() -> Self {
+        EpochSlice {
+            active: false,
+            pid: ProcessId(0),
+            prog: usize::MAX,
+            asid: System::asid_of(ProcessId(0)),
+            cycles_before: 0,
+            exhausted: false,
+            instrs: Vec::new(),
+            log: SliceLog::default(),
+        }
+    }
+}
+
+/// A program's trace source with the unconsumed tail of a fault-truncated
+/// epoch slice queued back in front: instructions already pulled from the
+/// source replay before fresh ones, so slicing never reorders or drops
+/// trace instructions.
+struct ReplayFront<'a> {
+    pending: &'a mut VecDeque<Instruction>,
+    inner: &'a mut dyn TraceSource,
+}
+
+impl TraceSource for ReplayFront<'_> {
+    fn next_instruction(&mut self) -> Option<Instruction> {
+        self.pending
+            .pop_front()
+            .or_else(|| self.inner.next_instruction())
+    }
+}
+
+impl CoreState {
+    /// The core-local half of one memory access: the L0 fast path, then the
+    /// engine translation. Touches only this core's TLBs/PWCs/engine state,
+    /// so parallel epoch workers can run it without synchronization. The
+    /// accumulation mirrors [`System::memory_access`] byte for byte.
+    fn local_translate(&mut self, asid: Asid, vaddr: VirtAddr) -> LocalTranslation {
+        if self.engine.uses_l0() {
+            if let Some((pa, latency)) = self.mmu.l0_translate(asid, vaddr) {
+                return LocalTranslation {
+                    paddr: Some(pa),
+                    fixed_latency: latency,
+                    penalty_cycles: latency.raw().saturating_sub(1),
+                    walk: None,
+                };
+            }
+        }
+        let result = self.engine.translate(&mut self.mmu, asid, vaddr);
+        LocalTranslation {
+            paddr: result.paddr,
+            fixed_latency: result.fixed_latency,
+            penalty_cycles: result.fixed_latency.raw().saturating_sub(1),
+            walk: result.walk,
+        }
+    }
+
+    /// The parallel phase of one epoch slice: executes `instrs` against
+    /// this core's private state only, logging every memory access for the
+    /// serial barrier replay. Stops at the first translation fault — the
+    /// fault needs the shared kernel, so the barrier resumes it exactly
+    /// where this phase left off. Compute instructions retire here (the
+    /// core model's accumulators are plain integer adds, so splitting them
+    /// from the deferred memory retires cannot change the final counts).
+    fn run_slice_local(&mut self, asid: Asid, instrs: &[Instruction], log: &mut SliceLog) {
+        for instr in instrs {
+            match instr.memory {
+                None => self.core.retire_compute(1),
+                Some((vaddr, kind)) => {
+                    let translation = self.local_translate(asid, vaddr);
+                    let entry = DeferredAccess {
+                        pc: instr.pc,
+                        vaddr,
+                        kind,
+                        translation,
+                    };
+                    if entry.translation.paddr.is_none() {
+                        log.fault = Some(entry);
+                        return;
+                    }
+                    log.accesses.push(entry);
+                }
+            }
+            log.ran += 1;
+        }
+    }
 }
 
 /// Projects core `$idx`'s state out of `$sys` as a shared borrow. A macro
@@ -165,6 +311,21 @@ pub struct System {
     /// Instructions retired since the coherence fence last ran (only
     /// advanced when [`SystemConfig::invariant_check_interval`] arms it).
     instructions_since_invariant_check: u64,
+    /// Total [`System::handle_fault`] invocations. The single-threaded
+    /// epoch path watches this counter to truncate a slice after its first
+    /// fault at exactly the instruction where a parallel worker would have
+    /// stopped, keeping every host-thread count on one schedule.
+    fault_events: u64,
+    /// `true` while the barrier replay of a parallel epoch is resolving
+    /// faults; guards debug assertions that no cross-core disturbance
+    /// (reclaim shootdowns, OOM kills) slips into an epoch the headroom
+    /// check declared safe.
+    epoch_replay: bool,
+    /// Planned epochs the sharded loop executed (as opposed to legacy
+    /// one-`CORE_TICK` rounds). Not part of any report — exposed through
+    /// [`System::epochs_run`] so tests can assert the epoch path actually
+    /// engaged rather than silently falling back.
+    epochs_run: u64,
 }
 
 impl System {
@@ -213,6 +374,9 @@ impl System {
             segfaults: 0,
             oom_failures: 0,
             instructions_since_invariant_check: 0,
+            fault_events: 0,
+            epoch_replay: false,
+            epochs_run: 0,
             config,
         }
     }
@@ -318,6 +482,15 @@ impl System {
     /// [`SimulationReport::oom`]: crate::report::SimulationReport::oom
     pub fn oom_failures(&self) -> u64 {
         self.oom_failures
+    }
+
+    /// Planned multi-instruction epochs the sharded multi-core loop has
+    /// executed (zero when every round fell back to the serial
+    /// one-`CORE_TICK` schedule — under memory pressure, fault injection
+    /// or an armed coherence fence). Diagnostic only; never serialized
+    /// into reports.
+    pub fn epochs_run(&self) -> u64 {
+        self.epochs_run
     }
 
     /// Shootdown work applied so far (zero counters on a run without
@@ -627,11 +800,42 @@ impl System {
     /// that the per-turn dispatch overhead stays negligible.
     const CORE_TICK: u64 = 256;
 
+    /// `CORE_TICK` turns one epoch slice covers: the granularity at which
+    /// the multi-core loop amortizes dispatch (and, with host threads, the
+    /// length of the parallel phase between barriers).
+    const EPOCH_TICKS: u64 = 16;
+
+    /// Below this per-core slice length an epoch is not worth its planning
+    /// and barrier overhead; the loop falls back to one classic `CORE_TICK`
+    /// round instead (which is also how housekeeping ticks land at their
+    /// exact per-core instruction numbers).
+    const MIN_EPOCH_SLICE: u64 = Self::CORE_TICK;
+
+    /// Upper bound on physical memory one page fault can consume: a 2 MiB
+    /// THP (or reservation) allocation, up to two page-table frames and
+    /// slack for metadata. The epoch headroom check multiplies this by the
+    /// core count, since a slice stops at its first fault.
+    const EPOCH_FAULT_ALLOC_BOUND: u64 = 4 << 20;
+
     /// Runs several processes on the system's simulated cores: every core
     /// round-robins over its own run queue (processes are pinned by
-    /// `pid % num_cores`), the cores interleave deterministically in
-    /// `CORE_TICK` (256)-instruction turns, and reclaim invalidations
-    /// broadcast shootdown IPIs from the faulting core to every other core.
+    /// `pid % num_cores`), the cores interleave deterministically in fixed
+    /// slices, and reclaim invalidations broadcast shootdown IPIs from the
+    /// faulting core to every other core.
+    ///
+    /// Whenever no source of cross-core disturbance can fire mid-slice
+    /// (see `System::epoch_ready`), the loop runs *epochs*: each core
+    /// executes up to `CORE_TICK * EPOCH_TICKS` instructions against its
+    /// private translation state, and all shared-state work — page walks
+    /// through the caches, DRAM traffic, page faults, scheduling — resolves
+    /// serially at the epoch barrier in core-index order. With
+    /// `host_threads > 1` the per-core local phases run on host threads;
+    /// because they touch disjoint state and the barrier replay is a fixed
+    /// serial order, **every host-thread count produces bit-identical
+    /// reports** (the `multicore_differential` fence enforces this).
+    /// Otherwise the loop falls back to the classic serial `CORE_TICK`
+    /// round-robin round, which handles housekeeping ticks, the coherence
+    /// fence, fault injection and memory pressure exactly as before.
     ///
     /// With `num_cores = 1` this is semantically identical to the legacy
     /// [`System::run_multiprogram`] loop — dispatches, preemption points
@@ -650,54 +854,305 @@ impl System {
 
         let limit = max_instructions.unwrap_or(u64::MAX);
         let num_cores = self.num_cores();
+        let host_threads = self.config.host_threads.clamp(1, num_cores);
+
+        // Dense pid -> program-index map: the legacy loop's per-turn linear
+        // scan over `programs` was measurable dispatch overhead at
+        // CORE_TICK granularity.
+        let max_pid = programs.iter().map(|(pid, _)| pid.0).max().unwrap_or(0);
+        let mut program_of = vec![usize::MAX; max_pid + 1];
+        for (i, (pid, _)) in programs.iter().enumerate() {
+            program_of[pid.0] = i;
+        }
+        // Fault-truncated epoch slices park their unconsumed tail here;
+        // both the epoch planner and the fallback rounds drain it before
+        // pulling fresh instructions from the source.
+        let mut pending: Vec<VecDeque<Instruction>> =
+            (0..programs.len()).map(|_| VecDeque::new()).collect();
+        let mut epoch: Vec<EpochSlice> = (0..num_cores).map(|_| EpochSlice::default()).collect();
+
         let mut retired_total = 0u64;
         'outer: loop {
+            if retired_total >= limit {
+                break;
+            }
             let mut any_progress = false;
-            for core in 0..num_cores {
-                if retired_total >= limit {
-                    break 'outer;
-                }
-                let Some(pid) = self.os.scheduler_mut().schedule_on(core) else {
-                    continue; // this core's queue is empty
-                };
-                self.active = core;
-                if pid != core_ref!(self, core).current {
-                    self.apply_context_switch(ContextSwitch {
-                        from: core_ref!(self, core).current,
-                        to: pid,
-                    });
-                }
-                let Some((_, source)) = programs.iter_mut().find(|(p, _)| *p == pid) else {
-                    // No trace for this process: it exits immediately.
-                    self.os.scheduler_mut().exit(pid);
-                    any_progress = true;
-                    continue;
-                };
+            let mut ran_epoch = false;
 
-                // Run one turn: at most CORE_TICK instructions, never past
-                // the end of the quantum (so preemption points match the
-                // single-core loop instruction-for-instruction).
-                let turn = Self::CORE_TICK.min(self.os.scheduler().remaining_quantum_on(core));
-                let n = turn.min(limit - retired_total);
-                let ran = self.step_block::<false, dyn TraceSource>(&mut **source, n);
-                let exhausted = ran < n;
-                retired_total += ran;
-                if retired_total >= limit {
-                    if ran > 0 {
-                        self.os.scheduler_mut().account_on(core, ran);
+            if self.epoch_ready() {
+                // ---- Plan (serial): dispatch and slice sizing, in core
+                // order. Context switches apply here so the parallel phase
+                // sees post-dispatch translation state.
+                let interval = self.config.housekeeping_interval;
+                let mut budget = limit - retired_total;
+                let mut runt = false;
+                for slice in epoch.iter_mut() {
+                    slice.active = false;
+                }
+                for (core, slice) in epoch.iter_mut().enumerate() {
+                    if budget == 0 {
+                        break;
                     }
-                    break 'outer;
+                    let Some(pid) = self.os.scheduler_mut().schedule_on(core) else {
+                        continue; // this core's queue is empty
+                    };
+                    self.active = core;
+                    if pid != core_ref!(self, core).current {
+                        self.apply_context_switch(ContextSwitch {
+                            from: core_ref!(self, core).current,
+                            to: pid,
+                        });
+                    }
+                    let prog = program_of.get(pid.0).copied().unwrap_or(usize::MAX);
+                    if prog == usize::MAX {
+                        // No trace for this process: it exits immediately.
+                        self.os.scheduler_mut().exit(pid);
+                        any_progress = true;
+                        continue;
+                    }
+                    // Strictly below the housekeeping threshold: background
+                    // ticks (khugepaged collapses!) must never fire inside
+                    // an epoch, where their invalidations would reach cores
+                    // whose local phase already ran.
+                    let slack = if interval > 0 {
+                        (interval - core_ref!(self, core).instructions_since_housekeeping)
+                            .saturating_sub(1)
+                    } else {
+                        u64::MAX
+                    };
+                    let cap = (Self::CORE_TICK * Self::EPOCH_TICKS)
+                        .min(self.os.scheduler().remaining_quantum_on(core))
+                        .min(slack)
+                        .min(budget);
+                    if cap < Self::MIN_EPOCH_SLICE {
+                        runt = true;
+                        break;
+                    }
+                    budget -= cap;
+                    slice.active = true;
+                    slice.pid = pid;
+                    slice.prog = prog;
+                    slice.asid = Self::asid_of(pid);
+                    slice.exhausted = false;
+                    slice.cycles_before = 0;
+                    slice.instrs.clear();
+                    slice.log.ran = 0;
+                    slice.log.accesses.clear();
+                    slice.log.fault = None;
+                    // Pull the slice's instructions now (serially):
+                    // leftovers from a truncated predecessor first, then
+                    // the source.
+                    let queue = &mut pending[prog];
+                    while (slice.instrs.len() as u64) < cap {
+                        if let Some(instr) = queue.pop_front() {
+                            slice.instrs.push(instr);
+                            continue;
+                        }
+                        match programs[prog].1.next_instruction() {
+                            Some(instr) => slice.instrs.push(instr),
+                            None => {
+                                slice.exhausted = true;
+                                break;
+                            }
+                        }
+                    }
                 }
-                if ran > 0 {
-                    any_progress = true;
-                }
-                let expired = ran > 0 && self.os.scheduler_mut().account_on(core, ran);
-                if exhausted {
-                    self.os.scheduler_mut().exit(pid);
-                } else if expired {
-                    if let Some(switch) = self.os.scheduler_mut().preempt_on(core) {
+
+                if !runt {
+                    ran_epoch = true;
+                    self.epochs_run += 1;
+                    // Snapshot attribution baselines after every dispatch
+                    // switch has been charged.
+                    for (core, slice) in epoch.iter_mut().enumerate() {
+                        if slice.active {
+                            slice.cycles_before = core_ref!(self, core).core.cycles().raw();
+                        }
+                    }
+
+                    // ---- Parallel phase: each active core runs its slice
+                    // against private state only. With one host thread the
+                    // slice instead executes inline during the barrier
+                    // below, which is the same schedule by construction.
+                    if host_threads > 1 && epoch.iter().any(|s| s.active) {
+                        let mut cores: Vec<Option<&mut CoreState>> = Vec::with_capacity(num_cores);
+                        cores.push(Some(&mut self.core0));
+                        cores.extend(self.extra_cores.iter_mut().map(Some));
+                        let mut jobs: Vec<(&mut CoreState, Asid, &[Instruction], &mut SliceLog)> =
+                            Vec::new();
+                        for (core, slice) in epoch.iter_mut().enumerate() {
+                            if !slice.active {
+                                continue;
+                            }
+                            let state = cores[core].take().expect("one slice per core");
+                            jobs.push((state, slice.asid, &slice.instrs, &mut slice.log));
+                        }
+                        let buckets_n = host_threads.min(jobs.len());
+                        let mut buckets: Vec<Vec<_>> = (0..buckets_n).map(|_| Vec::new()).collect();
+                        for (i, job) in jobs.into_iter().enumerate() {
+                            buckets[i % buckets_n].push(job);
+                        }
+                        std::thread::scope(|scope| {
+                            let mut buckets = buckets.into_iter();
+                            let local = buckets.next();
+                            for bucket in buckets {
+                                scope.spawn(move || {
+                                    for (state, asid, instrs, log) in bucket {
+                                        state.run_slice_local(asid, instrs, log);
+                                    }
+                                });
+                            }
+                            // The calling thread works too instead of
+                            // blocking at the join.
+                            if let Some(bucket) = local {
+                                for (state, asid, instrs, log) in bucket {
+                                    state.run_slice_local(asid, instrs, log);
+                                }
+                            }
+                        });
+                    }
+
+                    // ---- Barrier (serial, core-index order): replay the
+                    // logged shared-state work, resolve faults, account and
+                    // reschedule. This is the only place shared machine
+                    // state moves, so its order — and therefore every
+                    // report — is independent of the host-thread count.
+                    for (core, slice) in epoch.iter_mut().enumerate() {
+                        if !slice.active {
+                            continue;
+                        }
                         self.active = core;
-                        self.apply_context_switch(switch);
+                        let ran_total = if host_threads > 1 {
+                            self.epoch_replay = true;
+                            for entry in &slice.log.accesses {
+                                self.replay_access(entry);
+                            }
+                            let mut ran = slice.log.ran;
+                            if let Some(entry) = slice.log.fault.take() {
+                                self.finish_faulted_access(&entry);
+                                ran += 1;
+                            }
+                            self.epoch_replay = false;
+                            ran
+                        } else {
+                            // Single host thread: execute the slice inline,
+                            // truncating after the first fault exactly
+                            // where a parallel worker would have stopped.
+                            let fault_before = self.fault_events;
+                            let mut ran = 0u64;
+                            for &instr in &slice.instrs {
+                                match instr.memory {
+                                    None => core_mut!(self, core).core.retire_compute(1),
+                                    Some((vaddr, kind)) => {
+                                        self.memory_access::<false>(instr.pc, vaddr, kind)
+                                    }
+                                }
+                                ran += 1;
+                                if self.fault_events != fault_before {
+                                    break;
+                                }
+                            }
+                            ran
+                        };
+
+                        {
+                            let c = core_mut!(self, core);
+                            let perf = &mut self.per_proc[c.current_slot];
+                            perf.instructions += ran_total;
+                            perf.cycles += c.core.cycles().raw() - slice.cycles_before;
+                            c.instructions_since_housekeeping += ran_total;
+                        }
+                        retired_total += ran_total;
+                        if retired_total >= limit {
+                            if ran_total > 0 {
+                                self.os.scheduler_mut().account_on(core, ran_total);
+                            }
+                            break 'outer;
+                        }
+                        if ran_total > 0 {
+                            any_progress = true;
+                        }
+                        let expired =
+                            ran_total > 0 && self.os.scheduler_mut().account_on(core, ran_total);
+                        let consumed_all = ran_total == slice.instrs.len() as u64;
+                        if slice.exhausted && consumed_all {
+                            self.os.scheduler_mut().exit(slice.pid);
+                        } else if expired {
+                            if let Some(switch) = self.os.scheduler_mut().preempt_on(core) {
+                                self.active = core;
+                                self.apply_context_switch(switch);
+                            }
+                        }
+                        if !consumed_all {
+                            // Fault truncation: park the unconsumed tail
+                            // for the next dispatch of this program.
+                            let queue = &mut pending[slice.prog];
+                            for instr in &slice.instrs[ran_total as usize..] {
+                                queue.push_back(*instr);
+                            }
+                        }
+                    }
+                }
+            }
+
+            if !ran_epoch {
+                // ---- Fallback: one classic serial CORE_TICK round-robin
+                // round. Runs whenever an epoch is unsafe (fence armed,
+                // fault injection, low memory headroom) or not worthwhile
+                // (a core is about to cross its housekeeping threshold),
+                // and fires those events at their exact per-core
+                // instruction numbers via step_block's chunk clamping.
+                for core in 0..num_cores {
+                    if retired_total >= limit {
+                        break 'outer;
+                    }
+                    let Some(pid) = self.os.scheduler_mut().schedule_on(core) else {
+                        continue; // this core's queue is empty
+                    };
+                    self.active = core;
+                    if pid != core_ref!(self, core).current {
+                        self.apply_context_switch(ContextSwitch {
+                            from: core_ref!(self, core).current,
+                            to: pid,
+                        });
+                    }
+                    let prog = program_of.get(pid.0).copied().unwrap_or(usize::MAX);
+                    if prog == usize::MAX {
+                        // No trace for this process: it exits immediately.
+                        self.os.scheduler_mut().exit(pid);
+                        any_progress = true;
+                        continue;
+                    }
+
+                    // Run one turn: at most CORE_TICK instructions, never
+                    // past the end of the quantum (so preemption points
+                    // match the single-core loop instruction-for-
+                    // instruction).
+                    let turn = Self::CORE_TICK.min(self.os.scheduler().remaining_quantum_on(core));
+                    let n = turn.min(limit - retired_total);
+                    let mut source = ReplayFront {
+                        pending: &mut pending[prog],
+                        inner: &mut *programs[prog].1,
+                    };
+                    let ran = self.step_block::<false, _>(&mut source, n);
+                    let exhausted = ran < n;
+                    retired_total += ran;
+                    if retired_total >= limit {
+                        if ran > 0 {
+                            self.os.scheduler_mut().account_on(core, ran);
+                        }
+                        break 'outer;
+                    }
+                    if ran > 0 {
+                        any_progress = true;
+                    }
+                    let expired = ran > 0 && self.os.scheduler_mut().account_on(core, ran);
+                    if exhausted {
+                        self.os.scheduler_mut().exit(pid);
+                    } else if expired {
+                        if let Some(switch) = self.os.scheduler_mut().preempt_on(core) {
+                            self.active = core;
+                            self.apply_context_switch(switch);
+                        }
                     }
                 }
             }
@@ -708,6 +1163,37 @@ impl System {
 
         self.active = 0;
         self.multiprogram_report(&names)
+    }
+
+    /// `true` when the next multi-core interleave can run as an epoch:
+    /// every source of cross-core disturbance mid-epoch is excluded up
+    /// front, so each core's local phase sees exactly the private state a
+    /// fully serial schedule would have shown it.
+    ///
+    /// - The coherence fence counts instructions globally and serially.
+    /// - Injected allocation shortfalls can force reclaim (and its
+    ///   shootdown broadcasts) at *any* memory headroom, so chaos runs
+    ///   serialize — they remain bit-reproducible across thread counts,
+    ///   which is what `tests/chaos.rs` pins.
+    /// - Low headroom means a barrier-serviced fault could trigger
+    ///   reclaim, khugepaged-style invalidations or the OOM killer, whose
+    ///   cross-core teardown must interleave at `CORE_TICK` granularity.
+    fn epoch_ready(&self) -> bool {
+        self.config.invariant_check_interval == 0
+            && !self.config.os.fault_injection.is_active()
+            && self.epoch_fault_headroom()
+    }
+
+    /// Barrier-serviced faults must stay reclaim-free: if the worst-case
+    /// epoch's allocations (one fault per core, each at most
+    /// [`System::EPOCH_FAULT_ALLOC_BOUND`]) could push the buddy allocator
+    /// past the swap threshold, the epoch falls back to serial rounds.
+    fn epoch_fault_headroom(&self) -> bool {
+        let buddy = self.os.buddy();
+        let capacity = buddy.capacity_bytes();
+        let used = capacity - buddy.free_bytes();
+        let worst = self.num_cores() as u64 * Self::EPOCH_FAULT_ALLOC_BOUND;
+        (used + worst) as f64 <= self.config.os.swap_threshold * capacity as f64
     }
 
     /// Applies the architectural consequences of a context switch: the
@@ -946,83 +1432,54 @@ impl System {
     /// Performs one data memory access: translation, possible fault
     /// handling, then the data access itself. [`System::step`] retires the
     /// surrounding instruction's per-process accounting.
+    ///
+    /// The core-local half (the L0 fast path and the engine translation —
+    /// [`CoreState::local_translate`]) is shared with the parallel epoch
+    /// workers; the shared-state half below is exactly what the epoch
+    /// barrier replays, so the inline and epoch schedules charge identical
+    /// cycles in identical order.
     fn memory_access<const PIN0: bool>(&mut self, pc: VirtAddr, vaddr: VirtAddr, kind: AccessType) {
         let asid = Self::asid_of(active_ref!(self, PIN0).current);
-        let mut total_latency = Cycles::ZERO;
-        let mut paddr: Option<PhysAddr> = None;
-        let mut translation_cycles = 0u64;
+        let translation = active_mut!(self, PIN0).local_translate(asid, vaddr);
+        if translation.paddr.is_none() {
+            // Fault: resolve it on the serial path shared with the epoch
+            // barrier (walk charging, kernel service, one retry).
+            let entry = DeferredAccess {
+                pc,
+                vaddr,
+                kind,
+                translation,
+            };
+            self.finish_faulted_access(&entry);
+            return;
+        }
+
+        let mut total_latency = translation.fixed_latency;
+        let mut translation_cycles = translation.penalty_cycles;
         let mut ptw_latency = 0u64;
         let mut ptw_count = 0u64;
-
-        // The software L0 fast path: a verified pointer into the L1 TLBs
-        // replays the L1-hit outcome (state, statistics and latency all
-        // byte-identical) without the engine dispatch below. It stands
-        // down (`None`) for Midgard, whose TLB is keyed by Midgard
-        // addresses, and whenever the pointer fails verification.
-        let l0_hit = {
-            let c = active_mut!(self, PIN0);
-            if c.engine.uses_l0() {
-                c.mmu.l0_translate(asid, vaddr)
-            } else {
-                None
-            }
-        };
-        if let Some((pa, latency)) = l0_hit {
-            total_latency += latency;
-            translation_cycles += latency.raw().saturating_sub(1);
-            paddr = Some(pa);
+        if let Some(walk) = &translation.walk {
+            let walk_latency = self.charge_page_walk(walk.parallel, &walk.accesses);
+            total_latency += walk_latency;
+            translation_cycles += walk_latency.raw();
+            ptw_latency += walk_latency.raw();
+            ptw_count += 1;
         }
-
-        // Translation (with at most one fault retry).
-        for attempt in 0..2 {
-            if paddr.is_some() {
-                break;
-            }
-            let result = {
-                let c = active_mut!(self, PIN0);
-                c.engine.translate(&mut c.mmu, asid, vaddr)
-            };
-            total_latency += result.fixed_latency;
-            // Anything beyond the 1-cycle L1 TLB probe counts as address
-            // translation overhead.
-            translation_cycles += result.fixed_latency.raw().saturating_sub(1);
-
-            if let Some(walk) = &result.walk {
-                let walk_latency = self.charge_page_walk(walk.parallel, &walk.accesses);
-                total_latency += walk_latency;
-                translation_cycles += walk_latency.raw();
-                ptw_latency += walk_latency.raw();
-                ptw_count += 1;
-            }
-
-            match result.paddr {
-                Some(pa) => {
-                    paddr = Some(pa);
-                    break;
-                }
-                None => {
-                    if attempt == 1 || !self.handle_fault(vaddr, kind.is_write()) {
-                        // Unresolvable fault: skip the access.
-                        self.credit_translation::<PIN0>(translation_cycles, ptw_latency, ptw_count);
-                        active_mut!(self, PIN0).core.retire_compute(1);
-                        return;
-                    }
-                }
-            }
-        }
-
         self.credit_translation::<PIN0>(translation_cycles, ptw_latency, ptw_count);
 
-        let Some(paddr) = paddr else {
-            active_mut!(self, PIN0).core.retire_compute(1);
-            return;
-        };
+        let paddr = translation.paddr.expect("checked above");
+        total_latency += self.data_access(pc, paddr, kind);
+        active_mut!(self, PIN0).core.retire_memory(total_latency);
+    }
 
-        // The data access through caches and DRAM.
+    /// The data access through caches and DRAM: the demanded line (and any
+    /// prefetches and writebacks) move through the shared hierarchy;
+    /// returns the latency the demand access exposes to the core.
+    fn data_access(&mut self, pc: VirtAddr, paddr: PhysAddr, kind: AccessType) -> Cycles {
         let access = self
             .caches
             .access_with_pc(pc, paddr, kind, Requestor::Application);
-        total_latency += access.latency;
+        let mut latency = access.latency;
         for (i, line) in access.dram_fetches.iter().enumerate() {
             let requestor = if i == 0 {
                 Requestor::Application
@@ -1035,7 +1492,7 @@ impl System {
                 requestor,
             ));
             if i == 0 {
-                total_latency += dram_latency;
+                latency += dram_latency;
             }
         }
         for wb in &access.writebacks {
@@ -1045,7 +1502,86 @@ impl System {
                 Requestor::Application,
             ));
         }
-        active_mut!(self, PIN0).core.retire_memory(total_latency);
+        latency
+    }
+
+    /// Replays the shared-state half of one successfully translated epoch
+    /// access on the active core: walk charging, translation crediting,
+    /// cache/DRAM traffic and the final retire, in exactly the order the
+    /// inline path performs them.
+    fn replay_access(&mut self, entry: &DeferredAccess) {
+        let mut total_latency = entry.translation.fixed_latency;
+        let mut translation_cycles = entry.translation.penalty_cycles;
+        let mut ptw_latency = 0u64;
+        let mut ptw_count = 0u64;
+        if let Some(walk) = &entry.translation.walk {
+            let walk_latency = self.charge_page_walk(walk.parallel, &walk.accesses);
+            total_latency += walk_latency;
+            translation_cycles += walk_latency.raw();
+            ptw_latency += walk_latency.raw();
+            ptw_count += 1;
+        }
+        self.credit_translation::<false>(translation_cycles, ptw_latency, ptw_count);
+        let paddr = entry
+            .translation
+            .paddr
+            .expect("replayed accesses translated locally");
+        total_latency += self.data_access(entry.pc, paddr, entry.kind);
+        core_mut!(self, self.active)
+            .core
+            .retire_memory(total_latency);
+    }
+
+    /// Completes a memory access whose core-local translation faulted:
+    /// charges the recorded attempt-0 walk, services the fault through the
+    /// kernel, then retries the translation once — the exact tail of the
+    /// pre-epoch translation loop. Shared between the inline step path
+    /// (which calls it immediately) and the epoch barrier (which calls it
+    /// while resuming a truncated slice mid-instruction).
+    fn finish_faulted_access(&mut self, entry: &DeferredAccess) {
+        let asid = Self::asid_of(core_ref!(self, self.active).current);
+        let mut total_latency = entry.translation.fixed_latency;
+        let mut translation_cycles = entry.translation.penalty_cycles;
+        let mut ptw_latency = 0u64;
+        let mut ptw_count = 0u64;
+        if let Some(walk) = &entry.translation.walk {
+            let walk_latency = self.charge_page_walk(walk.parallel, &walk.accesses);
+            total_latency += walk_latency;
+            translation_cycles += walk_latency.raw();
+            ptw_latency += walk_latency.raw();
+            ptw_count += 1;
+        }
+        if !self.handle_fault(entry.vaddr, entry.kind.is_write()) {
+            // Unresolvable fault: skip the access.
+            self.credit_translation::<false>(translation_cycles, ptw_latency, ptw_count);
+            core_mut!(self, self.active).core.retire_compute(1);
+            return;
+        }
+        // Retry once; the L0 path stands down here, matching the original
+        // attempt loop (the engine refills it on this translation).
+        let result = {
+            let c = core_mut!(self, self.active);
+            c.engine.translate(&mut c.mmu, asid, entry.vaddr)
+        };
+        total_latency += result.fixed_latency;
+        translation_cycles += result.fixed_latency.raw().saturating_sub(1);
+        if let Some(walk) = &result.walk {
+            let walk_latency = self.charge_page_walk(walk.parallel, &walk.accesses);
+            total_latency += walk_latency;
+            translation_cycles += walk_latency.raw();
+            ptw_latency += walk_latency.raw();
+            ptw_count += 1;
+        }
+        self.credit_translation::<false>(translation_cycles, ptw_latency, ptw_count);
+        let Some(paddr) = result.paddr else {
+            // Still unmapped after a successful fault: skip the access.
+            core_mut!(self, self.active).core.retire_compute(1);
+            return;
+        };
+        total_latency += self.data_access(entry.pc, paddr, entry.kind);
+        core_mut!(self, self.active)
+            .core
+            .retire_memory(total_latency);
     }
 
     /// Replays a page-table walk through the memory hierarchy and returns
@@ -1100,6 +1636,7 @@ impl System {
     /// charges the fault latency. Returns `false` when the fault could not
     /// be resolved (segmentation fault).
     fn handle_fault(&mut self, vaddr: VirtAddr, is_write: bool) -> bool {
+        self.fault_events += 1;
         self.functional.post_request(KernelRequest::PageFault {
             pid: core_ref!(self, self.active).current,
             vaddr,
@@ -1146,6 +1683,13 @@ impl System {
                     unreachable!("fault requests receive fault responses");
                 };
 
+                // The epoch headroom check promises barrier-serviced
+                // faults never reclaim; a cross-core invalidation here
+                // would reach cores whose local phase already ran.
+                debug_assert!(
+                    !self.epoch_replay || invalidations.is_empty(),
+                    "reclaim fired inside an epoch the headroom check passed"
+                );
                 match self.config.mode {
                     SimulationMode::Detailed => {
                         self.streams.send(stream);
@@ -1244,6 +1788,10 @@ impl System {
         if kills.is_empty() {
             return;
         }
+        debug_assert!(
+            !self.epoch_replay,
+            "OOM kill fired inside an epoch the headroom check passed"
+        );
         let num_cores = self.num_cores();
         let detailed = charge && self.config.mode.is_detailed();
         for kill in kills {

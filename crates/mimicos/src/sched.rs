@@ -176,6 +176,13 @@ impl Scheduler {
     /// Returns `true` when the quantum has expired and
     /// [`Scheduler::preempt_on`] should be consulted.
     ///
+    /// Accounting is batch-granular by design: the sharded run loop calls
+    /// this once per core tick — or once per multi-instruction epoch
+    /// slice under parallel host-thread stepping — never per instruction.
+    /// Callers size their batches to the quantum remainder, so expiry
+    /// still lands on exactly the instruction a per-instruction schedule
+    /// would pick.
+    ///
     /// # Panics
     ///
     /// Panics if no process is current on `core`.

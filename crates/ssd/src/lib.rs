@@ -114,11 +114,21 @@ impl SsdModel {
             + queue_wait
             + flash_latency_ns;
         chip.busy_until = self.now_ns + queue_wait + flash_latency_ns;
-        self.now_ns += self.config.request_spacing_ns;
-
         if is_write {
+            // Writes are issued asynchronously (reclaim queues page-outs and
+            // moves on), so the device clock advances only by the submission
+            // spacing and bursts observe real queueing behind busy chips.
+            self.now_ns += self.config.request_spacing_ns;
             self.stats.writes.inc();
         } else {
+            // Reads are synchronous: the faulting core stalls for the full
+            // returned latency, so the next request cannot be issued before
+            // this one completes. Advancing the clock only by the submission
+            // spacing here let every read stack behind the previous ones as
+            // if they had been issued back to back — the queue backlog grew
+            // without bound and a swap-storm's page-ins each appeared to
+            // take hundreds of milliseconds of device time.
+            self.now_ns += total;
             self.stats.reads.inc();
         }
         self.stats.latency.record(total);
@@ -126,7 +136,9 @@ impl SsdModel {
     }
 
     /// Reads the flash page containing logical block address `lba` and
-    /// returns the device latency.
+    /// returns the device latency. Reads model synchronous page-ins: the
+    /// device clock advances past the request's completion, since the
+    /// faulting core observes the full latency before issuing anything else.
     pub fn read(&mut self, lba: u64) -> Nanoseconds {
         self.service(lba, self.config.read_latency_ns, false)
     }
@@ -163,10 +175,36 @@ mod tests {
     fn bursts_to_one_chip_observe_queueing() {
         let cfg = SsdConfig::nvme_datacenter();
         let mut ssd = SsdModel::new(cfg.clone());
-        // Same flash page => same chip, back-to-back.
-        let first = ssd.read(0);
-        let second = ssd.read(16);
+        // Same flash page => same chip, back-to-back asynchronous writes.
+        let first = ssd.write(0);
+        let second = ssd.write(16);
         assert!(second > first);
+        assert!(ssd.stats().queued_requests.get() >= 1);
+    }
+
+    #[test]
+    fn synchronous_reads_drain_the_queue() {
+        // A read completes before the next request is issued, so a burst of
+        // reads to one chip never queues: each one sees an idle chip and
+        // pays the same flat latency. (Before the fix, the device clock
+        // advanced only by the 1 µs submission spacing per request while
+        // each read occupied its chip for ~70 µs, so a swap storm's
+        // page-ins stacked into an unbounded backlog.)
+        let cfg = SsdConfig::nvme_datacenter();
+        let mut ssd = SsdModel::new(cfg.clone());
+        let first = ssd.read(0);
+        for _ in 0..64 {
+            let next = ssd.read(16);
+            assert!((next.as_nanos() - first.as_nanos()).abs() < 1.0);
+        }
+        assert_eq!(ssd.stats().queued_requests.get(), 0);
+
+        // A read issued while an earlier *write* still occupies the chip
+        // does queue behind it — synchronous issue only serializes reads
+        // against each other, it does not teleport past busy hardware.
+        ssd.write(32);
+        let behind_write = ssd.read(48);
+        assert!(behind_write > first);
         assert!(ssd.stats().queued_requests.get() >= 1);
     }
 

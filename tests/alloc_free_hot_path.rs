@@ -11,12 +11,16 @@
 //! `WalkOutcome::accesses`, the replacement-victim scratch list, the
 //! DRAM stats' string keys — would trip this test if it ever came back.
 //!
-//! The file deliberately contains a single `#[test]`: the allocation
-//! counter is process-global, and a sibling test allocating concurrently
-//! would produce false positives.
+//! The counter is **per-thread**: `System::step`/`step_on` do all their
+//! work on the calling thread, and a process-global counter also charges
+//! the libtest harness's main thread, which lazily initializes its
+//! result-channel machinery (`std::sync::mpmc` thread-local contexts)
+//! while parked in `recv` — at a point in time that races with the armed
+//! windows here. The file still contains a single `#[test]` so the
+//! measured segments never share the thread with anything else.
 
 use std::alloc::{GlobalAlloc, Layout, System as SystemAlloc};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::cell::Cell;
 use virtuoso_suite::prelude::*;
 
 /// The per-engine configs mirror `virtuoso_bench`'s simspeed cells: each
@@ -55,13 +59,18 @@ fn engine_config(engine: &str) -> SystemConfig {
 /// Counts allocations (and growth reallocations) while armed.
 struct CountingAllocator;
 
-static ARMED: AtomicBool = AtomicBool::new(false);
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+// `const`-initialized `Cell`s have no destructor and no lazy init, so
+// touching them from inside the global allocator cannot itself allocate
+// or recurse.
+thread_local! {
+    static ARMED: Cell<bool> = const { Cell::new(false) };
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
 
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        if ARMED.load(Ordering::Relaxed) {
-            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        if ARMED.get() {
+            ALLOCATIONS.set(ALLOCATIONS.get() + 1);
         }
         unsafe { SystemAlloc.alloc(layout) }
     }
@@ -71,8 +80,8 @@ unsafe impl GlobalAlloc for CountingAllocator {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        if ARMED.load(Ordering::Relaxed) {
-            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        if ARMED.get() {
+            ALLOCATIONS.set(ALLOCATIONS.get() + 1);
         }
         unsafe { SystemAlloc.realloc(ptr, layout, new_size) }
     }
@@ -81,13 +90,14 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static ALLOCATOR: CountingAllocator = CountingAllocator;
 
-/// Allocations observed while running `f` with the counter armed.
+/// Allocations observed on this thread while running `f` with the
+/// counter armed.
 fn allocations_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
-    ALLOCATIONS.store(0, Ordering::SeqCst);
-    ARMED.store(true, Ordering::SeqCst);
+    ALLOCATIONS.set(0);
+    ARMED.set(true);
     let result = f();
-    ARMED.store(false, Ordering::SeqCst);
-    (ALLOCATIONS.load(Ordering::SeqCst), result)
+    ARMED.set(false);
+    (ALLOCATIONS.get(), result)
 }
 
 fn steady_state_allocations(mode_label: &str, config: SystemConfig) -> u64 {

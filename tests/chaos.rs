@@ -132,6 +132,36 @@ fn injected_chaos_is_bit_reproducible() {
     assert_eq!(run(), run(), "chaos must be deterministic");
 }
 
+/// The storm under parallel core stepping: fault injection forces the
+/// sharded loop off the epoch path (injected shortfalls, swap errors and
+/// IPI delays may touch any core at any instruction), so every
+/// `host_threads` value must serialize onto the same one-tick schedule —
+/// byte for byte, with the coherence fence armed throughout.
+#[test]
+fn injected_chaos_is_bit_identical_across_host_thread_counts() {
+    let cores = sweep_cores().max(2);
+    let run = |threads: usize| {
+        let (system, report) = run_chaos_mix(
+            chaos_config(cores, 32 << 20, storm(0x57012)).with_host_threads(threads),
+            cores + 1,
+            12 << 20,
+            5_000,
+            0xD1CE,
+        );
+        system
+            .check_invariants()
+            .expect("chaos leaves a coherent machine");
+        serde_json::to_string(&report).unwrap()
+    };
+    let single = run(1);
+    assert_eq!(single, run(2), "2 host threads diverged under the storm");
+    assert_eq!(
+        single,
+        run(cores),
+        "{cores} host threads diverged under the storm"
+    );
+}
+
 /// Scripted shortfalls push faults into the reclaim retry path even when
 /// memory is plentiful: the machine swaps although it never had to, and
 /// the run still completes without a single failed access.

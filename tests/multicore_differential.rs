@@ -245,6 +245,118 @@ fn multicore_runs_are_bit_identical_across_repeats() {
     );
 }
 
+/// Workloads for the host-thread invariance sweep: one random-access
+/// process per core over a machine with plenty of memory, so the epoch
+/// planner's fault-headroom check passes and slices genuinely run on
+/// parallel host threads (no reclaim, no OOM, no injection).
+fn plentiful_specs(count: usize, instructions: u64) -> Vec<WorkloadSpec> {
+    (0..count)
+        .map(|i| {
+            let mut spec = WorkloadSpec::simple(
+                "thr",
+                WorkloadClass::LongRunning,
+                8 * 1024 * 1024,
+                AccessPattern::UniformRandom,
+                instructions,
+            );
+            spec.name = format!("THR{i}");
+            spec
+        })
+        .collect()
+}
+
+/// Per-core cycle attribution: with one process pinned to each core and
+/// no background housekeeping, every cycle a core model accumulates over
+/// the run is attributed to exactly the process that held it — the
+/// per-process `cycles` in the report equals its core's whole counter,
+/// byte for byte. This is the accounting the per-process `ipc` (and the
+/// benchmark harness's `sim_ipc`) divides through; a core's cycles
+/// bleeding into another core's process, or escaping attribution
+/// entirely, shows up here as an exact-equality failure.
+#[test]
+fn per_core_cycles_are_fully_attributed_to_the_pinned_process() {
+    const CORES: usize = 4;
+    let specs = plentiful_specs(CORES, 4_000);
+    let mut config = SystemConfig::small_test().with_cores(CORES);
+    // Housekeeping kernel streams run between attribution windows and
+    // would legitimately advance a core past its process's share.
+    config.housekeeping_interval = 0;
+    let (mut system, pids) = build_multiprocess(config, &specs);
+    let report = run_mix(&mut system, &pids, &specs, 0xACC7, true);
+
+    for process in &report.processes {
+        let core = system.core_of(ProcessId(process.pid));
+        assert_eq!(process.instructions, 4_000);
+        assert_eq!(
+            process.cycles,
+            system.core_model_of(core).cycles().raw(),
+            "process {} (core {core}): reported cycles must equal the \
+             pinned core's full cycle counter",
+            process.pid
+        );
+    }
+}
+
+/// The tentpole determinism contract: the `host_threads` knob trades host
+/// CPU for wall clock and **nothing else** — a 4-core run stepped on 1, 2
+/// or 4 host threads serializes to byte-identical reports, for every
+/// translation engine. The plentiful-memory configuration keeps the epoch
+/// planner engaged (asserted via [`System::epochs_run`]) so the test
+/// exercises the parallel path rather than the serial fallback.
+#[test]
+fn reports_are_byte_identical_across_host_thread_counts() {
+    const CORES: usize = 4;
+    let specs = plentiful_specs(CORES, 4_000);
+    for (name, config) in engine_cells() {
+        let config = config.with_cores(CORES);
+        let mut baseline = None;
+        for threads in [1usize, 2, CORES] {
+            let config = config.clone().with_host_threads(threads);
+            let (mut system, pids) = build_multiprocess(config, &specs);
+            let report = run_mix(&mut system, &pids, &specs, 0x7A4D, true);
+            assert!(
+                system.epochs_run() > 0,
+                "engine {name}, {threads} host threads: the epoch planner \
+                 never engaged — the sweep is not testing the parallel path"
+            );
+            let json = serde_json::to_string(&report).unwrap();
+            match &baseline {
+                None => baseline = Some(json),
+                Some(expected) => assert_eq!(
+                    expected, &json,
+                    "engine {name}: {threads} host threads diverged from \
+                     the single-threaded schedule"
+                ),
+            }
+        }
+    }
+}
+
+/// The same contract under memory pressure, where the epoch planner
+/// stands down (reclaim and OOM kills may touch every core) and the loop
+/// serializes onto the legacy one-tick schedule: thread counts still
+/// cannot matter, because no epoch is ever allowed to run concurrently
+/// with reclaim.
+#[test]
+fn pressure_runs_are_byte_identical_across_host_thread_counts() {
+    const CORES: usize = 4;
+    let specs = pressure_specs(CORES, 4_000);
+    let mut baseline = None;
+    for threads in [1usize, CORES] {
+        let config = pressure_config(CORES).with_host_threads(threads);
+        let (mut system, pids) = build_multiprocess(config, &specs);
+        let report = run_mix(&mut system, &pids, &specs, 0xD1FF, true);
+        let json = serde_json::to_string(&report).unwrap();
+        match &baseline {
+            None => baseline = Some(json),
+            Some(expected) => assert_eq!(
+                expected, &json,
+                "{threads} host threads diverged under memory pressure"
+            ),
+        }
+    }
+}
+
 /// `run_multiprogram` itself dispatches to the sharded loop when the
 /// config asks for more than one core — the public API needs no separate
 /// entry point.

@@ -23,6 +23,8 @@
 //! assert!(!again.needs_dram()); // now it hits
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod cache;
 pub mod hierarchy;
 pub mod prefetch;

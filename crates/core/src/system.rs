@@ -1412,6 +1412,7 @@ impl System {
     /// the region to a *new* huge frame and frees the old base frames, so
     /// its invalidation batch is applied just like a reclaim shootdown —
     /// before the fix, the TLBs kept translating into the freed frames.
+    // vmlint: allow(no-alloc-in-hot-path, "periodic slow path: runs once per housekeeping interval, not per access; the counting-allocator test brackets it out of the steady-state window")
     fn housekeeping(&mut self) {
         let current = core_ref!(self, self.active).current;
         self.functional
@@ -1538,6 +1539,7 @@ impl System {
     /// pre-epoch translation loop. Shared between the inline step path
     /// (which calls it immediately) and the epoch barrier (which calls it
     /// while resuming a truncated slice mid-instruction).
+    // vmlint: allow(no-alloc-in-hot-path, "fault slow path: runs only when a translation faulted into the kernel, never on the TLB/PTW steady-state hit path the allocator test measures")
     fn finish_faulted_access(&mut self, entry: &DeferredAccess) {
         let asid = Self::asid_of(core_ref!(self, self.active).current);
         let mut total_latency = entry.translation.fixed_latency;
@@ -2033,6 +2035,7 @@ impl System {
     ///
     /// Panics with the violation message when
     /// [`System::check_invariants`] fails.
+    // vmlint: allow(no-alloc-in-hot-path, "diagnostic slow path: the coherence fence only runs when invariant_check_interval arms it, and its diagnostics format on the failure path")
     fn assert_invariants(&self) {
         if let Err(violation) = self.check_invariants() {
             panic!("coherence fence violated: {violation}");

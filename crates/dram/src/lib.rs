@@ -26,6 +26,8 @@
 //! assert!(lat.raw() > 0);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod config;
 pub mod mapping;
 pub mod stats;

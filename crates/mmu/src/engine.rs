@@ -40,7 +40,7 @@
 
 use crate::midgard::{MidgardConfig, MidgardMmu};
 use crate::mmu::{Mmu, RemovedTranslation, TranslationResult};
-use crate::pt::{WalkAccessList, WalkOutcome};
+use crate::pt::WalkOutcome;
 use crate::rmm::{RmmConfig, RmmMmu};
 use crate::utopia_mmu::{UtopiaMmu, UtopiaMmuConfig};
 use mimic_os::kernel::RangeMapping;
@@ -437,15 +437,6 @@ impl TranslationEngine {
     }
 }
 
-/// Copies a walk access slice into an inline [`WalkAccessList`].
-fn access_list(accesses: &[PhysAddr]) -> WalkAccessList {
-    let mut list = WalkAccessList::new();
-    for pa in accesses {
-        list.push(*pa);
-    }
-    list
-}
-
 // ---------------------------------------------------------------------------
 // Midgard
 // ---------------------------------------------------------------------------
@@ -544,7 +535,7 @@ impl MidgardEngine {
             // Both VLBs missed: the frontend walked its in-memory VMA tree.
             // Its node accesses are charged ahead of whatever the backend
             // walked (serial — the backend walk needs the Midgard address).
-            let mut combined = access_list(&frontend_accesses);
+            let mut combined = frontend_accesses;
             match result.walk.take() {
                 Some(walk) => {
                     for pa in &walk.accesses {
@@ -697,7 +688,7 @@ impl RmmEngine {
                         } else {
                             Some(WalkOutcome {
                                 mapping: Some(mapping),
-                                accesses: access_list(&accesses),
+                                accesses,
                                 parallel: false, // B-tree descent is serial.
                             })
                         };
@@ -767,6 +758,7 @@ pub struct UtopiaEngine {
     /// picks buckets from the *low* bits — unshifted keys collapse the
     /// whole resident set into a few probe chains (a measured ~40% of
     /// the Utopia cell's host time before the rekey).
+    // vmlint: allow(fx-keying, "keyed (asid, va >> 12): the u64 is the virtual page number, shifted at every insert/lookup site in this file")
     resident: vm_types::FxHashMap<(u16, u64), Mapping>,
     /// Resident-page counts per page size (4K/2M/1G), so the per-miss
     /// residency probe can skip hash lookups for sizes with no entries.

@@ -9,6 +9,7 @@
 //! outlier behaviour by its VMA-size distribution: one huge VMA plus ~147
 //! small ones that thrash the 16-entry L2 VLB (3 % hit ratio).
 
+use crate::pt::WalkAccessList;
 use serde::{Deserialize, Serialize};
 use vm_types::{Counter, Cycles, PhysAddr, VirtAddr};
 
@@ -114,10 +115,10 @@ pub struct MidgardTranslation {
     /// miss).
     pub frontend_latency: Cycles,
     /// In-memory accesses performed by the frontend VMA-tree walk.
-    pub frontend_accesses: Vec<PhysAddr>,
+    pub frontend_accesses: WalkAccessList,
     /// In-memory accesses performed by the backend (Midgard → physical)
     /// walk; charged only when the access misses in the cache hierarchy.
-    pub backend_accesses: Vec<PhysAddr>,
+    pub backend_accesses: WalkAccessList,
 }
 
 /// The Midgard MMU model.
@@ -136,6 +137,7 @@ pub struct MidgardMmu {
 impl MidgardMmu {
     /// Creates a Midgard MMU; frontend/backend tables live at
     /// `metadata_base`.
+    // vmlint: allow(no-alloc-in-hot-path, "lazy first-touch construction: MidgardEngine::frontend_for builds one frontend per address space on its first translation, never per access")
     pub fn new(config: MidgardConfig, metadata_base: PhysAddr) -> Self {
         MidgardMmu {
             config,
@@ -225,16 +227,15 @@ impl MidgardMmu {
         let (midgard_addr, frontend_latency, frontend_accesses) = self.translate_frontend(va)?;
         // Backend: a radix walk over the Midgard space performed only on LLC
         // misses; emit its node accesses for the framework to charge.
-        let backend_accesses: Vec<PhysAddr> = (0..self.config.backend_levels as u64)
-            .map(|level| {
-                PhysAddr::new(
-                    self.metadata_base
-                        + (1 << 30)
-                        + level * 4096
-                        + ((midgard_addr >> (12 + 9 * level.min(4))) & 0x1ff) * 8,
-                )
-            })
-            .collect();
+        let mut backend_accesses = WalkAccessList::new();
+        for level in 0..self.config.backend_levels as u64 {
+            backend_accesses.push(PhysAddr::new(
+                self.metadata_base
+                    + (1 << 30)
+                    + level * 4096
+                    + ((midgard_addr >> (12 + 9 * level.min(4))) & 0x1ff) * 8,
+            ));
+        }
         self.stats.backend_cycles += 2 * self.config.backend_levels as u64;
 
         Some(MidgardTranslation {
@@ -253,14 +254,14 @@ impl MidgardMmu {
     /// its backend is a real, separately-simulated structure, so the
     /// synthetic backend accesses would be allocated only to be thrown
     /// away on every single memory access.
-    pub fn translate_frontend(&mut self, va: VirtAddr) -> Option<(u64, Cycles, Vec<PhysAddr>)> {
+    pub fn translate_frontend(&mut self, va: VirtAddr) -> Option<(u64, Cycles, WalkAccessList)> {
         self.clock += 1;
         self.stats.translations.inc();
         let idx = self.vmas.iter().position(|v| v.covers(va))?;
         let vma = self.vmas[idx];
 
         let mut frontend_latency = self.config.l1_vlb_latency;
-        let mut frontend_accesses = Vec::new();
+        let mut frontend_accesses = WalkAccessList::new();
         if Self::probe_vlb(&mut self.l1_vlb, idx, self.clock) {
             self.stats.l1_vlb_hits.inc();
         } else {

@@ -19,6 +19,7 @@ pub struct RadixPageTable {
     /// (prefix = va >> 21).
     /// (The maps use the deterministic Fx hasher: walks probe them on
     /// every TLB miss, the hottest lookups in the whole simulator.)
+    // vmlint: allow(fx-keying, "keyed (level, va >> {39,30,21}): the u64 is a level-shifted node prefix, never a raw address")
     nodes: FxHashMap<(u8, u64), PhysAddr>,
     /// Leaf translations keyed by the page base's 4K page number
     /// (`base >> 12`). NOT the raw base address: page-aligned keys have
@@ -26,6 +27,7 @@ pub struct RadixPageTable {
     /// bits of the Fx hash, whose entropy sits in the high bits — raw
     /// bases collapse the table into a few long probe chains on the
     /// hottest lookup of every TLB-missing walk.
+    // vmlint: allow(fx-keying, "keyed by vpn (va >> 12), shifted at every call site per the comment above — the PR 7 rekey this rule pins")
     leaves: FxHashMap<u64, Mapping>,
     /// Resident-leaf count per page size (1G, 2M, 4K), letting lookups
     /// skip probing sizes with no mappings at all — for a 4K-only address

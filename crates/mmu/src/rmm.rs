@@ -5,6 +5,7 @@
 //! walker. Translations served by a range never touch the page table, which
 //! is what removes most translation-metadata DRAM traffic in Fig. 21.
 
+use crate::pt::WalkAccessList;
 use mimic_os::kernel::RangeMapping;
 use serde::{Deserialize, Serialize};
 use vm_types::{Counter, Cycles, PhysAddr, VirtAddr};
@@ -172,8 +173,8 @@ impl RangeTable {
 
     /// Walks the table for `va`, returning the covering range (if any) and
     /// the physical addresses of the B-tree nodes the walker touched.
-    pub fn walk(&self, va: VirtAddr, fanout: usize) -> (Option<RangeMapping>, Vec<PhysAddr>) {
-        let mut accesses = Vec::new();
+    pub fn walk(&self, va: VirtAddr, fanout: usize) -> (Option<RangeMapping>, WalkAccessList) {
+        let mut accesses = WalkAccessList::new();
         // B-tree descent: log_fanout(n) node touches.
         let n = self.ranges.len().max(1) as f64;
         let depth = (n.log2() / (fanout.max(2) as f64).log2()).ceil().max(1.0) as u64;
@@ -205,6 +206,7 @@ pub struct RmmMmu {
 
 impl RmmMmu {
     /// Creates the RMM hardware with its range table at `metadata_base`.
+    // vmlint: allow(no-alloc-in-hot-path, "lazy first-touch construction: RmmEngine::rmm_for builds one RmmMmu per address space on its first translation, never per access")
     pub fn new(config: RmmConfig, metadata_base: PhysAddr) -> Self {
         RmmMmu {
             rlb: RangeTlb::new(config.rlb_entries),
@@ -255,12 +257,16 @@ impl RmmMmu {
     /// address, the lookup latency and the memory accesses performed by the
     /// range walker (empty on an RLB hit). Returns `None` when no range
     /// covers `va` (the ordinary page-table path must be used).
-    pub fn translate(&mut self, va: VirtAddr) -> Option<(PhysAddr, Cycles, Vec<PhysAddr>)> {
+    pub fn translate(&mut self, va: VirtAddr) -> Option<(PhysAddr, Cycles, WalkAccessList)> {
         let translate_with =
             |range: &RangeMapping| range.phys_start.add(va.raw() - range.virt_start.raw());
         if let Some(range) = self.rlb.lookup(va) {
             self.range_translations.inc();
-            return Some((translate_with(&range), self.config.rlb_latency, Vec::new()));
+            return Some((
+                translate_with(&range),
+                self.config.rlb_latency,
+                WalkAccessList::new(),
+            ));
         }
         let (found, accesses) = self.table.walk(va, self.config.range_table_fanout);
         match found {

@@ -23,6 +23,8 @@
 //! assert_eq!(core.instructions(), 101);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod core_model;
 pub mod frontend;
 

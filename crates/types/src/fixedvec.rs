@@ -105,6 +105,7 @@ impl<T, const N: usize> FixedVec<T, N> {
             return;
         }
         // Spill: move the inline elements into a heap vector.
+        // vmlint: allow(no-alloc-in-hot-path, "designed spill slow path: allocation-free until the inline capacity N is exceeded, which the counting-allocator test pins never happens in steady state")
         let mut v = Vec::with_capacity(N * 2 + 1);
         for slot in &mut self.inline[..self.len] {
             // SAFETY: slots `..len` are initialized; after this loop `len`

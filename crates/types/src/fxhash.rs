@@ -18,6 +18,7 @@
 //! assert_eq!(m.get(&42), Some(&"walk"));
 //! ```
 
+// vmlint: allow(determinism, "defining site of the sanctioned alias: the std container is re-exported with a fixed-seed hasher, which is exactly what makes it deterministic")
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
@@ -87,6 +88,7 @@ impl Hasher for FxHasher {
 pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
 /// A `HashMap` keyed with the deterministic Fx hasher.
+// vmlint: allow(determinism, "defining site of the sanctioned alias: FxBuildHasher replaces the random seed, so iteration order is process-independent")
 pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
 
 #[cfg(test)]

@@ -1,0 +1,21 @@
+//! R1 fixture: the hot path stays quiet when it only touches pre-sized
+//! state, and cold helpers may allocate freely when they are not
+//! reachable from a root.
+
+pub struct System {
+    counter: u64,
+}
+
+impl System {
+    pub fn step_block(&mut self) {
+        self.memory_access();
+    }
+
+    fn memory_access(&mut self) {
+        self.counter += 1;
+    }
+
+    pub fn cold_summary(&self) -> String {
+        format!("counter = {}", self.counter)
+    }
+}

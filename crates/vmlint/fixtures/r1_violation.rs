@@ -1,0 +1,15 @@
+//! R1 fixture: allocation reachable from a hot-path root must fire.
+
+pub struct System;
+
+impl System {
+    pub fn step_block(&mut self) {
+        self.memory_access();
+    }
+
+    fn memory_access(&mut self) {
+        let label = format!("access {}", 42); // violation: format! in the closure
+        let mut scratch = Vec::new(); // violation: Vec::new in the closure
+        scratch.push(label.len());
+    }
+}

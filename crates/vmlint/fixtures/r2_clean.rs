@@ -1,0 +1,7 @@
+//! R2 fixture: newtype and tuple-of-newtype keys stay quiet.
+
+pub struct ResidentSet {
+    pages: FxHashMap<Vpn, Mapping>,
+    per_asid: FxHashMap<(Asid, Vpn), Mapping>,
+    by_frame: FxHashSet<FrameNumber>,
+}

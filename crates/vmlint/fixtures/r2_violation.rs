@@ -1,0 +1,6 @@
+//! R2 fixture: an Fx map keyed by a raw address type must fire.
+
+pub struct ResidentSet {
+    pages: FxHashMap<u64, Mapping>,
+    tracked: FxHashSet<VirtAddr>,
+}

@@ -1,0 +1,23 @@
+//! R3 fixture: deterministic containers and seeded RNG stay quiet, and
+//! test modules may use whatever they want.
+
+use std::collections::BTreeMap;
+
+pub fn run(seed: u64) -> u64 {
+    let mut stats: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut rng = DetRng::new(seed);
+    stats.insert(1, rng.next_u64());
+    stats.values().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    #[test]
+    fn hosts_tools_are_fine_in_tests() {
+        let _start = Instant::now();
+        let _m: HashMap<u32, u32> = HashMap::new();
+    }
+}

@@ -1,0 +1,12 @@
+//! R3 fixture: nondeterminism sources in a simulation crate must fire.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn run() {
+    let started = Instant::now();
+    let mut stats: HashMap<u64, u64> = HashMap::new();
+    stats.insert(1, started.elapsed().as_nanos() as u64);
+    let me = std::thread::current();
+    drop(me);
+}

@@ -1,0 +1,21 @@
+//! R4 fixture: the epoch phase stays quiet when it only logs into the
+//! core-private slice log, and serial-phase code may touch anything.
+
+pub struct CoreState {
+    log: SliceLog,
+}
+
+impl CoreState {
+    pub fn run_slice_local(&mut self) {
+        self.log.record(0x1000);
+    }
+}
+
+pub struct System;
+
+impl System {
+    pub fn serial_barrier(&mut self) {
+        self.dram.access(0x1000);
+        self.os.background_tick();
+    }
+}

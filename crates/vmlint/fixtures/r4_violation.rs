@@ -1,0 +1,15 @@
+//! R4 fixture: naming shared machine state inside the parallel epoch
+//! phase must fire, directly and through a callee.
+
+pub struct CoreState;
+
+impl CoreState {
+    pub fn run_slice_local(&mut self, sys: &mut System) {
+        sys.dram.access(0x1000); // violation: shared DRAM touched core-locally
+        self.helper(sys);
+    }
+
+    fn helper(&mut self, sys: &mut System) {
+        sys.os.background_tick(); // violation: shared kernel state, one hop down
+    }
+}

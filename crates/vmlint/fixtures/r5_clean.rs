@@ -1,0 +1,14 @@
+//! R5 fixture: gated `Option` fields, non-Option fields, and Option
+//! fields on structs that are not serialized reports all stay quiet.
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimulationReport {
+    pub cycles: u64,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub oom: Option<OomStats>,
+}
+
+#[derive(Debug, Clone)]
+pub struct ScratchState {
+    pub pending: Option<u64>,
+}

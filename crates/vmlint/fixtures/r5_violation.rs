@@ -1,0 +1,7 @@
+//! R5 fixture: an ungated `Option` field on a serialized report must fire.
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimulationReport {
+    pub cycles: u64,
+    pub oom: Option<OomStats>, // violation: no skip_serializing_if gate
+}

@@ -1,0 +1,10 @@
+//! Waiver fixture: a directive without a justification is malformed and
+//! suppresses nothing; a directive naming an unknown rule is reported.
+
+pub fn run() {
+    // vmlint: allow(determinism)
+    let started = Instant::now();
+    // vmlint: allow(no-such-rule, "this rule does not exist")
+    let again = Instant::now();
+    drop((started, again));
+}

@@ -1,0 +1,11 @@
+//! Waiver fixture: a justified directive suppresses the diagnostic on
+//! the next code line.
+
+use std::collections::BTreeMap;
+
+pub fn run() {
+    // vmlint: allow(determinism, "host-side progress display only; never feeds simulation state")
+    let started = Instant::now();
+    let mut stats: BTreeMap<u64, u64> = BTreeMap::new();
+    stats.insert(1, started.elapsed().as_nanos() as u64);
+}

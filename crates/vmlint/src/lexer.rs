@@ -1,0 +1,467 @@
+//! A minimal Rust lexer: just enough to tokenize the workspace's sources
+//! for item scanning, and to extract `// vmlint:` waiver directives from
+//! line comments.
+//!
+//! The lexer understands the token classes that matter for the analysis —
+//! identifiers, punctuation, string/char/number literals, lifetimes — and
+//! correctly skips every form of comment (line, nested block, doc). It is
+//! *not* a conforming Rust lexer: what it guarantees is that no token is
+//! ever fabricated from the inside of a comment or string literal, which
+//! is the property every rule in [`crate::rules`] depends on.
+
+/// The class of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `step_block`, `u64`, ...).
+    Ident,
+    /// A single punctuation character (`{`, `<`, `#`, `:`, ...).
+    Punct,
+    /// A numeric literal, including suffixes (`0x12_u64`, `1.5`).
+    Num,
+    /// A string literal of any flavor (`"..."`, `r#"..."#`, `b"..."`).
+    Str,
+    /// A character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// A lifetime (`'a`), distinguished from char literals.
+    Lifetime,
+}
+
+/// One lexed token with its 1-indexed source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// The token's text. For [`TokKind::Str`] this is the literal's
+    /// *contents* (delimiters stripped) so rules can inspect e.g.
+    /// `skip_serializing_if` predicate names.
+    pub text: String,
+    /// 1-indexed line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// `true` when the token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// `true` when the token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+}
+
+/// A `// vmlint: ...` directive found in a line comment.
+#[derive(Debug, Clone)]
+pub struct Directive {
+    /// 1-indexed line the directive comment sits on.
+    pub line: u32,
+    /// The rule identifier inside `allow(...)`, e.g. `no-alloc-in-hot-path`.
+    pub rule: String,
+    /// The justification string, mandatory for a well-formed waiver.
+    pub justification: Option<String>,
+    /// Set when the directive could not be parsed; holds the reason.
+    pub malformed: Option<String>,
+}
+
+/// The output of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream, comments and whitespace removed.
+    pub tokens: Vec<Token>,
+    /// Every `// vmlint:` directive, in source order.
+    pub directives: Vec<Directive>,
+}
+
+/// Lexes `src` into tokens and waiver directives.
+pub fn lex(src: &str) -> Lexed {
+    let mut out = Lexed::default();
+    let b = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                let mut end = start;
+                while end < b.len() && b[end] != b'\n' {
+                    end += 1;
+                }
+                // Doc comments (`///`, `//!`) are documentation, not
+                // directives; plain `//` comments may carry a directive.
+                let is_doc = matches!(b.get(start), Some(b'/') | Some(b'!'));
+                if !is_doc {
+                    let text = &src[start..end];
+                    if let Some(rest) = text.trim_start().strip_prefix("vmlint:") {
+                        out.directives.push(parse_directive(rest.trim(), line));
+                    }
+                }
+                i = end;
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                // Nested block comment.
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'r' | b'b' if is_raw_string_start(b, i) => {
+                let (end, newlines, contents) = scan_raw_string(src, i);
+                out.tokens.push(Token {
+                    kind: TokKind::Str,
+                    text: contents,
+                    line,
+                });
+                line += newlines;
+                i = end;
+            }
+            b'b' if b.get(i + 1) == Some(&b'\'') => {
+                let end = scan_char(b, i + 1);
+                out.tokens.push(Token {
+                    kind: TokKind::Char,
+                    text: src[i..end].to_string(),
+                    line,
+                });
+                i = end;
+            }
+            b'b' if b.get(i + 1) == Some(&b'"') => {
+                let (end, newlines, contents) = scan_string(src, i + 1);
+                out.tokens.push(Token {
+                    kind: TokKind::Str,
+                    text: contents,
+                    line,
+                });
+                line += newlines;
+                i = end;
+            }
+            b'"' => {
+                let (end, newlines, contents) = scan_string(src, i);
+                out.tokens.push(Token {
+                    kind: TokKind::Str,
+                    text: contents,
+                    line,
+                });
+                line += newlines;
+                i = end;
+            }
+            b'\'' => {
+                // Lifetime or char literal. `'a'` is a char; `'a` (not
+                // followed by a closing quote) is a lifetime.
+                if is_lifetime(b, i) {
+                    let mut end = i + 1;
+                    while end < b.len() && (b[end].is_ascii_alphanumeric() || b[end] == b'_') {
+                        end += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Lifetime,
+                        text: src[i..end].to_string(),
+                        line,
+                    });
+                    i = end;
+                } else {
+                    let end = scan_char(b, i);
+                    out.tokens.push(Token {
+                        kind: TokKind::Char,
+                        text: src[i..end].to_string(),
+                        line,
+                    });
+                    i = end;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let end = scan_number(b, i);
+                out.tokens.push(Token {
+                    kind: TokKind::Num,
+                    text: src[i..end].to_string(),
+                    line,
+                });
+                i = end;
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let mut end = i + 1;
+                while end < b.len() && (b[end].is_ascii_alphanumeric() || b[end] == b'_') {
+                    end += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: src[i..end].to_string(),
+                    line,
+                });
+                i = end;
+            }
+            _ => {
+                out.tokens.push(Token {
+                    kind: TokKind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Parses the payload of a `// vmlint:` comment. The only verb is
+/// `allow(<rule>, "<justification>")`.
+fn parse_directive(rest: &str, line: u32) -> Directive {
+    let malformed = |why: &str| Directive {
+        line,
+        rule: String::new(),
+        justification: None,
+        malformed: Some(why.to_string()),
+    };
+    let Some(args) = rest.strip_prefix("allow") else {
+        return malformed("expected `allow(<rule>, \"<justification>\")`");
+    };
+    let args = args.trim();
+    let Some(inner) = args.strip_prefix('(').and_then(|a| a.strip_suffix(')')) else {
+        return malformed("expected parentheses: `allow(<rule>, \"<justification>\")`");
+    };
+    let (rule, just) = match inner.split_once(',') {
+        Some((r, j)) => (r.trim(), j.trim()),
+        None => (inner.trim(), ""),
+    };
+    if rule.is_empty() {
+        return malformed("missing rule id");
+    }
+    let just = just
+        .strip_prefix('"')
+        .and_then(|j| j.strip_suffix('"'))
+        .map(str::trim)
+        .unwrap_or("");
+    if just.is_empty() {
+        return malformed("a waiver requires a non-empty \"justification\" string");
+    }
+    Directive {
+        line,
+        rule: rule.to_string(),
+        justification: Some(just.to_string()),
+        malformed: None,
+    }
+}
+
+/// `true` when position `i` starts a raw (or raw-byte) string: `r"`,
+/// `r#"`, `br"`, `br#"`.
+fn is_raw_string_start(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if b.get(j) != Some(&b'r') {
+        return false;
+    }
+    j += 1;
+    while b.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    b.get(j) == Some(&b'"')
+}
+
+/// Scans a raw string starting at `i`; returns (end index, newline count,
+/// contents).
+fn scan_raw_string(src: &str, i: usize) -> (usize, u32, String) {
+    let b = src.as_bytes();
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    j += 1; // 'r'
+    let mut hashes = 0usize;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // opening quote
+    let start = j;
+    let mut newlines = 0u32;
+    while j < b.len() {
+        if b[j] == b'\n' {
+            newlines += 1;
+        }
+        if b[j] == b'"'
+            && b[j + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&c| c == b'#')
+                .count()
+                == hashes
+        {
+            return (j + 1 + hashes, newlines, src[start..j].to_string());
+        }
+        j += 1;
+    }
+    (j, newlines, src[start..].to_string())
+}
+
+/// Scans a regular string starting at the opening quote `i`; returns
+/// (end index, newline count, contents).
+fn scan_string(src: &str, i: usize) -> (usize, u32, String) {
+    let b = src.as_bytes();
+    let mut j = i + 1;
+    let start = j;
+    let mut newlines = 0u32;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'\n' => {
+                newlines += 1;
+                j += 1;
+            }
+            b'"' => return (j + 1, newlines, src[start..j].to_string()),
+            _ => j += 1,
+        }
+    }
+    (j, newlines, src[start..].to_string())
+}
+
+/// Scans a char literal starting at the opening quote `i`; returns the end
+/// index (past the closing quote).
+fn scan_char(b: &[u8], i: usize) -> usize {
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'\'' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// `true` when the quote at `i` starts a lifetime rather than a char
+/// literal.
+fn is_lifetime(b: &[u8], i: usize) -> bool {
+    let Some(&first) = b.get(i + 1) else {
+        return false;
+    };
+    if !(first.is_ascii_alphabetic() || first == b'_') {
+        return false; // '\n' etc: a char literal
+    }
+    // 'static, 'a — a lifetime unless the ident is one char and a quote
+    // follows ('a').
+    let mut j = i + 2;
+    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+        j += 1;
+    }
+    b.get(j) != Some(&b'\'')
+}
+
+/// Scans a numeric literal (suffixes and `_` separators included); stops
+/// before `..` so ranges lex as two dots.
+fn scan_number(b: &[u8], i: usize) -> usize {
+    let mut j = i + 1;
+    while j < b.len() {
+        let c = b[j];
+        if c.is_ascii_alphanumeric() || c == b'_' {
+            j += 1;
+        } else if c == b'.' && b.get(j + 1) != Some(&b'.') && b[j - 1] != b'.' {
+            // One decimal point, unless it begins a `..` range. Field/tuple
+            // access after a float (`1.0.to_bits()`) is rare enough to
+            // ignore: lexing it as one token loses nothing the rules need.
+            if b.get(j + 1).is_some_and(|n| n.is_ascii_alphabetic()) {
+                break; // `1.max(2)`: method call on an integer literal
+            }
+            j += 1;
+        } else {
+            break;
+        }
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_produce_no_tokens() {
+        let src = r##"
+            // HashMap in a comment
+            /* Instant::now() /* nested */ still a comment */
+            /// doc HashMap
+            let s = "format! inside a string";
+            let r = r#"Vec::new in a raw string"#;
+            let c = 'x';
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(ids.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'y' }").tokens;
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Char && t.text == "'y'"));
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_constructs() {
+        let src = "let a = 1;\n/* two\nlines */\nlet b = 2;\n";
+        let toks = lex(src).tokens;
+        let b = toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 4);
+    }
+
+    #[test]
+    fn directives_parse_rule_and_justification() {
+        let src = "// vmlint: allow(fx-keying, \"keys are shifted VPNs\")\nlet x = 1;";
+        let lexed = lex(src);
+        assert_eq!(lexed.directives.len(), 1);
+        let d = &lexed.directives[0];
+        assert_eq!(d.rule, "fx-keying");
+        assert_eq!(d.justification.as_deref(), Some("keys are shifted VPNs"));
+        assert!(d.malformed.is_none());
+    }
+
+    #[test]
+    fn waivers_without_justification_are_malformed() {
+        let lexed = lex("// vmlint: allow(determinism)\n");
+        assert!(lexed.directives[0].malformed.is_some());
+        let lexed = lex("// vmlint: deny(x)\n");
+        assert!(lexed.directives[0].malformed.is_some());
+    }
+
+    #[test]
+    fn numbers_lex_through_ranges_and_methods() {
+        let toks = lex("for i in 0..10 { i.max(1.5); }").tokens;
+        assert!(toks.iter().any(|t| t.kind == TokKind::Num && t.text == "0"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Num && t.text == "1.5"));
+        assert!(toks.iter().any(|t| t.is_ident("max")));
+    }
+}

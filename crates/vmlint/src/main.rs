@@ -1,0 +1,107 @@
+//! The `vmlint` binary: `cargo run -p vmlint --release -- --workspace`.
+//!
+//! Exit status is 0 when no unsuppressed diagnostics were found and 1
+//! otherwise (2 for usage/IO errors), so CI can gate on it directly.
+
+#![deny(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use vmlint::rules::ALL_RULES;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: vmlint [--workspace] [--root <dir>] [<file.rs> ...]\n\
+         \n\
+         --workspace     lint every workspace crate (default when no files given)\n\
+         --root <dir>    workspace root (default: current directory)\n\
+         --list-rules    print the rule ids and exit\n\
+         <file.rs>       lint explicit files (crate dir inferred from the path)\n\
+         \n\
+         Waive a finding with a justified directive on the line above it:\n\
+         // vmlint: allow(<rule>, \"why this is sound\")"
+    );
+    ExitCode::from(2)
+}
+
+/// Infers the workspace crate directory for an explicitly given file, so
+/// `vmlint crates/mmu/src/engine.rs` applies the same crate-scoped rules
+/// as a workspace run. Fixture files lint as a simulation crate (that is
+/// what they exercise — vmlint's own crate is exempt from the simulation
+/// rules); files outside `crates/` lint as the umbrella crate (`.`).
+fn infer_crate_dir(path: &std::path::Path) -> String {
+    let comps: Vec<String> = path
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    if comps.iter().any(|c| c == "fixtures") {
+        return "fixture".to_string();
+    }
+    comps
+        .iter()
+        .position(|c| c == "crates")
+        .and_then(|i| comps.get(i + 1).cloned())
+        .unwrap_or_else(|| ".".to_string())
+}
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => {}
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage(),
+            },
+            "--list-rules" => {
+                for rule in ALL_RULES {
+                    println!("{rule}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => return usage(),
+            _ if arg.starts_with('-') => return usage(),
+            _ => files.push(PathBuf::from(arg)),
+        }
+    }
+
+    let result = if files.is_empty() {
+        vmlint::analyze_workspace(&root)
+    } else {
+        let list: Vec<(PathBuf, String)> = files
+            .into_iter()
+            .map(|f| {
+                let dir = infer_crate_dir(&f);
+                (f, dir)
+            })
+            .collect();
+        let n = list.len();
+        vmlint::analyze_files(&list).map(|d| (d, n))
+    };
+
+    let (diags, nfiles) = match result {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("vmlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        eprintln!("vmlint: {nfiles} files clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "vmlint: {} diagnostic{} in {nfiles} files",
+            diags.len(),
+            if diags.len() == 1 { "" } else { "s" }
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,27 @@
+//! The tier-1 gate: the committed tree must lint clean. A regression
+//! here means either a real invariant violation or a new finding that
+//! needs a fix (preferred) or a justified waiver.
+
+use std::path::PathBuf;
+
+#[test]
+fn committed_workspace_has_no_unwaived_diagnostics() {
+    let workspace = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let (diags, nfiles) = vmlint::analyze_workspace(&workspace).expect("workspace readable");
+    assert!(
+        nfiles > 50,
+        "sanity: the walker found the workspace sources ({nfiles} files)"
+    );
+    assert!(
+        diags.is_empty(),
+        "the committed tree must lint clean; fix the finding or add a justified \
+         `// vmlint: allow(rule, \"why\")` waiver:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
